@@ -1,0 +1,329 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the ablation studies called out in DESIGN.md. Each
+// benchmark runs the corresponding experiment end to end and reports the
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. Absolute wattages come from the
+// simulated substrate; the shape comparisons against the paper are recorded
+// in EXPERIMENTS.md.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func BenchmarkTable1LeakScan(b *testing.B) {
+	var available int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		available = r.Available("local")
+	}
+	b.ReportMetric(float64(available), "local-channels-●")
+}
+
+func BenchmarkTable2ChannelRanking(b *testing.B) {
+	var varying int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		varying = 0
+		for _, a := range r.Assessments {
+			if a.Varying {
+				varying++
+			}
+		}
+	}
+	b.ReportMetric(float64(varying), "V-channels")
+}
+
+func BenchmarkFig2WeekTrace(b *testing.B) {
+	var swing, peak float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2(7)
+		swing, peak = r.SwingPct, r.PeakW
+	}
+	b.ReportMetric(swing, "swing-%")
+	b.ReportMetric(peak, "peak-W")
+}
+
+func BenchmarkFig3SynergisticVsPeriodic(b *testing.B) {
+	var synPeak, perPeak float64
+	var synTrials, perTrials int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		synPeak, perPeak = r.Synergistic.PeakW, r.Periodic.PeakW
+		synTrials, perTrials = r.Synergistic.Trials, r.Periodic.Trials
+	}
+	b.ReportMetric(synPeak, "syn-peak-W")
+	b.ReportMetric(perPeak, "per-peak-W")
+	b.ReportMetric(float64(synTrials), "syn-trials")
+	b.ReportMetric(float64(perTrials), "per-trials")
+}
+
+func BenchmarkFig3Sweep(b *testing.B) {
+	var wins, ties int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3Sweep(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wins, ties = r.SynWins, r.Ties
+	}
+	b.ReportMetric(float64(wins), "syn-wins")
+	b.ReportMetric(float64(ties), "ties")
+}
+
+func BenchmarkFig4CoResidentAttack(b *testing.B) {
+	var perContainer float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		perContainer = (r.StepWatts[3] - r.StepWatts[0]) / 3
+	}
+	b.ReportMetric(perContainer, "W-per-container")
+}
+
+func BenchmarkFig6CoreEnergyModel(b *testing.B) {
+	var worstR2 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstR2 = 1
+		for _, l := range r.Lines {
+			if l.R2 < worstR2 {
+				worstR2 = l.R2
+			}
+		}
+	}
+	b.ReportMetric(worstR2, "worst-R²")
+}
+
+func BenchmarkFig7DRAMEnergyModel(b *testing.B) {
+	var r2 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2 = r.Line.R2
+	}
+	b.ReportMetric(r2, "R²")
+}
+
+func BenchmarkFig8ModelAccuracy(b *testing.B) {
+	var maxXi float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxXi = r.MaxXi
+	}
+	b.ReportMetric(maxXi, "max-ξ")
+}
+
+func BenchmarkFig9Transparency(b *testing.B) {
+	var idleW, busyW float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		idleW = avg(r.IdleW[r.WorkloadStart+2:])
+		busyW = avg(r.BusyW[r.WorkloadStart+2:])
+	}
+	b.ReportMetric(idleW, "idle-container-W")
+	b.ReportMetric(busyW, "busy-container-W")
+}
+
+func avg(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+func BenchmarkTable3UnixBench(b *testing.B) {
+	var over1, over8 float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3()
+		over1, over8 = r.IndexOver1, r.IndexOver8
+	}
+	b.ReportMetric(over1, "overhead-1copy-%")
+	b.ReportMetric(over8, "overhead-8copy-%")
+}
+
+func BenchmarkAblationCalibration(b *testing.B) {
+	var worstOn, worstOff float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationCalibration()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstOn, worstOff = 0, 0
+		for _, row := range r.Rows {
+			if row.XiCalibrated > worstOn {
+				worstOn = row.XiCalibrated
+			}
+			if row.XiUncalibrated > worstOff {
+				worstOff = row.XiUncalibrated
+			}
+		}
+	}
+	b.ReportMetric(worstOn, "ξ-calibrated")
+	b.ReportMetric(worstOff, "ξ-uncalibrated")
+}
+
+func BenchmarkAblationModelFeatures(b *testing.B) {
+	var fullR2, naiveR2 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationModelFeatures()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullR2, naiveR2 = r.FullR2, r.NaiveR2
+	}
+	b.ReportMetric(fullR2, "full-R²")
+	b.ReportMetric(naiveR2, "naive-R²")
+}
+
+func BenchmarkAblationStrategyCost(b *testing.B) {
+	var synBill float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationStrategyCost()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Strategy == "synergistic" {
+				synBill = r.BillUSD
+			}
+		}
+	}
+	b.ReportMetric(synBill, "syn-bill-$")
+}
+
+func BenchmarkAblationCrestThreshold(b *testing.B) {
+	var bestPeak float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.AblationCrestThreshold()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestPeak = 0
+		for _, p := range points {
+			if p.PeakW > bestPeak {
+				bestPeak = p.PeakW
+			}
+		}
+	}
+	b.ReportMetric(bestPeak, "best-peak-W")
+}
+
+func BenchmarkDiscovery(b *testing.B) {
+	var novel int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Discovery()
+		if err != nil {
+			b.Fatal(err)
+		}
+		novel = len(r.Findings)
+	}
+	b.ReportMetric(float64(novel), "novel-leaks")
+}
+
+func BenchmarkCovertChannels(b *testing.B) {
+	var defendedPowerBER float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CovertSurvey()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Hardening == experiments.DefendedHost && row.Signal.String() == "power" {
+				defendedPowerBER = row.BER
+			}
+		}
+	}
+	b.ReportMetric(defendedPowerBER, "defended-power-BER")
+}
+
+func BenchmarkDefendedAttack(b *testing.B) {
+	var signalRange float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.DefendedAttack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		signalRange = r.DefendedSignalRangeW
+	}
+	b.ReportMetric(signalRange, "defended-signal-range-W")
+}
+
+func BenchmarkAttackDetection(b *testing.B) {
+	var attackerAlignment float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Detection()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Scores {
+			if s.Tenant == "mallory" {
+				attackerAlignment = s.CrestAlignment
+			}
+		}
+	}
+	b.ReportMetric(attackerAlignment, "attacker-crest-alignment")
+}
+
+func BenchmarkPowerBilling(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PowerBilling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hi, lo float64
+		for _, row := range r.Rows {
+			if row.CoreHours > 3 { // the two busy tenants
+				if hi == 0 || row.EnergyWh > hi {
+					hi = row.EnergyWh
+				}
+				if lo == 0 || row.EnergyWh < lo {
+					lo = row.EnergyWh
+				}
+			}
+		}
+		spread = hi / lo
+	}
+	b.ReportMetric(spread, "energy-spread-×")
+}
+
+func BenchmarkAblationDefenseStages(b *testing.B) {
+	var s2Leaks int
+	for i := 0; i < b.N; i++ {
+		outcomes, err := experiments.AblationDefenseStages()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2Leaks = outcomes[2].LeakingChannels
+	}
+	b.ReportMetric(float64(s2Leaks), "stage2-residual-●")
+}

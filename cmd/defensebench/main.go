@@ -1,0 +1,126 @@
+// Command defensebench evaluates the power-based namespace defense
+// (Section VI): the power-model fits (Figs. 6–7), model accuracy on the
+// SPEC subset (Fig. 8), isolation transparency (Fig. 9), the UnixBench
+// overhead table (Table III), and the ablation / extension studies from
+// DESIGN.md (covert channels, defense-vs-attack, strategy economics,
+// attack detection, power-aware billing).
+//
+// Usage:
+//
+//	defensebench                 # everything
+//	defensebench -fig8 -table3   # selected experiments
+//	defensebench -ablations      # ablations + extensions only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("defensebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig6 := fs.Bool("fig6", false, "core energy vs instructions fits")
+	fig7 := fs.Bool("fig7", false, "DRAM energy vs cache misses fit")
+	fig8 := fs.Bool("fig8", false, "model accuracy on the SPEC subset")
+	fig9 := fs.Bool("fig9", false, "transparency traces")
+	table3 := fs.Bool("table3", false, "UnixBench overhead")
+	ablations := fs.Bool("ablations", false, "ablation and extension studies")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*table3 && !*ablations
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "defensebench: %v\n", err)
+		return 1
+	}
+
+	if *fig6 || all {
+		r, err := experiments.Fig6()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
+	}
+	if *fig7 || all {
+		r, err := experiments.Fig7()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
+	}
+	if *fig8 || all {
+		r, err := experiments.Fig8()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
+	}
+	if *fig9 || all {
+		r, err := experiments.Fig9()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
+	}
+	if *table3 || all {
+		fmt.Fprintln(stdout, experiments.Table3())
+	}
+	if *ablations || all {
+		cs, err := experiments.CovertSurvey()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, cs)
+		rd, err := experiments.DefendedAttack()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, rd)
+		det, err := experiments.Detection()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, det)
+		pb, err := experiments.PowerBilling()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, pb)
+		r1, err := experiments.AblationCalibration()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r1)
+		r2, err := experiments.AblationModelFeatures()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r2)
+		sc, err := experiments.AblationStrategyCost()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, experiments.RenderStrategyCost(sc))
+		points, err := experiments.AblationCrestThreshold()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, experiments.RenderCrestSweep(points))
+		stages, err := experiments.AblationDefenseStages()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, experiments.RenderStages(stages))
+	}
+	return 0
+}

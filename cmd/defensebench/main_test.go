@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedFigures(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig6", "-table3"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "FIG 6") || !strings.Contains(s, "TABLE III") {
+		t.Fatalf("sections missing:\n%s", s)
+	}
+	if strings.Contains(s, "FIG 8") {
+		t.Fatal("unselected section printed")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-wat"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

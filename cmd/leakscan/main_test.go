@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-table1"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "TABLE I") || strings.Contains(out.String(), "TABLE II") {
+		t.Fatalf("wrong sections:\n%s", out.String())
+	}
+}
+
+func TestRunDiscover(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-discover"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "/proc/vmstat") {
+		t.Fatalf("discovery incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "nonsense") {
+		t.Fatal("usage not printed to stderr")
+	}
+}

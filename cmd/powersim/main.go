@@ -1,0 +1,86 @@
+// Command powersim reproduces the power-attack experiments of Section IV:
+// the benign one-week power trace of eight servers (Fig. 2), the
+// synergistic-vs-periodic attack comparison (Fig. 3), and the co-resident
+// container aggregation on a single server (Fig. 4).
+//
+// Usage:
+//
+//	powersim                 # all three figures
+//	powersim -fig2 -days 7   # the week-long trace only
+//	powersim -fig3           # attack comparison only
+//	powersim -fig3sweep 8    # fig3 statistics across seeds (extension)
+//	powersim -fig4           # aggregation experiment only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("powersim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig2 := fs.Bool("fig2", false, "one-week benign power trace of 8 servers")
+	fig3 := fs.Bool("fig3", false, "synergistic vs periodic attack")
+	fig4 := fs.Bool("fig4", false, "co-resident aggregation on one server")
+	sweep := fs.Int("fig3sweep", 0, "repeat fig3 over N seeds and report statistics")
+	days := fs.Int("days", 7, "trace length for -fig2, in days")
+	series := fs.Bool("series", false, "also dump raw series values")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	all := !*fig2 && !*fig3 && !*fig4 && *sweep == 0
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "powersim: %v\n", err)
+		return 1
+	}
+	if *fig2 || all {
+		r := experiments.Fig2(*days)
+		fmt.Fprint(stdout, r)
+		if *series {
+			dump(stdout, "fig2-30s-avg-watts", r.Avg30s)
+		}
+	}
+	if *fig3 || all {
+		r, err := experiments.Fig3()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, r)
+		if *series {
+			dump(stdout, "fig3-synergistic-watts", r.Synergistic.Series)
+			dump(stdout, "fig3-periodic-watts", r.Periodic.Series)
+		}
+	}
+	if *sweep > 0 {
+		r, err := experiments.Fig3Sweep(*sweep)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, r)
+	}
+	if *fig4 || all {
+		r, err := experiments.Fig4()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, r)
+	}
+	return 0
+}
+
+func dump(w io.Writer, name string, vs []float64) {
+	fmt.Fprintf(w, "# %s (%d points)\n", name, len(vs))
+	for i, v := range vs {
+		fmt.Fprintf(w, "%d %.1f\n", i, v)
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig4(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig4"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "FIG 4") || strings.Contains(out.String(), "FIG 2") {
+		t.Fatalf("wrong sections:\n%s", out.String())
+	}
+}
+
+func TestRunFig2ShortWithSeries(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-fig2", "-days", "1", "-series"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "fig2-30s-avg-watts") {
+		t.Fatal("series dump missing")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "ContainerLeaks:
+// Emerging Security Threats of Information Leakages in Container Clouds"
+// (Gao, Gu, Kayaalp, Pendarakis, Wang — DSN 2017).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable tools under cmd/, worked examples under
+// examples/, and the benchmark harness that regenerates every table and
+// figure of the paper's evaluation in bench_test.go at this root.
+package repro

@@ -1,0 +1,82 @@
+// Co-residence detection: the Section III-C playbook. A tenant launches
+// instances into a multi-server cloud and determines which of its
+// containers share a physical host — using boot_id comparison, timer-list
+// signature implants, uptime matching, and synchronized MemFree traces —
+// then uses boot-time proximity to find rack neighbours.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cloud"
+	"repro/internal/container"
+	"repro/internal/coresidence"
+)
+
+func main() {
+	// A small cloud: 2 racks × 4 servers. The tenant cannot see placement.
+	dc := cloud.New(cloud.Config{Racks: 2, ServersPerRack: 4, Seed: 7})
+
+	// Launch five instances; the scheduler scatters them.
+	var placed []*container.Container
+	for i := 0; i < 5; i++ {
+		_, c, err := dc.Launch("tenant-a", fmt.Sprintf("probe-%d", i), 1)
+		if err != nil {
+			log.Fatalf("launch: %v", err)
+		}
+		placed = append(placed, c)
+	}
+	dc.Clock.Advance(1)
+
+	fmt.Println("pairwise co-residence verdicts (channel: boot_id):")
+	for i := 0; i < len(placed); i++ {
+		for j := i + 1; j < len(placed); j++ {
+			v, err := coresidence.ByBootID(placed[i], placed[j])
+			if err != nil {
+				log.Fatalf("boot_id check: %v", err)
+			}
+			if !v.CoResident {
+				continue
+			}
+			fmt.Printf("  instance %d and %d share a host (%s)\n", i, j, v.Evidence)
+
+			// Confirm through an independent channel: implant a crafted
+			// timer task name and search the other container's view.
+			sig := fmt.Sprintf("sig-%d-%d", i, j)
+			v2, err := coresidence.ByTimerSignature(placed[i], placed[j], sig)
+			if err != nil {
+				log.Fatalf("timer check: %v", err)
+			}
+			fmt.Printf("    confirmed via /proc/timer_list: %v\n", v2.CoResident)
+
+			// And through uptime equality at the same instant.
+			v3, err := coresidence.ByUptime(placed[i], placed[j], 0.5)
+			if err != nil {
+				log.Fatalf("uptime check: %v", err)
+			}
+			fmt.Printf("    confirmed via /proc/uptime: %v (%s)\n", v3.CoResident, v3.Evidence)
+		}
+	}
+
+	// The trace-matching method works even where static identifiers are
+	// masked: 30 synchronized MemFree snapshots, one per second.
+	fmt.Println("\nMemFree trace matching (first pair):")
+	v, err := coresidence.ByMemFreeTrace(placed[0], placed[1],
+		func() { dc.Clock.Advance(1) }, 30)
+	if err != nil {
+		log.Fatalf("trace check: %v", err)
+	}
+	fmt.Printf("  instances 0,1 co-resident: %v (%s)\n", v.CoResident, v.Evidence)
+
+	// Rack proximity from boot wall-clocks (Section IV-C): servers racked
+	// together were powered on together.
+	fmt.Println("\nrack proximity (btime within one hour):")
+	for j := 1; j < len(placed); j++ {
+		v, err := coresidence.RackProximity(placed[0], placed[j], 3600)
+		if err != nil {
+			log.Fatalf("proximity: %v", err)
+		}
+		fmt.Printf("  instance 0 vs %d: same rack likely = %v (%s)\n", j, v.CoResident, v.Evidence)
+	}
+}

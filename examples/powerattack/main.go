@@ -1,0 +1,74 @@
+// Synergistic power attack end to end (Section IV): orchestrate container
+// placement onto one rack using the leakage channels, monitor host power
+// through the leaked RAPL counter at near-zero cost, superimpose
+// power-virus bursts on benign crests, and compare against the blind
+// periodic baseline — including what each strategy costs under
+// utilization-based billing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/cloud"
+	"repro/internal/workload"
+)
+
+func main() {
+	build := func() (*cloud.Datacenter, *attack.AggregationResult) {
+		dc := cloud.New(cloud.Config{
+			Racks: 1, ServersPerRack: 8, CoresPerServer: 16, Seed: 1359,
+			BreakerRatedW: 1980,
+			Benign:        cloud.BenignConfig{FlashCrowdPerDay: 48},
+		})
+		// Fast-forward to the evening demand ramp.
+		dc.Clock.Run(13*3600, 30)
+
+		// Orchestration: spread attack containers across distinct hosts of
+		// ONE rack, located purely through leaked boot ids and boot-time
+		// proximity.
+		agg, err := attack.SpreadAcrossRack(dc, "mallory", 6, 4, 3600, 600)
+		if err != nil {
+			log.Fatalf("orchestration: %v", err)
+		}
+		fmt.Printf("orchestration: %d launches to place 6 containers on 6 rack-mates\n", agg.Launched)
+		return dc, &agg
+	}
+
+	// Strategy 1: synergistic — monitor, then strike at crests.
+	dc, agg := build()
+	cfg := attack.DefaultConfig()
+	cfg.BurstSeconds = 150    // long enough for an over-threshold spike to heat the breaker
+	cfg.CoresPerContainer = 2 // stay below host saturation so bursts add on top of crests
+	cfg.WarmupSeconds = 60    // the monitor already observed during orchestration
+	cfg.Profile = workload.GeneratePowerVirus(
+		dc.Racks[0].Servers[0].Kernel.Meter().Config(),
+		workload.DefaultVirusConstraints(), 300, 1)
+	syn, err := attack.RunSynergistic(dc, agg.Kept[0].Server.Rack, agg.Containers(), cfg, 3000)
+	if err != nil {
+		log.Fatalf("synergistic: %v", err)
+	}
+	synBill := dc.Billing().TenantBill("mallory")
+
+	// Strategy 2: periodic bursts every 300 s, same world.
+	dc2, agg2 := build()
+	per := attack.RunPeriodic(dc2, agg2.Kept[0].Server.Rack, agg2.Containers(), cfg, 3000, 300)
+	perBill := dc2.Billing().TenantBill("mallory")
+
+	report := func(name string, r attack.Result, bill float64) {
+		outage := "no outage"
+		if r.BreakerTripped {
+			outage = fmt.Sprintf("OUTAGE at t=%.0f s after %.0f metered core-s", r.TrippedAtS, r.CoreSecondsAtTrip)
+		}
+		fmt.Printf("%-12s peak %.0f W, %d trials, %.0f attack core-s, bill $%.4f — %s\n",
+			name+":", r.PeakW, r.Trials, r.AttackCoreSeconds, bill, outage)
+	}
+	fmt.Println()
+	report("synergistic", syn, synBill)
+	report("periodic", per, perBill)
+	fmt.Println("(the monitor itself is a file read per second: effectively free)")
+	fmt.Println("\nnote: blind periodic bursts sometimes land on a crest by luck, but they always")
+	fmt.Println("spend more metered budget and run more detectable bursts for the same effect —")
+	fmt.Println("the paper's Fig. 3 comparison, reproduced statistically by cmd/powersim -fig3.")
+}

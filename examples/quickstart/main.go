@@ -1,0 +1,78 @@
+// Quickstart: stand up one simulated host with Docker-style containers,
+// read a few pseudo-files from inside a container, and run the leakage
+// detector to see which channels expose host state — the 60-second tour of
+// the reproduction's public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/pseudofs"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Boot a host: a simulated Linux 4.7 kernel with 8 cores, RAPL and
+	// coretemp sensors, and the full /proc + /sys tree.
+	k := kernel.New(kernel.Options{Hostname: "demo-host", Seed: 1})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	docker := container.NewRuntime(k, fs, container.DockerProfile())
+
+	// 2. Start two tenant containers; one runs a compute workload.
+	attacker := docker.Create("attacker")
+	victim := docker.Create("victim")
+	victim.Run(workload.Prime, 4)
+
+	// 3. Advance simulated time: the kernel schedules, meters power, and
+	// updates every accounting structure.
+	for t := 1; t <= 30; t++ {
+		k.Tick(float64(t), 1)
+	}
+
+	// 4. Read leaked host state from inside the attacker's container.
+	for _, path := range []string{
+		"/proc/loadavg",
+		"/proc/uptime",
+		"/sys/class/powercap/intel-rapl:0/energy_uj",
+	} {
+		content, err := attacker.ReadFile(path)
+		if err != nil {
+			log.Fatalf("read %s: %v", path, err)
+		}
+		fmt.Printf("%-50s -> %s", path, firstLine(content))
+	}
+
+	// 5. Run the paper's cross-validation detector: compare the container
+	// view against the host view for every pseudo-file.
+	host := pseudofs.NewMount(fs, pseudofs.HostView(k), pseudofs.Policy{})
+	findings := core.CrossValidate(host, attacker.Mount())
+	var leaks, namespaced int
+	for _, f := range findings {
+		switch f.Status {
+		case core.Identical:
+			leaks++
+		case core.Namespaced:
+			namespaced++
+		}
+	}
+	fmt.Printf("\ndetector: %d files leak host state, %d are properly namespaced (of %d total)\n",
+		leaks, namespaced, len(findings))
+
+	// 6. Roll findings up into the paper's Table I channels.
+	for _, rep := range core.RollUp(core.TableIChannels(), findings) {
+		fmt.Printf("  %s %s\n", rep.Availability, rep.Channel.Name)
+	}
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i+1]
+		}
+	}
+	return s + "\n"
+}

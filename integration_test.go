@@ -1,0 +1,182 @@
+// Integration test: the paper's full narrative arc in one deterministic
+// scenario — discover leaks, orchestrate co-residence, mount the
+// synergistic power attack, trip a breaker, deploy the defense, and verify
+// the same attack pipeline collapses.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/coresidence"
+	"repro/internal/workload"
+)
+
+func TestEndToEndPaperNarrative(t *testing.T) {
+	benign := cloud.BenignConfig{
+		FlashCrowdPerDay: 48, FlashMinS: 60, FlashMaxS: 240, SharedFlash: true,
+	}
+
+	// ---- Act I: an undefended cloud leaks everything. -------------------
+	dc := cloud.New(cloud.Config{
+		Racks: 1, ServersPerRack: 4, CoresPerServer: 16, Seed: 4242,
+		BreakerRatedW: 1040, Benign: benign,
+	})
+	srv := dc.Racks[0].Servers[0]
+	probe := srv.Runtime.Create("probe")
+	dc.Clock.Run(30, 1)
+
+	findings := core.CrossValidate(srv.HostMount(), probe.Mount())
+	leaks := 0
+	for _, f := range findings {
+		if f.Status == core.Identical {
+			leaks++
+		}
+	}
+	if leaks < 100 {
+		t.Fatalf("act I: only %d leaking files on a stock host", leaks)
+	}
+	reports := core.RollUp(core.TableIChannels(), findings)
+	for _, rep := range reports {
+		if rep.Availability != core.Available {
+			t.Fatalf("act I: channel %s not fully available", rep.Channel.Name)
+		}
+	}
+
+	// ---- Act II: orchestrate and attack. -------------------------------
+	dc.Clock.Run(16*3600, 30) // evening
+	agg, err := attack.SpreadAcrossRack(dc, "mallory", 4, 4, 3600, 300)
+	if err != nil {
+		t.Fatalf("act II: orchestration: %v", err)
+	}
+	hosts := map[*cloud.Server]bool{}
+	for _, p := range agg.Kept {
+		hosts[p.Server] = true
+	}
+	if len(hosts) != 4 {
+		t.Fatalf("act II: %d distinct hosts, want 4", len(hosts))
+	}
+	// Sanity: the attacker's own co-residence view agrees with reality.
+	v, err := coresidence.ByBootID(agg.Containers()[0], agg.Containers()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CoResident {
+		t.Fatal("act II: spread containers claim co-residence")
+	}
+
+	cfg := attack.DefaultConfig()
+	cfg.TriggerNearMax = 0.95
+	cfg.WarmupSeconds = 600
+	cfg.CooldownSeconds = 240
+	cfg.BurstSeconds = 150
+	cfg.CoresPerContainer = 6
+	cfg.Profile = workload.GeneratePowerVirus(
+		srv.Kernel.Meter().Config(), workload.DefaultVirusConstraints(), 200, 1)
+	res, err := attack.RunSynergistic(dc, dc.Racks[0], agg.Containers(), cfg, 3000)
+	if err != nil {
+		t.Fatalf("act II: attack: %v", err)
+	}
+	if !res.BreakerTripped {
+		t.Fatalf("act II: breaker survived (peak %.0f W of %.0f W rating)", res.PeakW, 1040.0)
+	}
+	for _, s := range dc.Racks[0].Servers {
+		if !s.Down {
+			t.Fatal("act II: servers survived the outage")
+		}
+	}
+
+	// ---- Act III: the defended cloud resists. ---------------------------
+	dcd := cloud.New(cloud.Config{
+		Racks: 1, ServersPerRack: 4, CoresPerServer: 16, Seed: 4242,
+		BreakerRatedW: 1040, Benign: benign, Defended: true,
+	})
+	sd := dcd.Racks[0].Servers[0]
+	probeD := sd.Runtime.Create("probe")
+	sd.PowerNS.Register(probeD.CgroupPath)
+	dcd.Clock.Run(30, 1)
+
+	findingsD := core.CrossValidate(sd.HostMount(), probeD.Mount())
+	byPath := map[string]core.FileStatus{}
+	for _, f := range findingsD {
+		byPath[f.Path] = f.Status
+	}
+	for _, path := range []string{
+		"/proc/sys/kernel/random/boot_id", "/proc/timer_list",
+		"/proc/sched_debug", "/proc/locks", "/proc/uptime",
+		"/sys/fs/cgroup/net_prio/net_prio.ifpriomap",
+		"/sys/class/powercap/intel-rapl:0/energy_uj",
+	} {
+		if byPath[path] == core.Identical {
+			t.Errorf("act III: %s still leaks on the defended fleet", path)
+		}
+	}
+
+	// The attack pipeline degrades end to end: same campaign, breaker holds.
+	dcd.Clock.Run(16*3600+30, 30)
+	aggD, err := attack.SpreadAcrossRack(dcd, "mallory", 4, 4, 3600, 300)
+	if err != nil {
+		t.Fatalf("act III: orchestration: %v", err)
+	}
+	resD, err := attack.RunSynergistic(dcd, dcd.Racks[0], aggD.Containers(), cfg, 3000)
+	if err != nil {
+		t.Fatalf("act III: attack: %v", err)
+	}
+	if resD.BreakerTripped && resD.TrippedAtS < res.TrippedAtS {
+		t.Fatalf("act III: defended outage came sooner (%.0f s) than undefended (%.0f s)",
+			resD.TrippedAtS, res.TrippedAtS)
+	}
+
+	// And the attacker's monitor is provably blind: flat signal.
+	mon, err := attack.NewPowerMonitor(aggD.Containers()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi float64
+	for i := 0; i < 30; i++ {
+		dcd.Clock.Advance(1)
+		w, err := mon.Sample(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			lo, hi = w, w
+		} else if i > 1 {
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+	}
+	if hi-lo > 2 {
+		t.Fatalf("act III: defended monitor still sees %.2f W of variation", hi-lo)
+	}
+}
+
+func TestEndToEndMaskingStage(t *testing.T) {
+	// Stage 1 alone (CC5-grade masking) already blocks the attack tooling,
+	// at the cost of breaking monitoring apps — both sides of the paper's
+	// trade-off, exercised through the public surfaces.
+	p := cloud.CC5()
+	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 2, Seed: 4343, Provider: &p})
+	_, c, err := dc.Launch("tenant", "x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := attack.NewPowerMonitor(c); err == nil {
+		t.Fatal("CC5 should block the RAPL monitor")
+	}
+	if _, err := c.ReadFile("/proc/uptime"); err == nil {
+		t.Fatal("CC5 should mask uptime")
+	}
+	// But partial channels still leak *something* (the ◐ of Table I).
+	stat, err := c.ReadFile("/proc/stat")
+	if err != nil || !strings.HasPrefix(stat, "cpu ") {
+		t.Fatalf("CC5 stat filter broken: %q err=%v", stat, err)
+	}
+}

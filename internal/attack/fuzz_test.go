@@ -1,0 +1,16 @@
+package attack
+
+import "testing"
+
+func FuzzParseCPULine(f *testing.F) {
+	f.Add("cpu  1 2 3 4 5 6 7 0 0 0\n")
+	f.Add("cpu  \n")
+	f.Add("cpu  a b c d e f g\n")
+	f.Add("cpu\ncpu  1 2 3 4 5 6 7\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		busy, total, err := parseCPULine(s)
+		if err == nil && busy > total {
+			t.Fatalf("busy %g > total %g from %q", busy, total, s)
+		}
+	})
+}

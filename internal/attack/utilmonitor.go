@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Section VII-A: "if power data is not directly available, advanced
+// attackers will try to approximate the power status based on the resource
+// utilization information, such as the CPU and memory utilization, which is
+// still available in the identified information leakages."
+//
+// UtilizationMonitor is that fallback: it estimates host activity from the
+// leaked /proc/stat CPU accounting, producing a power-correlated signal on
+// fleets where RAPL is masked or absent (CC4). The crest logic is shared
+// with the RAPL monitor through the HostSignal interface.
+
+// HostSignal is any per-host, per-second scalar the synergistic trigger can
+// watch: true power from RAPL, or a utilization proxy.
+type HostSignal interface {
+	// Sample returns the signal averaged over the dt seconds since the
+	// previous call; the first call primes internal state and returns 0.
+	Sample(dt float64) (float64, error)
+}
+
+// UtilizationMonitor derives whole-host CPU utilization (0..1, scaled
+// ×100 for readability) from consecutive /proc/stat snapshots.
+type UtilizationMonitor struct {
+	probe     Prober
+	prevBusy  float64
+	prevTotal float64
+	primed    bool
+}
+
+// NewUtilizationMonitor validates that /proc/stat is readable and returns
+// the monitor.
+func NewUtilizationMonitor(p Prober) (*UtilizationMonitor, error) {
+	content, err := p.ReadFile("/proc/stat")
+	if err != nil {
+		return nil, fmt.Errorf("attack: /proc/stat unavailable: %w", err)
+	}
+	if _, _, err := parseCPULine(content); err != nil {
+		return nil, err
+	}
+	return &UtilizationMonitor{probe: p}, nil
+}
+
+// Sample implements HostSignal: percent CPU utilization since last call.
+func (m *UtilizationMonitor) Sample(dt float64) (float64, error) {
+	content, err := m.probe.ReadFile("/proc/stat")
+	if err != nil {
+		return 0, fmt.Errorf("attack: read /proc/stat: %w", err)
+	}
+	busy, total, err := parseCPULine(content)
+	if err != nil {
+		return 0, err
+	}
+	if !m.primed {
+		m.prevBusy, m.prevTotal = busy, total
+		m.primed = true
+		return 0, nil
+	}
+	dBusy := busy - m.prevBusy
+	dTotal := total - m.prevTotal
+	m.prevBusy, m.prevTotal = busy, total
+	if dTotal <= 0 {
+		return 0, nil
+	}
+	return dBusy / dTotal * 100, nil
+}
+
+// parseCPULine extracts (busy, total) USER_HZ ticks from the aggregate
+// "cpu " line of /proc/stat.
+func parseCPULine(content string) (busy, total float64, err error) {
+	for _, line := range strings.Split(content, "\n") {
+		if !strings.HasPrefix(line, "cpu ") {
+			continue
+		}
+		fields := strings.Fields(line)[1:]
+		if len(fields) < 7 {
+			return 0, 0, fmt.Errorf("attack: malformed cpu line %q", line)
+		}
+		vals := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("attack: parse cpu field %q: %w", f, err)
+			}
+			vals[i] = v
+		}
+		// user nice system idle iowait irq softirq …
+		for i, v := range vals {
+			total += v
+			if i != 3 && i != 4 { // idle, iowait
+				busy += v
+			}
+		}
+		return busy, total, nil
+	}
+	return 0, 0, fmt.Errorf("attack: no aggregate cpu line in /proc/stat")
+}

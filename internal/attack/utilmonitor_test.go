@@ -1,0 +1,129 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/workload"
+)
+
+func TestUtilizationMonitorTracksLoad(t *testing.T) {
+	dc := newDC(41, 1)
+	srv := dc.Racks[0].Servers[0]
+	spy := srv.Runtime.Create("spy")
+	m, err := NewUtilizationMonitor(spy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.Clock.Advance(1)
+	if v, err := m.Sample(1); err != nil || v != 0 {
+		t.Fatalf("priming sample = %g err=%v", v, err)
+	}
+	var idleU float64
+	for i := 0; i < 20; i++ {
+		dc.Clock.Advance(1)
+		if idleU, err = m.Sample(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := srv.Runtime.Create("victim")
+	victim.Run(workload.Prime, 6)
+	var busyU float64
+	for i := 0; i < 20; i++ {
+		dc.Clock.Advance(1)
+		if busyU, err = m.Sample(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if busyU < idleU+40 {
+		t.Fatalf("utilization proxy missed the surge: idle %.1f%% busy %.1f%%", idleU, busyU)
+	}
+	if busyU > 100.5 {
+		t.Fatalf("utilization %.1f%% exceeds 100%%", busyU)
+	}
+}
+
+func TestUtilizationMonitorWorksWhereRAPLIsMasked(t *testing.T) {
+	// CC4: no RAPL hardware — the power monitor fails, the fallback works.
+	p := cloud.CC4()
+	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: 42, Provider: &p})
+	c := dc.Racks[0].Servers[0].Runtime.Create("spy")
+	if _, err := NewPowerMonitor(c); err == nil {
+		t.Fatal("power monitor should fail on CC4")
+	}
+	if _, err := NewUtilizationMonitor(c); err != nil {
+		t.Fatalf("utilization fallback should work on CC4: %v", err)
+	}
+}
+
+func TestUtilizationMonitorRequiresStat(t *testing.T) {
+	// CC5 empties /proc/stat? No — it filters; craft a prober that denies.
+	deny := proberFunc(func(string) (string, error) {
+		return "", errSentinel
+	})
+	if _, err := NewUtilizationMonitor(deny); err == nil {
+		t.Fatal("expected failure without /proc/stat")
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "denied" }
+
+type proberFunc func(string) (string, error)
+
+func (f proberFunc) ReadFile(p string) (string, error) { return f(p) }
+
+func TestParseCPULine(t *testing.T) {
+	busy, total, err := parseCPULine("cpu  100 0 50 800 20 10 20 0 0 0\ncpu0 1 2 3 4 5 6 7\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy != 180 || total != 1000 {
+		t.Fatalf("busy=%g total=%g", busy, total)
+	}
+	if _, _, err := parseCPULine("intr 42"); err == nil {
+		t.Fatal("missing cpu line should error")
+	}
+	if _, _, err := parseCPULine("cpu  1 2 3"); err == nil {
+		t.Fatal("short cpu line should error")
+	}
+	if _, _, err := parseCPULine("cpu  a b c d e f g"); err == nil {
+		t.Fatal("non-numeric cpu line should error")
+	}
+}
+
+func TestSynergisticUtilFallbackOnCC4(t *testing.T) {
+	// End to end: on a RAPL-less cloud the utilization-driven synergistic
+	// attack still finds and rides crests.
+	p := cloud.CC4()
+	dc := cloud.New(cloud.Config{
+		Racks: 1, ServersPerRack: 4, CoresPerServer: 16, Seed: 43,
+		Provider: &p, BreakerRatedW: 1e9,
+		Benign: cloud.BenignConfig{FlashCrowdPerDay: 48, SharedFlash: true, FlashMinS: 60, FlashMaxS: 240},
+	})
+	dc.Clock.Run(16*3600, 30)
+	agg, err := SpreadAcrossRack(dc, "m", 4, 4, 3600, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TriggerNearMax = 0.95
+	cfg.WarmupSeconds = 300
+	r, err := RunSynergisticUtil(dc, agg.Kept[0].Server.Rack, agg.Containers(), cfg, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trials == 0 {
+		t.Fatal("utilization-driven attack never fired")
+	}
+	if r.PeakW <= 0 {
+		t.Fatal("no power recorded")
+	}
+	// The RAPL-based variant must refuse on the same cloud.
+	if _, err := RunSynergistic(dc, agg.Kept[0].Server.Rack, agg.Containers(), cfg, 10); err == nil {
+		t.Fatal("RAPL variant should fail on CC4")
+	}
+}

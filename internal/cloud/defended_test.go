@@ -1,0 +1,86 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestDefendedCloudVirtualizesRAPL(t *testing.T) {
+	dc := New(Config{Racks: 1, ServersPerRack: 2, Seed: 51, Defended: true})
+	srv := dc.Racks[0].Servers[0]
+	if srv.PowerNS == nil {
+		t.Fatal("defended server has no power namespace")
+	}
+	spy := srv.Runtime.Create("spy")
+	srv.PowerNS.Register(spy.CgroupPath)
+	victim := srv.Runtime.Create("victim")
+	srv.PowerNS.Register(victim.CgroupPath)
+	victim.Run(workload.Prime, 8)
+	dc.Clock.Run(30, 1)
+
+	read := func() string {
+		raw, err := spy.ReadFile("/sys/class/powercap/intel-rapl:0/energy_uj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(raw)
+	}
+	e1 := read()
+	dc.Clock.Run(60, 1)
+	e2 := read()
+	// The spy's counter advances only at its own (idle) rate — roughly
+	// 17 W × 30 s ≈ 5×10⁸ µJ, far below the host's ~100 W.
+	if e1 == e2 {
+		t.Fatal("spy counter frozen — should advance at idle rate")
+	}
+	if len(e2) > 0 && e2[0] == '-' {
+		t.Fatal("negative counter")
+	}
+}
+
+func TestDefendedLaunchRegistersAndTerminateUnregisters(t *testing.T) {
+	dc := New(Config{Racks: 1, ServersPerRack: 1, Seed: 52, Defended: true})
+	srv, c, err := dc.Launch("tenant", "x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.PowerNS.Registered() != 1 {
+		t.Fatalf("registered = %d", srv.PowerNS.Registered())
+	}
+	if err := dc.Terminate(srv, c); err != nil {
+		t.Fatal(err)
+	}
+	if srv.PowerNS.Registered() != 0 {
+		t.Fatalf("registered after terminate = %d", srv.PowerNS.Registered())
+	}
+}
+
+func TestDefendedCloudClosesImplantChannels(t *testing.T) {
+	dc := New(Config{Racks: 1, ServersPerRack: 1, Seed: 53, Defended: true})
+	srv := dc.Racks[0].Servers[0]
+	a := srv.Runtime.Create("a")
+	b := srv.Runtime.Create("b")
+	a.ImplantTimerSignature("defended-sig")
+	got, err := b.ReadFile("/proc/timer_list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got, "defended-sig") {
+		t.Fatal("stage-2 fixes not active on defended fleet")
+	}
+	// boot_id is per-namespace now.
+	ba, _ := a.ReadFile("/proc/sys/kernel/random/boot_id")
+	bb, _ := b.ReadFile("/proc/sys/kernel/random/boot_id")
+	if ba == bb {
+		t.Fatal("boot_id still shared on defended fleet")
+	}
+}
+
+func TestUndefendedCloudHasNoPowerNS(t *testing.T) {
+	dc := New(Config{Racks: 1, ServersPerRack: 1, Seed: 54})
+	if dc.Racks[0].Servers[0].PowerNS != nil {
+		t.Fatal("undefended server should have no power namespace")
+	}
+}

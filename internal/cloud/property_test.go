@@ -1,0 +1,120 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/container"
+)
+
+// TestPropertyBillingNonNegativeAndMonotone: bills never go negative and
+// never shrink as usage accrues.
+func TestPropertyBillingNonNegativeAndMonotone(t *testing.T) {
+	f := func(charges []uint16) bool {
+		b := NewBilling(DefaultPricing())
+		b.Open("t", "c1", 4)
+		prev := 0.0
+		now := 0.0
+		for _, ch := range charges {
+			now += float64(ch%600) + 1
+			b.Advance(now)
+			b.ChargeCPU("c1", float64(ch%3600))
+			bill := b.TenantBill("t")
+			if bill < prev-1e-12 || bill < 0 {
+				return false
+			}
+			prev = bill
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBillingClosedMeterFreezes: once closed, a meter's
+// instance-hours stop accruing.
+func TestPropertyBillingClosedMeterFreezes(t *testing.T) {
+	f := func(closeAtRaw, laterRaw uint16) bool {
+		closeAt := float64(closeAtRaw%7200) + 1
+		later := closeAt + float64(laterRaw%7200) + 1
+		b := NewBilling(DefaultPricing())
+		b.Open("t", "c1", 1)
+		b.Close("c1", closeAt)
+		atClose := b.TenantBill("t")
+		b.Advance(later)
+		return b.TenantBill("t") == atClose
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBreakerNeverTripsUnderRating: any load pattern strictly
+// below the continuous rating must never trip the breaker.
+func TestPropertyBreakerNeverTripsUnderRating(t *testing.T) {
+	f := func(loads []uint16) bool {
+		b := NewBreaker(1000)
+		for _, l := range loads {
+			if b.Observe(float64(l%1000), 1) {
+				return false
+			}
+		}
+		return !b.Tripped()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBreakerAlwaysTripsMagnetic: any single observation at or
+// above the magnetic threshold trips.
+func TestPropertyBreakerAlwaysTripsMagnetic(t *testing.T) {
+	f := func(overRaw uint16) bool {
+		b := NewBreaker(1000)
+		load := 1450 + float64(overRaw)
+		return b.Observe(load, 0.1) && b.Tripped()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyReservationsConserved: any launch/terminate sequence keeps
+// per-server reservations within capacity and consistent with the
+// containers placed.
+func TestPropertyReservationsConserved(t *testing.T) {
+	f := func(ops []uint8) bool {
+		dc := New(Config{Racks: 1, ServersPerRack: 2, CoresPerServer: 4, Seed: 11})
+		type placed struct {
+			s *Server
+			c *container.Container
+		}
+		var live []placed
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				cores := float64(op%3) + 1
+				s, c, err := dc.Launch("t", "x", cores)
+				if err != nil {
+					continue // capacity exhausted is fine
+				}
+				live = append(live, placed{s: s, c: c})
+			} else {
+				p := live[0]
+				live = live[1:]
+				if err := dc.Terminate(p.s, p.c); err != nil {
+					return false
+				}
+			}
+			for _, s := range dc.Servers() {
+				if s.ReservedCores() > float64(s.Kernel.Options().Cores)+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

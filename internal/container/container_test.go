@@ -1,0 +1,199 @@
+package container
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/pseudofs"
+	"repro/internal/workload"
+)
+
+func newHost(t *testing.T, seed int64) *Runtime {
+	t.Helper()
+	k := kernel.New(kernel.Options{Hostname: "node", Seed: seed})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	return NewRuntime(k, fs, DockerProfile())
+}
+
+func TestCreateAssemblesIsolation(t *testing.T) {
+	r := newHost(t, 1)
+	c := r.Create("web")
+	if c.ID == "" || !strings.Contains(c.CgroupPath, "docker") {
+		t.Fatalf("container %q cgroup %q", c.ID, c.CgroupPath)
+	}
+	// Fresh namespaces, distinct from init.
+	if c.NS.ID(kernel.PID) == r.Kernel().InitNS().ID(kernel.PID) {
+		t.Fatal("PID namespace shared with host")
+	}
+	// Perf group exists.
+	if _, ok := r.Kernel().Perf().Read(c.CgroupPath); !ok {
+		t.Fatal("perf group not created")
+	}
+	// Init task is pid 1 inside.
+	hostname, err := c.ReadFile("/proc/sys/kernel/hostname")
+	if err != nil || strings.TrimSpace(hostname) != "web" {
+		t.Fatalf("hostname = %q err=%v", hostname, err)
+	}
+}
+
+func TestContainerIDsUnique(t *testing.T) {
+	r := newHost(t, 2)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		c := r.Create("x")
+		if seen[c.ID] {
+			t.Fatalf("duplicate id %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if len(r.List()) != 50 {
+		t.Fatalf("list = %d", len(r.List()))
+	}
+}
+
+func TestRunChargesCgroup(t *testing.T) {
+	r := newHost(t, 3)
+	c := r.Create("worker")
+	c.Run(workload.Prime, 4)
+	for i := 0; i < 10; i++ {
+		r.Kernel().Tick(float64(i+1), 1)
+	}
+	usage, err := c.ReadFile("/sys/fs/cgroup/cpuacct/cpuacct.usage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(usage) == "0" {
+		t.Fatal("busy container shows zero cpuacct usage")
+	}
+	pc, ok := r.Kernel().Perf().Read(c.CgroupPath)
+	if !ok || pc.Instructions == 0 {
+		t.Fatalf("perf counters not accumulating: %+v ok=%v", pc, ok)
+	}
+}
+
+func TestStopAndStopAll(t *testing.T) {
+	r := newHost(t, 4)
+	c := r.Create("w")
+	t1 := c.Run(workload.Prime, 1)
+	t2 := c.Run(workload.StressM64, 1)
+	c.Stop(t1)
+	if len(c.Tasks()) != 1 || c.Tasks()[0] != t2 {
+		t.Fatalf("tasks after stop = %v", c.Tasks())
+	}
+	if r.Kernel().Task(t1.HostPID) != nil {
+		t.Fatal("stopped task still scheduled")
+	}
+	c.StopAll()
+	if len(c.Tasks()) != 0 {
+		t.Fatal("StopAll left tasks")
+	}
+}
+
+func TestDestroyTearsDown(t *testing.T) {
+	r := newHost(t, 5)
+	c := r.Create("victim")
+	c.Run(workload.Prime, 2)
+	nTasks := r.Kernel().NumTasks()
+	if err := r.Destroy(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if r.Kernel().NumTasks() != nTasks-3+1 { // workload + init gone
+		t.Fatalf("tasks after destroy = %d (was %d)", r.Kernel().NumTasks(), nTasks)
+	}
+	if _, err := r.Get(c.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after destroy: %v", err)
+	}
+	if err := r.Destroy("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Destroy unknown: %v", err)
+	}
+}
+
+func TestCrossContainerLeakThroughProc(t *testing.T) {
+	r := newHost(t, 6)
+	a := r.Create("attacker")
+	v := r.Create("victim")
+	v.Run(workload.Prime, 4)
+	r.Kernel().Tick(1, 1)
+	// The attacker reads host-global loadavg and sees the victim's load.
+	la, err := a.ReadFile("/proc/loadavg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(la, "0.00 0.00") {
+		t.Fatalf("loadavg shows no foreign activity: %q", la)
+	}
+	// And both containers read the same boot_id — co-residence evidence.
+	b1, _ := a.ReadFile("/proc/sys/kernel/random/boot_id")
+	b2, _ := v.ReadFile("/proc/sys/kernel/random/boot_id")
+	if b1 != b2 {
+		t.Fatal("co-resident containers read different boot ids")
+	}
+}
+
+func TestImplantTimerSignatureVisibleAcrossContainers(t *testing.T) {
+	r := newHost(t, 7)
+	a := r.Create("a")
+	b := r.Create("b")
+	a.ImplantTimerSignature("sig-deadbeef-42")
+	got, err := b.ReadFile("/proc/timer_list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "sig-deadbeef-42") {
+		t.Fatal("timer signature not visible across containers")
+	}
+}
+
+func TestImplantLockSignatureVisibleAcrossContainers(t *testing.T) {
+	r := newHost(t, 8)
+	a := r.Create("a")
+	b := r.Create("b")
+	a.ImplantLockSignature(31337)
+	got, err := b.ReadFile("/proc/locks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "31337") {
+		t.Fatal("lock signature not visible across containers")
+	}
+}
+
+func TestExtraPolicyRulesMaskChannels(t *testing.T) {
+	r := newHost(t, 9)
+	c := r.Create("hardened", pseudofs.Rule{Pattern: "/proc/timer_list", Do: pseudofs.Deny})
+	if _, err := c.ReadFile("/proc/timer_list"); !errors.Is(err, pseudofs.ErrDenied) {
+		t.Fatalf("hardening rule inactive: %v", err)
+	}
+	// Runtime defaults still apply after extras.
+	if _, err := c.ReadFile("/proc/kcore"); err == nil {
+		t.Fatal("runtime default mask lost")
+	}
+}
+
+func TestRunPinnedSetsAffinity(t *testing.T) {
+	r := newHost(t, 10)
+	c := r.Create("pinner")
+	task := c.RunPinned(workload.Prime, []int{2, 3})
+	if len(task.Pinned) != 2 || task.Pinned[0] != 2 {
+		t.Fatalf("pinned = %v", task.Pinned)
+	}
+	if task.DemandCores != 2 {
+		t.Fatalf("demand = %g", task.DemandCores)
+	}
+}
+
+func TestLXCProfileDiffers(t *testing.T) {
+	k := kernel.New(kernel.Options{Seed: 11})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	r := NewRuntime(k, fs, LXCProfile())
+	c := r.Create("lxc1")
+	// LXC masks nothing: kcore absent only because the file doesn't exist.
+	if _, err := c.ReadFile("/proc/kcore"); !errors.Is(err, pseudofs.ErrNotExist) {
+		t.Fatalf("lxc kcore: %v", err)
+	}
+	if _, err := c.ReadFile("/proc/sched_debug"); err != nil {
+		t.Fatalf("lxc should not mask sched_debug: %v", err)
+	}
+}

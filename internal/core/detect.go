@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/pseudofs"
+)
+
+// FileStatus classifies one pseudo-file after cross-validation.
+type FileStatus int
+
+// Cross-validation outcomes. Identical content in both contexts means the
+// handler reached the same kernel data (case ② of Fig. 1 — a leak);
+// Namespaced means the container got private data (case ①); Partial means
+// the container content is a proper subset of host content (provider
+// filtering, CC5-style); Masked means policy denied or emptied the read;
+// Absent means the file does not exist in the container's tree; Volatile
+// means the file changes on every read (e.g. random/uuid) so equality is
+// undecidable by content diffing.
+const (
+	Unknown FileStatus = iota // zero value: path never validated
+	Identical
+	Namespaced
+	Partial
+	Masked
+	Absent
+	Volatile
+)
+
+// String implements fmt.Stringer.
+func (s FileStatus) String() string {
+	switch s {
+	case Identical:
+		return "identical"
+	case Namespaced:
+		return "namespaced"
+	case Partial:
+		return "partial"
+	case Masked:
+		return "masked"
+	case Absent:
+		return "absent"
+	case Volatile:
+		return "volatile"
+	default:
+		return "unknown"
+	}
+}
+
+// Finding is the cross-validation result for one file path.
+type Finding struct {
+	Path   string
+	Status FileStatus
+	// Overlap is the fraction of container lines that also appear in the
+	// host content (meaningful for Namespaced/Partial).
+	Overlap float64
+}
+
+// CrossValidate implements the left half of Fig. 1: it recursively explores
+// every pseudo-file reachable in the container context, reads each file in
+// both the container and host contexts at the same instant, aligns by path,
+// and pairwise-diffs the contents.
+func CrossValidate(host, cont *pseudofs.Mount) []Finding {
+	var out []Finding
+	for _, path := range cont.Paths() {
+		out = append(out, validateOne(host, cont, path))
+	}
+	return out
+}
+
+func validateOne(host, cont *pseudofs.Mount, path string) Finding {
+	f := Finding{Path: path}
+	cData, cErr := cont.Read(path)
+	switch {
+	case errors.Is(cErr, pseudofs.ErrDenied):
+		f.Status = Masked
+		return f
+	case errors.Is(cErr, pseudofs.ErrNotExist):
+		f.Status = Absent
+		return f
+	case cErr != nil:
+		f.Status = Absent
+		return f
+	}
+	if cData == "" {
+		f.Status = Masked // bind-mounted empty file
+		return f
+	}
+	hData, hErr := host.Read(path)
+	if hErr != nil {
+		// Readable in the container but not on the host can only be a
+		// harness inconsistency; treat as namespaced.
+		f.Status = Namespaced
+		return f
+	}
+	// Volatility probe: a second container read at the same instant. Files
+	// that differ between back-to-back reads (random/uuid) cannot be
+	// classified by content equality.
+	if again, err := cont.Read(path); err == nil && again != cData {
+		f.Status = Volatile
+		return f
+	}
+	if cData == hData {
+		f.Status = Identical
+		f.Overlap = 1
+		return f
+	}
+	f.Overlap = lineOverlap(cData, hData)
+	if f.Overlap >= 0.99 {
+		f.Status = Partial
+	} else {
+		f.Status = Namespaced
+	}
+	return f
+}
+
+// lineOverlap returns the fraction of non-empty container lines that appear
+// verbatim in the host content.
+func lineOverlap(cont, host string) float64 {
+	hostLines := make(map[string]bool)
+	for _, l := range strings.Split(host, "\n") {
+		if l != "" {
+			hostLines[l] = true
+		}
+	}
+	var total, hit int
+	for _, l := range strings.Split(cont, "\n") {
+		if l == "" {
+			continue
+		}
+		total++
+		if hostLines[l] {
+			hit++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// Availability is a channel's per-cloud availability in Table I.
+type Availability int
+
+// Channel availability: Available (●) — the channel leaks host data;
+// PartiallyAvailable (◐) — filtered but still partially informative;
+// Unavailable (○) — masked or hardware-absent.
+const (
+	Unavailable Availability = iota
+	PartiallyAvailable
+	Available
+)
+
+// String renders the availability glyph used in Table I.
+func (a Availability) String() string {
+	switch a {
+	case Available:
+		return "●"
+	case PartiallyAvailable:
+		return "◐"
+	default:
+		return "○"
+	}
+}
+
+// ChannelReport is the per-channel roll-up of file findings.
+type ChannelReport struct {
+	Channel      Channel
+	Availability Availability
+	Files        []Finding
+}
+
+// Discover returns the findings that leak (Identical or Partial) but match
+// no pattern of the given channel registry — the "new channel" output of a
+// systematic sweep, which is what distinguishes the paper's cross-
+// validation approach from auditing a fixed checklist.
+func Discover(channels []Channel, findings []Finding) []Finding {
+	known := func(path string) bool {
+		for _, ch := range channels {
+			for _, pat := range ch.Paths {
+				if pseudofs.Match(pat, path) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var out []Finding
+	for _, f := range findings {
+		if f.Status != Identical && f.Status != Partial {
+			continue
+		}
+		if !known(f.Path) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RollUp groups findings into registry channels and derives each channel's
+// availability: Available if any member file reads identical to the host,
+// PartiallyAvailable if the best member is a filtered subset (or volatile —
+// still host kernel state), else Unavailable.
+func RollUp(channels []Channel, findings []Finding) []ChannelReport {
+	reports := make([]ChannelReport, 0, len(channels))
+	for _, ch := range channels {
+		rep := ChannelReport{Channel: ch}
+		for _, f := range findings {
+			for _, pat := range ch.Paths {
+				if pseudofs.Match(pat, f.Path) {
+					rep.Files = append(rep.Files, f)
+					break
+				}
+			}
+		}
+		best := Unavailable
+		for _, f := range rep.Files {
+			switch f.Status {
+			case Identical:
+				best = Available
+			case Partial, Volatile:
+				if best < PartiallyAvailable {
+					best = PartiallyAvailable
+				}
+			}
+		}
+		rep.Availability = best
+		reports = append(reports, rep)
+	}
+	return reports
+}

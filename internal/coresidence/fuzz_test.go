@@ -1,0 +1,39 @@
+package coresidence
+
+import "testing"
+
+// Fuzz targets guard the attacker-facing parsers against malformed
+// pseudo-file content (a hardened cloud could serve arbitrary bytes). In
+// normal `go test` runs only the seed corpus executes; use
+// `go test -fuzz=FuzzParseUptime ./internal/coresidence` to explore.
+
+func FuzzParseUptime(f *testing.F) {
+	f.Add("123.45 678.90\n")
+	f.Add("")
+	f.Add("abc def")
+	f.Add("1e308 -4")
+	f.Fuzz(func(t *testing.T, s string) {
+		u, err := ParseUptime(s)
+		if err == nil && (u.UpSeconds != u.UpSeconds) { // NaN check
+			t.Fatalf("NaN uptime from %q", s)
+		}
+	})
+}
+
+func FuzzMemFree(f *testing.F) {
+	f.Add("MemFree: 42 kB\n")
+	f.Add("MemFree:\n")
+	f.Add("MemFree: x kB\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = MemFree(s) // must not panic
+	})
+}
+
+func FuzzBootTime(f *testing.F) {
+	f.Add("btime 1478649600\n")
+	f.Add("btime \n")
+	f.Add("btime 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = BootTime(s) // must not panic
+	})
+}

@@ -1,0 +1,268 @@
+// Package covert implements the cross-container covert channels the paper
+// sketches in Section III-C: "an attacker can use taskset to bond a
+// computing-intensive workload to a specific core, and check the CPU
+// utilization, power consumption, or temperature from another container.
+// Those entries could be exploited by advanced attackers as covert channels
+// to transmit signals."
+//
+// A sender container modulates host state by running (bit 1) or not
+// running (bit 0) a pinned compute workload for one symbol period; a
+// co-resident receiver demodulates by sampling a leaked channel — the RAPL
+// energy counter, a per-core DTS temperature, or /proc/stat utilization.
+// A known preamble calibrates the decision threshold, in the spirit of the
+// thermal covert channels of Bartolini/Masti et al. that the paper cites.
+package covert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/container"
+	"repro/internal/workload"
+)
+
+// Signal selects the leaked channel the receiver demodulates.
+type Signal int
+
+// Receiver signal sources.
+const (
+	PowerSignal Signal = iota + 1 // RAPL energy_uj deltas
+	TempSignal                    // per-core coretemp input
+	UtilSignal                    // /proc/stat utilization
+)
+
+// String implements fmt.Stringer.
+func (s Signal) String() string {
+	switch s {
+	case PowerSignal:
+		return "power"
+	case TempSignal:
+		return "temperature"
+	case UtilSignal:
+		return "utilization"
+	default:
+		return fmt.Sprintf("Signal(%d)", int(s))
+	}
+}
+
+// Config shapes a covert transmission.
+type Config struct {
+	// Signal is the receiver's source.
+	Signal Signal
+	// SymbolSeconds is the per-bit modulation period. Power and
+	// utilization react within a second; temperature needs several
+	// thermal time constants (≈20 s symbols).
+	SymbolSeconds int
+	// Core is the core the sender pins its load to (relevant for the
+	// temperature channel, which reads that core's sensor).
+	Core int
+	// LoadCores is the modulation amplitude in cores of Prime.
+	LoadCores float64
+}
+
+// DefaultConfig returns a fast power-channel configuration.
+func DefaultConfig() Config {
+	return Config{Signal: PowerSignal, SymbolSeconds: 2, Core: 2, LoadCores: 4}
+}
+
+// Link is an established covert channel between a sender container and a
+// receiver's pseudo-file view, driven by a world-advancing step function.
+type Link struct {
+	cfg      Config
+	sender   *container.Container
+	receiver attack.Prober
+	step     func() // advances the world by exactly one second
+	source   attack.HostSignal
+}
+
+// NewLink builds the channel. step must advance simulated time by one
+// second per call (e.g. func(){ dc.Clock.Advance(1) }).
+func NewLink(cfg Config, sender *container.Container, receiver attack.Prober, step func()) (*Link, error) {
+	if cfg.SymbolSeconds <= 0 {
+		return nil, fmt.Errorf("covert: symbol period must be positive")
+	}
+	l := &Link{cfg: cfg, sender: sender, receiver: receiver, step: step}
+	switch cfg.Signal {
+	case PowerSignal:
+		m, err := attack.NewPowerMonitor(receiver)
+		if err != nil {
+			return nil, fmt.Errorf("covert: power signal: %w", err)
+		}
+		l.source = m
+	case UtilSignal:
+		m, err := attack.NewUtilizationMonitor(receiver)
+		if err != nil {
+			return nil, fmt.Errorf("covert: utilization signal: %w", err)
+		}
+		l.source = m
+	case TempSignal:
+		l.source = tempSource{probe: receiver, core: cfg.Core}
+	default:
+		return nil, fmt.Errorf("covert: unknown signal %v", cfg.Signal)
+	}
+	return l, nil
+}
+
+// tempSource adapts the coretemp pseudo-file to attack.HostSignal.
+type tempSource struct {
+	probe attack.Prober
+	core  int
+}
+
+// Sample reads the pinned core's temperature in °C.
+func (t tempSource) Sample(float64) (float64, error) {
+	path := fmt.Sprintf("/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp%d_input", t.core+2)
+	raw, err := t.probe.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("covert: read %s: %w", path, err)
+	}
+	milli, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+	if err != nil {
+		return 0, fmt.Errorf("covert: parse temperature: %w", err)
+	}
+	return milli / 1000, nil
+}
+
+// preamble is the known calibration sequence prepended to every frame.
+var preamble = []bool{true, false, true, false, true, false}
+
+// Transmit sends the bits through the channel and returns what the
+// receiver decoded. The sender modulates by starting/stopping a pinned
+// Prime workload; the receiver averages the signal over each symbol and
+// thresholds against levels learned from the preamble.
+func (l *Link) Transmit(bits []bool) ([]bool, error) {
+	frame := append(append([]bool(nil), preamble...), bits...)
+	means := make([]float64, 0, len(frame))
+
+	// Prime the differential sources.
+	if _, err := l.source.Sample(1); err != nil {
+		return nil, err
+	}
+	for _, bit := range frame {
+		var task senderTask
+		if bit {
+			task = l.startLoad()
+		}
+		var sum float64
+		for s := 0; s < l.cfg.SymbolSeconds; s++ {
+			l.step()
+			v, err := l.source.Sample(1)
+			if err != nil {
+				task.stop()
+				return nil, err
+			}
+			sum += v
+		}
+		task.stop()
+		means = append(means, sum/float64(l.cfg.SymbolSeconds))
+		// Guard interval for slow (thermal) channels: let the signal
+		// decay toward the idle level between symbols.
+		if l.cfg.Signal == TempSignal {
+			for s := 0; s < l.cfg.SymbolSeconds; s++ {
+				l.step()
+				if _, err := l.source.Sample(1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Calibrate: average preamble levels for 1 and 0.
+	var hi, lo float64
+	var nHi, nLo int
+	for i, bit := range preamble {
+		if bit {
+			hi += means[i]
+			nHi++
+		} else {
+			lo += means[i]
+			nLo++
+		}
+	}
+	hi /= float64(nHi)
+	lo /= float64(nLo)
+	threshold := (hi + lo) / 2
+	if hi <= lo {
+		// No separation: channel is dead (cross-host or defended); decode
+		// anyway — the caller measures the error rate.
+		threshold = hi
+	}
+
+	out := make([]bool, 0, len(bits))
+	for _, m := range means[len(preamble):] {
+		out = append(out, m > threshold)
+	}
+	return out, nil
+}
+
+// senderTask wraps the optional running load of a 1-symbol; stop tears the
+// sender's modulation workload down (the sender runs nothing else).
+type senderTask struct {
+	c *container.Container
+}
+
+func (l *Link) startLoad() senderTask {
+	l.sender.RunPinned(workload.Prime, pinCores(l.cfg))
+	return senderTask{c: l.sender}
+}
+
+func pinCores(cfg Config) []int {
+	cores := make([]int, 0, int(cfg.LoadCores))
+	n := int(cfg.LoadCores)
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		cores = append(cores, cfg.Core+i)
+	}
+	return cores
+}
+
+func (s senderTask) stop() {
+	if s.c == nil {
+		return
+	}
+	s.c.StopAll()
+}
+
+// BitErrorRate compares sent and received bit strings.
+func BitErrorRate(sent, received []bool) float64 {
+	if len(sent) == 0 || len(sent) != len(received) {
+		return 1
+	}
+	errs := 0
+	for i := range sent {
+		if sent[i] != received[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(sent))
+}
+
+// ThroughputBPS returns the channel's raw data rate for a config.
+func ThroughputBPS(cfg Config) float64 {
+	period := float64(cfg.SymbolSeconds)
+	if cfg.Signal == TempSignal {
+		period *= 2 // guard interval
+	}
+	return 1 / period
+}
+
+// coResSignature is the fixed probe pattern VerifyCoResidence transmits.
+var coResSignature = []bool{true, true, false, true, false, false, true, false}
+
+// VerifyCoResidence uses the covert channel itself as a co-residence test:
+// if a known signature survives transmission (low bit error rate), the two
+// containers share the signal's physical substrate. This is the check of
+// last resort on clouds that mask every identifier channel but leave a
+// performance or thermal signal readable.
+func (l *Link) VerifyCoResidence() (bool, float64, error) {
+	got, err := l.Transmit(coResSignature)
+	if err != nil {
+		return false, 1, err
+	}
+	ber := BitErrorRate(coResSignature, got)
+	return ber < 0.2, ber, nil
+}

@@ -1,0 +1,188 @@
+package covert
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/container"
+)
+
+// world builds a quiet single-rack datacenter and returns co-resident
+// sender/receiver plus a cross-host observer.
+func world(t *testing.T, seed int64, defended bool) (step func(), sender, receiver, remote *container.Container) {
+	t.Helper()
+	dc := cloud.New(cloud.Config{
+		Racks: 1, ServersPerRack: 2, Seed: seed, Defended: defended,
+		Benign: cloud.BenignConfig{BaseUtil: 0.05, PeakUtil: 0.08, FlashCrowdPerDay: 0.0001},
+	})
+	s0 := dc.Racks[0].Servers[0]
+	s1 := dc.Racks[0].Servers[1]
+	sender = s0.Runtime.Create("sender")
+	receiver = s0.Runtime.Create("receiver")
+	remote = s1.Runtime.Create("remote")
+	if defended {
+		s0.PowerNS.Register(sender.CgroupPath)
+		s0.PowerNS.Register(receiver.CgroupPath)
+		s1.PowerNS.Register(remote.CgroupPath)
+	}
+	return func() { dc.Clock.Advance(1) }, sender, receiver, remote
+}
+
+func randomBits(n int, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 1
+	}
+	return bits
+}
+
+func TestPowerChannelTransmits(t *testing.T) {
+	step, sender, receiver, _ := world(t, 1, false)
+	link, err := NewLink(DefaultConfig(), sender, receiver, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := randomBits(32, 7)
+	got, err := link.Transmit(sent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := BitErrorRate(sent, got); ber > 0.05 {
+		t.Fatalf("power channel BER = %.2f, want ≈ 0", ber)
+	}
+}
+
+func TestUtilizationChannelTransmits(t *testing.T) {
+	step, sender, receiver, _ := world(t, 2, false)
+	cfg := DefaultConfig()
+	cfg.Signal = UtilSignal
+	link, err := NewLink(cfg, sender, receiver, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := randomBits(32, 8)
+	got, err := link.Transmit(sent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := BitErrorRate(sent, got); ber > 0.05 {
+		t.Fatalf("utilization channel BER = %.2f", ber)
+	}
+}
+
+func TestTemperatureChannelTransmits(t *testing.T) {
+	step, sender, receiver, _ := world(t, 3, false)
+	cfg := Config{Signal: TempSignal, SymbolSeconds: 20, Core: 2, LoadCores: 2}
+	link, err := NewLink(cfg, sender, receiver, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := randomBits(16, 9)
+	got, err := link.Transmit(sent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := BitErrorRate(sent, got); ber > 0.15 {
+		t.Fatalf("temperature channel BER = %.2f, want low", ber)
+	}
+}
+
+func TestCrossHostChannelIsDead(t *testing.T) {
+	step, sender, _, remote := world(t, 4, false)
+	link, err := NewLink(DefaultConfig(), sender, remote, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := randomBits(32, 10)
+	got, err := link.Transmit(sent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The remote receiver sees its own (unrelated) host: decoding must be
+	// no better than chance-ish.
+	if ber := BitErrorRate(sent, got); ber < 0.25 {
+		t.Fatalf("cross-host BER = %.2f — channel should be dead", ber)
+	}
+}
+
+func TestDefenseKillsPowerChannel(t *testing.T) {
+	step, sender, receiver, _ := world(t, 5, true)
+	link, err := NewLink(DefaultConfig(), sender, receiver, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := randomBits(32, 11)
+	got, err := link.Transmit(sent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receiver's energy_uj is now its own idle counter: the sender's
+	// modulation is invisible.
+	if ber := BitErrorRate(sent, got); ber < 0.25 {
+		t.Fatalf("defended power channel BER = %.2f — defense ineffective", ber)
+	}
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	step, sender, receiver, _ := world(t, 6, false)
+	if _, err := NewLink(Config{Signal: PowerSignal, SymbolSeconds: 0}, sender, receiver, step); err == nil {
+		t.Fatal("zero symbol period accepted")
+	}
+	if _, err := NewLink(Config{Signal: Signal(99), SymbolSeconds: 1}, sender, receiver, step); err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+}
+
+func TestBitErrorRate(t *testing.T) {
+	if BitErrorRate(nil, nil) != 1 {
+		t.Fatal("empty comparison should be 1")
+	}
+	if ber := BitErrorRate([]bool{true, false}, []bool{true, true}); ber != 0.5 {
+		t.Fatalf("ber = %g", ber)
+	}
+	if ber := BitErrorRate([]bool{true}, []bool{true, false}); ber != 1 {
+		t.Fatal("length mismatch should be 1")
+	}
+}
+
+func TestThroughputAndSignalString(t *testing.T) {
+	if ThroughputBPS(Config{Signal: PowerSignal, SymbolSeconds: 2}) != 0.5 {
+		t.Fatal("power throughput wrong")
+	}
+	if ThroughputBPS(Config{Signal: TempSignal, SymbolSeconds: 20}) != 1.0/40 {
+		t.Fatal("temp throughput must include guard interval")
+	}
+	for s, want := range map[Signal]string{PowerSignal: "power", TempSignal: "temperature", UtilSignal: "utilization"} {
+		if s.String() != want {
+			t.Fatalf("%v", s)
+		}
+	}
+	if Signal(42).String() == "" {
+		t.Fatal("unknown signal should format")
+	}
+}
+
+func TestVerifyCoResidenceOverPowerChannel(t *testing.T) {
+	step, sender, receiver, remote := world(t, 7, false)
+	link, err := NewLink(DefaultConfig(), sender, receiver, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, ber, err := link.VerifyCoResidence()
+	if err != nil || !same {
+		t.Fatalf("co-resident pair not verified (ber %.2f, err %v)", ber, err)
+	}
+	crossLink, err := NewLink(DefaultConfig(), sender, remote, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, ber, err = crossLink.VerifyCoResidence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Fatalf("cross-host pair verified as co-resident (ber %.2f)", ber)
+	}
+}

@@ -1,0 +1,265 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/powerns"
+	"repro/internal/pseudofs"
+	"repro/internal/workload"
+)
+
+func localTestbed(t *testing.T, seed int64) (*kernel.Kernel, *pseudofs.FS, *container.Runtime) {
+	t.Helper()
+	k := kernel.New(kernel.Options{Hostname: "host", Seed: seed})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	return k, fs, container.NewRuntime(k, fs, container.DockerProfile())
+}
+
+func inspect(t *testing.T, k *kernel.Kernel, fs *pseudofs.FS, rt *container.Runtime) []core.ChannelReport {
+	t.Helper()
+	probe := rt.Create("probe")
+	k.Tick(k.Now()+5, 5)
+	host := pseudofs.NewMount(fs, pseudofs.HostView(k), pseudofs.Policy{})
+	reports := core.RollUp(core.TableIChannels(), core.CrossValidate(host, probe.Mount()))
+	if err := rt.Destroy(probe.ID); err != nil {
+		t.Fatal(err)
+	}
+	return reports
+}
+
+func TestMaskingRulesCoverLeaks(t *testing.T) {
+	k, fs, rt := localTestbed(t, 1)
+	rules := MaskingRules(inspect(t, k, fs, rt))
+	if len(rules) < 20 {
+		t.Fatalf("only %d masking rules for a fully leaky testbed", len(rules))
+	}
+	// A container created with the stage-1 policy cannot read any channel.
+	hardened := rt.Create("hardened", rules...)
+	for _, path := range []string{
+		"/proc/uptime", "/proc/meminfo", "/proc/timer_list",
+		"/sys/class/powercap/intel-rapl:0/energy_uj",
+	} {
+		if _, err := hardened.ReadFile(path); !errors.Is(err, pseudofs.ErrDenied) {
+			t.Errorf("%s still readable under stage 1: %v", path, err)
+		}
+	}
+}
+
+func TestStage1CollateralDamage(t *testing.T) {
+	k, fs, rt := localTestbed(t, 2)
+	rules := MaskingRules(inspect(t, k, fs, rt))
+	impacts := AssessImpact(rules, CommonApps())
+	if len(impacts) < 5 {
+		t.Fatalf("stage 1 should break most pseudo-file consumers, got %d", len(impacts))
+	}
+	for _, imp := range impacts {
+		if len(imp.BrokenReads) == 0 || imp.TotalReads == 0 {
+			t.Fatalf("empty impact: %+v", imp)
+		}
+	}
+}
+
+func TestAssessImpactNoRules(t *testing.T) {
+	if got := AssessImpact(nil, CommonApps()); len(got) != 0 {
+		t.Fatalf("no rules should break nothing, got %v", got)
+	}
+}
+
+func TestNamespaceFixesCloseChannels(t *testing.T) {
+	k, fs, rt := localTestbed(t, 3)
+	ApplyNamespaceFixes(fs)
+
+	a := rt.Create("a")
+	b := rt.Create("b")
+	k.Tick(1, 1)
+
+	// Implants no longer cross the boundary.
+	a.ImplantTimerSignature("post-fix-sig")
+	if got, _ := b.ReadFile("/proc/timer_list"); strings.Contains(got, "post-fix-sig") {
+		t.Fatal("timer_list still leaks implants after stage 2")
+	}
+	if got, _ := a.ReadFile("/proc/timer_list"); !strings.Contains(got, "post-fix-sig") {
+		t.Fatal("owner lost sight of its own timer")
+	}
+	a.ImplantLockSignature(987123)
+	if got, _ := b.ReadFile("/proc/locks"); strings.Contains(got, "987123") {
+		t.Fatal("locks still leak implants after stage 2")
+	}
+	if got, _ := a.ReadFile("/proc/locks"); !strings.Contains(got, "987123") {
+		t.Fatal("owner lost sight of its own lock")
+	}
+
+	// sched_debug shows only own-namespace tasks.
+	if got, _ := b.ReadFile("/proc/sched_debug"); strings.Contains(got, "a-init") {
+		t.Fatal("sched_debug still shows foreign tasks")
+	}
+
+	// boot_id differs per container now.
+	ba, _ := a.ReadFile("/proc/sys/kernel/random/boot_id")
+	bb, _ := b.ReadFile("/proc/sys/kernel/random/boot_id")
+	if ba == bb {
+		t.Fatal("boot_id still shared after stage 2")
+	}
+	// Host keeps the real boot id.
+	host := pseudofs.NewMount(fs, pseudofs.HostView(k), pseudofs.Policy{})
+	hb, _ := host.Read("/proc/sys/kernel/random/boot_id")
+	if strings.TrimSpace(hb) != k.BootID() {
+		t.Fatal("host boot_id changed")
+	}
+
+	// ifpriomap shows only the container's own devices.
+	if got, _ := a.ReadFile("/sys/fs/cgroup/net_prio/net_prio.ifpriomap"); strings.Contains(got, "docker0") {
+		t.Fatalf("ifpriomap still lists host devices:\n%s", got)
+	}
+
+	// uptime is container-relative.
+	k.Tick(11, 10)
+	up, _ := a.ReadFile("/proc/uptime")
+	if !strings.HasPrefix(up, "11.00 ") {
+		t.Fatalf("container uptime = %q, want 11.00 …", up)
+	}
+	hup, _ := host.Read("/proc/uptime")
+	if hup == up {
+		t.Fatal("host uptime should differ from container uptime")
+	}
+}
+
+func TestDetectorConfirmsStage2(t *testing.T) {
+	// After stage 2, the fixed channels must no longer read Identical.
+	k, fs, rt := localTestbed(t, 4)
+	ApplyNamespaceFixes(fs)
+	probe := rt.Create("probe")
+	k.Tick(5, 5)
+	host := pseudofs.NewMount(fs, pseudofs.HostView(k), pseudofs.Policy{})
+	findings := core.CrossValidate(host, probe.Mount())
+	fixed := map[string]bool{
+		"/proc/sched_debug": true, "/proc/timer_list": true, "/proc/locks": true,
+		"/proc/uptime": true, "/proc/sys/kernel/random/boot_id": true,
+		"/sys/fs/cgroup/net_prio/net_prio.ifpriomap": true,
+	}
+	for _, f := range findings {
+		if fixed[f.Path] && f.Status == core.Identical {
+			t.Errorf("%s still identical after stage 2", f.Path)
+		}
+	}
+}
+
+func TestDeployFullPipeline(t *testing.T) {
+	k, fs, rt := localTestbed(t, 5)
+	reports := inspect(t, k, fs, rt)
+	model, _, err := powerns.Train(powerns.TrainOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Deploy(fs, reports, model)
+	if len(d.Stage1) == 0 {
+		t.Fatal("no stage-1 rules generated")
+	}
+	if d.PowerNS == nil {
+		t.Fatal("power namespace not installed")
+	}
+	// RAPL is virtualized: an unregistered container reads zero.
+	c := rt.Create("tenant")
+	k.Tick(k.Now()+1, 1)
+	raw, err := c.ReadFile("/sys/class/powercap/intel-rapl:0/energy_uj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(raw) != "0" {
+		t.Fatalf("unregistered tenant reads %q", raw)
+	}
+	d.PowerNS.Register(c.CgroupPath)
+	if d.PowerNS.Registered() != 1 {
+		t.Fatal("registration failed")
+	}
+}
+
+func TestStage3NamespacesStatistics(t *testing.T) {
+	k, fs, rt := localTestbed(t, 6)
+	ApplyStatisticsFixes(fs)
+	spy := rt.Create("spy")
+	busy := rt.Create("busy")
+	busy.Run(workload.Prime, 6)
+	k.Tick(10, 10)
+
+	// The idle spy's loadavg shows its own (zero) demand, not the host's.
+	la, err := spy.ReadFile("/proc/loadavg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(la, "0.00 0.00 0.00") {
+		t.Fatalf("spy loadavg leaks host demand: %q", la)
+	}
+	// The busy container sees its own demand.
+	lb, _ := busy.ReadFile("/proc/loadavg")
+	if strings.HasPrefix(lb, "0.00") {
+		t.Fatalf("busy container loadavg empty: %q", lb)
+	}
+
+	// meminfo reflects the cgroup limit, not the host's 16 GiB.
+	k.Cgroup(spy.CgroupPath).MemLimitKB = 1024 * 1024
+	mi, _ := spy.ReadFile("/proc/meminfo")
+	if !strings.Contains(mi, "MemTotal:        1048576 kB") {
+		t.Fatalf("spy meminfo not cgroup-limited:\n%s", mi)
+	}
+	if strings.Contains(mi, "16777216") {
+		t.Fatal("host total leaked through stage-3 meminfo")
+	}
+
+	// The host view is unchanged in character.
+	host := pseudofs.NewMount(fs, pseudofs.HostView(k), pseudofs.Policy{})
+	hm, _ := host.Read("/proc/meminfo")
+	if !strings.Contains(hm, "16777216") {
+		t.Fatal("host meminfo lost its physical total")
+	}
+
+	// /proc/stat: the spy's CPU time is near zero while the host's busy
+	// ticks accumulate.
+	ss, _ := spy.ReadFile("/proc/stat")
+	var user int64
+	if _, err := fmt.Sscanf(ss, "cpu  %d", &user); err != nil {
+		t.Fatalf("stat parse: %v (%q)", err, ss)
+	}
+	if user > 100 {
+		t.Fatalf("spy sees %d busy ticks — host activity leaked", user)
+	}
+}
+
+func TestStage3BlindsUtilizationMonitor(t *testing.T) {
+	// The Section VII-A mitigation closes the utilization fallback: a spy
+	// watching /proc/stat no longer sees co-tenant surges.
+	k, fs, rt := localTestbed(t, 7)
+	ApplyStatisticsFixes(fs)
+	spy := rt.Create("spy")
+	victim := rt.Create("victim")
+
+	readBusy := func() float64 {
+		ss, err := spy.ReadFile("/proc/stat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var user int64
+		if _, err := fmt.Sscanf(ss, "cpu  %d", &user); err != nil {
+			t.Fatal(err)
+		}
+		return float64(user)
+	}
+	for i := 0; i < 10; i++ {
+		k.Tick(k.Now()+1, 1)
+	}
+	before := readBusy()
+	victim.Run(workload.Prime, 8)
+	for i := 0; i < 30; i++ {
+		k.Tick(k.Now()+1, 1)
+	}
+	after := readBusy()
+	if after-before > 50 {
+		t.Fatalf("spy's stat advanced %v ticks during the victim's surge", after-before)
+	}
+}

@@ -1,0 +1,132 @@
+package defense
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Section IV-B notes that a continuously-running power attack "has obvious
+// patterns and could be easily detected by cloud providers" — which is
+// precisely why the synergistic attacker bursts rarely. This file gives the
+// provider the counter-tool: with the power-based namespace metering every
+// container, the operator can score tenants on how suspiciously their
+// power consumption aligns with rack-level crests. A benign tenant's load
+// is driven by its own users; only an attacker *targets* the moments the
+// rack is already hot.
+
+// TenantTrace is a per-interval power series for one container, aligned
+// with the rack series (one sample per interval for both).
+type TenantTrace struct {
+	Tenant string
+	Watts  []float64
+}
+
+// SuspicionScore summarizes one tenant's attack indicators.
+type SuspicionScore struct {
+	Tenant string
+	// CrestAlignment is the fraction of the tenant's burst *runs* that
+	// start while the rest of the rack sits above its 80th percentile
+	// (measured just before the burst, where the attacker cannot suppress
+	// it).
+	CrestAlignment float64
+	// BurstDuty is the fraction of intervals the tenant runs hot — tiny
+	// for a synergistic attacker, high for benign steady loads.
+	BurstDuty float64
+	// Correlation is Pearson between the tenant's power and the rest of
+	// the rack's power.
+	Correlation float64
+	// Suspicious combines the indicators: rare bursts that always land on
+	// foreign crests.
+	Suspicious bool
+}
+
+// ScoreTenants analyses aligned traces: rack is the total rack power per
+// interval, tenants the per-container attributions (from powerns metering).
+func ScoreTenants(rack []float64, tenants []TenantTrace) ([]SuspicionScore, error) {
+	n := len(rack)
+	if n == 0 {
+		return nil, fmt.Errorf("defense: empty rack trace")
+	}
+	var out []SuspicionScore
+	for _, tr := range tenants {
+		if len(tr.Watts) != n {
+			return nil, fmt.Errorf("defense: tenant %s trace length %d != rack %d",
+				tr.Tenant, len(tr.Watts), n)
+		}
+		// Rack power with this tenant's own contribution removed: the
+		// background the tenant would have to be *watching* to align with.
+		others := make([]float64, n)
+		for i := range others {
+			others[i] = rack[i] - tr.Watts[i]
+		}
+		crest := stats.Percentile(others, 80)
+
+		// Hot intervals, grouped into runs. The alignment judgment uses
+		// the background level just BEFORE each run starts: on a saturated
+		// host a burst steals cores from the very crest it rides, so
+		// `rack − tenant` during the burst underestimates the background
+		// (the attacker literally suppresses its own evidence). The
+		// pre-burst samples are unsuppressed.
+		s := stats.Summarize(tr.Watts)
+		hotThreshold := s.Min + (s.Max-s.Min)*0.5
+		var hot int
+		type span struct{ start, end int }
+		var spans []span
+		inRun := false
+		for i, w := range tr.Watts {
+			isHot := s.Max > s.Min && w > hotThreshold
+			if isHot {
+				hot++
+				if !inRun {
+					spans = append(spans, span{start: i, end: i})
+					inRun = true
+				} else {
+					spans[len(spans)-1].end = i
+				}
+			} else {
+				inRun = false
+			}
+		}
+		// Judge each run by the unsuppressed background on either side: a
+		// burst triggered on a rising crest edge has its evidence after
+		// the run; one triggered mid-crest has it before.
+		var runs, alignedRuns int
+		for _, sp := range spans {
+			runs++
+			edge := 0.0
+			for b := 1; b <= 3; b++ {
+				if j := sp.start - b; j >= 0 && others[j] > edge {
+					edge = others[j]
+				}
+				if j := sp.end + b; j < n && others[j] > edge {
+					edge = others[j]
+				}
+			}
+			if edge >= crest {
+				alignedRuns++
+			}
+		}
+		score := SuspicionScore{
+			Tenant:      tr.Tenant,
+			Correlation: stats.Pearson(tr.Watts, others),
+		}
+		if hot > 0 {
+			score.BurstDuty = float64(hot) / float64(n)
+		}
+		if runs > 0 {
+			score.CrestAlignment = float64(alignedRuns) / float64(runs)
+		}
+		// A synergistic attacker: rare bursts (< 30% duty) that almost
+		// always start on foreign crests (> 70% of runs, ≥ 3.5× the 20%
+		// base rate of the p80 threshold).
+		score.Suspicious = score.BurstDuty > 0 && score.BurstDuty < 0.3 &&
+			score.CrestAlignment > 0.7 && runs >= 2
+		out = append(out, score)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].CrestAlignment > out[j].CrestAlignment
+	})
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// synthTraces builds a rack of benign tenants plus one synergistic
+// attacker whose rare burst runs start inside background flash events.
+func synthTraces(n int, seed int64) ([]float64, []TenantTrace) {
+	rng := rand.New(rand.NewSource(seed))
+	benign1 := make([]float64, n)
+	benign2 := make([]float64, n)
+	attacker := make([]float64, n)
+	steady := make([]float64, n)
+	rack := make([]float64, n)
+
+	// Background: noisy plateau + flash events of 20 intervals every ~150.
+	flash := make([]float64, n)
+	for start := 100; start+20 < n; start += 150 {
+		for i := start; i < start+20; i++ {
+			flash[i] = 60
+		}
+	}
+	for i := 0; i < n; i++ {
+		benign1[i] = 40 + 10*rng.Float64() + flash[i]
+		benign2[i] = 30 + 10*rng.Float64()
+		steady[i] = 55 + 2*rng.Float64() // flat cron-style worker
+	}
+	// Attacker: 5-interval bursts starting 3 intervals into each flash
+	// (it watched the crest form), ~10% duty overall.
+	for start := 100; start+20 < n; start += 150 {
+		for i := start + 3; i < start+8; i++ {
+			attacker[i] = 80
+		}
+	}
+	for i := 0; i < n; i++ {
+		attacker[i] += 12 // idle floor
+		rack[i] = benign1[i] + benign2[i] + steady[i] + attacker[i]
+	}
+	return rack, []TenantTrace{
+		{Tenant: "benign-web", Watts: benign1},
+		{Tenant: "benign-batch", Watts: benign2},
+		{Tenant: "steady-worker", Watts: steady},
+		{Tenant: "mallory", Watts: attacker},
+	}
+}
+
+func TestScoreTenantsFlagsSynergisticAttacker(t *testing.T) {
+	rack, tenants := synthTraces(600, 1)
+	scores, err := ScoreTenants(rack, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SuspicionScore{}
+	for _, s := range scores {
+		byName[s.Tenant] = s
+	}
+	m := byName["mallory"]
+	if !m.Suspicious {
+		t.Fatalf("attacker not flagged: %+v", m)
+	}
+	if m.CrestAlignment < 0.7 || m.BurstDuty > 0.3 {
+		t.Fatalf("attacker indicators off: %+v", m)
+	}
+	for _, name := range []string{"benign-web", "benign-batch", "steady-worker"} {
+		if byName[name].Suspicious {
+			t.Fatalf("benign tenant %s flagged: %+v", name, byName[name])
+		}
+	}
+	// Ranking puts the attacker first.
+	if scores[0].Tenant != "mallory" {
+		t.Fatalf("ranking wrong: %v first", scores[0].Tenant)
+	}
+}
+
+func TestScoreTenantsValidation(t *testing.T) {
+	if _, err := ScoreTenants(nil, nil); err == nil {
+		t.Fatal("empty rack should error")
+	}
+	if _, err := ScoreTenants([]float64{1, 2}, []TenantTrace{{Tenant: "x", Watts: []float64{1}}}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestScoreTenantsFlatTenantNotFlagged(t *testing.T) {
+	rack := []float64{100, 120, 110, 130, 90, 140}
+	flat := TenantTrace{Tenant: "idle", Watts: []float64{5, 5, 5, 5, 5, 5}}
+	scores, err := ScoreTenants(rack, []TenantTrace{flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].Suspicious || scores[0].BurstDuty != 0 {
+		t.Fatalf("flat tenant misflagged: %+v", scores[0])
+	}
+}

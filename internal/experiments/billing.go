@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/kernel"
+	"repro/internal/powerns"
+	"repro/internal/pseudofs"
+	"repro/internal/texttable"
+	"repro/internal/workload"
+)
+
+// BillingRow compares one tenant under CPU-time billing versus the
+// power-aware billing the paper proposes ("it is possible for container
+// cloud administrators to design a finer-grained billing model based on
+// this power-based namespace").
+type BillingRow struct {
+	Tenant    string
+	Workload  string
+	CoreHours float64
+	EnergyWh  float64
+	// CPUBillUSD uses the classic metered core-hour rate; PowerBillUSD
+	// prices attributed energy instead.
+	CPUBillUSD   float64
+	PowerBillUSD float64
+}
+
+// PowerBillingResult is the comparison across tenants.
+type PowerBillingResult struct {
+	Rows []BillingRow
+}
+
+// Rates for the comparison: the classic $/core-hour against a $/kWh chosen
+// so an average-intensity tenant pays the same under both models.
+const (
+	cpuRateUSDPerCoreHour = 0.0145
+	powerRateUSDPerKWh    = 1.20
+)
+
+// PowerBilling runs three tenants with equal CPU reservations but very
+// different microarchitectural intensity for an hour, metering both ways.
+func PowerBilling() (*PowerBillingResult, error) {
+	model, _, err := powerns.Train(powerns.TrainOptions{Seed: 71})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: billing train: %w", err)
+	}
+	k := kernel.New(kernel.Options{Hostname: "billing", Seed: 72, Cores: 16})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	rt := container.NewRuntime(k, fs, container.DockerProfile())
+	ns := powerns.New(k, model)
+	ns.Install(fs)
+
+	type tenant struct {
+		name string
+		prof workload.Profile
+		c    *container.Container
+	}
+	tenants := []tenant{
+		{name: "batch-compute", prof: workload.Prime},
+		{name: "analytics-scan", prof: workload.Libquantum},
+		{name: "mostly-idle", prof: workload.IdleLoop},
+	}
+	for i := range tenants {
+		tenants[i].c = rt.Create(tenants[i].name)
+		ns.Register(tenants[i].c.CgroupPath)
+		cores := 4.0
+		if tenants[i].name == "mostly-idle" {
+			cores = 0.2 // bursts rarely
+		}
+		tenants[i].c.Run(tenants[i].prof, cores)
+	}
+
+	const hour = 3600
+	for s := 0; s < hour; s += 5 {
+		k.Tick(float64(s+5), 5)
+	}
+
+	res := &PowerBillingResult{}
+	for _, t := range tenants {
+		usedNS := k.Cgroup(t.c.CgroupPath).CPUUsageNS
+		coreHours := usedNS / 1e9 / 3600
+		energyUJ, err := ns.Meter(t.c.CgroupPath)
+		if err != nil {
+			return nil, err
+		}
+		energyWh := energyUJ / 1e6 / 3600
+		res.Rows = append(res.Rows, BillingRow{
+			Tenant:       t.name,
+			Workload:     t.prof.Name,
+			CoreHours:    coreHours,
+			EnergyWh:     energyWh,
+			CPUBillUSD:   coreHours * cpuRateUSDPerCoreHour,
+			PowerBillUSD: energyWh / 1000 * powerRateUSDPerKWh,
+		})
+	}
+	return res, nil
+}
+
+// String renders the billing comparison.
+func (r *PowerBillingResult) String() string {
+	tb := texttable.New("Tenant", "Workload", "Core-hours", "Energy (Wh)", "CPU bill ($)", "Power bill ($)")
+	for _, row := range r.Rows {
+		tb.Row(row.Tenant, row.Workload,
+			fmt.Sprintf("%.2f", row.CoreHours), fmt.Sprintf("%.1f", row.EnergyWh),
+			fmt.Sprintf("%.4f", row.CPUBillUSD), fmt.Sprintf("%.4f", row.PowerBillUSD))
+	}
+	return "POWER-AWARE BILLING (extension): equal CPU time, different energy — the\n" +
+		"finer-grained billing model the paper proposes on top of the power namespace\n" +
+		tb.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPowerBillingSeparatesTenants(t *testing.T) {
+	r, err := PowerBilling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]BillingRow{}
+	for _, row := range r.Rows {
+		byName[row.Tenant] = row
+	}
+	batch := byName["batch-compute"]
+	scan := byName["analytics-scan"]
+	idle := byName["mostly-idle"]
+
+	// Equal CPU reservations → near-equal core-hours for the two busy
+	// tenants, so CPU billing cannot tell them apart…
+	if d := batch.CoreHours - scan.CoreHours; d > 0.2 || d < -0.2 {
+		t.Fatalf("busy tenants' core-hours differ: %.2f vs %.2f", batch.CoreHours, scan.CoreHours)
+	}
+	// …but their energy differs measurably (compute-bound vs memory-bound).
+	if batch.EnergyWh <= scan.EnergyWh*1.05 {
+		t.Fatalf("energy should separate them: batch %.1f Wh vs scan %.1f Wh",
+			batch.EnergyWh, scan.EnergyWh)
+	}
+	// Power billing therefore charges batch more than scan; CPU billing
+	// charges them the same.
+	if batch.PowerBillUSD <= scan.PowerBillUSD {
+		t.Fatal("power billing failed to separate tenants")
+	}
+	// The idle tenant is cheap under both models.
+	if idle.PowerBillUSD >= scan.PowerBillUSD || idle.CPUBillUSD >= scan.CPUBillUSD {
+		t.Fatalf("idle tenant overcharged: %+v", idle)
+	}
+	if !strings.Contains(r.String(), "BILLING") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefendedAttackNeutralized(t *testing.T) {
+	r, err := DefendedAttack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undefended: the pipeline works — distinct hosts found, crest-timed
+	// bursts land.
+	if r.UndefendedDistinctHosts != 4 {
+		t.Fatalf("undefended orchestration found %d hosts, want 4", r.UndefendedDistinctHosts)
+	}
+	if r.Undefended.Trials == 0 {
+		t.Fatal("undefended attack never fired")
+	}
+	// Defended: the attacker's power view is essentially flat…
+	if r.DefendedSignalRangeW > 2 {
+		t.Fatalf("defended signal range %.2f W — the surge is still visible", r.DefendedSignalRangeW)
+	}
+	// …and the orchestration is deceived: it believes it has hosts it
+	// cannot verify (per-namespace boot ids), ending up with duplicates.
+	if r.DefendedDistinctHosts >= r.DefendedClaimedHosts {
+		t.Fatalf("defended orchestration was not deceived: %d claimed, %d real",
+			r.DefendedClaimedHosts, r.DefendedDistinctHosts)
+	}
+	// Net effect: the defended peak cannot exceed the undefended one.
+	if r.Defended.PeakW > r.Undefended.PeakW {
+		t.Fatalf("defense made the attack stronger? %.0f vs %.0f W",
+			r.Defended.PeakW, r.Undefended.PeakW)
+	}
+	if !strings.Contains(r.String(), "DEFENSE vs ATTACK") {
+		t.Fatal("render incomplete")
+	}
+}

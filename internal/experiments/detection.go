@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/cloud"
+	"repro/internal/defense"
+	"repro/internal/powerns"
+	"repro/internal/texttable"
+	"repro/internal/workload"
+)
+
+// DetectionResult is the provider-side analytics experiment: per-container
+// power metering (the power namespace used purely as an observability tool,
+// never installed into tenant views) feeds the crest-alignment scorer, and
+// the synergistic attacker stands out from benign tenants.
+type DetectionResult struct {
+	Scores []defense.SuspicionScore
+}
+
+// detectionDebug exposes the raw traces for diagnostics.
+func detectionDebug() (*DetectionResult, []float64, map[string][]float64, error) {
+	return detectionImpl()
+}
+
+// Detection runs a 3000 s scenario on one busy host: a steady web tenant, a
+// cron-style bursty tenant (bursts on a fixed grid), and a synergistic
+// attacker bursting exactly on background crests via the leaked RAPL
+// channel. The operator meters all three and scores them.
+func Detection() (*DetectionResult, error) {
+	r, _, _, err := detectionImpl()
+	return r, err
+}
+
+func detectionImpl() (*DetectionResult, []float64, map[string][]float64, error) {
+	model, _, err := powerns.Train(powerns.TrainOptions{Seed: 81})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: detection train: %w", err)
+	}
+	// Frequent sharp flash crowds: the attacker's rolling-percentile
+	// trigger needs crest examples during its warmup to calibrate.
+	dc := cloud.New(cloud.Config{
+		Racks: 1, ServersPerRack: 1, CoresPerServer: 24, Seed: 82,
+		BreakerRatedW: 1e9,
+		Benign:        cloud.BenignConfig{FlashCrowdPerDay: 240, FlashMinS: 60, FlashMaxS: 180, SharedFlash: true},
+	})
+	srv := dc.Racks[0].Servers[0]
+	dc.Clock.Run(16*3600, 30) // evening
+
+	web := srv.Runtime.Create("webshop")
+	cron := srv.Runtime.Create("cron-worker")
+	mallory := srv.Runtime.Create("mallory")
+
+	// Operator-side metering only: powerns is never Installed, so tenants
+	// keep their (leaky) views and the attack still works.
+	meterNS := powerns.New(srv.Kernel, model)
+	for _, cg := range []string{web.CgroupPath, cron.CgroupPath, mallory.CgroupPath} {
+		meterNS.Register(cg)
+	}
+
+	web.Run(workload.Prime, 3) // steady 3-core service
+
+	mon, err := attack.NewPowerMonitor(mallory)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: detection monitor: %w", err)
+	}
+
+	const duration = 3000
+	rack := make([]float64, 0, duration)
+	traces := map[string][]float64{}
+	prevE := map[string]float64{}
+	for _, cg := range []string{web.CgroupPath, cron.CgroupPath, mallory.CgroupPath} {
+		e, err := meterNS.Meter(cg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		prevE[cg] = e
+	}
+
+	cronBusyUntil := -1.0
+	malloryBusyUntil := -1.0
+	lastMalloryBurst := -1e9
+	for t := 0; t < duration; t++ {
+		now := dc.Clock.Now()
+
+		// Cron tenant: 60 s burst every 400 s, on its own schedule.
+		if t%400 == 0 {
+			cron.Run(workload.StressM64, 4)
+			cronBusyUntil = now + 60
+		}
+		if cronBusyUntil > 0 && now >= cronBusyUntil {
+			cron.StopAll()
+			cronBusyUntil = -1
+		}
+
+		// Mallory: sample the leaked host power; burst 60 s on near-max
+		// crests with a 240 s cooldown.
+		w, err := mon.Sample(1)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if malloryBusyUntil > 0 && now >= malloryBusyUntil {
+			mallory.StopAll()
+			malloryBusyUntil = -1
+		}
+		if malloryBusyUntil < 0 && t > 600 && now-lastMalloryBurst > 300 &&
+			mon.IsCrest(97, 60) && w > 0 {
+			mallory.Run(workload.Prime, 4)
+			malloryBusyUntil = now + 60
+			lastMalloryBurst = now
+		}
+
+		dc.Clock.Advance(1)
+		rack = append(rack, srv.Kernel.Meter().WallPower())
+		for _, cg := range []string{web.CgroupPath, cron.CgroupPath, mallory.CgroupPath} {
+			e, err := meterNS.Meter(cg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			traces[cg] = append(traces[cg], (e-prevE[cg])/1e6)
+			prevE[cg] = e
+		}
+	}
+
+	scores, err := defense.ScoreTenants(rack, []defense.TenantTrace{
+		{Tenant: "webshop", Watts: traces[web.CgroupPath]},
+		{Tenant: "cron-worker", Watts: traces[cron.CgroupPath]},
+		{Tenant: "mallory", Watts: traces[mallory.CgroupPath]},
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	named := map[string][]float64{
+		"webshop": traces[web.CgroupPath], "cron-worker": traces[cron.CgroupPath],
+		"mallory": traces[mallory.CgroupPath],
+	}
+	return &DetectionResult{Scores: scores}, rack, named, nil
+}
+
+// String renders the suspicion table.
+func (r *DetectionResult) String() string {
+	tb := texttable.New("Tenant", "Crest alignment", "Burst duty", "Corr.", "Suspicious")
+	for _, s := range r.Scores {
+		flag := ""
+		if s.Suspicious {
+			flag = "⚠"
+		}
+		tb.Row(s.Tenant, fmt.Sprintf("%.2f", s.CrestAlignment),
+			fmt.Sprintf("%.2f", s.BurstDuty), fmt.Sprintf("%+.2f", s.Correlation), flag)
+	}
+	return "ATTACK DETECTION (extension): operator-side crest-alignment scoring over\n" +
+		"per-container power metering (the power namespace as pure observability)\n" + tb.String()
+}

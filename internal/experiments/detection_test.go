@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetectionFlagsLiveAttacker(t *testing.T) {
+	r, err := Detection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]struct {
+		align, duty float64
+		suspicious  bool
+	}{}
+	for _, s := range r.Scores {
+		byName[s.Tenant] = struct {
+			align, duty float64
+			suspicious  bool
+		}{s.CrestAlignment, s.BurstDuty, s.Suspicious}
+	}
+	m := byName["mallory"]
+	if !m.suspicious {
+		t.Fatalf("live attacker not flagged: %+v", m)
+	}
+	if byName["webshop"].suspicious {
+		t.Fatalf("steady tenant flagged: %+v", byName["webshop"])
+	}
+	if byName["cron-worker"].suspicious {
+		t.Fatalf("clock-driven tenant flagged: %+v", byName["cron-worker"])
+	}
+	if !strings.Contains(r.String(), "DETECTION") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+)
+
+// CloudInspection is the result of checking one provider: per-channel
+// availability, in Table I row order.
+type CloudInspection struct {
+	Provider string
+	Reports  []core.ChannelReport
+}
+
+// InspectProvider implements the right half of Fig. 1 for one provider: it
+// stands up a single-server cloud with that provider's profile, launches a
+// tenant container, lets the world run briefly, and cross-validates the
+// container view against the host view.
+func InspectProvider(p cloud.ProviderProfile) (CloudInspection, error) {
+	dc := cloud.New(cloud.Config{
+		Racks:          1,
+		ServersPerRack: 1,
+		Seed:           0x1ea4,
+		Provider:       &p,
+	})
+	srv, c, err := dc.Launch("inspector", "probe", 1)
+	if err != nil {
+		return CloudInspection{}, err
+	}
+	// Let counters accumulate so dynamic channels carry real data.
+	dc.Clock.Run(30, 1)
+
+	findings := core.CrossValidate(srv.HostMount(), c.Mount())
+	return CloudInspection{
+		Provider: p.Name,
+		Reports:  core.RollUp(core.TableIChannels(), findings),
+	}, nil
+}
+
+// InspectAll runs the inspection across the local testbed and all five
+// commercial cloud profiles — the full Table I.
+func InspectAll() ([]CloudInspection, error) {
+	profiles := append([]cloud.ProviderProfile{cloud.LocalTestbed()}, cloud.CommercialClouds()...)
+	out := make([]CloudInspection, 0, len(profiles))
+	for _, p := range profiles {
+		ins, err := InspectProvider(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}
+
+// PostureChange records one channel whose availability moved between two
+// inspections of the same provider — how an operator (or researcher
+// re-running the paper's study) tracks masking-posture drift over time.
+type PostureChange struct {
+	Channel string
+	From    core.Availability
+	To      core.Availability
+}
+
+// DiffInspections compares two inspections channel by channel. It errors if
+// the inspections cover different channel sets.
+func DiffInspections(old, new CloudInspection) ([]PostureChange, error) {
+	if len(old.Reports) != len(new.Reports) {
+		return nil, fmt.Errorf("experiments: inspections cover %d vs %d channels",
+			len(old.Reports), len(new.Reports))
+	}
+	var out []PostureChange
+	for i, o := range old.Reports {
+		n := new.Reports[i]
+		if o.Channel.Name != n.Channel.Name {
+			return nil, fmt.Errorf("experiments: channel order mismatch at %d: %s vs %s",
+				i, o.Channel.Name, n.Channel.Name)
+		}
+		if o.Availability != n.Availability {
+			out = append(out, PostureChange{
+				Channel: o.Channel.Name,
+				From:    o.Availability,
+				To:      n.Availability,
+			})
+		}
+	}
+	return out, nil
+}

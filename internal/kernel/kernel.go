@@ -1,0 +1,548 @@
+// Package kernel simulates the slice of the Linux kernel that the paper's
+// leakage study depends on: tasks and a CPU scheduler, the seven namespace
+// types, cgroup hierarchies (cpuacct, perf_event, net_prio), and the global
+// accounting state surfaced through procfs and sysfs — interrupts, softirqs,
+// scheduler statistics, memory zones, file locks, timers, the entropy pool,
+// loadavg, and uptime.
+//
+// The crucial design property is that every piece of state exists in two
+// forms, mirroring Linux 4.7's *incomplete* container support:
+//
+//   - global (per-kernel) state reached by handlers that never learned about
+//     namespaces — the leakage channels of Table I; and
+//   - namespaced state reached through an NSSet — what a correct
+//     implementation would expose.
+//
+// The pseudo-filesystem (internal/pseudofs) builds both kinds of handlers on
+// top of this package, and the leakage detector (internal/core) finds the
+// difference exactly the way the paper's cross-validation tool does.
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/perfcount"
+	"repro/internal/power"
+)
+
+// Options configures a simulated kernel (one per physical host).
+type Options struct {
+	Hostname      string
+	Cores         int
+	MemTotalKB    uint64
+	Seed          int64
+	BootWallClock int64 // Unix seconds of boot, reported as btime in /proc/stat
+	KernelVersion string
+	CPUModel      string
+	CPUMHz        float64
+	// WallClockNow is the wall-clock Unix time corresponding to simulated
+	// t=0; together with BootWallClock it sets the host's starting uptime.
+	WallClockNow int64
+	Power        power.Config
+}
+
+func (o *Options) fillDefaults() {
+	if o.Hostname == "" {
+		o.Hostname = "host"
+	}
+	if o.Cores == 0 {
+		o.Cores = 8
+	}
+	if o.MemTotalKB == 0 {
+		o.MemTotalKB = 16 * 1024 * 1024 // 16 GiB
+	}
+	if o.BootWallClock == 0 {
+		o.BootWallClock = 1478649600 // fleet install epoch
+	}
+	if o.KernelVersion == "" {
+		o.KernelVersion = "4.7.0-repro"
+	}
+	if o.CPUModel == "" {
+		o.CPUModel = "Intel(R) Core(TM) i7-6700 CPU @ 3.40GHz"
+	}
+	if o.CPUMHz == 0 {
+		o.CPUMHz = 3400.0
+	}
+	if o.WallClockNow == 0 {
+		o.WallClockNow = 1480291200 // 2016-11-28, the paper's check date
+	}
+	if o.Power.Cores == 0 {
+		o.Power.Cores = o.Cores
+	}
+}
+
+// Kernel is one simulated host kernel. It implements simclock.Ticker; drive
+// it from the simulation clock. Kernel is not safe for concurrent use.
+type Kernel struct {
+	opts Options
+	rng  *rand.Rand
+
+	meter *power.Meter
+	perf  *perfcount.Monitor
+
+	now        float64 // simulated time (uptime advances with it)
+	uptimeBase float64 // uptime already accumulated before t=0
+	bootID     string
+	initNS     *NSSet
+	nextNSID   uint64
+	nextPID    int
+
+	tasks      map[int]*Task
+	cgroups    map[string]*Cgroup
+	nextLockID int
+	sysLocks   []FileLock
+	sysLockSeq uint64
+
+	// Scheduler & CPU accounting.
+	cpu          []CPUTimes
+	idleCoreSec  float64
+	ctxtSwitches float64
+	forksTotal   uint64
+	load1        float64
+	load5        float64
+	load15       float64
+	lastBusy     float64 // busy core-equivalents of the last tick
+	newidleCost  []uint64
+
+	// Interrupt accounting.
+	irqs     []*IRQ
+	softirqs []*SoftIRQ
+
+	// Memory accounting.
+	memBaseUsedKB uint64
+	cachedKB      float64
+	numa          NUMAStats
+
+	// VFS accounting.
+	dentries     float64
+	dentryUnused float64
+	inodes       float64
+	inodesFree   float64
+	filesOpen    float64
+	ext4Groups   []Ext4Group
+
+	// VM & block-IO accounting (channels beyond Table I that the
+	// detector discovers on its own).
+	pgFaults       float64
+	pgAllocs       float64
+	sectorsRead    float64
+	sectorsWritten float64
+	softnetPackets []float64 // per CPU
+
+	// Entropy pool.
+	entropyAvail float64
+
+	// cpuidle accounting: per state, usage count and total microseconds.
+	idleStates []IdleState
+
+	// schedstat accumulation per cpu (nanoseconds).
+	schedRunNS  []float64
+	schedWaitNS []float64
+	timeslices  []uint64
+}
+
+// CPUTimes is the per-core /proc/stat accounting in USER_HZ(100) ticks.
+type CPUTimes struct {
+	User, Nice, System, Idle, IOWait, IRQ, SoftIRQ float64
+}
+
+// IRQ is one hardware interrupt line with per-CPU counters.
+type IRQ struct {
+	Name       string // e.g. "0", "24", "LOC"
+	Desc       string // e.g. "IO-APIC timer", "eth0"
+	PerCPU     []float64
+	ratePerSec func(k *Kernel) float64
+}
+
+// SoftIRQ is one softirq class with per-CPU counters.
+type SoftIRQ struct {
+	Name       string
+	PerCPU     []float64
+	ratePerSec func(k *Kernel) float64
+}
+
+// IdleState is one cpuidle C-state with per-CPU usage/time accounting.
+type IdleState struct {
+	Name         string
+	UsagePerCPU  []float64 // entry counts
+	TimeUSPerCPU []float64 // cumulative residency, microseconds
+}
+
+// NUMAStats is the node-level allocation accounting behind numastat.
+type NUMAStats struct {
+	Hit, Miss, Foreign, InterleaveHit, LocalNode, OtherNode float64
+}
+
+// Ext4Group is one block-group row of /proc/fs/ext4/sda1/mb_groups.
+type Ext4Group struct {
+	Free  int
+	Frags int
+	First int
+}
+
+// New creates a booted kernel at simulated time zero.
+func New(opts Options) *Kernel {
+	opts.fillDefaults()
+	k := &Kernel{
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		perf:    perfcount.NewMonitor(),
+		tasks:   make(map[int]*Task),
+		cgroups: make(map[string]*Cgroup),
+		nextPID: 300, // early pids are kernel threads
+	}
+	k.meter = power.New(opts.Power)
+	k.bootID = k.genUUID()
+	if opts.WallClockNow > opts.BootWallClock {
+		k.uptimeBase = float64(opts.WallClockNow - opts.BootWallClock)
+	}
+	k.initNS = k.newInitNS()
+	k.cpu = make([]CPUTimes, opts.Cores)
+	k.newidleCost = make([]uint64, opts.Cores)
+	k.schedRunNS = make([]float64, opts.Cores)
+	k.schedWaitNS = make([]float64, opts.Cores)
+	k.timeslices = make([]uint64, opts.Cores)
+	k.memBaseUsedKB = opts.MemTotalKB / 10 // kernel + system services
+	k.cachedKB = float64(opts.MemTotalKB) * 0.15
+	k.entropyAvail = 3000 + float64(k.rng.Intn(800))
+	k.dentries = 80000 + float64(k.rng.Intn(20000))
+	k.dentryUnused = k.dentries * 0.8
+	k.inodes = 60000 + float64(k.rng.Intn(15000))
+	k.inodesFree = 500 + float64(k.rng.Intn(300))
+	k.filesOpen = 3000 + float64(k.rng.Intn(2000))
+	// Historic idle: the host was mostly idle before the simulation window.
+	k.idleCoreSec = k.uptimeBase * float64(opts.Cores) * (0.7 + 0.2*k.rng.Float64())
+	for i := range k.newidleCost {
+		k.newidleCost[i] = uint64(20000 + k.rng.Intn(40000))
+	}
+
+	k.irqs = []*IRQ{
+		{Name: "0", Desc: "IO-APIC    2-edge      timer", ratePerSec: func(*Kernel) float64 { return 0.01 }},
+		{Name: "8", Desc: "IO-APIC    8-edge      rtc0", ratePerSec: func(*Kernel) float64 { return 0.001 }},
+		{Name: "24", Desc: "PCI-MSI 1048576-edge      eth0", ratePerSec: func(k *Kernel) float64 { return 200 + 5000*k.lastBusy/float64(k.opts.Cores) }},
+		{Name: "25", Desc: "PCI-MSI 512000-edge      ahci[0000:00:17.0]", ratePerSec: func(k *Kernel) float64 { return 50 + 400*k.lastBusy/float64(k.opts.Cores) }},
+		{Name: "LOC", Desc: "Local timer interrupts", ratePerSec: func(*Kernel) float64 { return 250 }},
+		{Name: "RES", Desc: "Rescheduling interrupts", ratePerSec: func(k *Kernel) float64 { return 30 + 500*k.lastBusy/float64(k.opts.Cores) }},
+		{Name: "CAL", Desc: "Function call interrupts", ratePerSec: func(k *Kernel) float64 { return 10 + 100*k.lastBusy/float64(k.opts.Cores) }},
+		{Name: "TLB", Desc: "TLB shootdowns", ratePerSec: func(k *Kernel) float64 { return 5 + 200*k.lastBusy/float64(k.opts.Cores) }},
+	}
+	for _, irq := range k.irqs {
+		irq.PerCPU = make([]float64, opts.Cores)
+	}
+	k.softirqs = []*SoftIRQ{
+		{Name: "HI", ratePerSec: func(*Kernel) float64 { return 1 }},
+		{Name: "TIMER", ratePerSec: func(*Kernel) float64 { return 250 }},
+		{Name: "NET_TX", ratePerSec: func(k *Kernel) float64 { return 20 + 1000*k.lastBusy/float64(k.opts.Cores) }},
+		{Name: "NET_RX", ratePerSec: func(k *Kernel) float64 { return 200 + 5000*k.lastBusy/float64(k.opts.Cores) }},
+		{Name: "BLOCK", ratePerSec: func(k *Kernel) float64 { return 30 + 300*k.lastBusy/float64(k.opts.Cores) }},
+		{Name: "TASKLET", ratePerSec: func(*Kernel) float64 { return 5 }},
+		{Name: "SCHED", ratePerSec: func(k *Kernel) float64 { return 100 + 400*k.lastBusy/float64(k.opts.Cores) }},
+		{Name: "HRTIMER", ratePerSec: func(*Kernel) float64 { return 2 }},
+		{Name: "RCU", ratePerSec: func(k *Kernel) float64 { return 150 + 300*k.lastBusy/float64(k.opts.Cores) }},
+	}
+	for _, s := range k.softirqs {
+		s.PerCPU = make([]float64, opts.Cores)
+	}
+	k.idleStates = []IdleState{
+		{Name: "POLL"}, {Name: "C1"}, {Name: "C3"}, {Name: "C6"},
+	}
+	for i := range k.idleStates {
+		k.idleStates[i].UsagePerCPU = make([]float64, opts.Cores)
+		k.idleStates[i].TimeUSPerCPU = make([]float64, opts.Cores)
+	}
+	k.softnetPackets = make([]float64, opts.Cores)
+	k.ext4Groups = make([]Ext4Group, 16)
+	for i := range k.ext4Groups {
+		k.ext4Groups[i] = Ext4Group{
+			Free:  8000 + k.rng.Intn(24000),
+			Frags: 10 + k.rng.Intn(400),
+			First: i * 32768,
+		}
+	}
+
+	// The root cgroup always exists.
+	k.cgroups["/"] = &Cgroup{Path: "/"}
+	k.perf.CreateGroup("/")
+	return k
+}
+
+// Options returns the kernel's effective options.
+func (k *Kernel) Options() Options { return k.opts }
+
+// Meter exposes the host power meter (the simulated RAPL hardware).
+func (k *Kernel) Meter() *power.Meter { return k.meter }
+
+// Perf exposes the perf_event accounting monitor.
+func (k *Kernel) Perf() *perfcount.Monitor { return k.perf }
+
+// BootID returns the per-boot random UUID behind
+// /proc/sys/kernel/random/boot_id — the paper's strongest co-residence
+// indicator.
+func (k *Kernel) BootID() string { return k.bootID }
+
+// Now returns seconds since boot (simulated).
+func (k *Kernel) Now() float64 { return k.now }
+
+// Uptime returns (uptime, aggregate idle core-seconds) as /proc/uptime
+// reports them. Uptime includes the host's pre-simulation age, so hosts
+// booted at different wall-clock times report distinct values.
+func (k *Kernel) Uptime() (up, idle float64) { return k.uptimeBase + k.now, k.idleCoreSec }
+
+// InitNS returns the host's initial namespace set.
+func (k *Kernel) InitNS() *NSSet { return k.initNS }
+
+// genUUID produces an RFC-4122-shaped random UUID from the kernel's RNG.
+func (k *Kernel) genUUID() string {
+	b := make([]byte, 16)
+	k.rng.Read(b)
+	b[6] = (b[6] & 0x0f) | 0x40
+	b[8] = (b[8] & 0x3f) | 0x80
+	return fmt.Sprintf("%x-%x-%x-%x-%x", b[0:4], b[4:6], b[6:8], b[8:10], b[10:16])
+}
+
+// Tick advances the kernel by dt seconds of simulated time. It schedules
+// tasks onto cores, integrates power/thermal state, and updates every
+// accounting structure surfaced through the pseudo-filesystems. now is the
+// global simulation time; the kernel treats its own boot as t=0 of the
+// global clock it is driven by.
+func (k *Kernel) Tick(now, dt float64) {
+	k.now = now
+
+	// 1. Schedule. First apply per-cgroup CPU quotas (CFS bandwidth
+	// control — the throttling lever the power-based namespace's budget
+	// enforcement uses), then derive the global speedup factor when the
+	// host is oversubscribed, and the aggregate activity vector.
+	quotaF := k.quotaFactors()
+	var demand float64
+	for _, t := range k.tasks {
+		demand += t.DemandCores * quotaF[t.CgroupPath]
+	}
+	f := 1.0
+	cores := float64(k.opts.Cores)
+	if demand > cores {
+		f = cores / demand
+	}
+	busy := demand * f
+	k.lastBusy = busy
+
+	var agg perfcount.Rates
+	perCore := make([]float64, k.opts.Cores)
+	var pinnedLoad float64
+	for _, t := range k.tasks {
+		tf := f * quotaF[t.CgroupPath]
+		r := t.Rates.Times(tf)
+		agg = agg.Plus(r)
+		if len(t.Pinned) > 0 {
+			share := t.DemandCores * tf / float64(len(t.Pinned))
+			for _, c := range t.Pinned {
+				if c >= 0 && c < len(perCore) {
+					perCore[c] += share
+					pinnedLoad += share
+				}
+			}
+		}
+	}
+	// Spread unpinned load evenly.
+	unpinned := busy - pinnedLoad
+	if unpinned < 0 {
+		unpinned = 0
+	}
+	for i := range perCore {
+		perCore[i] += unpinned / cores
+	}
+	// Normalize to power-share fractions.
+	shares := make([]float64, len(perCore))
+	if busy > 0 {
+		for i, u := range perCore {
+			shares[i] = u / busy
+		}
+	}
+
+	// 2. Power capping + energy integration.
+	admitted, capFactor := k.meter.Throttle(agg)
+	k.meter.Step(admitted, dt, shares)
+	eff := f * capFactor
+
+	// 3. Per-cgroup accounting: cpuacct cycles and perf counters. The root
+	// cgroup receives the whole-host aggregate below, so tasks living
+	// directly in "/" are skipped here to avoid double counting.
+	for _, t := range k.tasks {
+		if t.CgroupPath == "/" {
+			continue
+		}
+		cg := k.cgroups[t.CgroupPath]
+		if cg == nil {
+			continue
+		}
+		teff := eff * quotaF[t.CgroupPath]
+		cpuSec := t.DemandCores * teff * dt
+		cg.CPUUsageNS += cpuSec * 1e9
+		k.perf.Account(t.CgroupPath, t.Rates.Times(teff).Scale(dt))
+	}
+	// Root cgroup observes everything (host-wide accounting).
+	if root := k.cgroups["/"]; root != nil {
+		root.CPUUsageNS += busy * capFactor * dt * 1e9
+	}
+	k.perf.Account("/", agg.Times(capFactor).Scale(dt))
+
+	// 4. CPU time accounting (USER_HZ ticks) and idle bookkeeping.
+	idleCores := cores - busy*capFactor
+	if idleCores < 0 {
+		idleCores = 0
+	}
+	k.idleCoreSec += idleCores * dt
+	hz := 100.0
+	for i := range k.cpu {
+		util := perCore[i] * capFactor
+		if util > 1 {
+			util = 1
+		}
+		k.cpu[i].User += util * 0.92 * dt * hz
+		k.cpu[i].System += util * 0.06 * dt * hz
+		k.cpu[i].IRQ += util * 0.01 * dt * hz
+		k.cpu[i].SoftIRQ += util * 0.01 * dt * hz
+		k.cpu[i].Idle += (1 - util) * dt * hz
+		k.schedRunNS[i] += util * dt * 1e9
+		k.schedWaitNS[i] += util * util * 0.08 * dt * 1e9 // queueing grows with load
+		k.timeslices[i] += uint64(util*dt*200) + 1
+	}
+
+	// 5. Interrupts, softirqs, context switches.
+	for _, irq := range k.irqs {
+		total := irq.ratePerSec(k) * dt
+		for c := range irq.PerCPU {
+			irq.PerCPU[c] += total / cores * k.jitter(0.1)
+		}
+	}
+	for _, s := range k.softirqs {
+		total := s.ratePerSec(k) * dt
+		for c := range s.PerCPU {
+			s.PerCPU[c] += total / cores * k.jitter(0.1)
+		}
+	}
+	k.ctxtSwitches += (300 + 900*busy) * dt
+
+	// 6. Load averages: exponentially-damped toward the runnable count,
+	// with the classic 1/5/15-minute constants.
+	decay := func(load, minutes float64) float64 {
+		a := 1 - math.Exp(-dt/(minutes*60))
+		return load + (demand-load)*a
+	}
+	k.load1 = decay(k.load1, 1)
+	k.load5 = decay(k.load5, 5)
+	k.load15 = decay(k.load15, 15)
+
+	// 7. cpuidle residency.
+	idleFrac := idleCores / cores
+	for i := range k.idleStates {
+		st := &k.idleStates[i]
+		// Deeper states get the longer residencies; POLL gets almost none.
+		weight := []float64{0.01, 0.09, 0.3, 0.6}[i]
+		for c := range st.UsagePerCPU {
+			st.UsagePerCPU[c] += idleFrac * weight * 80 * dt * k.jitter(0.05)
+			st.TimeUSPerCPU[c] += idleFrac * weight * dt * 1e6 / cores * k.jitter(0.05)
+		}
+	}
+
+	// 8. Memory & VFS drift.
+	k.cachedKB += (20*busy + 5) * dt * k.jitter(0.3)
+	if max := float64(k.opts.MemTotalKB) * 0.4; k.cachedKB > max {
+		k.cachedKB = max
+	}
+	k.numa.Hit += (5000 + 200000*busy) * dt
+	k.numa.LocalNode = k.numa.Hit
+	k.numa.InterleaveHit += 2 * dt
+	k.dentries += (40*busy + 2) * dt * k.jitter(0.5)
+	k.dentryUnused += (30*busy + 1) * dt * k.jitter(0.5)
+	k.inodes += (20*busy + 1) * dt * k.jitter(0.5)
+	k.filesOpen += (10*busy - 5 + k.rng.Float64()*10) * dt
+	if k.filesOpen < 500 {
+		k.filesOpen = 500
+	}
+	if g := k.rng.Intn(len(k.ext4Groups)); busy > 0.1 {
+		k.ext4Groups[g].Free -= k.rng.Intn(5)
+		k.ext4Groups[g].Frags += k.rng.Intn(3) - 1
+		if k.ext4Groups[g].Free < 0 {
+			k.ext4Groups[g].Free = 0
+		}
+		if k.ext4Groups[g].Frags < 1 {
+			k.ext4Groups[g].Frags = 1
+		}
+	}
+
+	// 8b. VM and block-IO counters: faults and allocations track activity;
+	// disk sectors follow the IO-ish share of the load; softnet packets
+	// follow network interrupt volume.
+	k.pgFaults += (200 + 30000*busy) * dt * k.jitter(0.2)
+	k.pgAllocs += (500 + 80000*busy) * dt * k.jitter(0.2)
+	k.sectorsRead += (40 + 1500*busy) * dt * k.jitter(0.4)
+	k.sectorsWritten += (80 + 2500*busy) * dt * k.jitter(0.4)
+	for i := range k.softnetPackets {
+		k.softnetPackets[i] += (25 + 700*busy/cores) * dt * k.jitter(0.2)
+	}
+
+	// 9. Entropy pool random walk between depletion and refill.
+	k.entropyAvail += (k.rng.Float64()*2 - 1) * 120 * dt
+	if k.entropyAvail < 180 {
+		k.entropyAvail = 180
+	}
+	if k.entropyAvail > 4096 {
+		k.entropyAvail = 4096
+	}
+
+	// 10. System lock churn: daemons (dhclient, rsyslog, …) take and drop
+	// POSIX locks continuously on a live host, which is what makes
+	// /proc/locks a time-varying channel.
+	if k.rng.Float64() < 0.2*dt {
+		k.sysLockSeq++
+		k.sysLocks = append(k.sysLocks, FileLock{
+			ID:      -int(k.sysLockSeq), // negative IDs: kernel-internal rows
+			Type:    "FLOCK",
+			Mode:    "ADVISORY",
+			RW:      "WRITE",
+			HostPID: 100 + int(k.sysLockSeq)%50,
+			Inode:   uint64(k.rng.Intn(1 << 20)),
+		})
+		if len(k.sysLocks) > 6 {
+			k.sysLocks = k.sysLocks[1:]
+		}
+	}
+
+	// 11. Scheduler-domain balancing cost random walk.
+	for i := range k.newidleCost {
+		delta := k.rng.Intn(2001) - 1000
+		v := int64(k.newidleCost[i]) + int64(delta)
+		if v < 5000 {
+			v = 5000
+		}
+		if v > 120000 {
+			v = 120000
+		}
+		k.newidleCost[i] = uint64(v)
+	}
+}
+
+// quotaFactors computes, per cgroup, the demand scale enforcing its CPU
+// quota (1 when unlimited or under quota).
+func (k *Kernel) quotaFactors() map[string]float64 {
+	demand := make(map[string]float64, len(k.cgroups))
+	for _, t := range k.tasks {
+		demand[t.CgroupPath] += t.DemandCores
+	}
+	out := make(map[string]float64, len(demand))
+	for path, d := range demand {
+		out[path] = 1
+		cg := k.cgroups[path]
+		if cg != nil && cg.QuotaCores > 0 && d > cg.QuotaCores {
+			out[path] = cg.QuotaCores / d
+		}
+	}
+	return out
+}
+
+// jitter returns a multiplicative noise factor in [1-a, 1+a].
+func (k *Kernel) jitter(a float64) float64 {
+	return 1 + (k.rng.Float64()*2-1)*a
+}

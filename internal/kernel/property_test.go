@@ -1,0 +1,140 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfcount"
+)
+
+// TestPropertyPIDUniquenessUnderChurn spawns and exits tasks in arbitrary
+// interleavings and checks the core PID-namespace invariants: host pids are
+// unique, namespace pids are unique within a namespace, and the namespaced
+// task view is always a subset of the global view.
+func TestPropertyPIDUniquenessUnderChurn(t *testing.T) {
+	f := func(ops []uint8) bool {
+		k := New(Options{Seed: 1})
+		ns1 := k.NewNSSet("a", "/a")
+		ns2 := k.NewNSSet("b", "/b")
+		var live []*Task
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				live = append(live, k.Spawn("t", ns1, "/a", 0.1, perfcount.Rates{}))
+			case 1:
+				live = append(live, k.Spawn("t", ns2, "/b", 0.1, perfcount.Rates{}))
+			case 2:
+				if len(live) > 0 {
+					k.Exit(live[0].HostPID)
+					live = live[1:]
+				}
+			}
+		}
+		// Host pid uniqueness.
+		hostPIDs := map[int]bool{}
+		for _, task := range k.Tasks() {
+			if hostPIDs[task.HostPID] {
+				return false
+			}
+			hostPIDs[task.HostPID] = true
+		}
+		// NS pid uniqueness and subset property per namespace.
+		for _, ns := range []*NSSet{ns1, ns2} {
+			seen := map[int]bool{}
+			for _, task := range k.TasksInNS(ns) {
+				if seen[task.NSPID] {
+					return false
+				}
+				seen[task.NSPID] = true
+				if !hostPIDs[task.HostPID] {
+					return false // visible in NS but not globally
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyUptimeMonotone checks that uptime and every accumulating
+// counter never move backwards under arbitrary positive step sequences.
+func TestPropertyUptimeMonotone(t *testing.T) {
+	f := func(steps []uint8) bool {
+		k := New(Options{Seed: 2})
+		k.Spawn("w", k.InitNS(), "/", 2, perfcount.Rates{Instructions: 6e9, Cycles: 6.8e9})
+		prevUp, prevIdle := k.Uptime()
+		prevStat := k.StatSnapshot()
+		for _, s := range steps {
+			dt := float64(s%50)/10 + 0.1
+			k.Tick(k.Now()+dt, dt)
+			up, idle := k.Uptime()
+			stat := k.StatSnapshot()
+			if up < prevUp || idle < prevIdle {
+				return false
+			}
+			if stat.IntrTotal < prevStat.IntrTotal || stat.CtxtSwitches < prevStat.CtxtSwitches {
+				return false
+			}
+			prevUp, prevIdle, prevStat = up, idle, stat
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySchedulerConservation: busy + idle core-time equals total
+// core-time for any demand level.
+func TestPropertySchedulerConservation(t *testing.T) {
+	f := func(demandRaw uint8) bool {
+		demand := float64(demandRaw%16) + 0.5
+		k := New(Options{Cores: 8, Seed: 3})
+		k.Spawn("w", k.InitNS(), "/", demand, perfcount.Rates{Instructions: 3e9 * demand, Cycles: 3.4e9 * demand})
+		_, idle0 := k.Uptime()
+		used0 := k.Cgroup("/").CPUUsageNS
+		for i := 0; i < 10; i++ {
+			k.Tick(k.Now()+1, 1)
+		}
+		_, idle1 := k.Uptime()
+		used1 := k.Cgroup("/").CPUUsageNS
+		gotIdle := idle1 - idle0
+		gotBusy := (used1 - used0) / 1e9
+		total := 8.0 * 10
+		return abs(gotIdle+gotBusy-total) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestPropertyQuotaNeverExceeded: cpuacct usage per interval never exceeds
+// the cgroup quota.
+func TestPropertyQuotaNeverExceeded(t *testing.T) {
+	f := func(quotaRaw, demandRaw uint8) bool {
+		quota := float64(quotaRaw%8)/2 + 0.5  // 0.5 .. 4
+		demand := float64(demandRaw%12) + 0.5 // 0.5 .. 12.5
+		k := New(Options{Cores: 8, Seed: 4})
+		ns := k.NewNSSet("c", "/c")
+		k.Spawn("w", ns, "/c", demand, perfcount.Rates{Instructions: 3e9 * demand, Cycles: 3.4e9 * demand})
+		k.Cgroup("/c").QuotaCores = quota
+		before := k.Cgroup("/c").CPUUsageNS
+		for i := 0; i < 5; i++ {
+			k.Tick(k.Now()+1, 1)
+		}
+		used := (k.Cgroup("/c").CPUUsageNS - before) / 1e9 / 5
+		return used <= quota+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

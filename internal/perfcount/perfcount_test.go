@@ -1,0 +1,170 @@
+package perfcount
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersAddSub(t *testing.T) {
+	var c Counters
+	c.Add(Counters{Instructions: 100, Cycles: 200, CacheMisses: 5, BranchMisses: 2})
+	c.Add(Counters{Instructions: 50, Cycles: 100, CacheRefs: 10, BranchRefs: 20})
+	if c.Instructions != 150 || c.Cycles != 300 || c.CacheMisses != 5 || c.CacheRefs != 10 {
+		t.Fatalf("unexpected accumulation: %+v", c)
+	}
+	d := c.Sub(Counters{Instructions: 100, Cycles: 200})
+	if d.Instructions != 50 || d.Cycles != 100 {
+		t.Fatalf("unexpected delta: %+v", d)
+	}
+}
+
+func TestMissRates(t *testing.T) {
+	c := Counters{Cycles: 1000, CacheMisses: 10, BranchMisses: 5}
+	if got := c.CacheMissRate(); got != 0.01 {
+		t.Fatalf("cache miss rate = %g, want 0.01", got)
+	}
+	if got := c.BranchMissRate(); got != 0.005 {
+		t.Fatalf("branch miss rate = %g, want 0.005", got)
+	}
+	var zero Counters
+	if zero.CacheMissRate() != 0 || zero.BranchMissRate() != 0 {
+		t.Fatal("zero-cycle rates must be 0")
+	}
+}
+
+func TestRatesScalePlusTimes(t *testing.T) {
+	r := Rates{Instructions: 1e9, Cycles: 2e9, CacheMisses: 1e6, CacheRefs: 1e7, BranchMisses: 1e5, BranchRefs: 1e8}
+	c := r.Scale(0.5)
+	if c.Instructions != 5e8 || c.Cycles != 1e9 || c.CacheMisses != 5e5 {
+		t.Fatalf("scale: %+v", c)
+	}
+	sum := r.Plus(r)
+	if sum.Instructions != 2e9 || sum.BranchRefs != 2e8 {
+		t.Fatalf("plus: %+v", sum)
+	}
+	half := r.Times(0.5)
+	if half.Cycles != 1e9 || half.CacheRefs != 5e6 {
+		t.Fatalf("times: %+v", half)
+	}
+}
+
+func TestScaleLinearity(t *testing.T) {
+	// Property: Scale(a+b) == Scale(a) + Scale(b) for positive durations.
+	f := func(ips, cyc float64, a, b uint8) bool {
+		bound := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(math.Abs(v), 1e12)
+		}
+		r := Rates{Instructions: bound(ips), Cycles: bound(cyc)}
+		da, db := float64(a)+0.5, float64(b)+0.5
+		var whole Counters
+		whole.Add(r.Scale(da))
+		whole.Add(r.Scale(db))
+		one := r.Scale(da + db)
+		return math.Abs(whole.Instructions-one.Instructions) < 1e-6*(1+one.Instructions) &&
+			math.Abs(whole.Cycles-one.Cycles) < 1e-6*(1+one.Cycles)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorGroupAccounting(t *testing.T) {
+	m := NewMonitor()
+	m.CreateGroup("c1")
+	m.CreateGroup("c2")
+	m.Account("c1", Counters{Instructions: 100})
+	m.Account("c2", Counters{Instructions: 7})
+	m.Account("ghost", Counters{Instructions: 999}) // unknown group ignored
+
+	c1, ok := m.Read("c1")
+	if !ok || c1.Instructions != 100 {
+		t.Fatalf("c1 = %+v ok=%v", c1, ok)
+	}
+	c2, _ := m.Read("c2")
+	if c2.Instructions != 7 {
+		t.Fatalf("c2 = %+v", c2)
+	}
+	if _, ok := m.Read("ghost"); ok {
+		t.Fatal("ghost group should not exist")
+	}
+	if m.Groups() != 2 {
+		t.Fatalf("groups = %d, want 2", m.Groups())
+	}
+}
+
+func TestMonitorDisableStopsAccounting(t *testing.T) {
+	m := NewMonitor()
+	m.CreateGroup("c1")
+	m.Disable()
+	if m.Enabled() {
+		t.Fatal("monitor should be disabled")
+	}
+	m.Account("c1", Counters{Instructions: 100})
+	c, _ := m.Read("c1")
+	if c.Instructions != 0 {
+		t.Fatal("disabled monitor must not account")
+	}
+	if cost := m.ContextSwitch("a", "b"); cost != 0 {
+		t.Fatalf("disabled switch cost = %g, want 0", cost)
+	}
+	m.Enable()
+	m.Account("c1", Counters{Instructions: 1})
+	c, _ = m.Read("c1")
+	if c.Instructions != 1 {
+		t.Fatal("re-enabled monitor must account")
+	}
+}
+
+func TestCreateGroupResetsCounters(t *testing.T) {
+	m := NewMonitor()
+	m.CreateGroup("c")
+	m.Account("c", Counters{Cycles: 42})
+	m.CreateGroup("c")
+	c, _ := m.Read("c")
+	if c.Cycles != 0 {
+		t.Fatal("recreating a group must reset counters")
+	}
+}
+
+func TestRemoveGroup(t *testing.T) {
+	m := NewMonitor()
+	m.CreateGroup("c")
+	m.RemoveGroup("c")
+	if _, ok := m.Read("c"); ok {
+		t.Fatal("removed group should not be readable")
+	}
+	m.RemoveGroup("never-existed") // must not panic
+}
+
+func TestContextSwitchCostModel(t *testing.T) {
+	m := NewMonitor()
+	if cost := m.ContextSwitch("a", "a"); cost != 0 {
+		t.Fatalf("intra-group switch cost = %g, want 0", cost)
+	}
+	if cost := m.ContextSwitch("a", "b"); cost != DefaultSwitchCost {
+		t.Fatalf("inter-group switch cost = %g, want %g", cost, DefaultSwitchCost)
+	}
+	if m.InterSwitches != 1 || m.IntraSwitches != 1 {
+		t.Fatalf("switch counters inter=%d intra=%d", m.InterSwitches, m.IntraSwitches)
+	}
+	m.SetSwitchCost(1e-3)
+	if cost := m.ContextSwitch("a", "b"); cost != 1e-3 {
+		t.Fatalf("overridden cost = %g", cost)
+	}
+}
+
+func TestMonitorString(t *testing.T) {
+	m := NewMonitor()
+	m.CreateGroup("x")
+	if s := m.String(); s == "" {
+		t.Fatal("String should be non-empty")
+	}
+	m.Disable()
+	if s := m.String(); s == "" {
+		t.Fatal("String should be non-empty when disabled")
+	}
+}

@@ -1,0 +1,256 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfcount"
+)
+
+// busyRates is a plausible all-core compute-bound activity vector.
+func busyRates() perfcount.Rates {
+	return perfcount.Rates{
+		Instructions: 2.4e10, // 8 cores × 3 GIPS
+		Cycles:       2.72e10,
+		CacheMisses:  4e7,
+		CacheRefs:    8e8,
+		BranchMisses: 1.2e8,
+		BranchRefs:   4.8e9,
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	if Package.String() != "package" || Core.String() != "core" || DRAM.String() != "dram" {
+		t.Fatal("domain names wrong")
+	}
+	if Domain(99).String() == "" {
+		t.Fatal("unknown domain should still print")
+	}
+}
+
+func TestIdlePowerIsFloor(t *testing.T) {
+	m := New(Config{})
+	m.Step(perfcount.Rates{}, 1, nil)
+	idle := m.Power(Package)
+	want := m.Config().IdleCoreW + m.Config().IdleDRAMW + m.Config().UncoreW
+	if math.Abs(idle-want) > 0.5 {
+		t.Fatalf("idle package power = %g, want ≈ %g", idle, want)
+	}
+	if m.WallPower() <= idle {
+		t.Fatal("wall power must include platform overhead")
+	}
+}
+
+func TestBusyPowerExceedsIdleAndIsPlausible(t *testing.T) {
+	m := New(Config{})
+	m.Step(busyRates(), 1, nil)
+	p := m.Power(Package)
+	if p < 30 || p > 120 {
+		t.Fatalf("busy package power = %g W, want a plausible 30–120 W", p)
+	}
+	if m.Power(Core) <= 0 || m.Power(DRAM) <= 0 {
+		t.Fatal("domain powers must be positive")
+	}
+	if got := m.Power(Core) + m.Power(DRAM) + m.Config().UncoreW; math.Abs(got-p) > 1e-9 {
+		t.Fatalf("package (%g) != core+dram+uncore (%g)", p, got)
+	}
+}
+
+func TestEnergyAccumulatesLinearly(t *testing.T) {
+	m := New(Config{})
+	r := busyRates()
+	m.Step(r, 1, nil)
+	e1 := m.EnergyUJ(Package)
+	m.Step(r, 1, nil)
+	e2 := m.EnergyUJ(Package)
+	d1 := float64(e1)
+	d2 := float64(e2 - e1)
+	// Second step may be slightly higher from leakage warm-up, but within 10%.
+	if d2 < d1*0.9 || d2 > d1*1.2 {
+		t.Fatalf("energy deltas diverge: first=%g second=%g", d1, d2)
+	}
+}
+
+func TestCoreEnergyLinearInInstructions(t *testing.T) {
+	// Fig. 6's premise: for a fixed microarchitectural mix, core energy is
+	// linear in retired instructions.
+	base := busyRates()
+	var xs, ys []float64
+	for _, k := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		m := New(Config{})
+		m.Step(base.Times(k), 1, nil)
+		xs = append(xs, base.Instructions*k)
+		ys = append(ys, float64(m.EnergyUJ(Core)))
+	}
+	// Check near-perfect linearity via correlation of successive slopes.
+	slope0 := (ys[1] - ys[0]) / (xs[1] - xs[0])
+	for i := 2; i < len(xs); i++ {
+		s := (ys[i] - ys[i-1]) / (xs[i] - xs[i-1])
+		if math.Abs(s-slope0)/slope0 > 0.05 {
+			t.Fatalf("slope %d = %g deviates from %g", i, s, slope0)
+		}
+	}
+}
+
+func TestDRAMEnergyLinearInCacheMisses(t *testing.T) {
+	// Fig. 7's premise.
+	m := New(Config{})
+	r := busyRates()
+	m.Step(r, 1, nil)
+	e1 := float64(m.EnergyUJ(DRAM))
+	r2 := r
+	r2.CacheMisses *= 3
+	m2 := New(Config{})
+	m2.Step(r2, 1, nil)
+	e2 := float64(m2.EnergyUJ(DRAM))
+	idle := m.Config().IdleDRAMW * 1e6
+	ratio := (e2 - idle) / (e1 - idle)
+	if math.Abs(ratio-3) > 0.05 {
+		t.Fatalf("DRAM dynamic energy ratio = %g, want ≈ 3", ratio)
+	}
+}
+
+func TestCounterWraps(t *testing.T) {
+	m := New(Config{MaxEnergyRangeUJ: 200e6}) // wrap at 200 J
+	r := busyRates()
+	var wrapped bool
+	var prev uint64
+	for i := 0; i < 60; i++ {
+		m.Step(r, 1, nil)
+		cur := m.EnergyUJ(Package)
+		if cur < prev {
+			wrapped = true
+		}
+		if cur >= 200e6 {
+			t.Fatalf("counter %d exceeded max range", cur)
+		}
+		prev = cur
+	}
+	if !wrapped {
+		t.Fatal("counter never wrapped within 60 busy seconds at 200 J range")
+	}
+}
+
+func TestCounterDelta(t *testing.T) {
+	if d := CounterDelta(100, 150, 1000); d != 50 {
+		t.Fatalf("no-wrap delta = %d", d)
+	}
+	if d := CounterDelta(900, 100, 1000); d != 200 {
+		t.Fatalf("wrap delta = %d", d)
+	}
+	if d := CounterDelta(0, 0, 1000); d != 0 {
+		t.Fatalf("zero delta = %d", d)
+	}
+}
+
+func TestCounterDeltaProperty(t *testing.T) {
+	// Property: for any prev and consumed < max, reading after consuming
+	// recovers consumed.
+	f := func(prevRaw, consumedRaw uint32) bool {
+		const max = uint64(1) << 30
+		prev := uint64(prevRaw) % max
+		consumed := uint64(consumedRaw) % max
+		cur := (prev + consumed) % max
+		return CounterDelta(prev, cur, max) == consumed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThermalModelWarmsAndCools(t *testing.T) {
+	m := New(Config{})
+	amb := m.Config().AmbientC
+	if m.CoreTempC(0) != amb {
+		t.Fatalf("initial temp = %g, want ambient %g", m.CoreTempC(0), amb)
+	}
+	for i := 0; i < 120; i++ {
+		m.Step(busyRates(), 1, nil)
+	}
+	hot := m.CoreTempC(0)
+	if hot < amb+5 {
+		t.Fatalf("busy core only reached %g °C from ambient %g", hot, amb)
+	}
+	for i := 0; i < 300; i++ {
+		m.Step(perfcount.Rates{}, 1, nil)
+	}
+	// The idle floor is ambient + R·IdleCoreW, not ambient itself.
+	floor := amb + m.Config().ThermalResC*m.Config().IdleCoreW
+	cool := m.CoreTempC(0)
+	if cool > floor+1 {
+		t.Fatalf("idle core stayed hot: %g °C (floor %g)", cool, floor)
+	}
+}
+
+func TestPerCoreShareSkewsTemperature(t *testing.T) {
+	m := New(Config{Cores: 4})
+	share := []float64{1, 0, 0, 0} // all dynamic power on core 0
+	for i := 0; i < 120; i++ {
+		m.Step(busyRates().Times(0.25), 1, share)
+	}
+	if m.CoreTempC(0) <= m.CoreTempC(3)+2 {
+		t.Fatalf("pinned core (%g) not hotter than idle core (%g)",
+			m.CoreTempC(0), m.CoreTempC(3))
+	}
+}
+
+func TestCoreTempPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Cores: 2}).CoreTempC(5)
+}
+
+func TestStepPanicsOnBadDt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{}).Step(perfcount.Rates{}, 0, nil)
+}
+
+func TestThrottleCapsPower(t *testing.T) {
+	m := New(Config{})
+	m.Step(busyRates(), 1, nil)
+	uncapped := m.Power(Package)
+
+	m.SetPowerLimit(uncapped * 0.6)
+	if m.PowerLimit() != uncapped*0.6 {
+		t.Fatal("limit not stored")
+	}
+	admitted, f := m.Throttle(busyRates())
+	if f >= 1 {
+		t.Fatalf("throttle factor = %g, want < 1", f)
+	}
+	m.Step(admitted, 1, nil)
+	if m.Power(Package) > uncapped*0.6*1.05 {
+		t.Fatalf("capped power %g exceeds limit %g", m.Power(Package), uncapped*0.6)
+	}
+}
+
+func TestThrottleIdentityWhenUncappedOrUnderLimit(t *testing.T) {
+	m := New(Config{})
+	r := busyRates()
+	got, f := m.Throttle(r)
+	if f != 1 || got != r {
+		t.Fatal("uncapped throttle must be identity")
+	}
+	m.SetPowerLimit(10000)
+	got, f = m.Throttle(r)
+	if f != 1 || got != r {
+		t.Fatal("under-limit throttle must be identity")
+	}
+}
+
+func TestThrottleFloorsAtMinimumDuty(t *testing.T) {
+	m := New(Config{})
+	m.SetPowerLimit(1) // absurd cap below idle
+	_, f := m.Throttle(busyRates())
+	if f != 0.05 {
+		t.Fatalf("floor factor = %g, want 0.05", f)
+	}
+}

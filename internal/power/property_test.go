@@ -1,0 +1,99 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfcount"
+)
+
+// boundedRates maps fuzz bytes into a plausible activity vector.
+func boundedRates(i, c, cm, bm uint16) perfcount.Rates {
+	cycles := 1e9 + float64(c)*1e6
+	instr := float64(i) * 1e6
+	if instr > cycles*4 {
+		instr = cycles * 4
+	}
+	return perfcount.Rates{
+		Instructions: instr,
+		Cycles:       cycles,
+		CacheMisses:  math.Min(float64(cm)*1e3, instr/10),
+		BranchMisses: math.Min(float64(bm)*1e3, instr/10),
+	}
+}
+
+// TestPropertyPackageIdentity: package power always equals core + DRAM +
+// uncore, for any activity.
+func TestPropertyPackageIdentity(t *testing.T) {
+	f := func(i, c, cm, bm uint16) bool {
+		m := New(Config{})
+		m.Step(boundedRates(i, c, cm, bm), 1, nil)
+		got := m.Power(Core) + m.Power(DRAM) + m.Config().UncoreW
+		return math.Abs(got-m.Power(Package)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPowerMonotoneInActivity: scaling activity up never reduces
+// any domain's power.
+func TestPropertyPowerMonotoneInActivity(t *testing.T) {
+	f := func(i, c, cm, bm uint16, kRaw uint8) bool {
+		r := boundedRates(i, c, cm, bm)
+		k := 1 + float64(kRaw%8)/4 // 1 .. 2.75
+		m1 := New(Config{})
+		m1.Step(r, 1, nil)
+		m2 := New(Config{})
+		m2.Step(r.Times(k), 1, nil)
+		return m2.Power(Package) >= m1.Power(Package)-1e-9 &&
+			m2.Power(Core) >= m1.Power(Core)-1e-9 &&
+			m2.Power(DRAM) >= m1.Power(DRAM)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEnergyMatchesPowerIntegral: over any step, the counter delta
+// equals power × time (within accumulation rounding).
+func TestPropertyEnergyMatchesPowerIntegral(t *testing.T) {
+	f := func(i, c uint16, dtRaw uint8) bool {
+		dt := float64(dtRaw%50)/10 + 0.1
+		r := boundedRates(i, c, 100, 100)
+		m := New(Config{})
+		before := m.EnergyUJ(Package)
+		m.Step(r, dt, nil)
+		delta := float64(CounterDelta(before, m.EnergyUJ(Package), m.MaxEnergyRangeUJ()))
+		want := m.Power(Package) * dt * 1e6
+		return math.Abs(delta-want) <= want*0.01+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyThrottleRespectsLimit: whatever the demand, the admitted
+// rates never produce power above the cap (beyond the idle floor).
+func TestPropertyThrottleRespectsLimit(t *testing.T) {
+	f := func(i, c uint16, limRaw uint8) bool {
+		m := New(Config{})
+		idle := m.Config().IdleCoreW + m.Config().IdleDRAMW + m.Config().UncoreW
+		limit := idle + 5 + float64(limRaw)
+		m.SetPowerLimit(limit)
+		admitted, factor := m.Throttle(boundedRates(i, c, 200, 200))
+		if factor <= 0 || factor > 1 {
+			return false
+		}
+		m.Step(admitted, 1, nil)
+		// The 5% duty floor can exceed absurd caps; otherwise obey.
+		if factor == 0.05 {
+			return true
+		}
+		return m.Power(Package) <= limit*1.02
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

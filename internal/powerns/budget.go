@@ -1,0 +1,93 @@
+package powerns
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/power"
+)
+
+// The paper motivates the power-based namespace beyond defense: "with
+// per-container power usage statistics at hand, we can dynamically throttle
+// the computing power (or increase the usage fee) of containers that exceed
+// their predefined power thresholds." This file implements that enforcement
+// loop: a per-container power budget realized through the cgroup CPU quota
+// (CFS bandwidth control), driven by the namespace's own attribution.
+
+// SetPowerBudget assigns a package-power budget in Watts to a registered
+// container; 0 removes the budget and lifts any throttle. It returns an
+// error for unregistered cgroups.
+func (ns *Namespace) SetPowerBudget(cgroupPath string, watts float64) error {
+	a, ok := ns.containers[cgroupPath]
+	if !ok {
+		return fmt.Errorf("powerns: %s not registered", cgroupPath)
+	}
+	a.budgetW = watts
+	if watts <= 0 {
+		ns.k.Cgroup(cgroupPath).QuotaCores = 0
+	}
+	return nil
+}
+
+// PowerBudget returns the configured budget (0 = none).
+func (ns *Namespace) PowerBudget(cgroupPath string) float64 {
+	if a, ok := ns.containers[cgroupPath]; ok {
+		return a.budgetW
+	}
+	return 0
+}
+
+// LastPower returns the container's attributed package power (W) over the
+// most recent accounting interval — the metering hook for power-aware
+// billing.
+func (ns *Namespace) LastPower(cgroupPath string) (float64, error) {
+	ns.update()
+	a, ok := ns.containers[cgroupPath]
+	if !ok {
+		return 0, fmt.Errorf("powerns: %s not registered", cgroupPath)
+	}
+	return a.lastW, nil
+}
+
+// enforceBudget runs the proportional throttle controller for one container
+// after its interval power has been attributed. It adjusts the cgroup CPU
+// quota so the container's power converges below its budget, and relaxes
+// the quota when headroom returns.
+func (ns *Namespace) enforceBudget(a *acct, dt float64) {
+	if a.budgetW <= 0 || a.lastW <= 0 {
+		return
+	}
+	cg := ns.k.Cgroup(a.path)
+	cores := float64(ns.k.Options().Cores)
+
+	// Effective cores consumed over the interval, from cpuacct.
+	usedCores := (cg.CPUUsageNS - a.lastCPUNS) / 1e9 / dt
+	a.lastCPUNS = cg.CPUUsageNS
+	if usedCores <= 0 {
+		return
+	}
+
+	switch {
+	case a.lastW > a.budgetW:
+		// Over budget: scale the quota proportionally to the overshoot.
+		target := usedCores * a.budgetW / a.lastW
+		cg.QuotaCores = math.Max(0.05, target)
+	case cg.QuotaCores > 0 && a.lastW < a.budgetW*0.9:
+		// Headroom: relax by 10% per interval, remove when unconstraining.
+		cg.QuotaCores *= 1.1
+		if cg.QuotaCores >= cores {
+			cg.QuotaCores = 0
+		}
+	}
+}
+
+// attributePower records the interval's package power on the account (used
+// by update) and runs enforcement.
+func (ns *Namespace) attributePower(a *acct, pkgDeltaUJ, dt float64) {
+	a.lastW = pkgDeltaUJ / 1e6 / dt
+	ns.enforceBudget(a, dt)
+}
+
+// Domain helper kept close to the budget logic: package is the billed and
+// budgeted domain.
+var budgetDomain = power.Package

@@ -1,0 +1,149 @@
+package powerns
+
+import (
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/kernel"
+	"repro/internal/pseudofs"
+	"repro/internal/workload"
+)
+
+// budgetWorld builds a host with a namespaced, budget-eligible container.
+func budgetWorld(t *testing.T, seed int64) (*kernel.Kernel, *Namespace, *container.Container, *container.Container) {
+	t.Helper()
+	m := trainDefault(t)
+	k := kernel.New(kernel.Options{Hostname: "budget", Seed: seed})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	rt := container.NewRuntime(k, fs, container.DockerProfile())
+	hog := rt.Create("hog")
+	peer := rt.Create("peer")
+	ns := New(k, m)
+	ns.Register(hog.CgroupPath)
+	ns.Register(peer.CgroupPath)
+	ns.Install(fs)
+	return k, ns, hog, peer
+}
+
+// drive advances the kernel one second at a time, touching the namespace so
+// the enforcement loop runs every interval.
+func drive(k *kernel.Kernel, ns *Namespace, seconds int) {
+	for i := 0; i < seconds; i++ {
+		k.Tick(k.Now()+1, 1)
+		ns.update()
+	}
+}
+
+func TestSetPowerBudgetValidation(t *testing.T) {
+	_, ns, hog, _ := budgetWorld(t, 1)
+	if err := ns.SetPowerBudget("/nope", 50); err == nil {
+		t.Fatal("unregistered cgroup should be rejected")
+	}
+	if err := ns.SetPowerBudget(hog.CgroupPath, 30); err != nil {
+		t.Fatal(err)
+	}
+	if got := ns.PowerBudget(hog.CgroupPath); got != 30 {
+		t.Fatalf("budget = %g", got)
+	}
+	if got := ns.PowerBudget("/nope"); got != 0 {
+		t.Fatalf("unknown budget = %g", got)
+	}
+}
+
+func TestBudgetThrottlesOverconsumer(t *testing.T) {
+	k, ns, hog, _ := budgetWorld(t, 2)
+	hog.Run(workload.Prime, 8) // ~80+ W unthrottled
+
+	drive(k, ns, 5)
+	unthrottled, err := ns.LastPower(hog.CgroupPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unthrottled < 50 {
+		t.Fatalf("unthrottled power only %.1f W", unthrottled)
+	}
+
+	const budget = 40.0
+	if err := ns.SetPowerBudget(hog.CgroupPath, budget); err != nil {
+		t.Fatal(err)
+	}
+	drive(k, ns, 40)
+	throttled, err := ns.LastPower(hog.CgroupPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if throttled > budget*1.15 {
+		t.Fatalf("power %.1f W still far above the %.0f W budget", throttled, budget)
+	}
+	// The throttle is visible as a cgroup quota.
+	if q := k.Cgroup(hog.CgroupPath).QuotaCores; q <= 0 || q >= 8 {
+		t.Fatalf("quota = %g, want a real cap", q)
+	}
+}
+
+func TestBudgetDoesNotAffectPeers(t *testing.T) {
+	k, ns, hog, peer := budgetWorld(t, 3)
+	hog.Run(workload.Prime, 6)
+	peer.Run(workload.Prime, 2)
+	if err := ns.SetPowerBudget(hog.CgroupPath, 30); err != nil {
+		t.Fatal(err)
+	}
+	drive(k, ns, 40)
+	peerW, err := ns.LastPower(peer.CgroupPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer runs 2 cores of Prime ≈ 20+ W plus its idle share, unthrottled.
+	if peerW < 15 {
+		t.Fatalf("peer throttled by neighbour's budget: %.1f W", peerW)
+	}
+	if q := k.Cgroup(peer.CgroupPath).QuotaCores; q != 0 {
+		t.Fatalf("peer quota = %g, want unlimited", q)
+	}
+}
+
+func TestBudgetRelaxesWhenDemandDrops(t *testing.T) {
+	k, ns, hog, _ := budgetWorld(t, 4)
+	task := hog.Run(workload.Prime, 8)
+	if err := ns.SetPowerBudget(hog.CgroupPath, 35); err != nil {
+		t.Fatal(err)
+	}
+	drive(k, ns, 30)
+	if q := k.Cgroup(hog.CgroupPath).QuotaCores; q <= 0 {
+		t.Fatal("expected an active throttle")
+	}
+	// Workload becomes light: one core.
+	hog.Stop(task)
+	hog.Run(workload.IdleLoop, 0.5)
+	drive(k, ns, 80)
+	if q := k.Cgroup(hog.CgroupPath).QuotaCores; q != 0 {
+		t.Fatalf("quota = %g, want fully relaxed after demand dropped", q)
+	}
+}
+
+func TestBudgetRemoval(t *testing.T) {
+	k, ns, hog, _ := budgetWorld(t, 5)
+	hog.Run(workload.Prime, 8)
+	if err := ns.SetPowerBudget(hog.CgroupPath, 30); err != nil {
+		t.Fatal(err)
+	}
+	drive(k, ns, 20)
+	if err := ns.SetPowerBudget(hog.CgroupPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if q := k.Cgroup(hog.CgroupPath).QuotaCores; q != 0 {
+		t.Fatalf("quota = %g after budget removal", q)
+	}
+	drive(k, ns, 10)
+	w, _ := ns.LastPower(hog.CgroupPath)
+	if w < 50 {
+		t.Fatalf("power %.1f W did not recover after budget removal", w)
+	}
+}
+
+func TestLastPowerUnregistered(t *testing.T) {
+	_, ns, _, _ := budgetWorld(t, 6)
+	if _, err := ns.LastPower("/ghost"); err == nil {
+		t.Fatal("expected error for unregistered cgroup")
+	}
+}

@@ -1,0 +1,244 @@
+// Package powerns implements the paper's defense: a power-based namespace
+// (Section V-B, Fig. 5) that presents per-container energy usage through
+// the *unchanged* RAPL sysfs interface.
+//
+// The three components of the paper's workflow map directly onto this
+// package:
+//
+//   - data collection: per-container perf_event cgroup counters (retired
+//     instructions, cycles, cache misses, branch misses) read from
+//     internal/perfcount;
+//   - power modeling (Formula 2): M_core = F(CM/C, BM/C)·I + α fitted by
+//     multiple linear regression, M_dram = β·CM + γ, M_package = M_core +
+//     M_dram + λ;
+//   - on-the-fly calibration (Formula 3): E_container = M_container /
+//     M_host · E_RAPL, applied on every read so modeling error cancels
+//     against the hardware counter.
+//
+// Install a trained Namespace into a host's pseudo-filesystem with Install;
+// from then on containers reading energy_uj receive their own partitioned
+// energy, and the synergistic power attack's monitor goes blind.
+package powerns
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/perfcount"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Model is the fitted per-interval energy model of Formula 2. Energies are
+// Joules; intercepts are Watts (Joules per second) so predictions scale
+// with the accounting interval.
+type Model struct {
+	// Core predicts E_core from [I, (CM/C)·I, (BM/C)·I]; the regression
+	// intercept is α (idle core Watts).
+	Core *stats.Model
+	// DRAM predicts E_dram from [CM]; the intercept is γ.
+	DRAM *stats.Model
+	// Lambda is the package residual (uncore Watts) beyond core + DRAM.
+	Lambda float64
+}
+
+// coreFeatures builds the Formula 2 feature vector for one counter delta.
+func coreFeatures(c perfcount.Counters) []float64 {
+	return []float64{
+		c.Instructions,
+		c.CacheMissRate() * c.Instructions,
+		c.BranchMissRate() * c.Instructions,
+	}
+}
+
+// CoreEnergy predicts core energy (J) for counters accumulated over dt
+// seconds.
+func (m *Model) CoreEnergy(c perfcount.Counters, dt float64) float64 {
+	e := m.Core.Predict(coreFeatures(c))
+	// The fitted intercept absorbed one sampling interval of idle power;
+	// rescale it to dt.
+	return e + m.Core.Intercept*(dt-1)
+}
+
+// DRAMEnergy predicts DRAM energy (J) over dt seconds.
+func (m *Model) DRAMEnergy(c perfcount.Counters, dt float64) float64 {
+	return m.DRAM.Predict([]float64{c.CacheMisses}) + m.DRAM.Intercept*(dt-1)
+}
+
+// PackageEnergy predicts package energy (J) over dt seconds.
+func (m *Model) PackageEnergy(c perfcount.Counters, dt float64) float64 {
+	return m.CoreEnergy(c, dt) + m.DRAMEnergy(c, dt) + m.Lambda*dt
+}
+
+// Energy dispatches on the RAPL domain.
+func (m *Model) Energy(d power.Domain, c perfcount.Counters, dt float64) float64 {
+	switch d {
+	case power.Core:
+		return m.CoreEnergy(c, dt)
+	case power.DRAM:
+		return m.DRAMEnergy(c, dt)
+	default:
+		return m.PackageEnergy(c, dt)
+	}
+}
+
+// Sample is one training observation: one second of one benchmark run.
+type Sample struct {
+	Profile  string
+	Counters perfcount.Counters
+	ECoreJ   float64
+	EDRAMJ   float64
+	EPkgJ    float64
+}
+
+// TrainOptions configures model fitting.
+type TrainOptions struct {
+	// Profiles are the modeling benchmarks (default: workload.ModelingSet,
+	// the paper's idle loop / Prime / libquantum / stress).
+	Profiles []workload.Profile
+	// Intensities are core counts per run (default 1,2,4,6,8 on the
+	// training host).
+	Intensities []float64
+	// SecondsPerRun is the sampling length per (profile, intensity).
+	SecondsPerRun int
+	// Power is the host physics to train against.
+	Power power.Config
+	// Seed makes training deterministic.
+	Seed int64
+	// CoreFeatureMask disables regression features for the ablation study
+	// (nil = all three of Formula 2; e.g. {true,false,false} =
+	// instructions-only, the naive model Xu et al. refute).
+	CoreFeatureMask []bool
+}
+
+func (o *TrainOptions) fillDefaults() {
+	if len(o.Profiles) == 0 {
+		o.Profiles = workload.ModelingSet()
+	}
+	if len(o.Intensities) == 0 {
+		o.Intensities = []float64{1, 2, 4, 6, 8}
+	}
+	if o.SecondsPerRun == 0 {
+		o.SecondsPerRun = 30
+	}
+}
+
+// Train fits the Formula 2 model by running each modeling benchmark at each
+// intensity on a dedicated training host and regressing observed RAPL
+// energy deltas on perf counter deltas. It returns the model plus the raw
+// samples (the points of Figs. 6–7).
+func Train(opts TrainOptions) (*Model, []Sample, error) {
+	opts.fillDefaults()
+	var samples []Sample
+
+	for _, prof := range opts.Profiles {
+		for _, cores := range opts.Intensities {
+			k := kernel.New(kernel.Options{
+				Hostname: "trainer", Seed: opts.Seed, Power: opts.Power,
+			})
+			demand, rates := prof.Scaled(cores)
+			k.Spawn(prof.Name, k.InitNS(), "/", demand, rates)
+
+			var prevC perfcount.Counters
+			prevCore := k.Meter().EnergyUJ(power.Core)
+			prevDRAM := k.Meter().EnergyUJ(power.DRAM)
+			prevPkg := k.Meter().EnergyUJ(power.Package)
+			maxR := k.Meter().MaxEnergyRangeUJ()
+
+			for s := 0; s < opts.SecondsPerRun; s++ {
+				k.Tick(float64(s+1), 1)
+				cur, _ := k.Perf().Read("/")
+				curCore := k.Meter().EnergyUJ(power.Core)
+				curDRAM := k.Meter().EnergyUJ(power.DRAM)
+				curPkg := k.Meter().EnergyUJ(power.Package)
+				samples = append(samples, Sample{
+					Profile:  prof.Name,
+					Counters: cur.Sub(prevC),
+					ECoreJ:   float64(power.CounterDelta(prevCore, curCore, maxR)) / 1e6,
+					EDRAMJ:   float64(power.CounterDelta(prevDRAM, curDRAM, maxR)) / 1e6,
+					EPkgJ:    float64(power.CounterDelta(prevPkg, curPkg, maxR)) / 1e6,
+				})
+				prevC, prevCore, prevDRAM, prevPkg = cur, curCore, curDRAM, curPkg
+			}
+		}
+	}
+
+	model, err := fit(samples, opts.CoreFeatureMask)
+	if err != nil {
+		return nil, samples, err
+	}
+	return model, samples, nil
+}
+
+// fit runs the regressions of Formula 2 over the samples.
+func fit(samples []Sample, mask []bool) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("powerns: no training samples")
+	}
+	var coreX [][]float64
+	var coreY, dramY []float64
+	var dramX [][]float64
+	var pkgResidual float64
+	for _, s := range samples {
+		f := coreFeatures(s.Counters)
+		f = applyMask(f, mask)
+		coreX = append(coreX, f)
+		coreY = append(coreY, s.ECoreJ)
+		dramX = append(dramX, []float64{s.Counters.CacheMisses})
+		dramY = append(dramY, s.EDRAMJ)
+		pkgResidual += s.EPkgJ - s.ECoreJ - s.EDRAMJ
+	}
+	coreM, err := stats.Fit(coreX, coreY)
+	if err != nil {
+		return nil, fmt.Errorf("powerns: fit core model: %w", err)
+	}
+	dramM, err := stats.Fit(dramX, dramY)
+	if err != nil {
+		return nil, fmt.Errorf("powerns: fit DRAM model: %w", err)
+	}
+	m := &Model{
+		Core:   coreM,
+		DRAM:   dramM,
+		Lambda: pkgResidual / float64(len(samples)),
+	}
+	if mask != nil {
+		m.Core = maskedModel{inner: coreM, mask: mask}.expand()
+	}
+	return m, nil
+}
+
+// applyMask zeroes out disabled features (keeping dimensionality stable
+// would make the regression singular, so we drop columns instead).
+func applyMask(f []float64, mask []bool) []float64 {
+	if mask == nil {
+		return f
+	}
+	out := make([]float64, 0, len(f))
+	for i, v := range f {
+		if i < len(mask) && mask[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// maskedModel re-expands a regression fitted on a feature subset back to
+// the full three-feature space so Model.CoreEnergy can keep using
+// coreFeatures unchanged.
+type maskedModel struct {
+	inner *stats.Model
+	mask  []bool
+}
+
+func (m maskedModel) expand() *stats.Model {
+	coef := make([]float64, 3)
+	j := 0
+	for i := 0; i < 3; i++ {
+		if i < len(m.mask) && m.mask[i] {
+			coef[i] = m.inner.Coef[j]
+			j++
+		}
+	}
+	return &stats.Model{Intercept: m.inner.Intercept, Coef: coef, R2: m.inner.R2, RMSE: m.inner.RMSE, N: m.inner.N}
+}

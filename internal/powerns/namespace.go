@@ -1,0 +1,174 @@
+package powerns
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/perfcount"
+	"repro/internal/power"
+	"repro/internal/pseudofs"
+)
+
+// Namespace is one host's power-based namespace: it partitions the host's
+// RAPL energy among containers and serves per-container counters through
+// the unchanged energy_uj interface. Create with New, attach containers
+// with Register, and activate with Install.
+type Namespace struct {
+	k     *kernel.Kernel
+	model *Model
+
+	// Calibration toggle for the ablation study: when false, raw modeled
+	// energy is returned without Formula 3's rescaling.
+	calibrate bool
+
+	lastUpdate float64
+	lastRaw    map[power.Domain]uint64
+	lastHostC  perfcount.Counters
+
+	containers map[string]*acct
+}
+
+// acct is one container's accounting state.
+type acct struct {
+	path   string
+	lastC  perfcount.Counters
+	energy map[power.Domain]float64 // accumulated µJ per domain
+
+	// Budget enforcement state (budget.go).
+	budgetW   float64
+	lastW     float64
+	lastCPUNS float64
+}
+
+// New creates a power-based namespace for the host using a trained model.
+func New(k *kernel.Kernel, model *Model) *Namespace {
+	ns := &Namespace{
+		k:          k,
+		model:      model,
+		calibrate:  true,
+		lastRaw:    make(map[power.Domain]uint64, 3),
+		containers: make(map[string]*acct),
+	}
+	for _, d := range []power.Domain{power.Package, power.Core, power.DRAM} {
+		ns.lastRaw[d] = k.Meter().EnergyUJ(d)
+	}
+	ns.lastHostC, _ = k.Perf().Read("/")
+	ns.lastUpdate = k.Now()
+	return ns
+}
+
+// SetCalibration toggles Formula 3's on-the-fly calibration (ablation).
+func (ns *Namespace) SetCalibration(on bool) { ns.calibrate = on }
+
+// Install activates the namespace on the host's pseudo filesystem: all
+// subsequent energy_uj reads route through it.
+func (ns *Namespace) Install(fs *pseudofs.FS) { fs.SetEnergyProvider(ns) }
+
+// Register starts accounting for a container cgroup. The paper initializes
+// perf_events at namespace creation with owner TASK_TOMBSTONE; here the
+// cgroup's perf group already exists (the runtime created it) and we
+// snapshot its current counters as the zero point.
+func (ns *Namespace) Register(cgroupPath string) {
+	c, _ := ns.k.Perf().Read(cgroupPath)
+	ns.containers[cgroupPath] = &acct{
+		path:   cgroupPath,
+		lastC:  c,
+		energy: map[power.Domain]float64{power.Package: 0, power.Core: 0, power.DRAM: 0},
+		// Snapshot cpuacct so the budget enforcer's first interval does
+		// not divide a lifetime counter by one interval.
+		lastCPUNS: ns.k.Cgroup(cgroupPath).CPUUsageNS,
+	}
+}
+
+// Unregister stops accounting for a container.
+func (ns *Namespace) Unregister(cgroupPath string) {
+	delete(ns.containers, cgroupPath)
+}
+
+// update advances the per-container energy accounts to the current kernel
+// time: collect counter deltas, model each container's energy, and
+// calibrate against the raw RAPL delta (Formula 3).
+func (ns *Namespace) update() {
+	now := ns.k.Now()
+	dt := now - ns.lastUpdate
+	if dt <= 0 {
+		return
+	}
+	ns.lastUpdate = now
+
+	hostC, _ := ns.k.Perf().Read("/")
+	hostDelta := hostC.Sub(ns.lastHostC)
+	ns.lastHostC = hostC
+
+	type contDelta struct {
+		a *acct
+		c perfcount.Counters
+	}
+	deltas := make([]contDelta, 0, len(ns.containers))
+	for _, a := range ns.containers {
+		cur, ok := ns.k.Perf().Read(a.path)
+		if !ok {
+			continue
+		}
+		deltas = append(deltas, contDelta{a: a, c: cur.Sub(a.lastC)})
+		a.lastC = cur
+	}
+
+	maxR := ns.k.Meter().MaxEnergyRangeUJ()
+	for _, d := range []power.Domain{power.Package, power.Core, power.DRAM} {
+		raw := ns.k.Meter().EnergyUJ(d)
+		rawDelta := float64(power.CounterDelta(ns.lastRaw[d], raw, maxR)) // µJ
+		ns.lastRaw[d] = raw
+
+		mHost := ns.model.Energy(d, hostDelta, dt) * 1e6 // µJ
+		for _, cd := range deltas {
+			mCont := ns.model.Energy(d, cd.c, dt) * 1e6
+			if mCont < 0 {
+				mCont = 0
+			}
+			attributed := mCont
+			if ns.calibrate && mHost > 0 {
+				attributed = mCont / mHost * rawDelta
+			}
+			cd.a.energy[d] += attributed
+			if d == budgetDomain {
+				ns.attributePower(cd.a, attributed, dt)
+			}
+		}
+	}
+}
+
+// EnergyUJ implements pseudofs.EnergyProvider. Host-context reads see the
+// raw hardware counter; container reads see only their partitioned energy.
+// Containers that were never registered read zero forever — they have no
+// power namespace and therefore no power visibility.
+func (ns *Namespace) EnergyUJ(v pseudofs.View, d power.Domain) (uint64, error) {
+	if v.IsHost() {
+		return ns.k.Meter().EnergyUJ(d), nil
+	}
+	ns.update()
+	a, ok := ns.containers[v.CgroupPath]
+	if !ok {
+		return 0, nil
+	}
+	uj := a.energy[d]
+	max := float64(ns.k.Meter().MaxEnergyRangeUJ())
+	for uj >= max {
+		uj -= max
+	}
+	return uint64(uj), nil
+}
+
+// Meter reads a container's current accumulated energy in µJ (package
+// domain) without the pseudo-fs round trip.
+func (ns *Namespace) Meter(cgroupPath string) (float64, error) {
+	ns.update()
+	a, ok := ns.containers[cgroupPath]
+	if !ok {
+		return 0, fmt.Errorf("powerns: %s not registered", cgroupPath)
+	}
+	return a.energy[power.Package], nil
+}
+
+// Registered returns the number of containers under accounting.
+func (ns *Namespace) Registered() int { return len(ns.containers) }

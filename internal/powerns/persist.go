@@ -1,0 +1,59 @@
+package powerns
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Model persistence: operators train once on a calibration host and ship
+// the model to the fleet (the cloud package deploys this way). The format
+// is plain JSON of the regression coefficients.
+
+// modelWire is the serialized form.
+type modelWire struct {
+	Version int          `json:"version"`
+	Core    *stats.Model `json:"core"`
+	DRAM    *stats.Model `json:"dram"`
+	Lambda  float64      `json:"lambda"`
+}
+
+const modelWireVersion = 1
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(modelWire{
+		Version: modelWireVersion,
+		Core:    m.Core,
+		DRAM:    m.DRAM,
+		Lambda:  m.Lambda,
+	}); err != nil {
+		return fmt.Errorf("powerns: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model previously written by Save, validating shape.
+func LoadModel(r io.Reader) (*Model, error) {
+	var w modelWire
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("powerns: load model: %w", err)
+	}
+	if w.Version != modelWireVersion {
+		return nil, fmt.Errorf("powerns: unsupported model version %d", w.Version)
+	}
+	if w.Core == nil || w.DRAM == nil {
+		return nil, fmt.Errorf("powerns: model missing regressions")
+	}
+	if len(w.Core.Coef) != 3 {
+		return nil, fmt.Errorf("powerns: core model has %d coefficients, want 3", len(w.Core.Coef))
+	}
+	if len(w.DRAM.Coef) != 1 {
+		return nil, fmt.Errorf("powerns: DRAM model has %d coefficients, want 1", len(w.DRAM.Coef))
+	}
+	return &Model{Core: w.Core, DRAM: w.DRAM, Lambda: w.Lambda}, nil
+}

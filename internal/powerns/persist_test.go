@@ -1,0 +1,43 @@
+package powerns
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/perfcount"
+	"repro/internal/power"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	m := trainDefault(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := perfcount.Counters{Instructions: 1e10, Cycles: 1.1e10, CacheMisses: 2e7, BranchMisses: 3e7}
+	for _, d := range []power.Domain{power.Package, power.Core, power.DRAM} {
+		if a, b := m.Energy(d, c, 1), got.Energy(d, c, 1); a != b {
+			t.Fatalf("%v energy changed across round trip: %g vs %g", d, a, b)
+		}
+	}
+}
+
+func TestLoadModelValidation(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": `{"version":99,"core":{"Coef":[1,2,3]},"dram":{"Coef":[1]}}`,
+		"missing core":  `{"version":1,"dram":{"Coef":[1]}}`,
+		"bad core dims": `{"version":1,"core":{"Coef":[1]},"dram":{"Coef":[1]}}`,
+		"bad dram dims": `{"version":1,"core":{"Coef":[1,2,3]},"dram":{"Coef":[1,2]}}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadModel(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package powerns
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/kernel"
+	"repro/internal/perfcount"
+	"repro/internal/power"
+	"repro/internal/pseudofs"
+	"repro/internal/workload"
+)
+
+func trainDefault(t *testing.T) *Model {
+	t.Helper()
+	m, samples, err := Train(TrainOptions{Seed: 42})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	return m
+}
+
+func TestTrainFitsWell(t *testing.T) {
+	m := trainDefault(t)
+	if m.Core.R2 < 0.98 {
+		t.Fatalf("core model R² = %.4f, want ≥ 0.98", m.Core.R2)
+	}
+	if m.DRAM.R2 < 0.98 {
+		t.Fatalf("DRAM model R² = %.4f, want ≥ 0.98", m.DRAM.R2)
+	}
+	if m.Lambda <= 0 {
+		t.Fatalf("λ = %g, want positive uncore power", m.Lambda)
+	}
+	// α (core idle) and γ (DRAM idle) should be near the physical idle
+	// powers of the default config.
+	cfg := power.DefaultConfig()
+	if math.Abs(m.Core.Intercept-cfg.IdleCoreW) > 3 {
+		t.Fatalf("α = %.2f, want ≈ %.1f", m.Core.Intercept, cfg.IdleCoreW)
+	}
+	if math.Abs(m.DRAM.Intercept-cfg.IdleDRAMW) > 1.5 {
+		t.Fatalf("γ = %.2f, want ≈ %.1f", m.DRAM.Intercept, cfg.IdleDRAMW)
+	}
+}
+
+func TestFig6CoreLinearity(t *testing.T) {
+	// For each modeling benchmark, core energy per second must be linear
+	// in retired instructions with a benchmark-specific slope (Fig. 6).
+	_, samples, err := Train(TrainOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slopes := map[string]float64{}
+	for _, prof := range workload.ModelingSet() {
+		var xs, ys []float64
+		for _, s := range samples {
+			if s.Profile != prof.Name {
+				continue
+			}
+			xs = append(xs, s.Counters.Instructions)
+			ys = append(ys, s.ECoreJ)
+		}
+		slope, _, r2, err := linearFit(xs, ys)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if r2 < 0.98 {
+			t.Fatalf("%s: core energy vs instructions R² = %.3f", prof.Name, r2)
+		}
+		slopes[prof.Name] = slope
+	}
+	// Slopes must differ by benchmark (the gradients of Fig. 6 change with
+	// application type): libquantum's J/instruction far above prime's.
+	if slopes["462.libquantum"] < slopes["prime"]*1.3 {
+		t.Fatalf("libquantum slope %.3g not above prime %.3g", slopes["462.libquantum"], slopes["prime"])
+	}
+}
+
+func TestFig7DRAMLinearity(t *testing.T) {
+	_, samples, err := Train(TrainOptions{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs, ys []float64
+	for _, s := range samples {
+		xs = append(xs, s.Counters.CacheMisses)
+		ys = append(ys, s.EDRAMJ)
+	}
+	_, _, r2, err := linearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.98 {
+		t.Fatalf("DRAM energy vs cache misses R² = %.3f across ALL benchmarks", r2)
+	}
+}
+
+// linearFit is a tiny local wrapper to avoid importing stats in tests.
+func linearFit(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	type fitter interface{}
+	_ = fitter(nil)
+	// Reuse the stats package through the model fit path: simple OLS here.
+	n := float64(len(xs))
+	if n < 2 {
+		return 0, 0, 0, errNotEnough
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, errNotEnough
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	var ssRes float64
+	for i := range xs {
+		d := ys[i] - (slope*xs[i] + intercept)
+		ssRes += d * d
+	}
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else {
+		r2 = 1
+	}
+	return slope, intercept, r2, nil
+}
+
+var errNotEnough = strconv.ErrRange
+
+// evalHost builds a host + container with the namespace installed and the
+// given workload running on 4 cores.
+func evalHost(t *testing.T, m *Model, prof workload.Profile, seed int64) (*kernel.Kernel, *Namespace, *container.Container) {
+	t.Helper()
+	k := kernel.New(kernel.Options{Hostname: "eval", Seed: seed})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	rt := container.NewRuntime(k, fs, container.DockerProfile())
+	c := rt.Create("bench")
+	ns := New(k, m)
+	ns.Register(c.CgroupPath)
+	ns.Install(fs)
+	c.Run(prof, 4)
+	return k, ns, c
+}
+
+func TestFig8AccuracyOnSPECSubset(t *testing.T) {
+	// The headline defense-accuracy claim: modeled container power within
+	// ξ < 0.05 of ground truth for every evaluation benchmark (disjoint
+	// from the training set).
+	m := trainDefault(t)
+	for _, prof := range workload.SPECSubset() {
+		k, ns, c := evalHost(t, m, prof, 100)
+		// Warm up one interval, then measure 30 s.
+		k.Tick(1, 1)
+		startRaw := k.Meter().EnergyUJ(power.Package)
+		startCont, err := ns.Meter(c.CgroupPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 30; s++ {
+			k.Tick(float64(s+2), 1)
+		}
+		endCont, err := ns.Meter(c.CgroupPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		endRaw := k.Meter().EnergyUJ(power.Package)
+
+		eRAPL := float64(power.CounterDelta(startRaw, endRaw, k.Meter().MaxEnergyRangeUJ()))
+		mCont := endCont - startCont
+		xi := math.Abs(eRAPL-mCont) / eRAPL
+		if xi > 0.05 {
+			t.Errorf("%s: ξ = %.4f, want < 0.05", prof.Name, xi)
+		}
+	}
+}
+
+func TestUncalibratedModelStillClose(t *testing.T) {
+	// Without Formula 3, pure regression output should still be within
+	// ~15% on unseen benchmarks — calibration then removes the residual.
+	m := trainDefault(t)
+	for _, prof := range []workload.Profile{workload.SPECSubset()[0], workload.SPECSubset()[4]} {
+		k, ns, c := evalHost(t, m, prof, 101)
+		ns.SetCalibration(false)
+		k.Tick(1, 1)
+		startRaw := k.Meter().EnergyUJ(power.Package)
+		startCont, _ := ns.Meter(c.CgroupPath)
+		for s := 0; s < 30; s++ {
+			k.Tick(float64(s+2), 1)
+		}
+		endCont, _ := ns.Meter(c.CgroupPath)
+		endRaw := k.Meter().EnergyUJ(power.Package)
+		eRAPL := float64(power.CounterDelta(startRaw, endRaw, k.Meter().MaxEnergyRangeUJ()))
+		xi := math.Abs(eRAPL-(endCont-startCont)) / eRAPL
+		if xi > 0.15 {
+			t.Errorf("%s: uncalibrated ξ = %.4f, want < 0.15", prof.Name, xi)
+		}
+	}
+}
+
+func TestFig9Transparency(t *testing.T) {
+	// Container 2 (idle) must be unaware of container 1's workload: its
+	// virtualized power stays flat while the host surges.
+	m := trainDefault(t)
+	k := kernel.New(kernel.Options{Hostname: "sec", Seed: 102})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	rt := container.NewRuntime(k, fs, container.DockerProfile())
+	busy := rt.Create("busy")
+	idle := rt.Create("idle")
+	ns := New(k, m)
+	ns.Register(busy.CgroupPath)
+	ns.Register(idle.CgroupPath)
+	ns.Install(fs)
+
+	readUJ := func(c *container.Container) float64 {
+		raw, err := c.ReadFile("/sys/class/powercap/intel-rapl:0/energy_uj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	// Phase 1: both idle, 10 s.
+	for s := 0; s < 10; s++ {
+		k.Tick(float64(s+1), 1)
+	}
+	busy0, idle0 := readUJ(busy), readUJ(idle)
+	hostPower0 := k.Meter().Power(power.Package)
+
+	// Phase 2: container 1 runs 401.bzip2 on 8 cores for 50 s (the
+	// paper's Fig. 9 workload).
+	prof, _ := workload.ByName("401.bzip2")
+	busy.Run(prof, 8)
+	for s := 10; s < 60; s++ {
+		k.Tick(float64(s+1), 1)
+	}
+	busy1, idle1 := readUJ(busy), readUJ(idle)
+	hostPower1 := k.Meter().Power(power.Package)
+
+	if hostPower1 < hostPower0+20 {
+		t.Fatalf("host power did not surge: %.1f -> %.1f W", hostPower0, hostPower1)
+	}
+	busyW := (busy1 - busy0) / 1e6 / 50
+	idleW := (idle1 - idle0) / 1e6 / 50
+	if busyW < 20 {
+		t.Fatalf("busy container sees only %.1f W", busyW)
+	}
+	if idleW > 0.25*busyW {
+		t.Fatalf("idle container sees %.1f W of the neighbour's %.1f W — not isolated", idleW, busyW)
+	}
+}
+
+func TestWithoutNamespaceAttackerSeesHost(t *testing.T) {
+	// The contrast case: stock kernel (no power namespace) lets the idle
+	// container watch the host surge.
+	k := kernel.New(kernel.Options{Hostname: "leaky", Seed: 103})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	rt := container.NewRuntime(k, fs, container.DockerProfile())
+	busy := rt.Create("busy")
+	spy := rt.Create("spy")
+
+	read := func() float64 {
+		raw, err := spy.ReadFile("/sys/class/powercap/intel-rapl:0/energy_uj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		return v
+	}
+	k.Tick(1, 1)
+	e0 := read()
+	k.Tick(2, 1)
+	idleDelta := read() - e0
+	busy.Run(workload.Prime, 8)
+	k.Tick(3, 1)
+	e1 := read()
+	k.Tick(4, 1)
+	busyDelta := read() - e1
+	if busyDelta < idleDelta*1.5 {
+		t.Fatalf("stock kernel should leak the surge: idle %.0f µJ/s vs busy %.0f µJ/s", idleDelta, busyDelta)
+	}
+}
+
+func TestEnergyAccountsAreMonotoneAndSeparate(t *testing.T) {
+	m := trainDefault(t)
+	k, ns, c := evalHost(t, m, workload.Prime, 104)
+	other := "/docker/ghost"
+	k.Perf().CreateGroup(other)
+	ns.Register(other)
+	var prev float64
+	for s := 0; s < 20; s++ {
+		k.Tick(float64(s+1), 1)
+		e, err := ns.Meter(c.CgroupPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < prev {
+			t.Fatalf("container energy went backwards: %g < %g", e, prev)
+		}
+		prev = e
+	}
+	ghost, _ := ns.Meter(other)
+	if ghost >= prev {
+		t.Fatal("idle cgroup charged as much as the busy one")
+	}
+	if ns.Registered() != 2 {
+		t.Fatalf("registered = %d", ns.Registered())
+	}
+	ns.Unregister(other)
+	if _, err := ns.Meter(other); err == nil {
+		t.Fatal("unregistered cgroup should error")
+	}
+}
+
+func TestUnregisteredContainerReadsZero(t *testing.T) {
+	m := trainDefault(t)
+	k := kernel.New(kernel.Options{Seed: 105})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	rt := container.NewRuntime(k, fs, container.DockerProfile())
+	c := rt.Create("orphan")
+	New(k, m).Install(fs)
+	k.Tick(1, 1)
+	raw, err := c.ReadFile("/sys/class/powercap/intel-rapl:0/energy_uj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(raw) != "0" {
+		t.Fatalf("orphan reads %q, want 0", raw)
+	}
+}
+
+func TestHostViewStillSeesRawCounter(t *testing.T) {
+	m := trainDefault(t)
+	k, ns, _ := evalHost(t, m, workload.Prime, 106)
+	_ = ns
+	k.Tick(1, 1)
+	hv := pseudofs.HostView(k)
+	// EnergyUJ via provider for the host must equal the meter.
+	got, err := ns.EnergyUJ(hv, power.Package)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k.Meter().EnergyUJ(power.Package) {
+		t.Fatal("host view must bypass virtualization")
+	}
+}
+
+func TestAblationFeatureMask(t *testing.T) {
+	// Instructions-only model (the naive CPU-utilization-style model the
+	// paper improves upon) must fit worse than the full Formula 2 model.
+	full, _, err := Train(TrainOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, _, err := Train(TrainOptions{Seed: 9, CoreFeatureMask: []bool{true, false, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Core.R2 >= full.Core.R2 {
+		t.Fatalf("naive R² %.4f should trail full model %.4f", naive.Core.R2, full.Core.R2)
+	}
+	// The expanded naive model still predicts with 3 features.
+	if got := naive.CoreEnergy(fullCounters(), 1); math.IsNaN(got) {
+		t.Fatal("masked model cannot predict")
+	}
+}
+
+func fullCounters() perfcount.Counters {
+	return perfcount.Counters{Instructions: 1e10, Cycles: 1e10, CacheMisses: 1e7, BranchMisses: 1e7}
+}
+
+func TestTrainErrorsOnEmpty(t *testing.T) {
+	if _, err := fit(nil, nil); err == nil {
+		t.Fatal("fit(nil) should fail")
+	}
+}

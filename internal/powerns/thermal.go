@@ -1,0 +1,114 @@
+package powerns
+
+import (
+	"repro/internal/pseudofs"
+)
+
+// Section VII-B concedes that "some system resources are still difficult to
+// be partitioned, e.g., interrupts, scheduling information, and
+// temperature." This file is the proof of concept that temperature yields
+// to the same modeling approach as power: the per-container energy
+// attribution the namespace already computes drives a per-container
+// thermal model, and the coretemp files answer with the temperature the
+// container's own workload would produce on an otherwise-idle machine.
+//
+// With the thermal namespace installed, the temperature covert channel —
+// the last survivor in the covert survey — goes dark.
+
+// ThermalNamespace virtualizes the coretemp sensors per container, driven
+// by a power Namespace's attribution. Create with NewThermal and install
+// with InstallThermal (or via Namespace.InstallAll).
+type ThermalNamespace struct {
+	ns *Namespace
+	// R and ambient mirror the host's thermal physics so a container
+	// running alone would see realistic values.
+	ambientC    float64
+	thermalResC float64
+	idleCoreW   float64
+	cores       float64
+}
+
+// NewThermal builds the thermal namespace over the power namespace.
+func NewThermal(ns *Namespace) *ThermalNamespace {
+	cfg := ns.k.Meter().Config()
+	return &ThermalNamespace{
+		ns:          ns,
+		ambientC:    cfg.AmbientC,
+		thermalResC: cfg.ThermalResC,
+		idleCoreW:   cfg.IdleCoreW,
+		cores:       float64(cfg.Cores),
+	}
+}
+
+// InstallThermal activates the namespace on the pseudo filesystem.
+func (t *ThermalNamespace) InstallThermal(fs *pseudofs.FS) {
+	fs.SetThermalProvider(t)
+}
+
+// CoreTempC implements pseudofs.ThermalProvider. The host sees the physical
+// sensors; a registered container sees the temperature its own attributed
+// power would produce; unregistered containers see the idle floor.
+//
+// The output is quantized to the DTS's physical 1 °C resolution. This is
+// not cosmetic: the container's attributed power carries Formula 3's
+// calibration residual, which wiggles with *host* load — at millidegree
+// resolution that residual is itself a decodable covert channel (our covert
+// survey found it: the first unquantized implementation delivered the
+// sender's bits perfectly inverted). Quantization destroys the sub-degree
+// signal while keeping the interface honest to real hardware.
+func (t *ThermalNamespace) CoreTempC(v pseudofs.View, core int) (float64, error) {
+	if v.IsHost() {
+		return t.physical(core), nil
+	}
+	t.ns.update()
+	idleTemp := t.ambientC + t.thermalResC*t.idleCoreW
+	a, ok := t.ns.containers[v.CgroupPath]
+	if !ok {
+		return quantizeC(idleTemp), nil
+	}
+	// Dynamic power above the container's idle share, spread evenly over
+	// the cores the container could use — the temperature of a machine
+	// running only this container.
+	idleShareW := t.idleCoreW + t.ns.model.DRAM.Intercept + t.ns.model.Lambda
+	dyn := a.lastW - idleShareW
+	if dyn < 0 {
+		dyn = 0
+	}
+	return quantizeC(idleTemp + t.thermalResC*dyn), nil
+}
+
+// quantizeC rounds to whole degrees, the DTS hardware resolution.
+func quantizeC(c float64) float64 {
+	return float64(int(c + 0.5))
+}
+
+// physical mirrors the raw sensor logic (max over cores for the package).
+func (t *ThermalNamespace) physical(core int) float64 {
+	m := t.ns.k.Meter()
+	if core < 0 {
+		var max float64
+		for c := 0; c < int(t.cores); c++ {
+			if v := m.CoreTempC(c); v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	return m.CoreTempC(core)
+}
+
+// InstallAll activates both the power and thermal namespaces on the host's
+// pseudo filesystem — the full stage-2+ virtualization of the leaky sensor
+// surfaces.
+func (ns *Namespace) InstallAll(fs *pseudofs.FS) *ThermalNamespace {
+	ns.Install(fs)
+	t := NewThermal(ns)
+	t.InstallThermal(fs)
+	return t
+}
+
+// Interface compliance.
+var (
+	_ pseudofs.ThermalProvider = (*ThermalNamespace)(nil)
+	_ pseudofs.EnergyProvider  = (*Namespace)(nil)
+)

@@ -1,0 +1,90 @@
+package powerns
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/container"
+	"repro/internal/kernel"
+	"repro/internal/pseudofs"
+	"repro/internal/workload"
+)
+
+func thermalWorld(t *testing.T) (*kernel.Kernel, *container.Container, *container.Container) {
+	t.Helper()
+	m := trainDefault(t)
+	k := kernel.New(kernel.Options{Hostname: "thermal", Seed: 61})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	rt := container.NewRuntime(k, fs, container.DockerProfile())
+	busy := rt.Create("busy")
+	spy := rt.Create("spy")
+	ns := New(k, m)
+	ns.Register(busy.CgroupPath)
+	ns.Register(spy.CgroupPath)
+	ns.InstallAll(fs)
+	return k, busy, spy
+}
+
+func readTemp(t *testing.T, c *container.Container, n int) float64 {
+	t.Helper()
+	raw, err := c.ReadFile("/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp" + strconv.Itoa(n) + "_input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v / 1000
+}
+
+func TestThermalNamespaceIsolatesSpy(t *testing.T) {
+	k, busy, spy := thermalWorld(t)
+	for i := 0; i < 30; i++ {
+		k.Tick(k.Now()+1, 1)
+	}
+	spyIdle := readTemp(t, spy, 3)
+
+	busy.RunPinned(workload.Prime, []int{1, 2, 3, 4})
+	for i := 0; i < 180; i++ {
+		k.Tick(k.Now()+1, 1)
+	}
+	// Physical core 2 is hot...
+	physical := k.Meter().CoreTempC(2)
+	if physical < spyIdle+5 {
+		t.Fatalf("physical core never heated: %.1f vs idle %.1f", physical, spyIdle)
+	}
+	// ...but the spy's view stays at its own (idle) temperature.
+	spyBusyView := readTemp(t, spy, 3)
+	if spyBusyView > spyIdle+1.5 {
+		t.Fatalf("spy sees the neighbour's heat: %.1f °C (idle was %.1f)", spyBusyView, spyIdle)
+	}
+	// The busy container sees ITS load reflected.
+	busyView := readTemp(t, busy, 3)
+	if busyView < spyBusyView+3 {
+		t.Fatalf("busy container view %.1f not above spy's %.1f", busyView, spyBusyView)
+	}
+}
+
+func TestUnregisteredContainerSeesIdleTemp(t *testing.T) {
+	m := trainDefault(t)
+	k := kernel.New(kernel.Options{Hostname: "thermal2", Seed: 62})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	rt := container.NewRuntime(k, fs, container.DockerProfile())
+	orphan := rt.Create("orphan")
+	hog := rt.Create("hog")
+	ns := New(k, m)
+	ns.Register(hog.CgroupPath)
+	ns.InstallAll(fs)
+	hog.Run(workload.Prime, 8)
+	for i := 0; i < 120; i++ {
+		k.Tick(k.Now()+1, 1)
+	}
+	cfg := k.Meter().Config()
+	idleTemp := cfg.AmbientC + cfg.ThermalResC*cfg.IdleCoreW
+	got := readTemp(t, orphan, 2)
+	if got > idleTemp+0.5 {
+		t.Fatalf("orphan temp %.1f above idle floor %.1f", got, idleTemp)
+	}
+}

@@ -1,0 +1,320 @@
+// Package pseudofs simulates the memory-based pseudo file systems (procfs
+// and sysfs) that the paper identifies as the main user-kernel interface
+// left behind by container adaptation.
+//
+// A FS is a flat map from absolute paths to handler functions. Each handler
+// receives the reading View — which namespace set and cgroup the reader
+// belongs to — and renders file content from live kernel state. Handlers
+// written against the *global* kernel accessors reproduce Linux 4.7's
+// missing-namespace-check bugs (the leakage channels of Table I); handlers
+// written against the NS-aware accessors model correctly containerized
+// files.
+//
+// Mount combines an FS with a View and a masking Policy, modeling both what
+// container runtimes mount read-only into every container and the
+// AppArmor-style access restrictions that cloud providers layer on top
+// (stage 1 of the paper's defense).
+package pseudofs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/power"
+)
+
+// Read errors.
+var (
+	// ErrNotExist is returned for paths with no file, including files
+	// hidden by hardware availability (e.g. RAPL on pre-Sandy-Bridge
+	// hosts).
+	ErrNotExist = errors.New("pseudofs: no such file")
+	// ErrDenied is returned when a masking policy denies the read — the
+	// EACCES a tenant sees under an AppArmor deny rule.
+	ErrDenied = errors.New("pseudofs: permission denied")
+)
+
+// View identifies the execution context performing a read: its namespace
+// set and the cgroup its tasks are charged to. The zero View is not valid;
+// use HostView or a container's view.
+type View struct {
+	NS         *kernel.NSSet
+	CgroupPath string
+}
+
+// IsHost reports whether the view is the host's init context.
+func (v View) IsHost() bool { return v.NS == nil || v.NS.IsInit() }
+
+// HostView returns the init-namespace view of the kernel.
+func HostView(k *kernel.Kernel) View {
+	return View{NS: k.InitNS(), CgroupPath: "/"}
+}
+
+// Handler renders one pseudo-file for a given reader.
+type Handler func(v View) (string, error)
+
+// EnergyProvider supplies the content of the RAPL energy_uj files. The
+// default provider returns the host meter's counters to every reader — the
+// leak of Case Study II. The power-based namespace (internal/powerns)
+// installs a per-container provider to close it.
+type EnergyProvider interface {
+	EnergyUJ(v View, d power.Domain) (uint64, error)
+}
+
+// ThermalProvider supplies the coretemp temp#_input readings. The default
+// returns the physical DTS values to every reader; a thermal namespace
+// (the Section VII-B resource the paper calls hard to partition) can
+// virtualize them per container.
+type ThermalProvider interface {
+	// CoreTempC returns the temperature of the given core as seen by the
+	// view; core == -1 requests the package (max-of-cores) sensor.
+	CoreTempC(v View, core int) (float64, error)
+}
+
+// FS is one host's pseudo-filesystem tree (both /proc and /sys). Build it
+// with Build; read through a Mount.
+type FS struct {
+	k       *kernel.Kernel
+	files   map[string]Handler
+	energy  EnergyProvider
+	thermal ThermalProvider
+}
+
+// rawEnergy is the leaky default EnergyProvider.
+type rawEnergy struct{ meter *power.Meter }
+
+func (r rawEnergy) EnergyUJ(_ View, d power.Domain) (uint64, error) {
+	return r.meter.EnergyUJ(d), nil
+}
+
+// rawThermal is the leaky default ThermalProvider: physical sensors for
+// everyone.
+type rawThermal struct {
+	meter *power.Meter
+	cores int
+}
+
+func (r rawThermal) CoreTempC(_ View, core int) (float64, error) {
+	if core < 0 {
+		var max float64
+		for c := 0; c < r.cores; c++ {
+			if t := r.meter.CoreTempC(c); t > max {
+				max = t
+			}
+		}
+		return max, nil
+	}
+	return r.meter.CoreTempC(core), nil
+}
+
+// Hardware describes which optional sensor hardware the host has; Table I's
+// per-cloud differences partly come from hosts lacking RAPL or DTS support.
+type Hardware struct {
+	HasRAPL     bool
+	HasCoretemp bool
+}
+
+// DefaultHardware is a modern host with every sensor the paper uses.
+func DefaultHardware() Hardware { return Hardware{HasRAPL: true, HasCoretemp: true} }
+
+// Build constructs the full /proc and /sys tree over the kernel.
+func Build(k *kernel.Kernel, hw Hardware) *FS {
+	fs := &FS{
+		k:       k,
+		files:   make(map[string]Handler, 128),
+		energy:  rawEnergy{meter: k.Meter()},
+		thermal: rawThermal{meter: k.Meter(), cores: k.Options().Cores},
+	}
+	fs.buildProc()
+	fs.buildSys(hw)
+	return fs
+}
+
+// SetEnergyProvider swaps the RAPL read path; the power-based namespace
+// calls this to virtualize energy_uj without changing the interface paths.
+func (fs *FS) SetEnergyProvider(p EnergyProvider) { fs.energy = p }
+
+// SetThermalProvider swaps the coretemp read path for a thermal namespace.
+func (fs *FS) SetThermalProvider(p ThermalProvider) { fs.thermal = p }
+
+// Kernel returns the kernel this FS renders.
+func (fs *FS) Kernel() *kernel.Kernel { return fs.k }
+
+// add registers a file handler; it panics on duplicates, which are always
+// builder bugs.
+func (fs *FS) add(path string, h Handler) {
+	if _, dup := fs.files[path]; dup {
+		panic(fmt.Sprintf("pseudofs: duplicate file %s", path))
+	}
+	fs.files[path] = h
+}
+
+// Replace swaps the handler of an existing file — how stage-2 namespace
+// fixes retrofit leaky handlers with namespace-aware ones without changing
+// paths. It panics if the file does not exist (a fix for a non-existent
+// channel is always a bug).
+func (fs *FS) Replace(path string, h Handler) {
+	if _, ok := fs.files[path]; !ok {
+		panic(fmt.Sprintf("pseudofs: Replace of unknown file %s", path))
+	}
+	fs.files[path] = h
+}
+
+// static registers a file whose content ignores the reader entirely.
+func (fs *FS) static(path, content string) {
+	fs.add(path, func(View) (string, error) { return content, nil })
+}
+
+// Paths returns every file path in sorted order.
+func (fs *FS) Paths() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// readFile renders a file for a view, without masking.
+func (fs *FS) readFile(path string, v View) (string, error) {
+	h, ok := fs.files[path]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return h(v)
+}
+
+// Action is what a masking rule does to a matched path.
+type Action int
+
+// Masking actions. Deny models an AppArmor read denial; Empty models
+// bind-mounting an empty file over the channel (content hidden, read
+// succeeds); Filter rewrites content through the rule's Transform (how the
+// paper's CC5 shows tenants only their own cores and memory — the ◐
+// entries of Table I); Allow short-circuits later rules.
+const (
+	Allow Action = iota
+	Deny
+	Empty
+	Filter
+)
+
+// Rule matches paths against a pattern. Patterns are absolute paths where a
+// '*' matches within one path segment and a trailing "/**" matches the whole
+// subtree.
+type Rule struct {
+	Pattern string
+	Do      Action
+	// Transform rewrites matched content when Do == Filter; a nil
+	// Transform filters to empty.
+	Transform func(content string) string
+}
+
+// Policy is an ordered rule list; the first matching rule wins and the
+// default is Allow.
+type Policy struct {
+	Name  string
+	Rules []Rule
+}
+
+// Lookup returns the first matching rule for a path; ok is false when no
+// rule matches (default Allow).
+func (p Policy) Lookup(path string) (Rule, bool) {
+	for _, r := range p.Rules {
+		if matchPattern(r.Pattern, path) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Match reports whether path matches the rule pattern language ('*' within
+// a segment, trailing "/**" for subtrees). The leakage detector uses it to
+// map concrete file paths onto registry channels.
+func Match(pattern, path string) bool { return matchPattern(pattern, path) }
+
+// matchPattern implements the limited glob language of Rule.
+func matchPattern(pattern, path string) bool {
+	if sub, ok := strings.CutSuffix(pattern, "/**"); ok {
+		return path == sub || strings.HasPrefix(path, sub+"/")
+	}
+	ps := strings.Split(pattern, "/")
+	xs := strings.Split(path, "/")
+	if len(ps) != len(xs) {
+		return false
+	}
+	for i := range ps {
+		if !matchSegment(ps[i], xs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchSegment(pat, seg string) bool {
+	// Only '*' wildcards, possibly several per segment.
+	parts := strings.Split(pat, "*")
+	if len(parts) == 1 {
+		return pat == seg
+	}
+	if !strings.HasPrefix(seg, parts[0]) {
+		return false
+	}
+	seg = seg[len(parts[0]):]
+	for i := 1; i < len(parts)-1; i++ {
+		idx := strings.Index(seg, parts[i])
+		if idx < 0 {
+			return false
+		}
+		seg = seg[idx+len(parts[i]):]
+	}
+	return strings.HasSuffix(seg, parts[len(parts)-1])
+}
+
+// Mount is a read-only pseudo-filesystem mount inside one execution
+// context: an FS, the reader's View, and the masking Policy in force.
+type Mount struct {
+	fs     *FS
+	view   View
+	policy Policy
+}
+
+// NewMount mounts fs for the given view under the given policy.
+func NewMount(fs *FS, v View, p Policy) *Mount {
+	return &Mount{fs: fs, view: v, policy: p}
+}
+
+// View returns the mount's reader context.
+func (m *Mount) View() View { return m.view }
+
+// Read returns the file content as the mount's view sees it, applying the
+// masking policy first.
+func (m *Mount) Read(path string) (string, error) {
+	rule, matched := m.policy.Lookup(path)
+	if matched {
+		switch rule.Do {
+		case Deny:
+			return "", fmt.Errorf("%w: %s", ErrDenied, path)
+		case Empty:
+			return "", nil
+		case Filter:
+			content, err := m.fs.readFile(path, m.view)
+			if err != nil {
+				return "", err
+			}
+			if rule.Transform == nil {
+				return "", nil
+			}
+			return rule.Transform(content), nil
+		}
+	}
+	return m.fs.readFile(path, m.view)
+}
+
+// Paths lists every path present in the underlying FS. Denied files remain
+// visible (AppArmor denies reads, not stats), so the detector can tell
+// "masked" apart from "absent hardware".
+func (m *Mount) Paths() []string { return m.fs.Paths() }

@@ -1,0 +1,14 @@
+package pseudofs
+
+import "testing"
+
+func FuzzMatchPattern(f *testing.F) {
+	f.Add("/proc/**", "/proc/a/b")
+	f.Add("/proc/*/x", "/proc/1/x")
+	f.Add("/a/*b*/c", "/a/xbyz/c")
+	f.Add("", "")
+	f.Add("/**", "/")
+	f.Fuzz(func(t *testing.T, pattern, path string) {
+		_ = matchPattern(pattern, path) // must not panic on any input
+	})
+}

@@ -1,0 +1,398 @@
+package pseudofs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+)
+
+// buildProc wires the /proc tree. Handlers flagged "GLOBAL" read
+// kernel-wide state with no namespace check — those are the leakage
+// channels; handlers flagged "NAMESPACED" consult the reader's View and
+// model correctly containerized files.
+func (fs *FS) buildProc() {
+	k := fs.k
+
+	// --- GLOBAL channels (Table I) -------------------------------------
+
+	// /proc/uptime: host uptime and aggregate idle time, regardless of
+	// when the container started.
+	fs.add("/proc/uptime", func(View) (string, error) {
+		up, idle := k.Uptime()
+		return fmt.Sprintf("%.2f %.2f\n", up, idle), nil
+	})
+
+	// /proc/version: host kernel build string.
+	fs.add("/proc/version", func(View) (string, error) {
+		return k.KernelVersion() + "\n", nil
+	})
+
+	// /proc/loadavg: host-wide run queue.
+	fs.add("/proc/loadavg", func(View) (string, error) {
+		la := k.LoadAvgSnapshot()
+		return fmt.Sprintf("%.2f %.2f %.2f %d/%d %d\n",
+			la.Load1, la.Load5, la.Load15, la.Runnable, la.Total, la.LastPID), nil
+	})
+
+	// /proc/meminfo: physical host memory, not the cgroup limit.
+	fs.add("/proc/meminfo", func(View) (string, error) {
+		mi := k.MeminfoSnapshot()
+		var b strings.Builder
+		row := func(name string, kb uint64) {
+			fmt.Fprintf(&b, "%-16s%8d kB\n", name+":", kb)
+		}
+		row("MemTotal", mi.TotalKB)
+		row("MemFree", mi.FreeKB)
+		row("MemAvailable", mi.AvailableKB)
+		row("Buffers", mi.BuffersKB)
+		row("Cached", mi.CachedKB)
+		row("Active", mi.ActiveKB)
+		row("Inactive", mi.InactiveKB)
+		row("SwapTotal", mi.SwapTotalKB)
+		row("SwapFree", mi.SwapFreeKB)
+		row("Dirty", mi.DirtyKB)
+		return b.String(), nil
+	})
+
+	// /proc/zoneinfo: physical RAM zone watermarks.
+	fs.add("/proc/zoneinfo", func(View) (string, error) {
+		var b strings.Builder
+		for _, z := range k.ZoneSnapshot() {
+			fmt.Fprintf(&b, "Node 0, zone %8s\n", z.Name)
+			fmt.Fprintf(&b, "  pages free     %d\n", z.Free)
+			fmt.Fprintf(&b, "        min      %d\n", z.Min)
+			fmt.Fprintf(&b, "        low      %d\n", z.Low)
+			fmt.Fprintf(&b, "        high     %d\n", z.High)
+			fmt.Fprintf(&b, "        spanned  %d\n", z.Spanned)
+			fmt.Fprintf(&b, "        present  %d\n", z.Present)
+			fmt.Fprintf(&b, "        managed  %d\n", z.Managed)
+		}
+		return b.String(), nil
+	})
+
+	// /proc/stat: kernel activity since boot.
+	fs.add("/proc/stat", func(View) (string, error) {
+		s := k.StatSnapshot()
+		var b strings.Builder
+		var tot [7]float64
+		for _, c := range s.PerCPU {
+			tot[0] += c.User
+			tot[1] += c.Nice
+			tot[2] += c.System
+			tot[3] += c.Idle
+			tot[4] += c.IOWait
+			tot[5] += c.IRQ
+			tot[6] += c.SoftIRQ
+		}
+		fmt.Fprintf(&b, "cpu  %d %d %d %d %d %d %d 0 0 0\n",
+			int64(tot[0]), int64(tot[1]), int64(tot[2]), int64(tot[3]),
+			int64(tot[4]), int64(tot[5]), int64(tot[6]))
+		for i, c := range s.PerCPU {
+			fmt.Fprintf(&b, "cpu%d %d %d %d %d %d %d %d 0 0 0\n", i,
+				int64(c.User), int64(c.Nice), int64(c.System), int64(c.Idle),
+				int64(c.IOWait), int64(c.IRQ), int64(c.SoftIRQ))
+		}
+		fmt.Fprintf(&b, "intr %d\n", s.IntrTotal)
+		fmt.Fprintf(&b, "ctxt %d\n", s.CtxtSwitches)
+		fmt.Fprintf(&b, "btime %d\n", s.BootTime)
+		fmt.Fprintf(&b, "processes %d\n", s.Processes)
+		fmt.Fprintf(&b, "procs_running %d\n", s.ProcsRunning)
+		fmt.Fprintf(&b, "procs_blocked 0\n")
+		return b.String(), nil
+	})
+
+	// /proc/cpuinfo: physical CPU description.
+	fs.add("/proc/cpuinfo", func(View) (string, error) {
+		var b strings.Builder
+		for _, c := range k.CPUInfoSnapshot() {
+			fmt.Fprintf(&b, "processor\t: %d\n", c.Processor)
+			fmt.Fprintf(&b, "vendor_id\t: GenuineIntel\n")
+			fmt.Fprintf(&b, "model name\t: %s\n", c.Model)
+			fmt.Fprintf(&b, "cpu MHz\t\t: %.3f\n", c.MHz)
+			fmt.Fprintf(&b, "cache size\t: %d KB\n", c.CacheKB)
+			fmt.Fprintf(&b, "cpu cores\t: %d\n\n", c.Cores)
+		}
+		return b.String(), nil
+	})
+
+	// /proc/interrupts: per-IRQ counters for the whole host.
+	fs.add("/proc/interrupts", func(View) (string, error) {
+		var b strings.Builder
+		b.WriteString("           ")
+		for i := 0; i < k.Options().Cores; i++ {
+			fmt.Fprintf(&b, "%12s", fmt.Sprintf("CPU%d", i))
+		}
+		b.WriteByte('\n')
+		for _, irq := range k.Interrupts() {
+			fmt.Fprintf(&b, "%4s:", irq.Name)
+			for _, v := range irq.PerCPU {
+				fmt.Fprintf(&b, "%12d", int64(v))
+			}
+			fmt.Fprintf(&b, "   %s\n", irq.Desc)
+		}
+		return b.String(), nil
+	})
+
+	// /proc/softirqs: softirq handler invocation counts.
+	fs.add("/proc/softirqs", func(View) (string, error) {
+		var b strings.Builder
+		b.WriteString("           ")
+		for i := 0; i < k.Options().Cores; i++ {
+			fmt.Fprintf(&b, "%12s", fmt.Sprintf("CPU%d", i))
+		}
+		b.WriteByte('\n')
+		for _, s := range k.SoftIRQs() {
+			fmt.Fprintf(&b, "%8s:", s.Name)
+			for _, v := range s.PerCPU {
+				fmt.Fprintf(&b, "%12d", int64(v))
+			}
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	})
+
+	// /proc/schedstat: scheduler statistics per cpu.
+	fs.add("/proc/schedstat", func(View) (string, error) {
+		var b strings.Builder
+		b.WriteString("version 15\n")
+		fmt.Fprintf(&b, "timestamp %d\n", int64(k.Now()*250))
+		for i, c := range k.SchedStatSnapshot() {
+			fmt.Fprintf(&b, "cpu%d 0 0 0 0 0 0 %d %d %d\n", i, c.RunNS, c.WaitNS, c.Timeslices)
+		}
+		return b.String(), nil
+	})
+
+	// /proc/sched_debug: dumps EVERY task on the host with its name — the
+	// paper's favourite signature-implant channel.
+	fs.add("/proc/sched_debug", func(View) (string, error) {
+		var b strings.Builder
+		b.WriteString("Sched Debug Version: v0.11, 4.7.0-repro\n")
+		fmt.Fprintf(&b, "ktime : %.6f\n", k.Now()*1000)
+		b.WriteString("\nrunnable tasks:\n")
+		b.WriteString("            task   PID         tree-key  switches  prio\n")
+		b.WriteString("-----------------------------------------------------\n")
+		for _, t := range k.Tasks() {
+			state := " "
+			if t.DemandCores > 0 {
+				state = "R"
+			}
+			fmt.Fprintf(&b, "%s %15s %5d %16.6f %9d   120\n",
+				state, t.Name, t.HostPID, k.Now()*100, int64(k.Now()*50))
+		}
+		return b.String(), nil
+	})
+
+	// /proc/timer_list: armed timers with their owning task names.
+	fs.add("/proc/timer_list", func(View) (string, error) {
+		var b strings.Builder
+		b.WriteString("Timer List Version: v0.8\n")
+		fmt.Fprintf(&b, "HRTIMER_MAX_CLOCK_BASES: 4\nnow at %d nsecs\n\n", int64(k.Now()*1e9))
+		for i, t := range k.TimerOwners() {
+			fmt.Fprintf(&b, " #%d: <0000000000000000>, hrtimer_wakeup, S:01, futex_wait_queue_me, %s/%d\n",
+				i, t.Name, t.HostPID)
+			fmt.Fprintf(&b, " # expires at %d-%d nsecs [in %d to %d nsecs]\n",
+				int64(k.Now()*1e9), int64(k.Now()*1e9)+50000, 1000000, 1050000)
+		}
+		return b.String(), nil
+	})
+
+	// /proc/locks: the global file-lock table.
+	fs.add("/proc/locks", func(View) (string, error) {
+		var b strings.Builder
+		for _, l := range k.FileLocks() {
+			fmt.Fprintf(&b, "%d: %s  %s  %s %d 08:01:%d 0 EOF\n",
+				l.ID, l.Type, l.Mode, l.RW, l.HostPID, l.Inode)
+		}
+		return b.String(), nil
+	})
+
+	// /proc/modules: loaded kernel modules.
+	fs.add("/proc/modules", func(View) (string, error) {
+		var b strings.Builder
+		for _, m := range k.Modules() {
+			b.WriteString(m)
+			b.WriteString(" - Live 0x0000000000000000\n")
+		}
+		return b.String(), nil
+	})
+
+	// /proc/sys/fs/*: VFS object counts.
+	fs.add("/proc/sys/fs/dentry-state", func(View) (string, error) {
+		v := k.VFSSnapshot()
+		return fmt.Sprintf("%d\t%d\t45\t0\t0\t0\n", v.Dentries, v.DentryUnused), nil
+	})
+	fs.add("/proc/sys/fs/inode-nr", func(View) (string, error) {
+		v := k.VFSSnapshot()
+		return fmt.Sprintf("%d\t%d\n", v.Inodes, v.InodesFree), nil
+	})
+	fs.add("/proc/sys/fs/file-nr", func(View) (string, error) {
+		v := k.VFSSnapshot()
+		return fmt.Sprintf("%d\t0\t%d\n", v.FilesOpen, v.FilesMax), nil
+	})
+
+	// /proc/sys/kernel/random/*.
+	fs.add("/proc/sys/kernel/random/boot_id", func(View) (string, error) {
+		return k.BootID() + "\n", nil
+	})
+	fs.add("/proc/sys/kernel/random/entropy_avail", func(View) (string, error) {
+		return fmt.Sprintf("%d\n", k.EntropyAvail()), nil
+	})
+	fs.add("/proc/sys/kernel/random/uuid", func(View) (string, error) {
+		return k.GenUUID() + "\n", nil
+	})
+
+	// /proc/sys/kernel/sched_domain/cpu#/domain0/max_newidle_lb_cost.
+	for i := 0; i < k.Options().Cores; i++ {
+		cpu := i
+		fs.add(fmt.Sprintf("/proc/sys/kernel/sched_domain/cpu%d/domain0/max_newidle_lb_cost", i),
+			func(View) (string, error) {
+				return fmt.Sprintf("%d\n", k.NewidleCost()[cpu]), nil
+			})
+	}
+
+	// /proc/fs/ext4/sda1/mb_groups: allocator state of the host disk.
+	fs.add("/proc/fs/ext4/sda1/mb_groups", func(View) (string, error) {
+		var b strings.Builder
+		b.WriteString("#group: free  frags first [ 2^0   2^1   2^2   2^3   2^4   2^5   2^6 ]\n")
+		for i, g := range k.Ext4GroupSnapshot() {
+			fmt.Fprintf(&b, "#%d    : %d  %d  %d  [ %d  %d  %d  %d  %d  %d  %d ]\n",
+				i, g.Free, g.Frags, g.First,
+				g.Free%7, g.Free%11, g.Free%13, g.Free%17, g.Free%19, g.Free%23, g.Free/64)
+		}
+		return b.String(), nil
+	})
+
+	// --- NAMESPACED files (correct behaviour, for contrast) -------------
+
+	// /proc/self/cgroup. The CGROUP namespace exists in kernel 4.7 but the
+	// runtimes of the era did not unshare it, so a container sees its full
+	// host-side cgroup path (e.g. /docker/<id>) — different from the
+	// host's root path, and itself a mild identity leak.
+	fs.add("/proc/self/cgroup", func(v View) (string, error) {
+		path := v.CgroupPath
+		var b strings.Builder
+		for i, ctrl := range []string{"perf_event", "net_cls,net_prio", "cpuset", "cpu,cpuacct", "memory"} {
+			fmt.Fprintf(&b, "%d:%s:%s\n", 11-i, ctrl, path)
+		}
+		return b.String(), nil
+	})
+
+	// /proc/sys/kernel/hostname respects the UTS namespace.
+	fs.add("/proc/sys/kernel/hostname", func(v View) (string, error) {
+		ns := v.NS
+		if ns == nil {
+			ns = k.InitNS()
+		}
+		return ns.Hostname + "\n", nil
+	})
+
+	// /proc/net/dev respects the NET namespace: containers see their veth
+	// pair only.
+	fs.add("/proc/net/dev", func(v View) (string, error) {
+		ns := v.NS
+		if ns == nil {
+			ns = k.InitNS()
+		}
+		var b strings.Builder
+		b.WriteString("Inter-|   Receive                |  Transmit\n")
+		b.WriteString(" face |bytes    packets errs drop|bytes    packets errs drop\n")
+		for _, d := range k.NetDevices(ns) {
+			fmt.Fprintf(&b, "%6s: %8d %8d    0    0 %8d %8d    0    0\n",
+				d.Name, int64(k.Now()*1000), int64(k.Now()*10), int64(k.Now()*800), int64(k.Now()*8))
+		}
+		return b.String(), nil
+	})
+
+	// /proc/sysvipc/shm respects the IPC namespace — the positive control
+	// showing what a *completed* container adaptation looks like.
+	fs.add("/proc/sysvipc/shm", func(v View) (string, error) {
+		ns := v.NS
+		if ns == nil {
+			ns = k.InitNS()
+		}
+		var b strings.Builder
+		b.WriteString("       key      shmid perms                  size  cpid  lpid nattch   uid   gid\n")
+		for _, seg := range ns.ShmSegments() {
+			fmt.Fprintf(&b, "%10d %10d  1600 %21d %5d %5d      2  1000  1000\n",
+				seg.Key, seg.ID, seg.SizeKB*1024, seg.CPid, seg.CPid)
+		}
+		return b.String(), nil
+	})
+
+	// /proc/self/ns/*: the namespace identifiers themselves — different
+	// per container by construction.
+	for _, nt := range []kernelNSType{
+		{"mnt", 1}, {"uts", 2}, {"pid", 3}, {"net", 4}, {"ipc", 5}, {"user", 6}, {"cgroup", 7},
+	} {
+		nt := nt
+		fs.add("/proc/self/ns/"+nt.name, func(v View) (string, error) {
+			ns := v.NS
+			if ns == nil {
+				ns = k.InitNS()
+			}
+			return fmt.Sprintf("%s:[%d]\n", nt.name, ns.ID(nt.typ())), nil
+		})
+	}
+
+	// /proc/filesystems: identical everywhere by design (not a leak worth
+	// ranking, but the detector must still classify it).
+	fs.static("/proc/filesystems",
+		"nodev\tsysfs\nnodev\tproc\nnodev\ttmpfs\nnodev\tdevtmpfs\n\text4\n\text3\n")
+
+	// --- GLOBAL channels beyond Table I --------------------------------
+	// The paper's study was systematic but a snapshot; these additional
+	// namespace-oblivious files exist in real kernels too, and the
+	// detector discovers them without registry help (leakscan -discover).
+
+	// /proc/vmstat: global VM event counters.
+	fs.add("/proc/vmstat", func(View) (string, error) {
+		v := k.VMStatSnapshot()
+		return fmt.Sprintf("nr_free_pages %d\npgfault %d\npgalloc_normal %d\npgmajfault %d\n",
+			v.FreePages, v.PgFaults, v.PgAllocs, v.PgFaults/150), nil
+	})
+
+	// /proc/diskstats: host block-device IO counters.
+	fs.add("/proc/diskstats", func(View) (string, error) {
+		d := k.DiskStatSnapshot()
+		return fmt.Sprintf("   8       0 sda %d 120 %d 340 %d 88 %d 410 0 500 750\n   8       1 sda1 %d 118 %d 338 %d 86 %d 402 0 495 740\n",
+			d.SectorsRead/8, d.SectorsRead, d.SectorsWritten/10, d.SectorsWritten,
+			d.SectorsRead/8-2, d.SectorsRead-16, d.SectorsWritten/10-2, d.SectorsWritten-20), nil
+	})
+
+	// /proc/buddyinfo: physical-memory fragmentation per order.
+	fs.add("/proc/buddyinfo", func(View) (string, error) {
+		var b strings.Builder
+		b.WriteString("Node 0, zone   Normal ")
+		for _, n := range k.BuddyInfo() {
+			fmt.Fprintf(&b, "%7d", n)
+		}
+		b.WriteByte('\n')
+		return b.String(), nil
+	})
+
+	// /proc/net/softnet_stat: per-CPU packet processing — global despite
+	// living under /proc/net (it is per-CPU, not per-namespace, state).
+	fs.add("/proc/net/softnet_stat", func(View) (string, error) {
+		var b strings.Builder
+		for _, n := range k.SoftnetSnapshot() {
+			fmt.Fprintf(&b, "%08x 00000000 00000000 00000000 00000000 00000000 00000000 00000000 00000000 00000000\n", n)
+		}
+		return b.String(), nil
+	})
+
+	// /proc/partitions and /proc/swaps: fleet-static host disk layout.
+	fs.static("/proc/partitions",
+		"major minor  #blocks  name\n\n   8        0  250059096 sda\n   8        1  248006656 sda1\n   8        2    2052440 sda2\n")
+	fs.static("/proc/swaps",
+		"Filename\t\t\t\tType\t\tSize\tUsed\tPriority\n/dev/sda2\t\t\t\tpartition\t2052436\t0\t-1\n")
+}
+
+// kernelNSType pairs a /proc/self/ns entry name with its kernel.NSType
+// value (MNT=1 … CGROUP=7).
+type kernelNSType struct {
+	name string
+	raw  int
+}
+
+func (n kernelNSType) typ() kernel.NSType { return kernel.NSType(n.raw) }

@@ -1,0 +1,131 @@
+package pseudofs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/power"
+)
+
+// buildSys wires the /sys tree: cgroup controller files, NUMA node stats,
+// cpuidle residency, the coretemp hwmon sensors, and the Intel RAPL powercap
+// interface of Case Study II.
+func (fs *FS) buildSys(hw Hardware) {
+	k := fs.k
+
+	// /sys/fs/cgroup/net_prio/net_prio.ifpriomap — Case Study I. The
+	// handler renders the reader's own cgroup priority map, but iterates
+	// init_net's device list (for_each_netdev_rcu(&init_net, …)), so a
+	// container sees every physical interface of the host.
+	fs.add("/sys/fs/cgroup/net_prio/net_prio.ifpriomap", func(v View) (string, error) {
+		cg := k.Cgroup(v.CgroupPath)
+		var b strings.Builder
+		for _, dev := range k.HostNetDevices() { // BUG preserved: host list
+			prio := 0
+			if cg.IfPrioMap != nil {
+				prio = cg.IfPrioMap[dev.Name]
+			}
+			fmt.Fprintf(&b, "%s %d\n", dev.Name, prio)
+		}
+		return b.String(), nil
+	})
+
+	// cpuacct usage for the reader's cgroup — properly delegated.
+	fs.add("/sys/fs/cgroup/cpuacct/cpuacct.usage", func(v View) (string, error) {
+		cg := k.Cgroup(v.CgroupPath)
+		return fmt.Sprintf("%d\n", int64(cg.CPUUsageNS)), nil
+	})
+
+	// /sys/devices/system/node/node0/{numastat,vmstat,meminfo}: NUMA node
+	// counters are host-global.
+	fs.add("/sys/devices/system/node/node0/numastat", func(View) (string, error) {
+		n := k.NUMASnapshot()
+		return fmt.Sprintf("numa_hit %d\nnuma_miss %d\nnuma_foreign %d\ninterleave_hit %d\nlocal_node %d\nother_node %d\n",
+			int64(n.Hit), int64(n.Miss), int64(n.Foreign), int64(n.InterleaveHit),
+			int64(n.LocalNode), int64(n.OtherNode)), nil
+	})
+	fs.add("/sys/devices/system/node/node0/vmstat", func(View) (string, error) {
+		mi := k.MeminfoSnapshot()
+		n := k.NUMASnapshot()
+		return fmt.Sprintf("nr_free_pages %d\nnr_alloc_batch 63\nnr_inactive_anon %d\nnr_active_anon %d\nnuma_hit %d\nnuma_local %d\n",
+			mi.FreeKB/4, mi.InactiveKB/4, mi.ActiveKB/4, int64(n.Hit), int64(n.LocalNode)), nil
+	})
+	fs.add("/sys/devices/system/node/node0/meminfo", func(View) (string, error) {
+		mi := k.MeminfoSnapshot()
+		return fmt.Sprintf("Node 0 MemTotal:       %d kB\nNode 0 MemFree:        %d kB\nNode 0 MemUsed:        %d kB\nNode 0 Active:         %d kB\nNode 0 Inactive:       %d kB\n",
+			mi.TotalKB, mi.FreeKB, mi.TotalKB-mi.FreeKB, mi.ActiveKB, mi.InactiveKB), nil
+	})
+
+	// /sys/devices/system/cpu/cpu#/cpuidle/state#/{name,usage,time}.
+	states := k.IdleStateSnapshot()
+	for cpu := 0; cpu < k.Options().Cores; cpu++ {
+		for si := range states {
+			cpu, si := cpu, si
+			base := fmt.Sprintf("/sys/devices/system/cpu/cpu%d/cpuidle/state%d", cpu, si)
+			fs.static(base+"/name", states[si].Name+"\n")
+			fs.add(base+"/usage", func(View) (string, error) {
+				st := k.IdleStateSnapshot()
+				return fmt.Sprintf("%d\n", int64(st[si].UsagePerCPU[cpu])), nil
+			})
+			fs.add(base+"/time", func(View) (string, error) {
+				st := k.IdleStateSnapshot()
+				return fmt.Sprintf("%d\n", int64(st[si].TimeUSPerCPU[cpu])), nil
+			})
+		}
+	}
+
+	// /sys/devices/platform/coretemp.0/hwmon/hwmon1/temp#_input: DTS
+	// sensors in millidegrees. temp1 is the package, temp2..tempN+1 the
+	// cores.
+	if hw.HasCoretemp {
+		fs.add("/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp1_input", func(v View) (string, error) {
+			t, err := fs.thermal.CoreTempC(v, -1)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%d\n", int64(t*1000)), nil
+		})
+		for c := 0; c < k.Options().Cores; c++ {
+			c := c
+			fs.add(fmt.Sprintf("/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp%d_input", c+2),
+				func(v View) (string, error) {
+					t, err := fs.thermal.CoreTempC(v, c)
+					if err != nil {
+						return "", err
+					}
+					return fmt.Sprintf("%d\n", int64(t*1000)), nil
+				})
+		}
+	}
+
+	// /sys/class/powercap/intel-rapl — Case Study II. energy_uj goes
+	// through the FS's EnergyProvider so the power-based namespace can
+	// virtualize it later without changing paths.
+	if hw.HasRAPL {
+		domains := []struct {
+			dir  string
+			name string
+			dom  power.Domain
+		}{
+			{"/sys/class/powercap/intel-rapl:0", "package-0", power.Package},
+			{"/sys/class/powercap/intel-rapl:0/intel-rapl:0:0", "core", power.Core},
+			{"/sys/class/powercap/intel-rapl:0/intel-rapl:0:1", "dram", power.DRAM},
+		}
+		for _, d := range domains {
+			d := d
+			fs.static(d.dir+"/name", d.name+"\n")
+			fs.add(d.dir+"/energy_uj", func(v View) (string, error) {
+				uj, err := fs.energy.EnergyUJ(v, d.dom)
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("%d\n", uj), nil
+			})
+			fs.static(d.dir+"/max_energy_range_uj",
+				fmt.Sprintf("%d\n", k.Meter().MaxEnergyRangeUJ()))
+		}
+	}
+
+	// /sys/devices/system/cpu/online: topology, fleet-static.
+	fs.static("/sys/devices/system/cpu/online", fmt.Sprintf("0-%d\n", k.Options().Cores-1))
+}

@@ -1,0 +1,137 @@
+// Package simclock provides the deterministic simulated clock that drives
+// the whole reproduction. Real time never leaks into the simulation: hosts,
+// workloads, power models, attacks, and defenses all advance in lockstep via
+// Clock.Advance, which makes every experiment in EXPERIMENTS.md exactly
+// reproducible from its seed.
+//
+// The clock supports two cooperating mechanisms:
+//
+//   - Tickers: components registered with OnTick receive every time step and
+//     integrate continuous state (energy counters, scheduler accounting).
+//   - Events: one-shot callbacks scheduled at absolute simulated times
+//     (attack launches, workload phase changes), dispatched in time order and,
+//     for equal times, in scheduling order.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Ticker is implemented by components that integrate state over simulated
+// time. Tick is called after the clock has advanced to now, with dt the size
+// of the step just taken (dt > 0).
+type Ticker interface {
+	Tick(now, dt float64)
+}
+
+// TickerFunc adapts a function to the Ticker interface.
+type TickerFunc func(now, dt float64)
+
+// Tick implements Ticker.
+func (f TickerFunc) Tick(now, dt float64) { f(now, dt) }
+
+type event struct {
+	at  float64
+	seq int
+	fn  func(now float64)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is a deterministic simulated clock. The zero value is ready to use
+// and starts at time 0. Clock is not safe for concurrent use; the simulation
+// is single-threaded by design so that runs are reproducible.
+type Clock struct {
+	now     float64
+	tickers []Ticker
+	events  eventQueue
+	seq     int
+}
+
+// New returns a Clock starting at t=0 seconds.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current simulated time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// OnTick registers t to receive every subsequent time step. Tickers run in
+// registration order.
+func (c *Clock) OnTick(t Ticker) {
+	c.tickers = append(c.tickers, t)
+}
+
+// At schedules fn to run when simulated time reaches at seconds. Scheduling
+// in the past (at <= Now) fires on the next Advance. Events at the same time
+// run in scheduling order, before tickers for the step that reaches them.
+func (c *Clock) At(at float64, fn func(now float64)) {
+	c.seq++
+	heap.Push(&c.events, &event{at: at, seq: c.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (c *Clock) After(d float64, fn func(now float64)) {
+	if d < 0 {
+		d = 0
+	}
+	c.At(c.now+d, fn)
+}
+
+// Advance moves simulated time forward by dt seconds, firing due events and
+// then tickers once for the whole step. It panics on non-positive dt: a
+// zero-length or backwards step is always a caller bug and would silently
+// corrupt integrated quantities like energy counters.
+func (c *Clock) Advance(dt float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("simclock: Advance(%g): step must be positive", dt))
+	}
+	target := c.now + dt
+	for c.events.Len() > 0 && c.events[0].at <= target {
+		e := heap.Pop(&c.events).(*event)
+		if e.at > c.now {
+			c.now = e.at
+		}
+		e.fn(c.now)
+	}
+	c.now = target
+	for _, t := range c.tickers {
+		t.Tick(c.now, dt)
+	}
+}
+
+// Run advances the clock in uniform steps of dt until Now reaches until. The
+// final step is truncated so the clock lands exactly on until.
+func (c *Clock) Run(until, dt float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("simclock: Run with step %g: step must be positive", dt))
+	}
+	for c.now < until {
+		step := dt
+		if c.now+step > until {
+			step = until - c.now
+		}
+		c.Advance(step)
+	}
+}
+
+// Pending returns the number of not-yet-fired scheduled events, which tests
+// use to assert that experiments drain their schedules.
+func (c *Clock) Pending() int { return c.events.Len() }

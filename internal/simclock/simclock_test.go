@@ -1,0 +1,168 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdvanceAccumulates(t *testing.T) {
+	c := New()
+	c.Advance(1.5)
+	c.Advance(2.5)
+	if c.Now() != 4 {
+		t.Fatalf("Now = %g, want 4", c.Now())
+	}
+}
+
+func TestAdvancePanicsOnNonPositiveStep(t *testing.T) {
+	for _, dt := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Advance(%g) should panic", dt)
+				}
+			}()
+			New().Advance(dt)
+		}()
+	}
+}
+
+func TestTickersSeeEveryStep(t *testing.T) {
+	c := New()
+	var total float64
+	var calls int
+	c.OnTick(TickerFunc(func(now, dt float64) {
+		total += dt
+		calls++
+	}))
+	c.Advance(1)
+	c.Advance(0.25)
+	c.Advance(3)
+	if calls != 3 || total != 4.25 {
+		t.Fatalf("calls=%d total=%g, want 3 and 4.25", calls, total)
+	}
+}
+
+func TestTickersRunInRegistrationOrder(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.OnTick(TickerFunc(func(now, dt float64) { order = append(order, i) }))
+	}
+	c.Advance(1)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestEventsFireInTimeThenSeqOrder(t *testing.T) {
+	c := New()
+	var fired []string
+	c.At(2, func(float64) { fired = append(fired, "b1") })
+	c.At(1, func(float64) { fired = append(fired, "a") })
+	c.At(2, func(float64) { fired = append(fired, "b2") })
+	c.Advance(5)
+	want := []string{"a", "b1", "b2"}
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEventSeesItsScheduledTime(t *testing.T) {
+	c := New()
+	var at float64
+	c.At(3, func(now float64) { at = now })
+	c.Advance(10)
+	if at != 3 {
+		t.Fatalf("event ran at %g, want 3", at)
+	}
+}
+
+func TestPastEventFiresOnNextAdvance(t *testing.T) {
+	c := New()
+	c.Advance(5)
+	var ran bool
+	c.At(1, func(float64) { ran = true })
+	c.Advance(0.001)
+	if !ran {
+		t.Fatal("past event did not fire")
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	c := New()
+	c.Advance(10)
+	var at float64
+	c.After(2, func(now float64) { at = now })
+	c.After(-5, func(float64) {}) // clamps to now
+	c.Advance(3)
+	if at != 12 {
+		t.Fatalf("After event ran at %g, want 12", at)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", c.Pending())
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	c := New()
+	var times []float64
+	var schedule func(now float64)
+	schedule = func(now float64) {
+		times = append(times, now)
+		if now < 5 {
+			c.At(now+1, schedule)
+		}
+	}
+	c.At(1, schedule)
+	c.Advance(10)
+	if len(times) != 5 {
+		t.Fatalf("chain fired %d times (%v), want 5", len(times), times)
+	}
+}
+
+func TestRunLandsExactlyOnTarget(t *testing.T) {
+	c := New()
+	var steps []float64
+	c.OnTick(TickerFunc(func(now, dt float64) { steps = append(steps, dt) }))
+	c.Run(1.0, 0.3)
+	if math.Abs(c.Now()-1.0) > 1e-12 {
+		t.Fatalf("Now = %g, want exactly 1.0", c.Now())
+	}
+	if len(steps) != 4 {
+		t.Fatalf("steps = %v, want 4 entries", steps)
+	}
+	if math.Abs(steps[3]-0.1) > 1e-9 {
+		t.Fatalf("final truncated step = %g, want 0.1", steps[3])
+	}
+}
+
+func TestRunPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run with zero step should panic")
+		}
+	}()
+	New().Run(1, 0)
+}
+
+func TestPendingCountsUnfired(t *testing.T) {
+	c := New()
+	c.At(100, func(float64) {})
+	c.At(200, func(float64) {})
+	if c.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", c.Pending())
+	}
+	c.Advance(150)
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Pending())
+	}
+}

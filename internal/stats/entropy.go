@@ -1,0 +1,69 @@
+package stats
+
+import "math"
+
+// Entropy computes the Shannon entropy, in bits, of the empirical
+// distribution of the given discrete samples.
+func Entropy[T comparable](samples []T) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	counts := make(map[T]int, len(samples))
+	for _, s := range samples {
+		counts[s]++
+	}
+	n := float64(len(samples))
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// JointEntropy implements the paper's Formula (1): a channel C with
+// independent data fields X_1..X_n has capacity
+//
+//	H[C] = Σ_i ( -Σ_j p(x_ij) · log p(x_ij) ),
+//
+// i.e. the sum of the per-field Shannon entropies. fields[i] holds the
+// observed samples of field i.
+func JointEntropy(fields [][]string) float64 {
+	var h float64
+	for _, f := range fields {
+		h += Entropy(f)
+	}
+	return h
+}
+
+// EntropyFloat buckets float samples into the given number of equal-width
+// bins between the observed min and max, then returns the Shannon entropy of
+// the binned distribution. It is used to estimate the information content of
+// continuously-valued channel fields such as power or memory counters.
+func EntropyFloat(samples []float64, bins int) float64 {
+	if len(samples) == 0 || bins <= 0 {
+		return 0
+	}
+	lo, hi := samples[0], samples[0]
+	for _, v := range samples {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return 0
+	}
+	binned := make([]int, 0, len(samples))
+	w := (hi - lo) / float64(bins)
+	for _, v := range samples {
+		b := int((v - lo) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		binned = append(binned, b)
+	}
+	return Entropy(binned)
+}

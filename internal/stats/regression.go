@@ -1,0 +1,187 @@
+// Package stats provides the statistical machinery shared across the
+// reproduction: ordinary least squares regression (used by the power-based
+// namespace to fit the per-container energy model of Formula 2), Shannon and
+// joint entropy (used to rank leakage channels for Table II), and time-series
+// summaries (used by the synergistic power attack's crest detector and by the
+// figure harnesses).
+//
+// Everything here is deterministic and allocation-conscious; the simulator
+// calls into this package on hot paths (every RAPL read models and calibrates
+// energy).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a regression's normal-equation matrix cannot
+// be solved, typically because predictors are collinear or there are fewer
+// observations than coefficients.
+var ErrSingular = errors.New("stats: singular design matrix")
+
+// Model is a fitted ordinary least squares linear model
+//
+//	y ≈ Intercept + Σ_j Coef[j] · x_j.
+type Model struct {
+	// Intercept is the constant term (α, γ, λ in the paper's Formula 2).
+	Intercept float64
+	// Coef holds one coefficient per predictor column.
+	Coef []float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+	// RMSE is the root mean squared training error.
+	RMSE float64
+	// N is the number of observations the model was fitted on.
+	N int
+}
+
+// Fit computes an ordinary least squares fit of y on the predictor rows in x
+// using the normal equations. Each x[i] must have the same length; an
+// intercept column is added internally. Fit returns ErrSingular when the
+// system cannot be solved.
+func Fit(x [][]float64, y []float64) (*Model, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: need matching non-empty x (%d) and y (%d)", len(x), len(y))
+	}
+	p := len(x[0])
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: row %d has %d predictors, want %d", i, len(row), p)
+		}
+	}
+	if n < p+1 {
+		return nil, fmt.Errorf("stats: %d observations cannot identify %d coefficients: %w", n, p+1, ErrSingular)
+	}
+
+	// Build the (p+1)x(p+1) normal-equation system XtX·b = Xty with an
+	// implicit leading intercept column of ones.
+	dim := p + 1
+	xtx := make([][]float64, dim)
+	for i := range xtx {
+		xtx[i] = make([]float64, dim)
+	}
+	xty := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		// Row vector with intercept: (1, x[i][0], ..., x[i][p-1]).
+		for a := 0; a < dim; a++ {
+			va := 1.0
+			if a > 0 {
+				va = x[i][a-1]
+			}
+			xty[a] += va * y[i]
+			for b := a; b < dim; b++ {
+				vb := 1.0
+				if b > 0 {
+					vb = x[i][b-1]
+				}
+				xtx[a][b] += va * vb
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for a := 1; a < dim; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+	}
+
+	beta, err := solve(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{Intercept: beta[0], Coef: beta[1:], N: n}
+	var meanY float64
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(n)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		pred := m.Predict(x[i])
+		d := y[i] - pred
+		ssRes += d * d
+		t := y[i] - meanY
+		ssTot += t * t
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else {
+		m.R2 = 1
+	}
+	m.RMSE = math.Sqrt(ssRes / float64(n))
+	return m, nil
+}
+
+// Predict evaluates the fitted model at the predictor vector xs. Predict
+// panics if xs does not match the fitted dimensionality; that is always a
+// programming error in the caller.
+func (m *Model) Predict(xs []float64) float64 {
+	if len(xs) != len(m.Coef) {
+		panic(fmt.Sprintf("stats: predict with %d predictors on a %d-coefficient model", len(xs), len(m.Coef)))
+	}
+	v := m.Intercept
+	for j, c := range m.Coef {
+		v += c * xs[j]
+	}
+	return v
+}
+
+// solve performs Gaussian elimination with partial pivoting on a·x = b.
+// It mutates its arguments.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= a[r][c] * x[c]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x, nil
+}
+
+// LinearFit is a convenience wrapper fitting y = slope·x + intercept for a
+// single predictor, as used for the DRAM model (Formula 2, M_dram = β·CM + γ)
+// and the Fig. 6/7 linearity checks.
+func LinearFit(x, y []float64) (slope, intercept, r2 float64, err error) {
+	rows := make([][]float64, len(x))
+	for i, v := range x {
+		rows[i] = []float64{v}
+	}
+	m, err := Fit(rows, y)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return m.Coef[0], m.Intercept, m.R2, nil
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a batch of float64 observations.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	Std            float64
+}
+
+// Summarize computes a Summary of vs. An empty input yields the zero Summary.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(vs), Min: vs[0], Max: vs[0]}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var ss float64
+	for _, v := range vs {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N))
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of vs using linear
+// interpolation between order statistics. An empty input returns 0.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WindowAverage reduces vs into consecutive windows of the given size,
+// averaging each window; a final partial window is averaged over its actual
+// length. It reproduces the paper's "average the power data with a 30-second
+// interval" processing of Fig. 2.
+func WindowAverage(vs []float64, window int) []float64 {
+	if window <= 1 {
+		return append([]float64(nil), vs...)
+	}
+	out := make([]float64, 0, (len(vs)+window-1)/window)
+	for i := 0; i < len(vs); i += window {
+		end := i + window
+		if end > len(vs) {
+			end = len(vs)
+		}
+		var sum float64
+		for _, v := range vs[i:end] {
+			sum += v
+		}
+		out = append(out, sum/float64(end-i))
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples,
+// or 0 when either side has no variance. The co-residence detector uses it to
+// match synchronized snapshot traces of channels like /proc/meminfo.
+func Pearson(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0
+	}
+	var meanA, meanB float64
+	for i := 0; i < n; i++ {
+		meanA += a[i]
+		meanB += b[i]
+	}
+	meanA /= float64(n)
+	meanB /= float64(n)
+	var cov, varA, varB float64
+	for i := 0; i < n; i++ {
+		da, db := a[i]-meanA, b[i]-meanB
+		cov += da * db
+		varA += da * da
+		varB += db * db
+	}
+	if varA == 0 || varB == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(varA*varB)
+}
+
+// MaxDelta returns the largest absolute pairwise difference between the two
+// equally-indexed series; it is math.Inf(1) if lengths differ. Trace matching
+// uses it as an exact-match criterion for accumulating counters.
+func MaxDelta(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var max float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

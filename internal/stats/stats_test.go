@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func TestFitRecoversExactLinearModel(t *testing.T) {
+	// y = 3 + 2a - 5b, noiseless.
+	var x [][]float64
+	var y []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			x = append(x, []float64{a, b})
+			y = append(y, 3+2*a-5*b)
+		}
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	almost(t, m.Intercept, 3, 1e-9, "intercept")
+	almost(t, m.Coef[0], 2, 1e-9, "coef a")
+	almost(t, m.Coef[1], -5, 1e-9, "coef b")
+	almost(t, m.R2, 1, 1e-9, "R2")
+	almost(t, m.RMSE, 0, 1e-9, "RMSE")
+}
+
+func TestFitWithNoiseHasHighR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		y = append(y, 1.5+4*a+0.5*b+rng.NormFloat64()*0.1)
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	almost(t, m.Coef[0], 4, 0.05, "coef a")
+	almost(t, m.Coef[1], 0.5, 0.05, "coef b")
+	if m.R2 < 0.99 {
+		t.Fatalf("R2 = %g, want > 0.99", m.R2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Fatal("Fit(nil) should fail")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1, 3}}, []float64{1, 2}); err == nil {
+		t.Fatal("underdetermined system should fail")
+	}
+	// Collinear predictors: second column = 2 * first.
+	var x [][]float64
+	var y []float64
+	for i := 0.0; i < 10; i++ {
+		x = append(x, []float64{i, 2 * i})
+		y = append(y, i)
+	}
+	if _, err := Fit(x, y); err == nil {
+		t.Fatal("collinear predictors should fail")
+	}
+}
+
+func TestFitRaggedRows(t *testing.T) {
+	_, err := Fit([][]float64{{1, 2}, {3}}, []float64{1, 2})
+	if err == nil {
+		t.Fatal("ragged predictor rows should fail")
+	}
+}
+
+func TestPredictPanicsOnDimensionMismatch(t *testing.T) {
+	m := &Model{Coef: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	slope, intercept, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatalf("LinearFit: %v", err)
+	}
+	almost(t, slope, 2, 1e-9, "slope")
+	almost(t, intercept, 1, 1e-9, "intercept")
+	almost(t, r2, 1, 1e-9, "r2")
+}
+
+func TestEntropyUniform(t *testing.T) {
+	// 4 equally likely symbols → 2 bits.
+	s := []string{"a", "b", "c", "d", "a", "b", "c", "d"}
+	almost(t, Entropy(s), 2, 1e-9, "entropy")
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	almost(t, Entropy([]int{5, 5, 5}), 0, 1e-12, "constant entropy")
+	almost(t, Entropy([]int(nil)), 0, 1e-12, "empty entropy")
+}
+
+func TestJointEntropySumsFields(t *testing.T) {
+	f1 := []string{"a", "b", "a", "b"} // 1 bit
+	f2 := []string{"x", "x", "x", "x"} // 0 bits
+	f3 := []string{"1", "2", "3", "4"} // 2 bits
+	almost(t, JointEntropy([][]string{f1, f2, f3}), 3, 1e-9, "joint entropy")
+}
+
+func TestEntropyFloatBinning(t *testing.T) {
+	if h := EntropyFloat([]float64{1, 1, 1}, 8); h != 0 {
+		t.Fatalf("constant series entropy = %g, want 0", h)
+	}
+	// Two clearly separated clusters, equal mass → 1 bit with enough bins.
+	vs := []float64{0, 0.01, 0.02, 10, 10.01, 10.02}
+	almost(t, EntropyFloat(vs, 4), 1, 1e-9, "two-cluster entropy")
+	if h := EntropyFloat(nil, 4); h != 0 {
+		t.Fatalf("empty entropy = %g", h)
+	}
+}
+
+func TestEntropyNonNegativeAndBounded(t *testing.T) {
+	// Property: 0 <= H <= log2(len(samples)) for any byte slice.
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return Entropy(data) == 0
+		}
+		h := Entropy(data)
+		return h >= 0 && h <= math.Log2(float64(len(data)))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	almost(t, s.Mean, 5, 1e-9, "mean")
+	almost(t, s.Std, 2, 1e-9, "std")
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Fatalf("summary %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	almost(t, Percentile(vs, 0), 1, 1e-9, "p0")
+	almost(t, Percentile(vs, 100), 10, 1e-9, "p100")
+	almost(t, Percentile(vs, 50), 5.5, 1e-9, "p50")
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	vs := []float64{3, 1, 2}
+	Percentile(vs, 50)
+	if vs[0] != 3 || vs[1] != 1 || vs[2] != 2 {
+		t.Fatalf("input mutated: %v", vs)
+	}
+}
+
+func TestWindowAverage(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5}
+	got := WindowAverage(vs, 2)
+	want := []float64{1.5, 3.5, 5}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		almost(t, got[i], want[i], 1e-9, "window avg")
+	}
+	// window <= 1 copies.
+	same := WindowAverage(vs, 1)
+	if &same[0] == &vs[0] {
+		t.Fatal("WindowAverage(…, 1) must copy, not alias")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	almost(t, Pearson(a, []float64{2, 4, 6, 8}), 1, 1e-9, "perfect positive")
+	almost(t, Pearson(a, []float64{8, 6, 4, 2}), -1, 1e-9, "perfect negative")
+	if Pearson(a, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("no-variance series should give 0")
+	}
+	if Pearson(a, a[:2]) != 0 {
+		t.Fatal("length mismatch should give 0")
+	}
+}
+
+func TestMaxDelta(t *testing.T) {
+	almost(t, MaxDelta([]float64{1, 2}, []float64{1.5, 1}), 1, 1e-9, "max delta")
+	if !math.IsInf(MaxDelta([]float64{1}, []float64{1, 2}), 1) {
+		t.Fatal("length mismatch should be +Inf")
+	}
+}
+
+func TestWindowAveragePreservesMass(t *testing.T) {
+	// Property: sum(window means × window lengths) == sum(values).
+	f := func(raw []float64) bool {
+		vs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				vs = append(vs, v)
+			}
+		}
+		out := WindowAverage(vs, 3)
+		var total float64
+		for i, m := range out {
+			n := 3
+			if rem := len(vs) - i*3; rem < 3 {
+				n = rem
+			}
+			total += m * float64(n)
+		}
+		var want float64
+		for _, v := range vs {
+			want += v
+		}
+		return math.Abs(total-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

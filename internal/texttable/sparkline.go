@@ -1,0 +1,56 @@
+package texttable
+
+import "strings"
+
+// sparkGlyphs are the eight block-element levels of a terminal sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a fixed-width line of block glyphs scaled
+// between the series min and max — the terminal stand-in for the paper's
+// figure panels. Series longer than width are downsampled by averaging;
+// shorter series render one glyph per point.
+func Sparkline(vs []float64, width int) string {
+	if len(vs) == 0 || width <= 0 {
+		return ""
+	}
+	// Downsample to width buckets.
+	buckets := make([]float64, 0, width)
+	if len(vs) <= width {
+		buckets = append(buckets, vs...)
+	} else {
+		per := float64(len(vs)) / float64(width)
+		for b := 0; b < width; b++ {
+			lo := int(float64(b) * per)
+			hi := int(float64(b+1) * per)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > len(vs) {
+				hi = len(vs)
+			}
+			var sum float64
+			for _, v := range vs[lo:hi] {
+				sum += v
+			}
+			buckets = append(buckets, sum/float64(hi-lo))
+		}
+	}
+	min, max := buckets[0], buckets[0]
+	for _, v := range buckets {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}

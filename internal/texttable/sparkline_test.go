@@ -1,0 +1,51 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineShapes(t *testing.T) {
+	up := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if up != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp = %q", up)
+	}
+	flat := Sparkline([]float64{5, 5, 5}, 3)
+	if flat != "▁▁▁" {
+		t.Fatalf("flat = %q", flat)
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	vs := make([]float64, 1000)
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	s := Sparkline(vs, 40)
+	if n := len([]rune(s)); n != 40 {
+		t.Fatalf("width = %d", n)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[39] != '█' {
+		t.Fatalf("endpoints wrong: %q", s)
+	}
+}
+
+func TestSparklineShortSeries(t *testing.T) {
+	s := Sparkline([]float64{1, 9}, 40)
+	if n := len([]rune(s)); n != 2 {
+		t.Fatalf("short series width = %d", n)
+	}
+	if !strings.Contains(s, "█") {
+		t.Fatalf("missing max glyph: %q", s)
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("nil series should be empty")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Fatal("zero width should be empty")
+	}
+}

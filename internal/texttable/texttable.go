@@ -1,0 +1,64 @@
+// Package texttable renders the aligned plain-text tables the benchmark
+// harnesses print when regenerating the paper's tables.
+package texttable
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given column headers.
+func New(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Row appends one row; short rows are padded with empty cells.
+func (t *Table) Row(cells ...string) {
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with single-space-padded columns and a rule
+// under the header.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendersAlignedColumns(t *testing.T) {
+	tb := New("Channel", "CC1", "CC2")
+	tb.Row("/proc/uptime", "●", "○")
+	tb.Row("/proc/sys/kernel/random/boot_id", "●", "●")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Channel") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule missing: %q", lines[1])
+	}
+	// Columns align: the CC1 glyph starts at the same offset in both rows.
+	idx2 := strings.Index(lines[2], "●")
+	idx3 := strings.Index(lines[3], "●")
+	if idx2 <= 0 || idx3 <= 0 {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	// Row 3's channel is longer, so its glyph must be further right or the
+	// short row padded to match; with padding both land at equal offsets.
+	if strings.Count(lines[2][:idx2], " ") == 0 {
+		t.Fatalf("no padding before glyph:\n%s", out)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("A", "B", "C")
+	tb.Row("x")
+	out := tb.String()
+	if !strings.Contains(out, "x") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := New("M")
+	tb.Row("●")
+	tb.Row("◐")
+	tb.Row("○")
+	out := tb.String()
+	if strings.Count(out, "\n") != 5 {
+		t.Fatalf("unexpected shape:\n%q", out)
+	}
+}

@@ -1,0 +1,109 @@
+// Package workload defines the benchmark workloads the paper runs — as
+// microarchitectural activity profiles rather than actual binaries. Each
+// profile is a per-core rate vector (instructions, cycles, cache misses,
+// branch misses per second) chosen so that the distinct slopes of Figs. 6–7
+// emerge from the power model: compute-bound workloads retire many
+// instructions with few misses; memory-bound ones the opposite.
+//
+// The package also models the UnixBench suite mechanistically for the
+// Table III overhead reproduction and provides a hill-climbing power-virus
+// generator in the spirit of SYMPO/MAMPO (Ganesan et al.), which the paper
+// cites as the state of the art for power attacks.
+package workload
+
+import "repro/internal/perfcount"
+
+// Profile is one workload's per-core activity signature at full speed on
+// one 3.4 GHz core.
+type Profile struct {
+	Name string
+	// Rates is the activity generated per fully-utilized core.
+	Rates perfcount.Rates
+	// RSSKBPerCore is resident memory per busy core.
+	RSSKBPerCore uint64
+}
+
+// Scaled returns the demand and total rates for running the profile on n
+// cores (the paper's "4 copies of Prime" is Scaled(4)).
+func (p Profile) Scaled(n float64) (demand float64, rates perfcount.Rates) {
+	return n, p.Rates.Times(n)
+}
+
+// prof builds a profile from IPC and per-kilo-instruction miss rates, which
+// is how the architecture literature usually characterizes workloads.
+func prof(name string, ipc, cmPKI, bmPKI float64, rssKB uint64) Profile {
+	const hz = 3.4e9
+	// One busy core always burns `hz` cycles per second; IPC sets how many
+	// instructions retire in that cycle budget.
+	cycles := hz
+	instrPerSec := hz * ipc
+	return Profile{
+		Name: name,
+		Rates: perfcount.Rates{
+			Instructions: instrPerSec,
+			Cycles:       cycles,
+			CacheMisses:  instrPerSec * cmPKI / 1000,
+			CacheRefs:    instrPerSec * cmPKI / 1000 * 12,
+			BranchMisses: instrPerSec * bmPKI / 1000,
+			BranchRefs:   instrPerSec * 0.2,
+		},
+		RSSKBPerCore: rssKB,
+	}
+}
+
+// The four modeling benchmarks of Figs. 6–7: the paper fits its power model
+// on an idle loop, Prime, 462.libquantum, and stress with different memory
+// configurations.
+var (
+	// IdleLoop is a tight spin: maximal IPC, essentially no misses.
+	IdleLoop = prof("idle-loop", 3.6, 0.005, 0.02, 2*1024)
+	// Prime (Prime95) is compute/AVX heavy with a tiny footprint.
+	Prime = prof("prime", 2.8, 0.02, 0.8, 32*1024)
+	// Libquantum streams through large arrays: low IPC, huge miss rate.
+	Libquantum = prof("462.libquantum", 0.9, 28, 2.5, 96*1024)
+	// StressM64 is `stress` touching 64 MB strides; StressM256 a larger
+	// working set (the "different memory configurations" of Fig. 6).
+	StressM64  = prof("stress-m64", 1.4, 12, 1.2, 64*1024)
+	StressM256 = prof("stress-m256", 1.1, 22, 1.4, 256*1024)
+)
+
+// ModelingSet returns the four benchmark families used to TRAIN the power
+// model (Figs. 6–7).
+func ModelingSet() []Profile {
+	return []Profile{IdleLoop, Prime, Libquantum, StressM64, StressM256}
+}
+
+// SPECSubset returns the disjoint SPEC CPU2006 subset used to EVALUATE
+// model accuracy (Fig. 8). Mixes span compute-bound (hmmer, h264ref)
+// through memory-bound (mcf, omnetpp), so the evaluation exercises slopes
+// the training set never saw exactly.
+func SPECSubset() []Profile {
+	return []Profile{
+		prof("401.bzip2", 1.6, 4.2, 6.1, 850*1024),
+		prof("403.gcc", 1.1, 9.8, 5.4, 900*1024),
+		prof("429.mcf", 0.45, 36, 7.8, 1700*1024),
+		prof("445.gobmk", 1.3, 1.1, 9.2, 28*1024),
+		prof("456.hmmer", 2.3, 0.9, 1.4, 64*1024),
+		prof("458.sjeng", 1.5, 0.8, 7.4, 180*1024),
+		prof("464.h264ref", 2.1, 1.8, 2.9, 64*1024),
+		prof("471.omnetpp", 0.6, 21, 5.6, 170*1024),
+		prof("473.astar", 0.9, 12, 8.3, 330*1024),
+		prof("483.xalancbmk", 0.8, 16, 4.9, 420*1024),
+	}
+}
+
+// ByName finds a profile across the modeling set and SPEC subset; the
+// boolean is false when unknown.
+func ByName(name string) (Profile, bool) {
+	for _, p := range ModelingSet() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range SPECSubset() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

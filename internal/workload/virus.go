@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/perfcount"
+	"repro/internal/power"
+)
+
+// VirusConstraints bound the search space of the power-virus generator to
+// microarchitecturally plausible programs: a real instruction stream cannot
+// exceed the machine's retire width, and miss rates are bounded by the
+// memory system.
+type VirusConstraints struct {
+	MaxIPC     float64 // retire-width bound
+	MaxCMPerKI float64 // cache misses per kilo-instruction
+	MaxBMPerKI float64 // branch misses per kilo-instruction
+}
+
+// DefaultVirusConstraints matches a Skylake-class core.
+func DefaultVirusConstraints() VirusConstraints {
+	return VirusConstraints{MaxIPC: 4, MaxCMPerKI: 40, MaxBMPerKI: 20}
+}
+
+// GeneratePowerVirus hill-climbs a workload mix that maximizes package
+// power on the given meter configuration, in the spirit of the genetic
+// search of SYMPO/MAMPO that the paper cites. It returns the best profile
+// found after the given number of iterations. The search is deterministic
+// for a fixed seed.
+func GeneratePowerVirus(cfg power.Config, constraints VirusConstraints, iterations int, seed int64) Profile {
+	rng := rand.New(rand.NewSource(seed))
+	const hz = 3.4e9
+
+	// A real pipeline cannot retire at full width while missing the LLC:
+	// every miss stalls the ROB. Couple achievable IPC to the miss rates
+	// the same way the SPEC profiles implicitly do (mcf: 36 misses/KI at
+	// 0.45 IPC), so the search cannot wander into unphysical corners.
+	achievableIPC := func(ipc, cm, bm float64) float64 {
+		bound := constraints.MaxIPC / (1 + cm/8 + bm/40)
+		return math.Min(ipc, bound)
+	}
+
+	eval := func(ipc, cm, bm float64) float64 {
+		ipc = achievableIPC(ipc, cm, bm)
+		m := power.New(cfg)
+		r := perfcount.Rates{
+			Instructions: hz * ipc,
+			Cycles:       hz,
+			CacheMisses:  hz * ipc * cm / 1000,
+			BranchMisses: hz * ipc * bm / 1000,
+		}
+		m.Step(r, 1, nil)
+		return m.Power(power.Package)
+	}
+
+	// Start from a stress-like midpoint.
+	ipc, cm, bm := 1.5, 10.0, 2.0
+	best := eval(ipc, cm, bm)
+	for i := 0; i < iterations; i++ {
+		nIPC := clamp(ipc+rng.NormFloat64()*0.3, 0.1, constraints.MaxIPC)
+		nCM := clamp(cm+rng.NormFloat64()*3, 0, constraints.MaxCMPerKI)
+		nBM := clamp(bm+rng.NormFloat64()*1.5, 0, constraints.MaxBMPerKI)
+		if p := eval(nIPC, nCM, nBM); p > best {
+			best, ipc, cm, bm = p, nIPC, nCM, nBM
+		}
+	}
+	return prof("power-virus", achievableIPC(ipc, cm, bm), cm, bm, 128*1024)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

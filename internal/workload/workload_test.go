@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestProfilesDistinctAndPlausible(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range append(ModelingSet(), SPECSubset()...) {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Rates.Instructions <= 0 || p.Rates.Cycles <= 0 {
+			t.Fatalf("%s has non-positive activity", p.Name)
+		}
+		ipc := p.Rates.Instructions / p.Rates.Cycles
+		if ipc < 0.1 || ipc > 4.5 {
+			t.Fatalf("%s IPC %g implausible", p.Name, ipc)
+		}
+		if p.Rates.CacheMisses > p.Rates.CacheRefs {
+			t.Fatalf("%s misses exceed references", p.Name)
+		}
+	}
+}
+
+func TestComputeVsMemoryBoundCharacter(t *testing.T) {
+	// Prime must retire more instructions than libquantum; libquantum must
+	// miss cache far more. This divergence is what gives Figs. 6–7 their
+	// distinct slopes.
+	if Prime.Rates.Instructions <= Libquantum.Rates.Instructions {
+		t.Fatal("prime should be instruction-heavy")
+	}
+	if Libquantum.Rates.CacheMisses <= 10*Prime.Rates.CacheMisses {
+		t.Fatal("libquantum should be dramatically more miss-heavy")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	d, r := Prime.Scaled(4)
+	if d != 4 {
+		t.Fatalf("demand = %g", d)
+	}
+	if math.Abs(r.Instructions-4*Prime.Rates.Instructions) > 1 {
+		t.Fatal("rates not scaled")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if p, ok := ByName("prime"); !ok || p.Name != "prime" {
+		t.Fatal("prime lookup failed")
+	}
+	if p, ok := ByName("401.bzip2"); !ok || p.Name != "401.bzip2" {
+		t.Fatal("SPEC lookup failed")
+	}
+	if _, ok := ByName("no-such"); ok {
+		t.Fatal("unknown lookup should fail")
+	}
+}
+
+func TestSPECSubsetDisjointFromModelingSet(t *testing.T) {
+	train := make(map[string]bool)
+	for _, p := range ModelingSet() {
+		train[p.Name] = true
+	}
+	for _, p := range SPECSubset() {
+		if train[p.Name] {
+			t.Fatalf("%s appears in both training and evaluation sets", p.Name)
+		}
+	}
+}
+
+func TestUnixBenchSlowdownDisabledIsIdentity(t *testing.T) {
+	for _, b := range UnixBenchSuite() {
+		if s := b.Slowdown(1, 8, PerfCosts{}); s != 1 {
+			t.Fatalf("%s disabled slowdown = %g", b.Name, s)
+		}
+	}
+}
+
+func TestPipeCtxswOverheadShape(t *testing.T) {
+	// The paper's headline Table III observation: pipe-based context
+	// switching suffers hugely at 1 copy and barely at 8 copies.
+	var pipe UnixBenchmark
+	for _, b := range UnixBenchSuite() {
+		if b.Name == "Pipe-based Context Switching" {
+			pipe = b
+		}
+	}
+	costs := DefaultPerfCosts()
+	over1 := 1 - 1/pipe.Slowdown(1, 8, costs)
+	over8 := 1 - 1/pipe.Slowdown(8, 8, costs)
+	if over1 < 0.4 || over1 > 0.75 {
+		t.Fatalf("1-copy pipe overhead = %.1f%%, want roughly 60%%", over1*100)
+	}
+	if over8 > 0.06 {
+		t.Fatalf("8-copy pipe overhead = %.1f%%, want small", over8*100)
+	}
+	if over8 >= over1 {
+		t.Fatal("8-copy overhead must collapse relative to 1 copy")
+	}
+}
+
+func TestFileCopyOverheadInvertsTrend(t *testing.T) {
+	costs := DefaultPerfCosts()
+	for _, b := range UnixBenchSuite() {
+		if !b.IOBound {
+			continue
+		}
+		o1 := 1 - 1/b.Slowdown(1, 8, costs)
+		o8 := 1 - 1/b.Slowdown(8, 8, costs)
+		if o8 <= o1 {
+			t.Fatalf("%s: IO-bound overhead should grow with copies (%.2f%% -> %.2f%%)",
+				b.Name, o1*100, o8*100)
+		}
+		if o8 < 0.05 || o8 > 0.30 {
+			t.Fatalf("%s: 8-copy overhead %.1f%% outside the paper's 12–18%% band (loosely)",
+				b.Name, o8*100)
+		}
+	}
+}
+
+func TestCPUBoundBenchmarksNearZeroOverhead(t *testing.T) {
+	costs := DefaultPerfCosts()
+	for _, b := range UnixBenchSuite() {
+		if b.Name != "Dhrystone 2 using register variables" && b.Name != "Double-Precision Whetstone" {
+			continue
+		}
+		if o := 1 - 1/b.Slowdown(1, 8, costs); o > 0.02 {
+			t.Fatalf("%s overhead %.2f%%, want ≈ 0", b.Name, o*100)
+		}
+	}
+}
+
+func TestIndexUsesRightBaseline(t *testing.T) {
+	b := UnixBenchSuite()[0]
+	if got := b.Index(1, 8, PerfCosts{}); got != b.Index1 {
+		t.Fatalf("index(1) = %g", got)
+	}
+	if got := b.Index(8, 8, PerfCosts{}); got != b.Index8 {
+		t.Fatalf("index(8) = %g", got)
+	}
+}
+
+func TestGeoMeanIndex(t *testing.T) {
+	if g := GeoMeanIndex([]float64{4, 9}); math.Abs(g-6) > 1e-9 {
+		t.Fatalf("geomean = %g, want 6", g)
+	}
+	if GeoMeanIndex(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+	if GeoMeanIndex([]float64{1, 0}) != 0 {
+		t.Fatal("non-positive scores should yield 0")
+	}
+}
+
+func TestOverallIndexOverheadBand(t *testing.T) {
+	// The paper reports 9.66% (1 copy) and 7.03% (8 copies) overall
+	// overhead; our mechanistic model should land in the same ballpark.
+	costs := DefaultPerfCosts()
+	overall := func(copies int) float64 {
+		var orig, mod []float64
+		for _, b := range UnixBenchSuite() {
+			orig = append(orig, b.Index(copies, 8, PerfCosts{}))
+			mod = append(mod, b.Index(copies, 8, costs))
+		}
+		return 1 - GeoMeanIndex(mod)/GeoMeanIndex(orig)
+	}
+	o1, o8 := overall(1), overall(8)
+	if o1 < 0.04 || o1 > 0.18 {
+		t.Fatalf("overall 1-copy overhead = %.2f%%, want high single digits", o1*100)
+	}
+	if o8 < 0.02 || o8 > 0.15 {
+		t.Fatalf("overall 8-copy overhead = %.2f%%, want mid single digits", o8*100)
+	}
+}
+
+func TestPowerVirusBeatsStress(t *testing.T) {
+	cfg := power.DefaultConfig()
+	virus := GeneratePowerVirus(cfg, DefaultVirusConstraints(), 300, 1)
+
+	perPkgPower := func(p Profile) float64 {
+		m := power.New(cfg)
+		m.Step(p.Rates, 1, nil)
+		return m.Power(power.Package)
+	}
+	vp := perPkgPower(virus)
+	sp := perPkgPower(StressM64)
+	if vp <= sp {
+		t.Fatalf("virus power %g W not above stress %g W", vp, sp)
+	}
+	// Constraint respect.
+	ipc := virus.Rates.Instructions / virus.Rates.Cycles
+	if ipc > DefaultVirusConstraints().MaxIPC+1e-9 {
+		t.Fatalf("virus IPC %g violates constraint", ipc)
+	}
+}
+
+func TestPowerVirusDeterministic(t *testing.T) {
+	cfg := power.DefaultConfig()
+	a := GeneratePowerVirus(cfg, DefaultVirusConstraints(), 100, 7)
+	b := GeneratePowerVirus(cfg, DefaultVirusConstraints(), 100, 7)
+	if a.Rates != b.Rates {
+		t.Fatal("same seed must give same virus")
+	}
+}
