@@ -1,0 +1,44 @@
+# Tier-1 loop for the ContainerLeaks reproduction. `make check` is what CI
+# runs: formatting, vet, build, and the full test suite under the race
+# detector (the determinism contract in ARCHITECTURE.md is enforced by
+# differential tests + -race together). `make bench` runs the
+# serial/parallel benchmark pairs once each so the fan-out speedup is
+# measured, not asserted.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench bench-full clean
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The serial-vs-parallel pairs from README.md's Performance section.
+# -benchtime=1x keeps this cheap enough for CI; drop it for stable numbers.
+bench:
+	$(GO) test -run '^$$' -bench \
+		'^(BenchmarkTable1LeakScan|BenchmarkTable1LeakScanParallel|BenchmarkFig3Sweep|BenchmarkFig3SweepParallel)$$' \
+		-benchtime=1x .
+
+# Every table and figure of the paper's evaluation as benchmarks.
+bench-full:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -16,10 +16,13 @@ import (
 	"repro/internal/experiments"
 )
 
-func BenchmarkTable1LeakScan(b *testing.B) {
+// benchTable1 runs Table I at a fixed worker count; the serial/parallel
+// benchmark pair below measures — rather than asserts — the fan-out
+// speedup (see README.md's Performance section).
+func benchTable1(b *testing.B, workers int) {
 	var available int
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table1()
+		r, err := experiments.Table1Workers(workers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -27,6 +30,9 @@ func BenchmarkTable1LeakScan(b *testing.B) {
 	}
 	b.ReportMetric(float64(available), "local-channels-●")
 }
+
+func BenchmarkTable1LeakScan(b *testing.B)         { benchTable1(b, 1) }
+func BenchmarkTable1LeakScanParallel(b *testing.B) { benchTable1(b, 0) }
 
 func BenchmarkTable2ChannelRanking(b *testing.B) {
 	var varying int
@@ -72,10 +78,12 @@ func BenchmarkFig3SynergisticVsPeriodic(b *testing.B) {
 	b.ReportMetric(float64(perTrials), "per-trials")
 }
 
-func BenchmarkFig3Sweep(b *testing.B) {
+// benchFig3Sweep is the second serial/parallel pair: five seeded
+// share-nothing worlds per iteration, fanned out at workers=0 (GOMAXPROCS).
+func benchFig3Sweep(b *testing.B, workers int) {
 	var wins, ties int
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig3Sweep(5)
+		r, err := experiments.Fig3SweepWorkers(5, workers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,6 +92,9 @@ func BenchmarkFig3Sweep(b *testing.B) {
 	b.ReportMetric(float64(wins), "syn-wins")
 	b.ReportMetric(float64(ties), "ties")
 }
+
+func BenchmarkFig3Sweep(b *testing.B)         { benchFig3Sweep(b, 1) }
+func BenchmarkFig3SweepParallel(b *testing.B) { benchFig3Sweep(b, 0) }
 
 func BenchmarkFig4CoResidentAttack(b *testing.B) {
 	var perContainer float64

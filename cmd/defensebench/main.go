@@ -10,6 +10,12 @@
 //	defensebench                 # everything
 //	defensebench -fig8 -table3   # selected experiments
 //	defensebench -ablations      # ablations + extensions only
+//	defensebench -j 4            # fan independent work out over 4 workers
+//
+// The -j flag bounds the worker pool for the parallel experiments
+// (Fig. 8's per-benchmark ξ measurements, the covert-channel grid, and
+// the ablation sweeps); 0 means GOMAXPROCS. Output is byte-identical at
+// any -j value.
 package main
 
 import (
@@ -34,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fig9 := fs.Bool("fig9", false, "transparency traces")
 	table3 := fs.Bool("table3", false, "UnixBench overhead")
 	ablations := fs.Bool("ablations", false, "ablation and extension studies")
+	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, r)
 	}
 	if *fig8 || all {
-		r, err := experiments.Fig8()
+		r, err := experiments.Fig8Workers(*jobs)
 		if err != nil {
 			return fail(err)
 		}
@@ -76,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, experiments.Table3())
 	}
 	if *ablations || all {
-		cs, err := experiments.CovertSurvey()
+		cs, err := experiments.CovertSurveyWorkers(*jobs)
 		if err != nil {
 			return fail(err)
 		}
@@ -96,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprintln(stdout, pb)
-		r1, err := experiments.AblationCalibration()
+		r1, err := experiments.AblationCalibrationWorkers(*jobs)
 		if err != nil {
 			return fail(err)
 		}
@@ -106,12 +113,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprintln(stdout, r2)
-		sc, err := experiments.AblationStrategyCost()
+		sc, err := experiments.AblationStrategyCostWorkers(*jobs)
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Fprintln(stdout, experiments.RenderStrategyCost(sc))
-		points, err := experiments.AblationCrestThreshold()
+		points, err := experiments.AblationCrestThresholdWorkers(*jobs)
 		if err != nil {
 			return fail(err)
 		}

@@ -10,6 +10,11 @@
 //	leakscan -table1    # availability matrix only
 //	leakscan -table2    # U/V/M + entropy ranking only
 //	leakscan -discover  # leaking files beyond the Table I registry
+//	leakscan -j 4       # fan independent work out over 4 workers
+//
+// The -j flag bounds the worker pool for the parallel experiments
+// (Table I's per-provider inspections, discovery's per-path reads);
+// 0 means GOMAXPROCS. Output is byte-identical at any -j value.
 package main
 
 import (
@@ -31,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	table1 := fs.Bool("table1", false, "print Table I (leakage channels per cloud)")
 	table2 := fs.Bool("table2", false, "print Table II (channel ranking)")
 	discover := fs.Bool("discover", false, "list leaking files beyond the Table I registry")
+	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *table1 || all {
-		r, err := experiments.Table1()
+		r, err := experiments.Table1Workers(*jobs)
 		if err != nil {
 			return fail(err)
 		}
@@ -55,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, r)
 	}
 	if *discover || all {
-		r, err := experiments.Discovery()
+		r, err := experiments.DiscoveryWorkers(*jobs)
 		if err != nil {
 			return fail(err)
 		}

@@ -9,7 +9,11 @@
 //	powersim -fig2 -days 7   # the week-long trace only
 //	powersim -fig3           # attack comparison only
 //	powersim -fig3sweep 8    # fig3 statistics across seeds (extension)
+//	powersim -fig3sweep 8 -j 4  # the sweep's seeds fanned over 4 workers
 //	powersim -fig4           # aggregation experiment only
+//
+// The -j flag bounds the worker pool for the seed sweep; 0 means
+// GOMAXPROCS. Statistics are byte-identical at any -j value.
 package main
 
 import (
@@ -34,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sweep := fs.Int("fig3sweep", 0, "repeat fig3 over N seeds and report statistics")
 	days := fs.Int("days", 7, "trace length for -fig2, in days")
 	series := fs.Bool("series", false, "also dump raw series values")
+	jobs := fs.Int("j", 0, "worker count for the seed sweep (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *sweep > 0 {
-		r, err := experiments.Fig3Sweep(*sweep)
+		r, err := experiments.Fig3SweepWorkers(*sweep, *jobs)
 		if err != nil {
 			return fail(err)
 		}

@@ -1,9 +1,61 @@
-// Package repro is a from-scratch Go reproduction of "ContainerLeaks:
-// Emerging Security Threats of Information Leakages in Container Clouds"
-// (Gao, Gu, Kayaalp, Pendarakis, Wang — DSN 2017).
+// Package repro is a from-scratch, stdlib-only Go reproduction of
+// "ContainerLeaks: Emerging Security Threats of Information Leakages in
+// Container Clouds" (Gao, Gu, Kayaalp, Pendarakis, Wang — DSN 2017).
 //
-// The implementation lives under internal/ (see DESIGN.md for the system
-// inventory), the runnable tools under cmd/, worked examples under
-// examples/, and the benchmark harness that regenerates every table and
-// figure of the paper's evaluation in bench_test.go at this root.
+// The paper shows that Linux's incomplete namespacing leaks host-wide
+// state into containers through procfs/sysfs, that the leaked RAPL power
+// counter enables a synergistic power attack (power-virus bursts
+// superimposed on benign power crests, located via co-residence
+// detection), and that a power-based namespace — per-container energy
+// accounting behind the unchanged RAPL interface — neutralizes the attack
+// at trivial overhead. This repository rebuilds every system the paper
+// touches as a deterministic simulated substrate, then implements the
+// paper's actual contributions on top and regenerates its evaluation.
+//
+// # Layout
+//
+// The implementation lives under internal/, layered strictly bottom-up
+// (see ARCHITECTURE.md for the dependency diagram and the concurrency &
+// determinism contract):
+//
+//   - substrate: kernel, pseudofs, power, perfcount over the simclock
+//     lockstep clock, with stats and workload as leaves;
+//   - assembly: container (runtime, Docker/LXC profiles) and cloud
+//     (racks, breakers, placement, billing, provider profiles CC1–CC5);
+//   - contributions: core (the Fig. 1 cross-validation detector and
+//     channel metrics), attack + coresidence (the synergistic power
+//     attack), covert (channel survey), powerns + defense (the power
+//     namespace and two-stage defense);
+//   - experiments: one function per table/figure of the paper, each
+//     returning a structured result with a String renderer; parallel
+//     sweeps fan out via internal/parallel under a byte-identical
+//     determinism guarantee.
+//
+// # Binaries
+//
+// Three commands under cmd/ print the paper's artifacts; each takes
+// -j N to bound the worker pool for parallel sweeps (0 = GOMAXPROCS),
+// with byte-identical output at any worker count:
+//
+//   - cmd/leakscan: Table I (channel availability per cloud), Table II
+//     (U/V/M + entropy ranking), and -discover for leaking files beyond
+//     the paper's registry;
+//   - cmd/powersim: Fig. 2 (week-long datacenter trace), Fig. 3
+//     (synergistic vs periodic attack, plus -fig3sweep seed statistics),
+//     Fig. 4 (co-resident aggregation);
+//   - cmd/defensebench: Figs. 6–9, Table III, the ablation studies, the
+//     covert-channel survey, and operator-side attack detection.
+//
+// Worked examples live under examples/, and bench_test.go at this root
+// regenerates every table and figure as benchmarks (go test -bench .),
+// including the serial-vs-parallel pairs from README.md's Performance
+// section.
+//
+// # Further reading
+//
+// DESIGN.md maps each simulated component to the real system it
+// substitutes; EXPERIMENTS.md records paper-vs-measured results and
+// which quantities were calibration targets; ARCHITECTURE.md documents
+// the package layers, the lockstep time model, and the rules all
+// concurrent code must follow.
 package repro

@@ -1,0 +1,56 @@
+package core
+
+// Differential test for the parallel cross-validation path: fanning the
+// per-path validations out over a worker pool must produce findings
+// byte-identical to the serial reference loop, at any worker count, over
+// the same live world. This is what the pseudo-file read-path audit buys
+// (see ARCHITECTURE.md): with the clock paused, handlers are pure reads
+// except the uuid draw (serialized on a dedicated RNG) — and uuid is
+// classified Volatile regardless of the bytes drawn, so even that path
+// renders identically.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func renderFindings(fs []Finding) string {
+	s := ""
+	for _, f := range fs {
+		s += fmt.Sprintf("%s %s %.6f\n", f.Path, f.Status, f.Overlap)
+	}
+	return s
+}
+
+func TestCrossValidateWorkersMatchesSerial(t *testing.T) {
+	k, r, c := newTestbed(t, 42)
+	k.Tick(10, 10)
+	host := hostMount(k, r)
+
+	serial := renderFindings(CrossValidate(host, c.Mount()))
+	if serial == "" {
+		t.Fatal("serial cross-validation found nothing")
+	}
+	for _, w := range []int{1, 2, 8} {
+		par := renderFindings(CrossValidateWorkers(host, c.Mount(), w))
+		if par != serial {
+			t.Fatalf("workers=%d findings differ from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				w, serial, par)
+		}
+	}
+}
+
+// TestCrossValidateWorkersRepeatable: running the parallel validator twice
+// over the same paused world yields identical findings — concurrent reads
+// must not mutate kernel state observable by a later pass.
+func TestCrossValidateWorkersRepeatable(t *testing.T) {
+	k, r, c := newTestbed(t, 7)
+	k.Tick(5, 5)
+	host := hostMount(k, r)
+	first := renderFindings(CrossValidateWorkers(host, c.Mount(), 8))
+	second := renderFindings(CrossValidateWorkers(host, c.Mount(), 8))
+	if first != second {
+		t.Fatalf("repeated parallel cross-validation diverged:\n--- first ---\n%s--- second ---\n%s",
+			first, second)
+	}
+}

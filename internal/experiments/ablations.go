@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/defense"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 	"repro/internal/powerns"
 	"repro/internal/pseudofs"
 	"repro/internal/texttable"
@@ -26,29 +27,46 @@ type AblationCalibrationResult struct {
 }
 
 // AblationCalibration quantifies what the calibration step buys: the same
-// trained model, evaluated on the SPEC subset with and without Formula 3.
+// trained model, evaluated on the SPEC subset with and without Formula 3,
+// at the default worker count.
 func AblationCalibration() (*AblationCalibrationResult, error) {
+	return AblationCalibrationWorkers(0)
+}
+
+// AblationCalibrationWorkers fans the per-benchmark on/off measurement
+// pairs out: each measureXiCalibrated call builds its own kernel and only
+// reads the shared trained model (immutable after Train), so the rows are
+// share-nothing and return in benchmark order.
+func AblationCalibrationWorkers(workers int) (*AblationCalibrationResult, error) {
 	model, _, err := powerns.Train(powerns.TrainOptions{Seed: 21})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ablation calibration train: %w", err)
 	}
-	res := &AblationCalibrationResult{}
-	for _, prof := range workload.SPECSubset() {
-		on, err := measureXiCalibrated(model, prof, true)
-		if err != nil {
-			return nil, err
-		}
-		off, err := measureXiCalibrated(model, prof, false)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, struct {
+	rows, err := parallel.Map(workers, workload.SPECSubset(), func(_ int, prof workload.Profile) (struct {
+		Benchmark      string
+		XiCalibrated   float64
+		XiUncalibrated float64
+	}, error) {
+		var row struct {
 			Benchmark      string
 			XiCalibrated   float64
 			XiUncalibrated float64
-		}{prof.Name, on, off})
+		}
+		on, err := measureXiCalibrated(model, prof, true)
+		if err != nil {
+			return row, err
+		}
+		off, err := measureXiCalibrated(model, prof, false)
+		if err != nil {
+			return row, err
+		}
+		row.Benchmark, row.XiCalibrated, row.XiUncalibrated = prof.Name, on, off
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationCalibrationResult{Rows: rows}, nil
 }
 
 // String renders the comparison.
@@ -108,10 +126,15 @@ type CrestPoint struct {
 }
 
 // AblationCrestThreshold sweeps the synergistic attack's crest percentile
-// and reports the peak/cost trade-off.
-func AblationCrestThreshold() ([]CrestPoint, error) {
-	var out []CrestPoint
-	for _, pct := range []float64{50, 70, 80, 90, 95, 99} {
+// and reports the peak/cost trade-off, at the default worker count.
+func AblationCrestThreshold() ([]CrestPoint, error) { return AblationCrestThresholdWorkers(0) }
+
+// AblationCrestThresholdWorkers is the crest sweep with an explicit worker
+// count: every percentile point rebuilds its own datacenter from the same
+// seed (share-nothing worlds differing only in the attack threshold), so
+// the points fan out in parallel and return in sweep order.
+func AblationCrestThresholdWorkers(workers int) ([]CrestPoint, error) {
+	return parallel.Map(workers, []float64{50, 70, 80, 90, 95, 99}, func(_ int, pct float64) (CrestPoint, error) {
 		dc := cloud.New(cloud.Config{
 			Racks: 1, ServersPerRack: 4, CoresPerServer: 16, Seed: 23,
 			BreakerRatedW: 1e9,
@@ -120,17 +143,16 @@ func AblationCrestThreshold() ([]CrestPoint, error) {
 		dc.Clock.Run(16*3600, 30)
 		agg, err := attack.SpreadAcrossRack(dc, "m", 4, 4, 3600, 400)
 		if err != nil {
-			return nil, err
+			return CrestPoint{}, err
 		}
 		cfg := attack.DefaultConfig()
 		cfg.CrestPercentile = pct
 		r, err := attack.RunSynergistic(dc, agg.Kept[0].Server.Rack, agg.Containers(), cfg, 3000)
 		if err != nil {
-			return nil, err
+			return CrestPoint{}, err
 		}
-		out = append(out, CrestPoint{Percentile: pct, PeakW: r.PeakW, Trials: r.Trials, CoreSeconds: r.AttackCoreSeconds})
-	}
-	return out, nil
+		return CrestPoint{Percentile: pct, PeakW: r.PeakW, Trials: r.Trials, CoreSeconds: r.AttackCoreSeconds}, nil
+	})
 }
 
 // RenderCrestSweep renders the sweep.
@@ -154,8 +176,14 @@ type StrategyCost struct {
 }
 
 // AblationStrategyCost compares continuous, periodic, and synergistic
-// attacks on identical worlds, including the metered bill each accrues.
-func AblationStrategyCost() ([]StrategyCost, error) {
+// attacks on identical worlds, including the metered bill each accrues,
+// at the default worker count.
+func AblationStrategyCost() ([]StrategyCost, error) { return AblationStrategyCostWorkers(0) }
+
+// AblationStrategyCostWorkers is the strategy comparison with an explicit
+// worker count: each strategy drives its own same-seed world, so the three
+// runs are share-nothing and fan out in parallel, rows in strategy order.
+func AblationStrategyCostWorkers(workers int) ([]StrategyCost, error) {
 	run := func(strategy string) (StrategyCost, error) {
 		dc := cloud.New(cloud.Config{
 			Racks: 1, ServersPerRack: 4, CoresPerServer: 16, Seed: 24,
@@ -192,15 +220,13 @@ func AblationStrategyCost() ([]StrategyCost, error) {
 			BillUSD:     dc.Billing().TenantBill("mallory"),
 		}, nil
 	}
-	var out []StrategyCost
-	for _, s := range []string{"continuous", "periodic", "synergistic"} {
+	return parallel.Map(workers, []string{"continuous", "periodic", "synergistic"}, func(_ int, s string) (StrategyCost, error) {
 		sc, err := run(s)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: strategy %s: %w", s, err)
+			return StrategyCost{}, fmt.Errorf("experiments: strategy %s: %w", s, err)
 		}
-		out = append(out, sc)
-	}
-	return out, nil
+		return sc, nil
+	})
 }
 
 // RenderStrategyCost renders the economics table.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/covert"
 	"repro/internal/defense"
+	"repro/internal/parallel"
 	"repro/internal/powerns"
 	"repro/internal/texttable"
 )
@@ -52,27 +53,43 @@ type CovertSurveyResult struct {
 	Rows []CovertRow
 }
 
-// CovertSurvey runs the measurements.
-func CovertSurvey() (*CovertSurveyResult, error) {
-	res := &CovertSurveyResult{}
+// CovertSurvey runs the measurements at the default worker count.
+func CovertSurvey() (*CovertSurveyResult, error) { return CovertSurveyWorkers(0) }
+
+// CovertSurveyWorkers is CovertSurvey with an explicit worker count: the
+// 4 hardening levels × 3 signals grid is 12 share-nothing worlds (each
+// measurement builds its own single-server datacenter and drives its own
+// clock), fanned out in parallel with rows kept in grid order.
+func CovertSurveyWorkers(workers int) (*CovertSurveyResult, error) {
 	configs := []covert.Config{
 		{Signal: covert.PowerSignal, SymbolSeconds: 2, Core: 2, LoadCores: 4},
 		{Signal: covert.UtilSignal, SymbolSeconds: 2, Core: 2, LoadCores: 4},
 		{Signal: covert.TempSignal, SymbolSeconds: 20, Core: 2, LoadCores: 2},
 	}
+	type cell struct {
+		cfg       covert.Config
+		hardening HostHardening
+	}
+	var grid []cell
 	for _, hardening := range []HostHardening{StockHost, DefendedHost, FullyHardenedHost, ThermalHardenedHost} {
 		for _, cfg := range configs {
-			ber, n, err := measureCovert(cfg, hardening)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: covert %v on %v: %w", cfg.Signal, hardening, err)
-			}
-			res.Rows = append(res.Rows, CovertRow{
-				Signal: cfg.Signal, Hardening: hardening,
-				BitsSent: n, BER: ber, RateBPS: covert.ThroughputBPS(cfg),
-			})
+			grid = append(grid, cell{cfg: cfg, hardening: hardening})
 		}
 	}
-	return res, nil
+	rows, err := parallel.Map(workers, grid, func(_ int, c cell) (CovertRow, error) {
+		ber, n, err := measureCovert(c.cfg, c.hardening)
+		if err != nil {
+			return CovertRow{}, fmt.Errorf("experiments: covert %v on %v: %w", c.cfg.Signal, c.hardening, err)
+		}
+		return CovertRow{
+			Signal: c.cfg.Signal, Hardening: c.hardening,
+			BitsSent: n, BER: ber, RateBPS: covert.ThroughputBPS(c.cfg),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CovertSurveyResult{Rows: rows}, nil
 }
 
 func measureCovert(cfg covert.Config, hardening HostHardening) (float64, int, error) {

@@ -17,15 +17,22 @@ type DiscoveryResult struct {
 	TotalLeaking int
 }
 
-// Discovery runs the cross-validation detector on the local testbed and
-// reports the leaking files that no Table I channel pattern covers.
-func Discovery() (*DiscoveryResult, error) {
+// Discovery runs the cross-validation detector on the local testbed at the
+// default worker count and reports the leaking files that no Table I
+// channel pattern covers.
+func Discovery() (*DiscoveryResult, error) { return DiscoveryWorkers(0) }
+
+// DiscoveryWorkers is Discovery with an explicit worker count: the
+// per-path cross-validation reads are fanned out while the clock is
+// paused, which is safe (read-only tree, audited handlers) and
+// deterministic (findings return in path order).
+func DiscoveryWorkers(workers int) (*DiscoveryResult, error) {
 	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: 0xd15c})
 	srv := dc.Racks[0].Servers[0]
 	probe := srv.Runtime.Create("probe")
 	dc.Clock.Run(30, 1)
 
-	findings := core.CrossValidate(srv.HostMount(), probe.Mount())
+	findings := core.CrossValidateWorkers(srv.HostMount(), probe.Mount(), workers)
 	res := &DiscoveryResult{
 		Findings: core.Discover(core.TableIChannels(), findings),
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cloud"
 	"repro/internal/container"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/texttable"
 	"repro/internal/workload"
@@ -183,18 +184,35 @@ type Fig3SweepResult struct {
 	MeanCostRatio  float64 // periodic / synergistic core-seconds
 }
 
-// Fig3Sweep repeats Fig. 3 across n seeds.
-func Fig3Sweep(n int) (*Fig3SweepResult, error) {
+// Fig3Sweep repeats Fig. 3 across n seeds at the default worker count.
+func Fig3Sweep(n int) (*Fig3SweepResult, error) { return Fig3SweepWorkers(n, 0) }
+
+// Fig3SweepWorkers is Fig3Sweep with an explicit worker count (the -j of
+// cmd/powersim). Every seed builds its own trio of worlds with per-seed
+// RNGs — share-nothing by construction — so the per-seed results are
+// fanned out in parallel while the floating-point reduction below runs
+// over the ordered result slice, keeping the statistics bit-identical to
+// the serial loop at any worker count.
+func Fig3SweepWorkers(n, workers int) (*Fig3SweepResult, error) {
 	if n <= 0 {
 		n = 5
 	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = 1360 + int64(i)
+	}
+	results, err := parallel.Map(workers, seeds, func(_ int, seed int64) (*Fig3Result, error) {
+		return fig3WithSeed(seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Ordered reduction: accumulate in seed order, never in completion
+	// order, so the sums are exactly those of the serial loop.
 	res := &Fig3SweepResult{Seeds: n}
 	var deltaSum, trialSum, costSum float64
-	for i := 0; i < n; i++ {
-		r, err := fig3WithSeed(1360 + int64(i))
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range results {
 		d := r.Synergistic.PeakW - r.Periodic.PeakW
 		deltaSum += d
 		tieBand := r.Periodic.PeakW * 0.005 // within 0.5% is a tie

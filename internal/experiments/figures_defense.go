@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/powerns"
 	"repro/internal/pseudofs"
@@ -130,21 +131,34 @@ type Fig8Result struct {
 }
 
 // Fig8 trains on the modeling set and evaluates the error ξ (Formula 4) on
-// the disjoint SPEC subset, with the power namespace fully installed.
-func Fig8() (*Fig8Result, error) {
+// the disjoint SPEC subset, with the power namespace fully installed, at
+// the default worker count.
+func Fig8() (*Fig8Result, error) { return Fig8Workers(0) }
+
+// Fig8Workers is Fig8 with an explicit worker count: the model is trained
+// once and read-only thereafter; each benchmark's ξ measurement builds its
+// own kernel, so the rows fan out in parallel. MaxXi is reduced over the
+// ordered row slice, never in the workers, keeping the figure byte-identical
+// at any worker count.
+func Fig8Workers(workers int) (*Fig8Result, error) {
 	model, _, err := powerns.Train(powerns.TrainOptions{Seed: 8})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig 8 train: %w", err)
 	}
-	res := &Fig8Result{}
-	for _, prof := range workload.SPECSubset() {
+	rows, err := parallel.Map(workers, workload.SPECSubset(), func(_ int, prof workload.Profile) (Fig8Row, error) {
 		xi, err := measureXi(model, prof)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig 8 %s: %w", prof.Name, err)
+			return Fig8Row{}, fmt.Errorf("experiments: fig 8 %s: %w", prof.Name, err)
 		}
-		res.Rows = append(res.Rows, Fig8Row{Benchmark: prof.Name, Xi: xi})
-		if xi > res.MaxXi {
-			res.MaxXi = xi
+		return Fig8Row{Benchmark: prof.Name, Xi: xi}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Rows: rows}
+	for _, row := range rows {
+		if row.Xi > res.MaxXi {
+			res.MaxXi = row.Xi
 		}
 	}
 	return res, nil

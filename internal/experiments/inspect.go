@@ -5,13 +5,20 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 // CloudInspection is the result of checking one provider: per-channel
-// availability, in Table I row order.
+// availability, in Table I row order. A failed inspection carries its error
+// in Err with empty Reports, so one broken profile does not kill a
+// six-cloud sweep.
 type CloudInspection struct {
 	Provider string
 	Reports  []core.ChannelReport
+	// Err is non-nil when this provider's inspection failed; Reports is
+	// then empty and renderers mark the provider as failed instead of
+	// aborting the whole table.
+	Err error
 }
 
 // InspectProvider implements the right half of Fig. 1 for one provider: it
@@ -40,16 +47,45 @@ func InspectProvider(p cloud.ProviderProfile) (CloudInspection, error) {
 }
 
 // InspectAll runs the inspection across the local testbed and all five
-// commercial cloud profiles — the full Table I.
-func InspectAll() ([]CloudInspection, error) {
+// commercial cloud profiles — the full Table I — using the default worker
+// count (GOMAXPROCS).
+func InspectAll() ([]CloudInspection, error) { return InspectAllWorkers(0) }
+
+// InspectAllWorkers is InspectAll with an explicit worker count (the -j of
+// cmd/leakscan). Each provider inspection builds its own datacenter from a
+// fixed seed — share-nothing worlds — so the fan-out is deterministic: the
+// result slice is always in profile order with identical content at any
+// worker count.
+//
+// Provider failures are collected, not fatal: a failed provider appears in
+// the result with Err set, and the returned error is non-nil only when
+// every provider failed.
+func InspectAllWorkers(workers int) ([]CloudInspection, error) {
 	profiles := append([]cloud.ProviderProfile{cloud.LocalTestbed()}, cloud.CommercialClouds()...)
-	out := make([]CloudInspection, 0, len(profiles))
-	for _, p := range profiles {
-		ins, err := InspectProvider(p)
-		if err != nil {
-			return nil, err
+	return inspectProfiles(profiles, workers, InspectProvider)
+}
+
+// inspectProfiles fans the per-provider inspections out and folds failures
+// into the per-provider Err field (the injectable inspect hook keeps the
+// partial-failure path testable without a breakable provider profile).
+func inspectProfiles(
+	profiles []cloud.ProviderProfile,
+	workers int,
+	inspect func(cloud.ProviderProfile) (CloudInspection, error),
+) ([]CloudInspection, error) {
+	out, errs := parallel.MapSettle(workers, profiles, func(_ int, p cloud.ProviderProfile) (CloudInspection, error) {
+		return inspect(p)
+	})
+	failed := 0
+	for i := range out {
+		if errs[i] != nil {
+			out[i] = CloudInspection{Provider: profiles[i].Name, Err: errs[i]}
+			failed++
 		}
-		out = append(out, ins)
+	}
+	if failed == len(profiles) {
+		return out, fmt.Errorf("experiments: all %d provider inspections failed, first: %w",
+			failed, parallel.FirstError(errs))
 	}
 	return out, nil
 }
@@ -64,8 +100,11 @@ type PostureChange struct {
 }
 
 // DiffInspections compares two inspections channel by channel. It errors if
-// the inspections cover different channel sets.
+// the inspections cover different channel sets or either inspection failed.
 func DiffInspections(old, new CloudInspection) ([]PostureChange, error) {
+	if old.Err != nil || new.Err != nil {
+		return nil, fmt.Errorf("experiments: cannot diff failed inspections (%v, %v)", old.Err, new.Err)
+	}
 	if len(old.Reports) != len(new.Reports) {
 		return nil, fmt.Errorf("experiments: inspections cover %d vs %d channels",
 			len(old.Reports), len(new.Reports))

@@ -30,16 +30,24 @@ type Table1Result struct {
 }
 
 // Table1 runs the leakage detector against the local testbed and all five
-// commercial cloud profiles.
-func Table1() (*Table1Result, error) {
-	ins, err := InspectAll()
+// commercial cloud profiles at the default worker count.
+func Table1() (*Table1Result, error) { return Table1Workers(0) }
+
+// Table1Workers is Table1 with an explicit worker count: the six provider
+// datacenters are share-nothing worlds inspected in parallel, and the
+// rendered table is byte-identical at any worker count.
+func Table1Workers(workers int) (*Table1Result, error) {
+	ins, err := InspectAllWorkers(workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: table 1: %w", err)
 	}
 	return &Table1Result{Inspections: ins}, nil
 }
 
-// String renders the availability matrix in the paper's row order.
+// String renders the availability matrix in the paper's row order. A
+// provider whose inspection failed renders as "✗" in every row, with the
+// error appended below the table — partial results beat no table when one
+// of six clouds breaks.
 func (r *Table1Result) String() string {
 	headers := []string{"Leakage Channels", "Leakage Information", "Co-re", "DoS", "Leak"}
 	for _, ins := range r.Inspections[1:] { // skip local in the matrix columns
@@ -50,18 +58,32 @@ func (r *Table1Result) String() string {
 	for i, ch := range channels {
 		row := []string{ch.Name, ch.Info, glyph(ch.CoRes), glyph(ch.DoS), glyph(ch.InfoLeak)}
 		for _, ins := range r.Inspections[1:] {
+			if ins.Err != nil {
+				row = append(row, "✗")
+				continue
+			}
 			row = append(row, ins.Reports[i].Availability.String())
 		}
 		tb.Row(row...)
 	}
-	return "TABLE I: LEAKAGE CHANNELS IN COMMERCIAL CONTAINER CLOUD SERVICES\n" + tb.String()
+	s := "TABLE I: LEAKAGE CHANNELS IN COMMERCIAL CONTAINER CLOUD SERVICES\n" + tb.String()
+	for _, ins := range r.Inspections {
+		if ins.Err != nil {
+			s += fmt.Sprintf("✗ %s: inspection failed: %v\n", ins.Provider, ins.Err)
+		}
+	}
+	return s
 }
 
 // Available counts ● channels for a provider by name ("local", "cc1", …).
+// Failed providers (and unknown names) report -1.
 func (r *Table1Result) Available(provider string) int {
 	for _, ins := range r.Inspections {
 		if ins.Provider != provider {
 			continue
+		}
+		if ins.Err != nil {
+			return -1
 		}
 		n := 0
 		for _, rep := range ins.Reports {

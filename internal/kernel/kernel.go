@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/perfcount"
 	"repro/internal/power"
@@ -74,10 +75,26 @@ func (o *Options) fillDefaults() {
 }
 
 // Kernel is one simulated host kernel. It implements simclock.Ticker; drive
-// it from the simulation clock. Kernel is not safe for concurrent use.
+// it from the simulation clock.
+//
+// Concurrency: Tick, Spawn/Exit, and every other mutating call must stay on
+// the single clock thread — the kernel is NOT safe for concurrent
+// mutation. The pseudo-filesystem *read* path, however, is safe to run
+// from many goroutines while the clock is paused: all snapshot accessors
+// are pure reads, and the one volatile read (/proc/sys/kernel/random/uuid)
+// draws from a dedicated mutex-guarded RNG so concurrent readers never
+// race on — or perturb — the simulation's jitter stream. See
+// ARCHITECTURE.md's concurrency contract.
 type Kernel struct {
 	opts Options
 	rng  *rand.Rand
+
+	// uuidRNG feeds /proc/sys/kernel/random/uuid reads. It is deliberately
+	// separate from rng: reads happen concurrently during parallel
+	// cross-validation, and must neither race on nor reorder the jitter
+	// stream that drives the deterministic simulation.
+	uuidMu  sync.Mutex
+	uuidRNG *rand.Rand
 
 	meter *power.Meter
 	perf  *perfcount.Monitor
@@ -194,7 +211,8 @@ func New(opts Options) *Kernel {
 		nextPID: 300, // early pids are kernel threads
 	}
 	k.meter = power.New(opts.Power)
-	k.bootID = k.genUUID()
+	k.uuidRNG = rand.New(rand.NewSource(opts.Seed ^ 0x75756964)) // "uuid"
+	k.bootID = uuidFrom(k.rng)                                   // same draw order as always
 	if opts.WallClockNow > opts.BootWallClock {
 		k.uptimeBase = float64(opts.WallClockNow - opts.BootWallClock)
 	}
@@ -293,10 +311,22 @@ func (k *Kernel) Uptime() (up, idle float64) { return k.uptimeBase + k.now, k.id
 // InitNS returns the host's initial namespace set.
 func (k *Kernel) InitNS() *NSSet { return k.initNS }
 
-// genUUID produces an RFC-4122-shaped random UUID from the kernel's RNG.
+// genUUID produces an RFC-4122-shaped random UUID. It draws from the
+// dedicated uuid RNG under a mutex: /proc/sys/kernel/random/uuid is the one
+// pseudo-file whose read is inherently volatile, and parallel
+// cross-validation reads it from many goroutines at once. Serializing only
+// this draw keeps the read race-free without perturbing k.rng, whose
+// consumption order the deterministic simulation depends on.
 func (k *Kernel) genUUID() string {
+	k.uuidMu.Lock()
+	defer k.uuidMu.Unlock()
+	return uuidFrom(k.uuidRNG)
+}
+
+// uuidFrom formats 16 bytes of rng output as an RFC-4122 UUID.
+func uuidFrom(rng *rand.Rand) string {
 	b := make([]byte, 16)
-	k.rng.Read(b)
+	rng.Read(b)
 	b[6] = (b[6] & 0x0f) | 0x40
 	b[8] = (b[8] & 0x3f) | 0x80
 	return fmt.Sprintf("%x-%x-%x-%x-%x", b[0:4], b[4:6], b[6:8], b[8:10], b[10:16])

@@ -156,7 +156,9 @@ type Cgroup struct {
 	locks []FileLock
 }
 
-// Cgroup returns the cgroup at path, creating it if needed.
+// Cgroup returns the cgroup at path, creating it if needed. Because it can
+// mutate the cgroup table, it must only be called from the clock thread;
+// read-side code (pseudo-file handlers) uses LookupCgroup instead.
 func (k *Kernel) Cgroup(path string) *Cgroup {
 	cg, ok := k.cgroups[path]
 	if !ok {
@@ -164,6 +166,15 @@ func (k *Kernel) Cgroup(path string) *Cgroup {
 		k.cgroups[path] = cg
 	}
 	return cg
+}
+
+// LookupCgroup returns the cgroup at path without creating it — the
+// read-only accessor the pseudo-filesystem handlers use so that concurrent
+// reads never write the cgroup table. A read of a never-created cgroup
+// (possible only through a hand-built View) simply observes zero counters.
+func (k *Kernel) LookupCgroup(path string) (*Cgroup, bool) {
+	cg, ok := k.cgroups[path]
+	return cg, ok
 }
 
 // Cgroups returns all cgroup paths in sorted order.

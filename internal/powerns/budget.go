@@ -41,6 +41,8 @@ func (ns *Namespace) PowerBudget(cgroupPath string) float64 {
 // most recent accounting interval — the metering hook for power-aware
 // billing.
 func (ns *Namespace) LastPower(cgroupPath string) (float64, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	ns.update()
 	a, ok := ns.containers[cgroupPath]
 	if !ok {

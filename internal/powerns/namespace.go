@@ -2,6 +2,7 @@ package powerns
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/perfcount"
@@ -13,9 +14,21 @@ import (
 // RAPL energy among containers and serves per-container counters through
 // the unchanged energy_uj interface. Create with New, attach containers
 // with Register, and activate with Install.
+//
+// Concurrency: a container-context energy_uj read lazily advances the
+// accounting (update), which mutates namespace state — the one read
+// handler in the tree with side effects. All entry points therefore
+// serialize on an internal mutex, so parallel cross-validation of a
+// defended host is race-free; the accounting itself advances at most once
+// per simulated instant, so results do not depend on which reader arrives
+// first. Register/Unregister remain clock-thread-only operations.
 type Namespace struct {
 	k     *kernel.Kernel
 	model *Model
+
+	// mu serializes the lazily-updating read path (EnergyUJ, Meter,
+	// LastPower, and the thermal namespace's CoreTempC).
+	mu sync.Mutex
 
 	// Calibration toggle for the ablation study: when false, raw modeled
 	// energy is returned without Formula 3's rescaling.
@@ -87,7 +100,9 @@ func (ns *Namespace) Unregister(cgroupPath string) {
 
 // update advances the per-container energy accounts to the current kernel
 // time: collect counter deltas, model each container's energy, and
-// calibrate against the raw RAPL delta (Formula 3).
+// calibrate against the raw RAPL delta (Formula 3). Callers must hold
+// ns.mu. The per-container attributions are mutually independent, so the
+// map iteration order cannot affect the outcome.
 func (ns *Namespace) update() {
 	now := ns.k.Now()
 	dt := now - ns.lastUpdate
@@ -146,6 +161,8 @@ func (ns *Namespace) EnergyUJ(v pseudofs.View, d power.Domain) (uint64, error) {
 	if v.IsHost() {
 		return ns.k.Meter().EnergyUJ(d), nil
 	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	ns.update()
 	a, ok := ns.containers[v.CgroupPath]
 	if !ok {
@@ -162,6 +179,8 @@ func (ns *Namespace) EnergyUJ(v pseudofs.View, d power.Domain) (uint64, error) {
 // Meter reads a container's current accumulated energy in µJ (package
 // domain) without the pseudo-fs round trip.
 func (ns *Namespace) Meter(cgroupPath string) (float64, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	ns.update()
 	a, ok := ns.containers[cgroupPath]
 	if !ok {

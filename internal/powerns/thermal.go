@@ -60,6 +60,8 @@ func (t *ThermalNamespace) CoreTempC(v pseudofs.View, core int) (float64, error)
 	if v.IsHost() {
 		return t.physical(core), nil
 	}
+	t.ns.mu.Lock()
+	defer t.ns.mu.Unlock()
 	t.ns.update()
 	idleTemp := t.ambientC + t.thermalResC*t.idleCoreW
 	a, ok := t.ns.containers[v.CgroupPath]

@@ -17,12 +17,14 @@ func (fs *FS) buildSys(hw Hardware) {
 	// handler renders the reader's own cgroup priority map, but iterates
 	// init_net's device list (for_each_netdev_rcu(&init_net, …)), so a
 	// container sees every physical interface of the host.
+	// (LookupCgroup, not Cgroup: read handlers must never create table
+	// entries — parallel cross-validation reads these concurrently.)
 	fs.add("/sys/fs/cgroup/net_prio/net_prio.ifpriomap", func(v View) (string, error) {
-		cg := k.Cgroup(v.CgroupPath)
+		cg, _ := k.LookupCgroup(v.CgroupPath)
 		var b strings.Builder
 		for _, dev := range k.HostNetDevices() { // BUG preserved: host list
 			prio := 0
-			if cg.IfPrioMap != nil {
+			if cg != nil && cg.IfPrioMap != nil {
 				prio = cg.IfPrioMap[dev.Name]
 			}
 			fmt.Fprintf(&b, "%s %d\n", dev.Name, prio)
@@ -32,8 +34,11 @@ func (fs *FS) buildSys(hw Hardware) {
 
 	// cpuacct usage for the reader's cgroup — properly delegated.
 	fs.add("/sys/fs/cgroup/cpuacct/cpuacct.usage", func(v View) (string, error) {
-		cg := k.Cgroup(v.CgroupPath)
-		return fmt.Sprintf("%d\n", int64(cg.CPUUsageNS)), nil
+		var usage int64
+		if cg, ok := k.LookupCgroup(v.CgroupPath); ok {
+			usage = int64(cg.CPUUsageNS)
+		}
+		return fmt.Sprintf("%d\n", usage), nil
 	})
 
 	// /sys/devices/system/node/node0/{numastat,vmstat,meminfo}: NUMA node
