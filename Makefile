@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-full clean
+.PHONY: check fmt vet build test race bench bench-full chaos chaos-sweep clean
 
 check: fmt vet build race
 
@@ -28,6 +28,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos smoke: the three pipelines under deterministic fault injection at
+# the paper-scale 2% rate with a fixed seed. Must complete and keep shape
+# (Table I renders, synergistic trials land, max ξ < 0.05); the sweep grid
+# in EXPERIMENTS.md is the full version.
+chaos:
+	$(GO) run ./cmd/leakscan -table1 -chaos 0.02 -chaosseed 1
+	$(GO) run ./cmd/powersim -fig3 -chaos 0.02 -chaosseed 1
+	$(GO) run ./cmd/defensebench -fig8 -chaos 0.02 -chaosseed 1
+
+# Full fault-rate degradation grid (detector / attack / defense).
+chaos-sweep:
+	$(GO) run ./cmd/defensebench -chaossweep -j 4
 
 # The serial-vs-parallel pairs from README.md's Performance section.
 # -benchtime=1x keeps this cheap enough for CI; drop it for stable numbers.

@@ -11,11 +11,19 @@
 //	defensebench -fig8 -table3   # selected experiments
 //	defensebench -ablations      # ablations + extensions only
 //	defensebench -j 4            # fan independent work out over 4 workers
+//	defensebench -fig8 -chaos 0.02 -chaosseed 1  # fig8 with faulty counters
+//	defensebench -chaossweep     # fault-rate degradation grid (extension)
 //
 // The -j flag bounds the worker pool for the parallel experiments
 // (Fig. 8's per-benchmark ξ measurements, the covert-channel grid, and
 // the ablation sweeps); 0 means GOMAXPROCS. Output is byte-identical at
 // any -j value.
+//
+// The -chaos flag perturbs the defense's own counter reads at the given
+// rate, seeded by -chaosseed: model training must reject glitched samples
+// and the namespace's calibration must fall back to pure model attribution
+// across reset intervals. It applies to -fig8 and seeds -chaossweep's
+// grid. Rate 0 (the default) injects nothing.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 )
 
@@ -40,11 +49,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fig9 := fs.Bool("fig9", false, "transparency traces")
 	table3 := fs.Bool("table3", false, "UnixBench overhead")
 	ablations := fs.Bool("ablations", false, "ablation and extension studies")
+	sweep := fs.Bool("chaossweep", false, "fault-rate grid: detector/attack/defense degradation")
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
+	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the defense's counter reads (0 = off; applies to -fig8)")
+	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*table3 && !*ablations
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*table3 && !*ablations && !*sweep
+	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 
 	fail := func(err error) int {
 		fmt.Fprintf(stderr, "defensebench: %v\n", err)
@@ -66,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, r)
 	}
 	if *fig8 || all {
-		r, err := experiments.Fig8Workers(*jobs)
+		r, err := experiments.Fig8ChaosWorkers(spec, *jobs)
 		if err != nil {
 			return fail(err)
 		}
@@ -128,6 +141,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprintln(stdout, experiments.RenderStages(stages))
+	}
+	if *sweep {
+		r, err := experiments.ChaosSweep(nil, *chaosSeed, *jobs)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
 	}
 	return 0
 }

@@ -11,10 +11,18 @@
 //	leakscan -table2    # U/V/M + entropy ranking only
 //	leakscan -discover  # leaking files beyond the Table I registry
 //	leakscan -j 4       # fan independent work out over 4 workers
+//	leakscan -table1 -chaos 0.02 -chaosseed 1  # with fault injection
 //
 // The -j flag bounds the worker pool for the parallel experiments
 // (Table I's per-provider inspections, discovery's per-path reads);
 // 0 means GOMAXPROCS. Output is byte-identical at any -j value.
+//
+// The -chaos flag arms the inspected clouds' observation surfaces with
+// deterministic fault injection at the given rate (transient read errors,
+// torn/stale reads, flapping masks, counter resets), seeded by -chaosseed.
+// It applies to -table1 and -discover; -table2 reads a chaos-free host.
+// Rate 0 (the default) injects nothing and is byte-identical to a build
+// without the chaos layer.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 )
 
@@ -37,17 +46,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	table2 := fs.Bool("table2", false, "print Table II (channel ranking)")
 	discover := fs.Bool("discover", false, "list leaking files beyond the Table I registry")
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
+	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the observation surface (0 = off)")
+	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	all := !*table1 && !*table2 && !*discover
+	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 
 	fail := func(err error) int {
 		fmt.Fprintf(stderr, "leakscan: %v\n", err)
 		return 1
 	}
 	if *table1 || all {
-		r, err := experiments.Table1Workers(*jobs)
+		r, err := experiments.Table1ChaosWorkers(spec, *jobs)
 		if err != nil {
 			return fail(err)
 		}
@@ -61,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, r)
 	}
 	if *discover || all {
-		r, err := experiments.DiscoveryWorkers(*jobs)
+		r, err := experiments.DiscoveryChaosWorkers(spec, *jobs)
 		if err != nil {
 			return fail(err)
 		}

@@ -11,9 +11,16 @@
 //	powersim -fig3sweep 8    # fig3 statistics across seeds (extension)
 //	powersim -fig3sweep 8 -j 4  # the sweep's seeds fanned over 4 workers
 //	powersim -fig4           # aggregation experiment only
+//	powersim -fig3 -chaos 0.02 -chaosseed 1  # fig3 with faulty monitors
 //
 // The -j flag bounds the worker pool for the seed sweep; 0 means
 // GOMAXPROCS. Statistics are byte-identical at any -j value.
+//
+// The -chaos flag arms the attacked rack's observation surface with
+// deterministic fault injection at the given rate, seeded by -chaosseed:
+// the attacker's power monitors must then ride flaky energy counters. It
+// applies to -fig3; the other figures read the physics directly and are
+// unaffected. Rate 0 (the default) injects nothing.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 )
 
@@ -39,10 +47,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	days := fs.Int("days", 7, "trace length for -fig2, in days")
 	series := fs.Bool("series", false, "also dump raw series values")
 	jobs := fs.Int("j", 0, "worker count for the seed sweep (0 = GOMAXPROCS)")
+	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the observation surface (0 = off; applies to -fig3)")
+	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	all := !*fig2 && !*fig3 && !*fig4 && *sweep == 0
+	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 
 	fail := func(err error) int {
 		fmt.Fprintf(stderr, "powersim: %v\n", err)
@@ -56,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *fig3 || all {
-		r, err := experiments.Fig3()
+		r, err := experiments.Fig3Chaos(spec)
 		if err != nil {
 			return fail(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"strconv"
@@ -43,7 +44,7 @@ func main() {
 		log.Fatalf("monitor: %v", err)
 	}
 	k.Tick(1, 1)
-	if _, err := mon.Sample(1); err != nil {
+	if _, err := mon.Sample(1); err != nil && !errors.Is(err, attack.ErrPrimed) {
 		log.Fatalf("sample: %v", err)
 	}
 	victim.Run(workload.Prime, 8)

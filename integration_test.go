@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -139,7 +140,7 @@ func TestEndToEndPaperNarrative(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		dcd.Clock.Advance(1)
 		w, err := mon.Sample(1)
-		if err != nil {
+		if err != nil && !errors.Is(err, attack.ErrPrimed) {
 			t.Fatal(err)
 		}
 		if i == 1 {

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -24,8 +25,8 @@ func TestPowerMonitorTracksHostPower(t *testing.T) {
 		t.Fatal(err)
 	}
 	dc.Clock.Advance(1)
-	if w, err := m.Sample(1); err != nil || w != 0 {
-		t.Fatalf("priming sample = %g err=%v", w, err)
+	if w, err := m.Sample(1); !errors.Is(err, ErrPrimed) || w != 0 {
+		t.Fatalf("priming sample = %g err=%v, want 0, ErrPrimed", w, err)
 	}
 	// Idle phase.
 	var idleW float64

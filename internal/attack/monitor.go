@@ -17,11 +17,13 @@
 package attack
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"repro/internal/power"
+	"repro/internal/pseudofs"
 	"repro/internal/stats"
 )
 
@@ -35,6 +37,82 @@ const (
 	energyPath   = "/sys/class/powercap/intel-rapl:0/energy_uj"
 	maxRangePath = "/sys/class/powercap/intel-rapl:0/max_energy_range_uj"
 )
+
+// ErrPrimed is returned by the first Sample call of a monitor: the call
+// establishes the baseline and produces no measurement. It used to return
+// 0, nil — indistinguishable from a genuine 0 W sample, which poisoned any
+// consumer averaging or thresholding the series.
+var ErrPrimed = errors.New("attack: monitor primed; no sample yet")
+
+// Fault-tolerance parameters shared by the monitors. The observation
+// surface on a real cloud is flaky: reads hit transient EIO/EAGAIN, race
+// writers (torn content), and the counters themselves reset across power
+// events. Retries are bounded — the monitor runs inside a per-second
+// sampling loop and must not stall it.
+const (
+	// sampleRetries bounds read attempts per sample; transient errors and
+	// torn-read parse failures are retried, everything else returns
+	// immediately.
+	sampleRetries = 3
+	// stableReadAttempts bounds the double-read agreement protocol for
+	// counter reads: it needs two successful reads of the same value, with
+	// transient errors, unparseable renders, and disagreeing values all
+	// consuming attempts.
+	stableReadAttempts = 5
+	// glitchWindow is the trailing window whose median replaces a rejected
+	// outlier sample.
+	glitchWindow = 5
+	// glitchMinHistory is how much history the rejection filter needs
+	// before it trusts its notion of a plausible floor.
+	glitchMinHistory = 8
+	// wrapFactor bounds how far above the observed maximum a
+	// wrap-classified sample may land before it is rejected as a disguised
+	// counter reset (see implausibleWrap).
+	wrapFactor = 4.0
+)
+
+// retryable reports whether a read error may succeed on immediate retry.
+func retryable(err error) bool { return errors.Is(err, pseudofs.ErrTransient) }
+
+// readUint reads path through p until two successful reads agree on the
+// parsed value — double-read agreement. A flaky read can fail loudly
+// (transient EIO/EAGAIN, retried) or lie silently: a torn render truncates
+// the decimal digits and a stale render replays an old snapshot, and both
+// still parse cleanly. A silently-wrong energy value is poison — one torn
+// counter read becomes a phantom multi-kilowatt delta that inflates the
+// synergistic trigger's observed maximum forever. Two independent reads
+// agreeing on the same lie is vanishingly unlikely, while on a clean
+// substrate the confirmation read is side-effect-free and always matches,
+// so the protocol is a behavioral no-op there.
+func readUint(p Prober, path string) (uint64, error) {
+	var seen []uint64
+	var lastErr error
+	for attempt := 0; attempt < stableReadAttempts; attempt++ {
+		raw, err := p.ReadFile(path)
+		if err != nil {
+			if !retryable(err) {
+				return 0, err
+			}
+			lastErr = err
+			continue
+		}
+		v, perr := strconv.ParseUint(strings.TrimSpace(raw), 10, 64)
+		if perr != nil {
+			lastErr = perr // torn render: retry
+			continue
+		}
+		for _, s := range seen {
+			if s == v {
+				return v, nil
+			}
+		}
+		seen = append(seen, v)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("reads would not settle on one value")
+	}
+	return 0, fmt.Errorf("attack: %s unreadable after %d attempts: %w", path, stableReadAttempts, lastErr)
+}
 
 // PowerMonitor estimates whole-package host power from inside a container
 // by differencing the leaked RAPL energy counter — Case Study II
@@ -51,44 +129,102 @@ type PowerMonitor struct {
 
 // NewPowerMonitor initializes the monitor, reading the counter wrap range.
 // It fails if the RAPL channel is masked or absent — i.e. the defense (or
-// provider hardening) is effective.
+// provider hardening) is effective. Transient read failures are retried.
 func NewPowerMonitor(p Prober) (*PowerMonitor, error) {
-	raw, err := p.ReadFile(maxRangePath)
+	maxRange, err := readUint(p, maxRangePath)
 	if err != nil {
 		return nil, fmt.Errorf("attack: RAPL channel unavailable: %w", err)
-	}
-	maxRange, err := strconv.ParseUint(strings.TrimSpace(raw), 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("attack: parse max_energy_range_uj: %w", err)
 	}
 	return &PowerMonitor{probe: p, maxRange: maxRange, capacity: 600}, nil
 }
 
 // Sample reads the energy counter and returns the average package power in
 // Watts since the previous sample, dt seconds ago. The first call primes
-// the counter and returns 0.
+// the counter and returns (0, ErrPrimed).
+//
+// The read path is hardened against a flaky observation surface: the
+// counter is read to double-read agreement (transient errors, torn and
+// stale renders all fail to produce two matching reads and are retried,
+// bounded); counter resets and small regressions — which the naive wrap
+// arithmetic would turn into a phantom near-maxRange burn or a fake 0 W
+// lull — are detected via power.CounterDeltaKind and replaced by the
+// trailing-window median; and physically impossible low samples (below
+// half the observed floor) are rejected the same way once enough history
+// exists.
 func (m *PowerMonitor) Sample(dt float64) (float64, error) {
-	raw, err := m.probe.ReadFile(energyPath)
+	cur, err := readUint(m.probe, energyPath)
 	if err != nil {
 		return 0, fmt.Errorf("attack: read energy_uj: %w", err)
-	}
-	cur, err := strconv.ParseUint(strings.TrimSpace(raw), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("attack: parse energy_uj: %w", err)
 	}
 	if !m.primed {
 		m.prev = cur
 		m.primed = true
-		return 0, nil
+		return 0, ErrPrimed
 	}
-	delta := power.CounterDelta(m.prev, cur, m.maxRange)
+	delta, kind := power.CounterDeltaKind(m.prev, cur, m.maxRange)
 	m.prev = cur
 	watts := float64(delta) / 1e6 / dt
+	glitch := kind == power.DeltaReset || kind == power.DeltaRegression
+	if kind == power.DeltaWrapped && m.implausibleWrap(watts) {
+		glitch = true
+	}
+	watts = m.rejectGlitch(watts, glitch)
 	m.history = append(m.history, watts)
 	if len(m.history) > m.capacity {
 		m.history = m.history[len(m.history)-m.capacity:]
 	}
 	return watts, nil
+}
+
+// rejectGlitch implements median-of-window outlier rejection. A sample is
+// rejected when its delta arithmetic already flagged it (reset /
+// regression), or when it is physically implausible: below 1 W, or below
+// half the lowest credible (> 1 W) power ever observed — a host's idle
+// floor never halves between two seconds. Rejected samples are replaced by
+// the median of the trailing window so the history keeps its cadence
+// without absorbing the outlier. With fewer than glitchMinHistory samples
+// the filter only acts on arithmetic-flagged glitches (and only once a
+// window exists); a clean substrate never triggers it at all.
+func (m *PowerMonitor) rejectGlitch(watts float64, glitch bool) float64 {
+	if len(m.history) < glitchWindow {
+		return watts
+	}
+	if !glitch {
+		if len(m.history) < glitchMinHistory {
+			return watts
+		}
+		floor := 0.0
+		for _, v := range m.history {
+			if v > 1 && (floor == 0 || v < floor) {
+				floor = v
+			}
+		}
+		if watts >= 1 && (floor == 0 || watts >= 0.5*floor) {
+			return watts
+		}
+	}
+	return stats.Percentile(m.history[len(m.history)-glitchWindow:], 50)
+}
+
+// implausibleWrap rejects the one silent lie the delta arithmetic cannot
+// see: a counter reset caught while the counter sat near its ceiling looks
+// exactly like a wrap, with a delta of maxRange−prev — kilowatts of phantom
+// burn that would inflate the near-max trigger's reference forever. A
+// genuine wrap's delta is just ordinary consumption, indistinguishable from
+// its neighbors, so any wrap-classified sample more than wrapFactor× the
+// highest power ever observed is treated as a glitch. Clean substrates
+// never trigger this: their wraps land inside the observed envelope.
+func (m *PowerMonitor) implausibleWrap(watts float64) bool {
+	if len(m.history) < glitchWindow {
+		return false
+	}
+	var max float64
+	for _, v := range m.history {
+		if v > max {
+			max = v
+		}
+	}
+	return watts > wrapFactor*max
 }
 
 // History returns the observed power series (oldest first).

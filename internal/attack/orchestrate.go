@@ -82,7 +82,9 @@ func SpreadAcrossRack(dc *cloud.Datacenter, tenant string, n int, cores float64,
 			return res, fmt.Errorf("attack: launch: %w", err)
 		}
 		res.Launched++
-		id, err := c.ReadFile("/proc/sys/kernel/random/boot_id")
+		// Retrying read: on a flaky observation surface a transient fault or
+		// torn render here would abort the whole campaign over one probe.
+		id, err := coresidence.ReadBootID(c)
 		if err != nil {
 			return res, fmt.Errorf("attack: boot_id probe: %w", err)
 		}

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cloud"
@@ -65,6 +66,10 @@ type Result struct {
 	BreakerTripped    bool
 	TrippedAtS        float64
 	CoreSecondsAtTrip float64
+	// MonitorFaults counts sampling steps where a host signal failed even
+	// after its internal retries and the campaign held the last known
+	// value instead of aborting. Always 0 on a clean substrate.
+	MonitorFaults int
 }
 
 // campaign drives the common loop: advance the datacenter clock one second
@@ -198,21 +203,37 @@ func RunSynergisticUtil(dc *cloud.Datacenter, rack *cloud.Rack, containers []*co
 
 // perHostSignals builds one signal per distinct host. The attacker cannot
 // see placement, so it groups its own containers by the leaked boot_id —
-// using the very channel under study.
+// using the very channel under study. A host whose monitor cannot be
+// constructed (e.g. its RAPL path is flapping or dead) is skipped rather
+// than aborting the campaign; the sweep fails only when *no* host is
+// monitorable, since one working signal still carries the rack-level
+// trend.
 func perHostSignals(containers []*container.Container, mk func(*container.Container) (HostSignal, error)) ([]HostSignal, error) {
 	seen := map[string]bool{}
 	var monitors []HostSignal
+	var firstErr error
 	for _, cont := range containers {
 		bootID, err := cont.ReadFile("/proc/sys/kernel/random/boot_id")
 		if err == nil && seen[bootID] {
 			continue
 		}
-		m, err := mk(cont)
-		if err != nil {
-			return nil, err
+		m, mkErr := mk(cont)
+		if mkErr != nil {
+			if firstErr == nil {
+				firstErr = mkErr
+			}
+			continue
 		}
 		monitors = append(monitors, m)
-		seen[bootID] = true
+		if err == nil {
+			seen[bootID] = true
+		}
+	}
+	if len(monitors) == 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("attack: no containers to monitor")
+		}
+		return nil, firstErr
 	}
 	return monitors, nil
 }
@@ -221,19 +242,29 @@ func runSynergistic(dc *cloud.Datacenter, rack *cloud.Rack, containers []*contai
 	c := newCampaign(dc, rack, containers, cfg)
 	start := dc.Clock.Now()
 	var sumHistory []float64
+	lastW := make([]float64, len(monitors))
 	for t := 0.0; t < duration; t++ {
 		now := dc.Clock.Now()
 		// Sample every monitored host's power (free: a couple of file
 		// reads per host) and aggregate. The rack peaks when the SUM of
 		// server powers peaks, so the trigger watches the aggregate — the
-		// system-wide visibility that the leaked RAPL channel grants.
+		// system-wide visibility that the leaked RAPL channel grants. A
+		// monitor that fails a step even after its internal retries holds
+		// its last known value: one glitched read must not abort an
+		// hours-long campaign, and the aggregate trend survives a
+		// one-second hole in one host's signal.
 		var sum float64
-		for _, m := range monitors {
+		for i, m := range monitors {
 			w, err := m.Sample(1)
-			if err != nil {
-				return Result{}, err
+			switch {
+			case err == nil:
+				lastW[i] = w
+			case errors.Is(err, ErrPrimed):
+				lastW[i] = 0 // baseline step: no measurement yet
+			default:
+				c.res.MonitorFaults++ // hold lastW[i]
 			}
-			sum += w
+			sum += lastW[i]
 		}
 		sumHistory = append(sumHistory, sum)
 		crest := false

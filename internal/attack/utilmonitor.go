@@ -20,7 +20,8 @@ import (
 // watch: true power from RAPL, or a utilization proxy.
 type HostSignal interface {
 	// Sample returns the signal averaged over the dt seconds since the
-	// previous call; the first call primes internal state and returns 0.
+	// previous call; the first call primes internal state and returns
+	// (0, ErrPrimed).
 	Sample(dt float64) (float64, error)
 }
 
@@ -31,6 +32,7 @@ type UtilizationMonitor struct {
 	prevBusy  float64
 	prevTotal float64
 	primed    bool
+	lastUtil  float64
 }
 
 // NewUtilizationMonitor validates that /proc/stat is readable and returns
@@ -47,27 +49,58 @@ func NewUtilizationMonitor(p Prober) (*UtilizationMonitor, error) {
 }
 
 // Sample implements HostSignal: percent CPU utilization since last call.
+// Transient read errors and torn renders are retried (bounded); a stale
+// snapshot (no tick progress, or ticks running backwards after a stale
+// read) holds the previous utilization instead of fabricating a 0% lull.
 func (m *UtilizationMonitor) Sample(dt float64) (float64, error) {
-	content, err := m.probe.ReadFile("/proc/stat")
-	if err != nil {
-		return 0, fmt.Errorf("attack: read /proc/stat: %w", err)
-	}
-	busy, total, err := parseCPULine(content)
+	busy, total, err := m.readCPULine()
 	if err != nil {
 		return 0, err
 	}
 	if !m.primed {
 		m.prevBusy, m.prevTotal = busy, total
 		m.primed = true
-		return 0, nil
+		return 0, ErrPrimed
 	}
 	dBusy := busy - m.prevBusy
 	dTotal := total - m.prevTotal
-	m.prevBusy, m.prevTotal = busy, total
 	if dTotal <= 0 {
-		return 0, nil
+		// Stale or regressed snapshot: no new accounting to difference.
+		// Keep prev so the next fresh snapshot yields a sane delta.
+		return m.lastUtil, nil
 	}
-	return dBusy / dTotal * 100, nil
+	m.prevBusy, m.prevTotal = busy, total
+	util := dBusy / dTotal * 100
+	if util < 0 {
+		util = 0
+	} else if util > 100 {
+		util = 100
+	}
+	m.lastUtil = util
+	return util, nil
+}
+
+// readCPULine reads and parses /proc/stat with bounded retries on
+// transient failures and torn (unparseable) renders.
+func (m *UtilizationMonitor) readCPULine() (busy, total float64, err error) {
+	var lastErr error
+	for attempt := 0; attempt < sampleRetries; attempt++ {
+		content, rerr := m.probe.ReadFile("/proc/stat")
+		if rerr != nil {
+			if !retryable(rerr) {
+				return 0, 0, fmt.Errorf("attack: read /proc/stat: %w", rerr)
+			}
+			lastErr = rerr
+			continue
+		}
+		b, tot, perr := parseCPULine(content)
+		if perr != nil {
+			lastErr = perr // torn render: retry
+			continue
+		}
+		return b, tot, nil
+	}
+	return 0, 0, fmt.Errorf("attack: /proc/stat unreadable after %d attempts: %w", sampleRetries, lastErr)
 }
 
 // parseCPULine extracts (busy, total) USER_HZ ticks from the aggregate

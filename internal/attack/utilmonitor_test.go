@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/cloud"
@@ -16,8 +17,8 @@ func TestUtilizationMonitorTracksLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	dc.Clock.Advance(1)
-	if v, err := m.Sample(1); err != nil || v != 0 {
-		t.Fatalf("priming sample = %g err=%v", v, err)
+	if v, err := m.Sample(1); !errors.Is(err, ErrPrimed) || v != 0 {
+		t.Fatalf("priming sample = %g err=%v, want 0, ErrPrimed", v, err)
 	}
 	var idleU float64
 	for i := 0; i < 20; i++ {

@@ -1,0 +1,321 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/pseudofs"
+)
+
+// trace drains n fate decisions for one path from a fresh injector and
+// records them as compact strings.
+func trace(in *Injector, path string, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		content, err := in.Read(path, func() (string, error) {
+			return fmt.Sprintf("render-%d", i), nil
+		})
+		switch {
+		case err != nil:
+			out = append(out, "err:"+err.Error())
+		default:
+			out = append(out, "ok:"+content)
+		}
+	}
+	return out
+}
+
+func testConfig(seed int64) Config {
+	return Spec{Rate: 0.2, Seed: seed}.Config()
+}
+
+// TestPerPathStreamsIndependentOfInterleaving is the determinism keystone:
+// a path's fault sequence depends only on (seed, path) and its own read
+// count, never on reads of other paths — so any worker-count scheduling of
+// per-path work items observes identical faults.
+func TestPerPathStreamsIndependentOfInterleaving(t *testing.T) {
+	const n = 400
+	paths := []string{"/proc/stat", "/proc/meminfo", "/sys/x/energy_uj"}
+
+	// Reference: each path drained alone on its own injector.
+	want := map[string][]string{}
+	for _, p := range paths {
+		want[p] = trace(NewInjector(testConfig(7)), p, n)
+	}
+
+	// Same seed, one shared injector, reads interleaved round-robin.
+	in := NewInjector(testConfig(7))
+	got := map[string][]string{}
+	for i := 0; i < n; i++ {
+		for _, p := range paths {
+			j := len(got[p])
+			content, err := in.Read(p, func() (string, error) {
+				return fmt.Sprintf("render-%d", j), nil
+			})
+			if err != nil {
+				got[p] = append(got[p], "err:"+err.Error())
+			} else {
+				got[p] = append(got[p], "ok:"+content)
+			}
+		}
+	}
+	for _, p := range paths {
+		for i := range want[p] {
+			if got[p][i] != want[p][i] {
+				t.Fatalf("path %s read %d: interleaved %q != isolated %q", p, i, got[p][i], want[p][i])
+			}
+		}
+	}
+}
+
+// TestSameSeedSameFaults: identical (config, path) reproduce identical
+// fault sequences; a different seed diverges.
+func TestSameSeedSameFaults(t *testing.T) {
+	a := trace(NewInjector(testConfig(3)), "/proc/stat", 300)
+	b := trace(NewInjector(testConfig(3)), "/proc/stat", 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d: same seed diverged: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := trace(NewInjector(testConfig(4)), "/proc/stat", 300)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestFaultTaxonomyObserved: at a healthy rate every fault kind appears,
+// with transient errors classifiable via pseudofs sentinels.
+func TestFaultTaxonomyObserved(t *testing.T) {
+	in := NewInjector(testConfig(11))
+	var transient, denied, torn, stale int
+	prev := ""
+	for i := 0; i < 3000; i++ {
+		full := fmt.Sprintf("render-%06d", i)
+		content, err := in.Read("/proc/meminfo", func() (string, error) { return full, nil })
+		switch {
+		case errors.Is(err, pseudofs.ErrTransient):
+			transient++
+		case errors.Is(err, pseudofs.ErrDenied):
+			denied++
+		case err != nil:
+			t.Fatalf("read %d: unexpected error class: %v", i, err)
+		case content == full:
+			// clean
+		case strings.HasPrefix(full, content):
+			torn++
+		case content == prev || len(content) == len(full):
+			stale++
+		default:
+			t.Fatalf("read %d: content %q is neither clean, torn prefix, nor stale", i, content)
+		}
+		if err == nil && content == full {
+			prev = full
+		}
+	}
+	if transient == 0 || denied == 0 || torn == 0 || stale == 0 {
+		t.Fatalf("fault kinds missing in 3000 reads: transient=%d denied=%d torn=%d stale=%d",
+			transient, denied, torn, stale)
+	}
+}
+
+// TestStickyFaultLatches: once a path goes sticky-EIO it never recovers.
+func TestStickyFaultLatches(t *testing.T) {
+	cfg := Config{Seed: 1, EIORate: 0.5, StickyFrac: 1} // every EIO latches
+	in := NewInjector(cfg)
+	stuckAt := -1
+	for i := 0; i < 50; i++ {
+		_, err := in.Read("/proc/stat", func() (string, error) { return "x", nil })
+		if err != nil {
+			stuckAt = i
+			break
+		}
+	}
+	if stuckAt < 0 {
+		t.Fatal("no EIO in 50 reads at rate 0.5")
+	}
+	for i := 0; i < 20; i++ {
+		_, err := in.Read("/proc/stat", func() (string, error) { return "x", nil })
+		if !errors.Is(err, pseudofs.ErrTransient) || !strings.Contains(err.Error(), "sticky") {
+			t.Fatalf("post-latch read %d: err = %v, want sticky EIO", i, err)
+		}
+	}
+	// Other paths are unaffected.
+	if _, err := in.Read("/proc/uptime", func() (string, error) { return "y", nil }); err != nil && strings.Contains(err.Error(), "sticky") {
+		t.Fatalf("sticky state leaked across paths: %v", err)
+	}
+}
+
+// TestFlapDeniesExactlyFlapReads: a flap episode denies FlapReads
+// consecutive reads, then the path recovers.
+func TestFlapDeniesExactlyFlapReads(t *testing.T) {
+	cfg := Config{Seed: 9, FlapRate: 1, FlapReads: 3} // first roll always flaps
+	in := NewInjector(cfg)
+	for i := 0; i < 3; i++ {
+		_, err := in.Read("/proc/locks", func() (string, error) { return "x", nil })
+		if !errors.Is(err, pseudofs.ErrDenied) {
+			t.Fatalf("flap read %d: err = %v, want ErrDenied", i, err)
+		}
+	}
+	// FlapRate=1 restarts an episode on every post-episode roll, so drop the
+	// rate to observe recovery.
+	in.cfg.FlapRate = 0
+	content, err := in.Read("/proc/locks", func() (string, error) { return "back", nil })
+	if err != nil || content != "back" {
+		t.Fatalf("post-flap read: %q, %v; want clean recovery", content, err)
+	}
+}
+
+// TestCounterResetAndQuantization: Observe re-bases the counter at an
+// injected reset (observed value restarts near zero) and floors to the
+// quantum; between resets it is monotone for a monotone raw counter.
+func TestCounterResetAndQuantization(t *testing.T) {
+	const q = 1000
+	c := NewCounters(Config{Seed: 5, ResetRate: 0.05, JitterUJ: q})
+	const maxR = uint64(1 << 40)
+	var prev uint64
+	resets := 0
+	for i := 1; i <= 2000; i++ {
+		raw := uint64(i) * 123_457 // monotone raw counter
+		v := c.Observe("host/energy/package", raw, maxR)
+		if v%q != 0 {
+			t.Fatalf("step %d: observed %d not floored to quantum %d", i, v, q)
+		}
+		if v < prev {
+			resets++
+			if v > prev/2 {
+				t.Fatalf("step %d: regression %d -> %d is not a reset-to-near-zero", i, prev, v)
+			}
+		}
+		prev = v
+	}
+	if resets == 0 {
+		t.Fatal("no injected resets in 2000 observations at rate 0.05")
+	}
+}
+
+// TestCounterZeroConfigIsQuantizedIdentity: with ResetRate 0 and no
+// quantum, Observe is the identity — the chaos-off contract at the
+// counter layer.
+func TestCounterZeroConfigIsQuantizedIdentity(t *testing.T) {
+	c := NewCounters(Config{Seed: 1})
+	for i := 0; i < 100; i++ {
+		raw := uint64(i) * 999
+		if got := c.Observe("k", raw, 1<<40); got != raw {
+			t.Fatalf("Observe(%d) = %d with zero config", raw, got)
+		}
+	}
+}
+
+// TestCounterKeysIndependent: two keys' reset streams are split — the
+// sequence for one key is identical whether or not the other is observed.
+func TestCounterKeysIndependent(t *testing.T) {
+	cfg := Config{Seed: 2, ResetRate: 0.2}
+	solo := NewCounters(cfg)
+	var want []uint64
+	for i := 0; i < 500; i++ {
+		want = append(want, solo.Observe("a", uint64(i)*1000, 1<<40))
+	}
+	both := NewCounters(cfg)
+	for i := 0; i < 500; i++ {
+		both.Observe("b", uint64(i)*777, 1<<40) // interloper
+		if got := both.Observe("a", uint64(i)*1000, 1<<40); got != want[i] {
+			t.Fatalf("step %d: key a diverged with key b interleaved: %d != %d", i, got, want[i])
+		}
+	}
+}
+
+// TestSplitStability: Split is a pure function and distinct names give
+// distinct seeds (FNV-64a collision over a handful of names would be a
+// red flag).
+func TestSplitStability(t *testing.T) {
+	if Split(1, "fs", "/proc/stat") != Split(1, "fs", "/proc/stat") {
+		t.Fatal("Split not deterministic")
+	}
+	seen := map[int64]string{}
+	for _, name := range []string{"/proc/stat", "/proc/meminfo", "/proc/uptime", "a", "b", ""} {
+		s := Split(42, "fs", name)
+		if other, dup := seen[s]; dup {
+			t.Fatalf("Split collision: %q and %q -> %d", name, other, s)
+		}
+		seen[s] = name
+	}
+	if Split(1, "fs", "x") == Split(2, "fs", "x") {
+		t.Fatal("Split ignores seed")
+	}
+	if Split(1, "fs", "x") == Split(1, "ctr", "x") {
+		t.Fatal("Split ignores kind")
+	}
+}
+
+// TestSpecZeroDisabled: the zero Spec must disable everything — Install
+// returns nil and leaves the FS untouched.
+func TestSpecZeroDisabled(t *testing.T) {
+	var s Spec
+	if s.Enabled() {
+		t.Fatal("zero Spec reports enabled")
+	}
+	if s.String() != "chaos off" {
+		t.Fatalf("zero Spec renders %q", s.String())
+	}
+	if inj := Install(nil, s, "host"); inj != nil {
+		t.Fatal("Install with zero Spec must be a no-op (nil injector)")
+	}
+}
+
+// TestInjectorConcurrentReadsRace exercises the injector under parallel
+// readers of distinct paths (run with -race); per-path sequences must
+// still match the isolated reference.
+func TestInjectorConcurrentReadsRace(t *testing.T) {
+	const n = 300
+	paths := []string{"/a", "/b", "/c", "/d"}
+	want := map[string][]string{}
+	for _, p := range paths {
+		want[p] = trace(NewInjector(testConfig(13)), p, n)
+	}
+	in := NewInjector(testConfig(13))
+	var wg sync.WaitGroup
+	errs := make(chan error, len(paths))
+	for _, p := range paths {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			got := trace(in, p, n)
+			for i := range got {
+				if got[i] != want[p][i] {
+					errs <- fmt.Errorf("path %s read %d: %q != %q", p, i, got[i], want[p][i])
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfigSharesSumBelowRate: the per-kind shares must sum to ≤ 1× the
+// overall rate or the subtractive threshold walk would double-count.
+func TestConfigSharesSumBelowRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		r := rng.Float64()
+		c := Spec{Rate: r, Seed: 1}.Config()
+		sum := c.EIORate + c.EAgainRate + c.TornRate + c.StaleRate + c.FlapRate
+		if sum > r+1e-12 {
+			t.Fatalf("rate %g: per-read fault shares sum to %g > rate", r, sum)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/chaos"
 	"repro/internal/container"
 	"repro/internal/defense"
 	"repro/internal/kernel"
@@ -48,6 +49,12 @@ type Config struct {
 	// (trained once, installed per host) that registers each tenant
 	// container at launch.
 	Defended bool
+
+	// Chaos arms every server's observation surface with the deterministic
+	// fault-injection layer (internal/chaos): flaky pseudo-file reads,
+	// counter resets, sensor glitches. The zero Spec (the default) injects
+	// nothing and adds no read-path cost.
+	Chaos chaos.Spec
 }
 
 func (c *Config) fillDefaults() {
@@ -193,6 +200,9 @@ func New(cfg Config) *Datacenter {
 				srv.PowerNS = powerns.New(k, model)
 				srv.PowerNS.Install(fs)
 			}
+			// Chaos arms last so faults perturb whatever provider —
+			// raw or defended — the tenant actually reads.
+			chaos.Install(fs, cfg.Chaos, k.Options().Hostname)
 			srv.Benign = NewBenignLoad(srv, cfg.Benign, seed+7)
 			if flash != nil {
 				srv.Benign.SetSharedFlash(flash)

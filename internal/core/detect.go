@@ -93,41 +93,120 @@ func CrossValidateWorkers(host, cont *pseudofs.Mount, workers int) []Finding {
 	return out
 }
 
+// Quorum-read parameters: each path is read quorumReads times in the
+// container context, and each of those reads retries transient failures
+// (pseudofs.ErrTransient) up to readRetries extra attempts. Against a
+// flaky observation surface, a single read is evidence of nothing: a
+// transient glitch is indistinguishable from a dynamic channel, and one
+// denied read is indistinguishable from a permanent mask. The quorum
+// resolves both: majority content decides equality, a denied/ok mix marks
+// a flapping mask, and only genuine per-read divergence (random/uuid) is
+// left classified as Volatile.
+const (
+	quorumReads = 3
+	readRetries = 2
+)
+
+// quorumResult summarizes quorumReads container reads of one path.
+type quorumResult struct {
+	content string // majority content among successful reads (first-seen tie-break)
+	agree   int    // successful reads returning the majority content
+	ok      int    // successful reads
+	denied  int    // reads failing with ErrDenied
+	absent  int    // reads failing with ErrNotExist
+	failed  int    // reads failing persistently any other way
+}
+
+// readRetry reads path through m, retrying transient failures up to
+// readRetries extra attempts. Non-transient errors return immediately.
+func readRetry(m *pseudofs.Mount, path string) (string, error) {
+	var (
+		data string
+		err  error
+	)
+	for attempt := 0; ; attempt++ {
+		data, err = m.Read(path)
+		if err == nil || attempt >= readRetries || !errors.Is(err, pseudofs.ErrTransient) {
+			return data, err
+		}
+	}
+}
+
+// quorumRead performs the k-read protocol for one path.
+func quorumRead(m *pseudofs.Mount, path string) quorumResult {
+	var q quorumResult
+	counts := make(map[string]int, quorumReads)
+	order := make([]string, 0, quorumReads)
+	for i := 0; i < quorumReads; i++ {
+		data, err := readRetry(m, path)
+		switch {
+		case err == nil:
+			q.ok++
+			if counts[data] == 0 {
+				order = append(order, data)
+			}
+			counts[data]++
+		case errors.Is(err, pseudofs.ErrDenied):
+			q.denied++
+		case errors.Is(err, pseudofs.ErrNotExist):
+			q.absent++
+		default:
+			q.failed++
+		}
+	}
+	for _, c := range order {
+		if counts[c] > q.agree {
+			q.content, q.agree = c, counts[c]
+		}
+	}
+	return q
+}
+
 func validateOne(host, cont *pseudofs.Mount, path string) Finding {
 	f := Finding{Path: path}
-	cData, cErr := cont.Read(path)
+	cq := quorumRead(cont, path)
 	switch {
-	case errors.Is(cErr, pseudofs.ErrDenied):
+	case cq.ok == 0 && cq.denied > 0:
 		f.Status = Masked
 		return f
-	case errors.Is(cErr, pseudofs.ErrNotExist):
-		f.Status = Absent
-		return f
-	case cErr != nil:
+	case cq.ok == 0:
+		// Absent, or persistently unreadable (a dead sensor path reads the
+		// same as missing hardware from inside the container).
 		f.Status = Absent
 		return f
 	}
+	// Volatility: with at least two successful reads, no two agreeing means
+	// the file genuinely changes between back-to-back reads (random/uuid) —
+	// equality is undecidable by content diffing. A single transient glitch
+	// no longer lands here: torn and stale reads are outvoted by the
+	// majority, and failed reads were already retried.
+	if cq.ok >= 2 && cq.agree < 2 {
+		f.Status = Volatile
+		return f
+	}
+	cData := cq.content
 	if cData == "" {
 		f.Status = Masked // bind-mounted empty file
 		return f
 	}
-	hData, hErr := host.Read(path)
+	hData, hErr := readRetry(host, path)
 	if hErr != nil {
 		// Readable in the container but not on the host can only be a
 		// harness inconsistency; treat as namespaced.
 		f.Status = Namespaced
 		return f
 	}
-	// Volatility probe: a second container read at the same instant. Files
-	// that differ between back-to-back reads (random/uuid) cannot be
-	// classified by content equality.
-	if again, err := cont.Read(path); err == nil && again != cData {
-		f.Status = Volatile
-		return f
-	}
+	// A denied/ok mix means the mask flapped mid-quorum: the channel is
+	// readable but unreliably so. Degrade an identical match to Partial
+	// instead of reporting a hard leak (or erroring out).
+	flapped := cq.denied > 0
 	if cData == hData {
-		f.Status = Identical
 		f.Overlap = 1
+		if flapped {
+			f.Status = Partial
+		} else {
+			f.Status = Identical
+		}
 		return f
 	}
 	f.Overlap = lineOverlap(cData, hData)

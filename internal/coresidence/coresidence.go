@@ -16,10 +16,12 @@
 package coresidence
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
+	"repro/internal/pseudofs"
 	"repro/internal/stats"
 )
 
@@ -27,6 +29,61 @@ import (
 // container instance (or host shell) that can read pseudo-files.
 type Prober interface {
 	ReadFile(path string) (string, error)
+}
+
+// readAttempts bounds the per-file retry budget of the verification reads.
+// It covers a flapping mask (which denies a few consecutive reads before
+// clearing) with attempts to spare for transient errors and torn renders.
+const readAttempts = 6
+
+// readParsed reads a pseudo-file until parse accepts its content,
+// absorbing the faults of a flaky observation surface: transient errors
+// (EIO/EAGAIN) are retried immediately; denied reads are retried a few
+// times because a flapping mask clears after a handful of reads while a
+// genuinely masked path stays denied and still errors out; and a parse
+// failure — the signature of a torn render — is retried on fresh content.
+// On a clean substrate the first read parses and none of this runs.
+func readParsed[T any](p Prober, path string, parse func(string) (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for i := 0; i < readAttempts; i++ {
+		content, err := p.ReadFile(path)
+		if err != nil {
+			if !errors.Is(err, pseudofs.ErrTransient) && !errors.Is(err, pseudofs.ErrDenied) {
+				return zero, err
+			}
+			lastErr = err
+			continue
+		}
+		v, perr := parse(content)
+		if perr != nil {
+			lastErr = perr
+			continue
+		}
+		return v, nil
+	}
+	return zero, lastErr
+}
+
+// readRetry is readParsed for content used verbatim.
+func readRetry(p Prober, path string) (string, error) {
+	return readParsed(p, path, func(s string) (string, error) { return s, nil })
+}
+
+// ReadBootID reads and validates the 36-character boot UUID, retrying
+// faults and torn (truncated) renders. Exported because orchestration code
+// groups containers by boot_id and a silently-truncated UUID would make
+// one host look like two.
+func ReadBootID(p Prober) (string, error) {
+	return readParsed(p, "/proc/sys/kernel/random/boot_id", parseBootID)
+}
+
+func parseBootID(content string) (string, error) {
+	id := strings.TrimSpace(content)
+	if len(id) != 36 {
+		return "", fmt.Errorf("coresidence: malformed boot_id %q", id)
+	}
+	return id, nil
 }
 
 // Verdict is the outcome of one co-residence check.
@@ -41,19 +98,19 @@ type Verdict struct {
 // instances share a kernel; it is the paper's most reliable single check.
 func ByBootID(a, b Prober) (Verdict, error) {
 	const path = "/proc/sys/kernel/random/boot_id"
-	ida, err := a.ReadFile(path)
+	ida, err := ReadBootID(a)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("coresidence: probe A: %w", err)
 	}
-	idb, err := b.ReadFile(path)
+	idb, err := ReadBootID(b)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("coresidence: probe B: %w", err)
 	}
-	same := strings.TrimSpace(ida) == strings.TrimSpace(idb)
+	same := ida == idb
 	return Verdict{
 		CoResident: same,
 		Channel:    path,
-		Evidence:   fmt.Sprintf("boot_id A=%s B=%s", strings.TrimSpace(ida), strings.TrimSpace(idb)),
+		Evidence:   fmt.Sprintf("boot_id A=%s B=%s", ida, idb),
 	}, nil
 }
 
@@ -68,7 +125,7 @@ type Implanter interface {
 // and searches the prober's /proc/timer_list for it.
 func ByTimerSignature(planter Implanter, observer Prober, signature string) (Verdict, error) {
 	planter.PlantTimer(signature)
-	content, err := observer.ReadFile("/proc/timer_list")
+	content, err := readRetry(observer, "/proc/timer_list")
 	if err != nil {
 		return Verdict{}, fmt.Errorf("coresidence: read timer_list: %w", err)
 	}
@@ -84,7 +141,7 @@ func ByTimerSignature(planter Implanter, observer Prober, signature string) (Ver
 // name (the implant itself is the same timer task).
 func BySchedDebugSignature(planter Implanter, observer Prober, signature string) (Verdict, error) {
 	planter.PlantTimer(signature)
-	content, err := observer.ReadFile("/proc/sched_debug")
+	content, err := readRetry(observer, "/proc/sched_debug")
 	if err != nil {
 		return Verdict{}, fmt.Errorf("coresidence: read sched_debug: %w", err)
 	}
@@ -100,7 +157,7 @@ func BySchedDebugSignature(planter Implanter, observer Prober, signature string)
 // and searches the prober's /proc/locks for that inode.
 func ByLockSignature(planter Implanter, observer Prober, inode uint64) (Verdict, error) {
 	planter.PlantLock(inode)
-	content, err := observer.ReadFile("/proc/locks")
+	content, err := readRetry(observer, "/proc/locks")
 	if err != nil {
 		return Verdict{}, fmt.Errorf("coresidence: read locks: %w", err)
 	}
@@ -161,11 +218,11 @@ func ByUptime(a, b Prober, tol float64) (Verdict, error) {
 }
 
 func readUptime(p Prober) (Uptime, error) {
-	content, err := p.ReadFile("/proc/uptime")
+	u, err := readParsed(p, "/proc/uptime", ParseUptime)
 	if err != nil {
 		return Uptime{}, fmt.Errorf("coresidence: read uptime: %w", err)
 	}
-	return ParseUptime(content)
+	return u, nil
 }
 
 // MemFree extracts the MemFree value (KiB) from /proc/meminfo content.
@@ -198,21 +255,13 @@ func ByMemFreeTrace(a, b Prober, step func(), n int) (Verdict, error) {
 	ta := make([]float64, 0, n)
 	tb := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
-		ca, err := a.ReadFile("/proc/meminfo")
+		va, err := readParsed(a, "/proc/meminfo", MemFree)
 		if err != nil {
 			return Verdict{}, fmt.Errorf("coresidence: probe A: %w", err)
 		}
-		cb, err := b.ReadFile("/proc/meminfo")
+		vb, err := readParsed(b, "/proc/meminfo", MemFree)
 		if err != nil {
 			return Verdict{}, fmt.Errorf("coresidence: probe B: %w", err)
-		}
-		va, err := MemFree(ca)
-		if err != nil {
-			return Verdict{}, err
-		}
-		vb, err := MemFree(cb)
-		if err != nil {
-			return Verdict{}, err
 		}
 		ta = append(ta, va)
 		tb = append(tb, vb)
@@ -251,21 +300,13 @@ func BootTime(content string) (int64, error) {
 // were probably installed and powered on together — same rack, same
 // breaker.
 func RackProximity(a, b Prober, window int64) (Verdict, error) {
-	sa, err := a.ReadFile("/proc/stat")
+	ba, err := readParsed(a, "/proc/stat", BootTime)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("coresidence: probe A: %w", err)
 	}
-	sb, err := b.ReadFile("/proc/stat")
+	bb, err := readParsed(b, "/proc/stat", BootTime)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("coresidence: probe B: %w", err)
-	}
-	ba, err := BootTime(sa)
-	if err != nil {
-		return Verdict{}, err
-	}
-	bb, err := BootTime(sb)
-	if err != nil {
-		return Verdict{}, err
 	}
 	d := ba - bb
 	if d < 0 {

@@ -1,0 +1,151 @@
+package coresidence
+
+// Tests for the fault-absorbing verification read path: the orchestration
+// campaigns (AggregateCoResident, SpreadAcrossRack) abort entirely if one
+// probe read fails, so readParsed's retry policy is what keeps them alive
+// on a flaky observation surface.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/pseudofs"
+)
+
+// scriptProber serves a scripted sequence of (content, error) responses for
+// one path, then repeats the last one.
+type scriptProber struct {
+	steps []func() (string, error)
+	calls int
+}
+
+func (p *scriptProber) ReadFile(string) (string, error) {
+	i := p.calls
+	if i >= len(p.steps) {
+		i = len(p.steps) - 1
+	}
+	p.calls++
+	return p.steps[i]()
+}
+
+func ok(s string) func() (string, error) {
+	return func() (string, error) { return s, nil }
+}
+
+func fail(err error) func() (string, error) {
+	return func() (string, error) { return "", err }
+}
+
+var (
+	transientErr = fmt.Errorf("%w: injected EIO", pseudofs.ErrTransient)
+	deniedErr    = fmt.Errorf("%w: injected mask flap", pseudofs.ErrDenied)
+)
+
+const bootID = "01234567-89ab-cdef-0123-456789abcdef"
+
+func TestReadBootIDRetriesTransientAndFlap(t *testing.T) {
+	p := &scriptProber{steps: []func() (string, error){
+		fail(transientErr), // EIO
+		fail(deniedErr),    // flap read 1
+		fail(deniedErr),    // flap read 2
+		ok(bootID + "\n"),
+	}}
+	id, err := ReadBootID(p)
+	if err != nil {
+		t.Fatalf("ReadBootID: %v", err)
+	}
+	if id != bootID {
+		t.Fatalf("id = %q", id)
+	}
+	if p.calls != 4 {
+		t.Fatalf("calls = %d, want 4", p.calls)
+	}
+}
+
+func TestReadBootIDRejectsTornRenderThenRecovers(t *testing.T) {
+	// A torn render truncates the UUID; it parses as malformed and must be
+	// retried, not returned — a truncated boot_id would make one host look
+	// like two to the aggregation campaign.
+	p := &scriptProber{steps: []func() (string, error){
+		ok(bootID[:9]), // torn
+		ok(bootID + "\n"),
+	}}
+	id, err := ReadBootID(p)
+	if err != nil || id != bootID {
+		t.Fatalf("got %q, %v", id, err)
+	}
+}
+
+func TestReadParsedGivesUpAfterBudget(t *testing.T) {
+	p := &scriptProber{steps: []func() (string, error){fail(transientErr)}}
+	_, err := ReadBootID(p)
+	if !errors.Is(err, pseudofs.ErrTransient) {
+		t.Fatalf("err = %v, want wrapped ErrTransient", err)
+	}
+	if p.calls != readAttempts {
+		t.Fatalf("calls = %d, want %d (bounded retry)", p.calls, readAttempts)
+	}
+}
+
+func TestReadParsedDoesNotRetryHardErrors(t *testing.T) {
+	// ErrNotExist means the channel is genuinely absent (masked-out
+	// hardware); retrying it would just stall the campaign.
+	hard := fmt.Errorf("%w: /proc/x", pseudofs.ErrNotExist)
+	p := &scriptProber{steps: []func() (string, error){fail(hard)}}
+	_, err := ReadBootID(p)
+	if !errors.Is(err, pseudofs.ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+	if p.calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry on hard errors)", p.calls)
+	}
+}
+
+func TestRackProximityRetriesStatReads(t *testing.T) {
+	stat := "cpu  1 2 3\nbtime 1700000100\n"
+	a := &scriptProber{steps: []func() (string, error){
+		fail(transientErr),
+		ok("cpu  1 2 3\nbti"), // torn before the btime line: parse fails, retried
+		ok(stat),
+	}}
+	b := &scriptProber{steps: []func() (string, error){ok("btime 1700000150\n")}}
+	v, err := RackProximity(a, b, 60)
+	if err != nil {
+		t.Fatalf("RackProximity: %v", err)
+	}
+	if !v.CoResident {
+		t.Fatalf("Δbtime=50s within window=60s should be co-racked: %s", v.Evidence)
+	}
+}
+
+func TestByUptimeRetriesTornRender(t *testing.T) {
+	a := &scriptProber{steps: []func() (string, error){
+		ok("1234."), // torn mid-float: single field fails ParseUptime
+		ok("1234.56 9876.54\n"),
+	}}
+	b := &scriptProber{steps: []func() (string, error){ok("1234.60 9876.60\n")}}
+	v, err := ByUptime(a, b, 0.5)
+	if err != nil {
+		t.Fatalf("ByUptime: %v", err)
+	}
+	if !v.CoResident {
+		t.Fatalf("matching uptimes should verify: %s", v.Evidence)
+	}
+}
+
+func TestParseBootIDRejectsTruncation(t *testing.T) {
+	for _, bad := range []string{"", "abc", bootID[:35], bootID + "0"} {
+		if _, err := parseBootID(bad); err == nil {
+			t.Errorf("parseBootID(%q) accepted a malformed UUID", bad)
+		}
+	}
+	got, err := parseBootID("  " + bootID + "\n")
+	if err != nil || got != bootID {
+		t.Errorf("parseBootID(padded) = %q, %v", got, err)
+	}
+	if !strings.Contains(bootID, "-") || len(bootID) != 36 {
+		t.Fatal("test fixture is not RFC-4122 shaped")
+	}
+}

@@ -14,6 +14,7 @@
 package covert
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -136,8 +137,9 @@ func (l *Link) Transmit(bits []bool) ([]bool, error) {
 	frame := append(append([]bool(nil), preamble...), bits...)
 	means := make([]float64, 0, len(frame))
 
-	// Prime the differential sources.
-	if _, err := l.source.Sample(1); err != nil {
+	// Prime the differential sources (attack monitors report the baseline
+	// step as ErrPrimed; simple sources return nil).
+	if _, err := l.source.Sample(1); err != nil && !errors.Is(err, attack.ErrPrimed) {
 		return nil, err
 	}
 	for _, bit := range frame {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/attack"
@@ -64,7 +65,7 @@ func DefendedAttack() (*DefendedAttackResult, error) {
 		for i := 0; i < 60; i++ {
 			dc.Clock.Advance(1)
 			w, err := mon.Sample(1)
-			if err != nil {
+			if err != nil && !errors.Is(err, attack.ErrPrimed) {
 				return attack.Result{}, 0, 0, 0, err
 			}
 			if i == 1 {

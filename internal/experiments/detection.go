@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/attack"
@@ -97,7 +98,7 @@ func detectionImpl() (*DetectionResult, []float64, map[string][]float64, error) 
 		// Mallory: sample the leaked host power; burst 60 s on near-max
 		// crests with a 240 s cooldown.
 		w, err := mon.Sample(1)
-		if err != nil {
+		if err != nil && !errors.Is(err, attack.ErrPrimed) {
 			return nil, nil, nil, err
 		}
 		if malloryBusyUntil > 0 && now >= malloryBusyUntil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/texttable"
@@ -27,7 +28,16 @@ func Discovery() (*DiscoveryResult, error) { return DiscoveryWorkers(0) }
 // paused, which is safe (read-only tree, audited handlers) and
 // deterministic (findings return in path order).
 func DiscoveryWorkers(workers int) (*DiscoveryResult, error) {
-	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: 0xd15c})
+	return DiscoveryChaosWorkers(chaos.Spec{}, workers)
+}
+
+// DiscoveryChaosWorkers is DiscoveryWorkers with the testbed's observation
+// surface armed with deterministic fault injection: the sweep must surface
+// the same leaking files when reads are flaky, because a production scanner
+// runs against hosts it does not control. The zero Spec is exactly
+// DiscoveryWorkers.
+func DiscoveryChaosWorkers(spec chaos.Spec, workers int) (*DiscoveryResult, error) {
+	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: 0xd15c, Chaos: spec})
 	srv := dc.Racks[0].Servers[0]
 	probe := srv.Runtime.Create("probe")
 	dc.Clock.Run(30, 1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/attack"
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/container"
 	"repro/internal/parallel"
@@ -97,10 +98,19 @@ type Fig3Result struct {
 // reported, like the paper's single trace; Fig3Sweep gives the multi-seed
 // statistics.
 func Fig3() (*Fig3Result, error) {
-	return fig3WithSeed(1362)
+	return fig3WithSeed(1362, chaos.Spec{})
 }
 
-func fig3WithSeed(seed int64) (*Fig3Result, error) {
+// Fig3Chaos is Fig3 with every monitored host's observation surface armed
+// with deterministic fault injection: the synergistic attacker's power
+// monitors must ride flaky energy counters (resets, torn reads, transient
+// errors) without losing the superimposition advantage. The zero Spec is
+// exactly Fig3.
+func Fig3Chaos(spec chaos.Spec) (*Fig3Result, error) {
+	return fig3WithSeed(1362, spec)
+}
+
+func fig3WithSeed(seed int64, spec chaos.Spec) (*Fig3Result, error) {
 	build := func() (*cloud.Datacenter, *cloud.Rack, []*container.Container, error) {
 		// 24-core servers keep bursts below host saturation, so the
 		// superimposition advantage is visible in the rack peak.
@@ -108,6 +118,7 @@ func fig3WithSeed(seed int64) (*Fig3Result, error) {
 			Racks: 1, ServersPerRack: 8, CoresPerServer: 24, Seed: seed,
 			BreakerRatedW: 1e9,
 			Benign:        cloud.BenignConfig{FlashCrowdPerDay: 48, FlashMinS: 60, FlashMaxS: 240, SharedFlash: true},
+			Chaos:         spec,
 		})
 		dc.Clock.Run(16*3600, 30) // reach the evening demand ramp
 		agg, err := attack.SpreadAcrossRack(dc, "mallory", 6, 4, 3600, 600)
@@ -202,7 +213,7 @@ func Fig3SweepWorkers(n, workers int) (*Fig3SweepResult, error) {
 		seeds[i] = 1360 + int64(i)
 	}
 	results, err := parallel.Map(workers, seeds, func(_ int, seed int64) (*Fig3Result, error) {
-		return fig3WithSeed(seed)
+		return fig3WithSeed(seed, chaos.Spec{})
 	})
 	if err != nil {
 		return nil, err

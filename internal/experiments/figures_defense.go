@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chaos"
 	"repro/internal/container"
 	"repro/internal/kernel"
 	"repro/internal/parallel"
@@ -141,12 +142,24 @@ func Fig8() (*Fig8Result, error) { return Fig8Workers(0) }
 // ordered row slice, never in the workers, keeping the figure byte-identical
 // at any worker count.
 func Fig8Workers(workers int) (*Fig8Result, error) {
-	model, _, err := powerns.Train(powerns.TrainOptions{Seed: 8})
+	return Fig8ChaosWorkers(chaos.Spec{}, workers)
+}
+
+// Fig8ChaosWorkers is Fig8Workers with fault injection on both halves of
+// the defense pipeline: training reads its RAPL counters through a
+// perturbed stream (glitch-sample rejection must keep the regression
+// clean), and each ξ measurement's namespace calibrates against a perturbed
+// raw source (reset/regression intervals fall back to pure model
+// attribution). Ground-truth E_RAPL reads stay clean — ξ measures the
+// defense's accuracy, not the evaluator's. The zero Spec is exactly
+// Fig8Workers.
+func Fig8ChaosWorkers(spec chaos.Spec, workers int) (*Fig8Result, error) {
+	model, _, err := powerns.Train(powerns.TrainOptions{Seed: 8, Chaos: spec})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig 8 train: %w", err)
 	}
 	rows, err := parallel.Map(workers, workload.SPECSubset(), func(_ int, prof workload.Profile) (Fig8Row, error) {
-		xi, err := measureXi(model, prof)
+		xi, err := measureXiChaos(model, prof, true, spec)
 		if err != nil {
 			return Fig8Row{}, fmt.Errorf("experiments: fig 8 %s: %w", prof.Name, err)
 		}
@@ -172,10 +185,14 @@ func Fig8Workers(workers int) (*Fig8Result, error) {
 //
 // where Δdiff is the host's measured baseline (idle + daemons) energy.
 func measureXi(model *powerns.Model, prof workload.Profile) (float64, error) {
-	return measureXiCalibrated(model, prof, true)
+	return measureXiChaos(model, prof, true, chaos.Spec{})
 }
 
 func measureXiCalibrated(model *powerns.Model, prof workload.Profile, calibrate bool) (float64, error) {
+	return measureXiChaos(model, prof, calibrate, chaos.Spec{})
+}
+
+func measureXiChaos(model *powerns.Model, prof workload.Profile, calibrate bool, spec chaos.Spec) (float64, error) {
 	k := kernel.New(kernel.Options{Hostname: "fig8", Seed: 88})
 	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
 	rt := container.NewRuntime(k, fs, container.DockerProfile())
@@ -184,13 +201,22 @@ func measureXiCalibrated(model *powerns.Model, prof workload.Profile, calibrate 
 	ns.SetCalibration(calibrate)
 	ns.Register(c.CgroupPath)
 	ns.Install(fs)
+	maxR := k.Meter().MaxEnergyRangeUJ()
+	if spec.Enabled() {
+		// Perturb the namespace's calibration source — the raw counter the
+		// defense itself reads. The ground-truth reads below keep using the
+		// clean meter: ξ scores the defense, not the scorer. Each benchmark
+		// gets its own salted fault stream so the rows stay independent of
+		// worker interleaving.
+		ctr := chaos.NewCounters(spec.Config())
+		ns.SetRawSource(chaos.WrapRawSource(k.Meter().EnergyUJ, ctr, "fig8/"+prof.Name, maxR))
+	}
 
 	// Background system activity outside any power namespace.
 	daemons := workload.StressM64
 	k.Spawn("system-daemons", k.InitNS(), "/", 0.4, daemons.Rates.Times(0.4))
 
 	// Baseline window: measure Δdiff (J/s) before the workload starts.
-	maxR := k.Meter().MaxEnergyRangeUJ()
 	base0 := k.Meter().EnergyUJ(power.Package)
 	for s := 0; s < 10; s++ {
 		k.Tick(float64(s+1), 1)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/parallel"
@@ -26,11 +27,21 @@ type CloudInspection struct {
 // tenant container, lets the world run briefly, and cross-validates the
 // container view against the host view.
 func InspectProvider(p cloud.ProviderProfile) (CloudInspection, error) {
+	return InspectProviderChaos(p, chaos.Spec{})
+}
+
+// InspectProviderChaos is InspectProvider with the provider's observation
+// surface armed with deterministic fault injection. The detector's quorum
+// reads absorb transient faults; flapping masks degrade findings to partial
+// rather than flipping availability outright. The zero Spec is exactly
+// InspectProvider.
+func InspectProviderChaos(p cloud.ProviderProfile, spec chaos.Spec) (CloudInspection, error) {
 	dc := cloud.New(cloud.Config{
 		Racks:          1,
 		ServersPerRack: 1,
 		Seed:           0x1ea4,
 		Provider:       &p,
+		Chaos:          spec,
 	})
 	srv, c, err := dc.Launch("inspector", "probe", 1)
 	if err != nil {
@@ -61,8 +72,18 @@ func InspectAll() ([]CloudInspection, error) { return InspectAllWorkers(0) }
 // the result with Err set, and the returned error is non-nil only when
 // every provider failed.
 func InspectAllWorkers(workers int) ([]CloudInspection, error) {
+	return InspectAllChaosWorkers(chaos.Spec{}, workers)
+}
+
+// InspectAllChaosWorkers is InspectAllWorkers with every provider's
+// observation surface armed with the same fault-injection spec. Per-provider
+// fault streams are salted by hostname inside the cloud, so results remain
+// byte-identical at any worker count.
+func InspectAllChaosWorkers(spec chaos.Spec, workers int) ([]CloudInspection, error) {
 	profiles := append([]cloud.ProviderProfile{cloud.LocalTestbed()}, cloud.CommercialClouds()...)
-	return inspectProfiles(profiles, workers, InspectProvider)
+	return inspectProfiles(profiles, workers, func(p cloud.ProviderProfile) (CloudInspection, error) {
+		return InspectProviderChaos(p, spec)
+	})
 }
 
 // inspectProfiles fans the per-provider inspections out and folds failures

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/kernel"
@@ -37,7 +38,16 @@ func Table1() (*Table1Result, error) { return Table1Workers(0) }
 // datacenters are share-nothing worlds inspected in parallel, and the
 // rendered table is byte-identical at any worker count.
 func Table1Workers(workers int) (*Table1Result, error) {
-	ins, err := InspectAllWorkers(workers)
+	return Table1ChaosWorkers(chaos.Spec{}, workers)
+}
+
+// Table1ChaosWorkers is Table1Workers under deterministic fault injection:
+// every provider's pseudo-file reads, energy counters, and thermal sensors
+// are perturbed at the spec's rate. The detector's quorum protocol keeps the
+// availability matrix stable at realistic fault rates; the zero Spec is
+// exactly Table1Workers.
+func Table1ChaosWorkers(spec chaos.Spec, workers int) (*Table1Result, error) {
+	ins, err := InspectAllChaosWorkers(spec, workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: table 1: %w", err)
 	}

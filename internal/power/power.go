@@ -300,12 +300,82 @@ func (m *Meter) CoreTempC(core int) float64 {
 	return m.tempC[core]
 }
 
-// CounterDelta computes the energy consumed between two wrapping counter
-// readings, handling at most one wrap. Attack and defense monitors use it
-// when differencing energy_uj samples.
-func CounterDelta(prev, cur, maxRange uint64) uint64 {
-	if cur >= prev {
-		return cur - prev
+// DeltaKind classifies what happened to a wrapping energy counter between
+// two readings. Real RAPL MSRs do not only wrap: they reset to zero across
+// power events (suspend, firmware update, PMU re-init), and flaky read
+// paths can return a slightly stale value. The old CounterDelta computed
+// every cur < prev as a wrap, which turns a reset into a bogus
+// near-maxRange delta — a several-hundred-kJ phantom burn in one sample.
+type DeltaKind int
+
+// Delta classifications.
+const (
+	// DeltaForward: cur >= prev, the ordinary monotone case.
+	DeltaForward DeltaKind = iota
+	// DeltaWrapped: the counter passed maxRange; the implied consumption
+	// maxRange-prev+cur is plausibly small (≤ maxRange/2).
+	DeltaWrapped
+	// DeltaReset: the counter restarted from (near) zero; the only
+	// defensible estimate of consumption since prev is cur itself.
+	DeltaReset
+	// DeltaRegression: cur is slightly below prev — a stale or torn read,
+	// not a wrap and not a reset. The consumed estimate is 0.
+	DeltaRegression
+)
+
+// String implements fmt.Stringer.
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaForward:
+		return "forward"
+	case DeltaWrapped:
+		return "wrapped"
+	case DeltaReset:
+		return "reset"
+	case DeltaRegression:
+		return "regression"
+	default:
+		return fmt.Sprintf("DeltaKind(%d)", int(k))
 	}
-	return maxRange - prev + cur
+}
+
+// regressionEpsilon is the largest backward step still attributed to a
+// stale/torn read rather than a reset: 1/65536 of the counter range
+// (≈ 4 mJ at the default 2^38 µJ range — far below one tick of idle burn).
+func regressionEpsilon(maxRange uint64) uint64 { return maxRange >> 16 }
+
+// CounterDeltaKind computes the energy consumed between two wrapping
+// counter readings and classifies the transition. The heuristic:
+//
+//   - cur >= prev: forward, delta = cur - prev.
+//   - cur < prev and the implied wrap consumption maxRange-prev+cur is
+//     ≤ maxRange/4: a genuine wrap. A sampler that keeps up with the
+//     counter (ms–s cadence vs. the hours-long wrap period) never consumes
+//     a quarter of the range between two reads, so a larger implied
+//     consumption means the backward step has another cause.
+//   - prev - cur ≤ maxRange>>16: a tiny regression — stale or torn read;
+//     delta 0.
+//   - otherwise: a reset-to-zero (or near zero); delta = cur, the energy
+//     accumulated since the restart.
+func CounterDeltaKind(prev, cur, maxRange uint64) (uint64, DeltaKind) {
+	if cur >= prev {
+		return cur - prev, DeltaForward
+	}
+	if maxRange > prev {
+		if wrap := maxRange - prev + cur; wrap <= maxRange/4 {
+			return wrap, DeltaWrapped
+		}
+	}
+	if prev-cur <= regressionEpsilon(maxRange) {
+		return 0, DeltaRegression
+	}
+	return cur, DeltaReset
+}
+
+// CounterDelta computes the energy consumed between two wrapping counter
+// readings, handling wraps, resets, and small regressions. Attack and
+// defense monitors use it when differencing energy_uj samples.
+func CounterDelta(prev, cur, maxRange uint64) uint64 {
+	d, _ := CounterDeltaKind(prev, cur, maxRange)
+	return d
 }

@@ -144,17 +144,96 @@ func TestCounterDelta(t *testing.T) {
 	}
 }
 
+func TestCounterDeltaKind(t *testing.T) {
+	const max = uint64(1) << 38
+	cases := []struct {
+		name      string
+		prev, cur uint64
+		wantDelta uint64
+		wantKind  DeltaKind
+	}{
+		{"forward", 100, 150, 50, DeltaForward},
+		{"forward-zero", 7, 7, 0, DeltaForward},
+		{"wrap-small", max - 100, 100, 200, DeltaWrapped},
+		{"wrap-at-half", max / 4, 3 * max / 4, max / 2, DeltaForward},
+		// A reset-to-zero after substantial accumulation: the old code
+		// called this a wrap and fabricated a delta of max-prev+cur ≈ max.
+		{"reset-to-zero", max / 2, 0, 0, DeltaReset},
+		{"reset-near-zero", 3 * max / 4, 1000, 1000, DeltaReset},
+		// A tiny backward step (stale read) is neither wrap nor reset.
+		{"regression", 1_000_000_000, 1_000_000_000 - 100, 0, DeltaRegression},
+		{"regression-at-epsilon", max / 2, max/2 - (max >> 16), 0, DeltaRegression},
+	}
+	for _, c := range cases {
+		d, k := CounterDeltaKind(c.prev, c.cur, max)
+		if d != c.wantDelta || k != c.wantKind {
+			t.Errorf("%s: CounterDeltaKind(%d, %d) = (%d, %v), want (%d, %v)",
+				c.name, c.prev, c.cur, d, k, c.wantDelta, c.wantKind)
+		}
+	}
+}
+
+func TestCounterDeltaResetNotNearMaxRange(t *testing.T) {
+	// Regression test for the reset bug: a counter reset must never be
+	// reported as a near-maxRange consumption.
+	const max = uint64(1) << 38
+	for _, prev := range []uint64{max / 2, 3 * max / 4, max - 1} {
+		for _, cur := range []uint64{0, 1, 50_000} {
+			d := CounterDelta(prev, cur, max)
+			if d > max/4 {
+				t.Errorf("CounterDelta(%d, %d, max) = %d: reset read as giant wrap", prev, cur, d)
+			}
+		}
+	}
+}
+
 func TestCounterDeltaProperty(t *testing.T) {
-	// Property: for any prev and consumed < max, reading after consuming
-	// recovers consumed.
+	// Property 1: for any prev and a consumption a live sampler could
+	// actually see between two reads (well under half the range), reading
+	// after consuming recovers consumed exactly, wrap or not.
 	f := func(prevRaw, consumedRaw uint32) bool {
 		const max = uint64(1) << 30
 		prev := uint64(prevRaw) % max
-		consumed := uint64(consumedRaw) % max
+		consumed := uint64(consumedRaw) % (max / 4)
 		cur := (prev + consumed) % max
 		return CounterDelta(prev, cur, max) == consumed
 	}
 	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Property 2: a reset to a small restart value is classified Reset and
+	// its delta is the restart value, provided prev is large enough that
+	// neither the wrap nor the regression interpretation is plausible.
+	reset := func(prevRaw, restartRaw uint32) bool {
+		const max = uint64(1) << 30
+		prev := max/2 + uint64(prevRaw)%(max/4) // in [max/2, 3max/4)
+		restart := uint64(restartRaw) % (max / 8)
+		if restart >= prev-regressionEpsilon(max) {
+			return true // not a backward step; out of scope
+		}
+		d, k := CounterDeltaKind(prev, restart, max)
+		if wrap := max - prev + restart; wrap <= max/4 {
+			return k == DeltaWrapped && d == wrap
+		}
+		return k == DeltaReset && d == restart
+	}
+	if err := quick.Check(reset, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Property 3: small regressions (≤ epsilon) always yield delta 0.
+	regress := func(prevRaw uint32, stepRaw uint16) bool {
+		const max = uint64(1) << 30
+		prev := max/4 + uint64(prevRaw)%(max/2)
+		step := uint64(stepRaw) % (regressionEpsilon(max) + 1)
+		if step == 0 {
+			return true
+		}
+		d, k := CounterDeltaKind(prev, prev-step, max)
+		return k == DeltaRegression && d == 0
+	}
+	if err := quick.Check(regress, nil); err != nil {
 		t.Fatal(err)
 	}
 }

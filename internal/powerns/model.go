@@ -23,6 +23,7 @@ package powerns
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/kernel"
 	"repro/internal/perfcount"
 	"repro/internal/power"
@@ -110,6 +111,11 @@ type TrainOptions struct {
 	// (nil = all three of Formula 2; e.g. {true,false,false} =
 	// instructions-only, the naive model Xu et al. refute).
 	CoreFeatureMask []bool
+	// Chaos, when enabled, perturbs the training host's energy-counter
+	// reads (resets + quantization) through a deterministic chaos.Counters
+	// stream. Training rejects samples whose counter delta was flagged as
+	// a reset or regression instead of regressing on garbage.
+	Chaos chaos.Spec
 }
 
 func (o *TrainOptions) fillDefaults() {
@@ -128,9 +134,19 @@ func (o *TrainOptions) fillDefaults() {
 // intensity on a dedicated training host and regressing observed RAPL
 // energy deltas on perf counter deltas. It returns the model plus the raw
 // samples (the points of Figs. 6–7).
+//
+// With opts.Chaos enabled, counter reads pass through a deterministic
+// fault stream (resets-to-zero, quantization). Glitch-sample rejection
+// drops any observation whose delta on *any* domain was classified as a
+// reset or regression — one poisoned row would otherwise bias the whole
+// regression and everything downstream (Fig. 8's ξ, the defended fleet).
 func Train(opts TrainOptions) (*Model, []Sample, error) {
 	opts.fillDefaults()
 	var samples []Sample
+	var ctr *chaos.Counters
+	if opts.Chaos.Enabled() {
+		ctr = chaos.NewCounters(opts.Chaos.Config())
+	}
 
 	for _, prof := range opts.Profiles {
 		for _, cores := range opts.Intensities {
@@ -140,26 +156,50 @@ func Train(opts TrainOptions) (*Model, []Sample, error) {
 			demand, rates := prof.Scaled(cores)
 			k.Spawn(prof.Name, k.InitNS(), "/", demand, rates)
 
-			var prevC perfcount.Counters
-			prevCore := k.Meter().EnergyUJ(power.Core)
-			prevDRAM := k.Meter().EnergyUJ(power.DRAM)
-			prevPkg := k.Meter().EnergyUJ(power.Package)
 			maxR := k.Meter().MaxEnergyRangeUJ()
+			read := k.Meter().EnergyUJ
+			if ctr != nil {
+				// One fault stream per (profile, intensity) training
+				// kernel, split by name so streams are independent of run
+				// order.
+				salt := fmt.Sprintf("train/%s/%g", prof.Name, cores)
+				read = chaos.WrapRawSource(k.Meter().EnergyUJ, ctr, salt, maxR)
+			}
+
+			var prevC perfcount.Counters
+			prevCore := read(power.Core)
+			prevDRAM := read(power.DRAM)
+			prevPkg := read(power.Package)
 
 			for s := 0; s < opts.SecondsPerRun; s++ {
 				k.Tick(float64(s+1), 1)
 				cur, _ := k.Perf().Read("/")
-				curCore := k.Meter().EnergyUJ(power.Core)
-				curDRAM := k.Meter().EnergyUJ(power.DRAM)
-				curPkg := k.Meter().EnergyUJ(power.Package)
+				curCore := read(power.Core)
+				curDRAM := read(power.DRAM)
+				curPkg := read(power.Package)
+				dCore, kCore := power.CounterDeltaKind(prevCore, curCore, maxR)
+				dDRAM, kDRAM := power.CounterDeltaKind(prevDRAM, curDRAM, maxR)
+				dPkg, kPkg := power.CounterDeltaKind(prevPkg, curPkg, maxR)
+				dC := cur.Sub(prevC)
+				prevC, prevCore, prevDRAM, prevPkg = cur, curCore, curDRAM, curPkg
+				if glitched(kCore) || glitched(kDRAM) || glitched(kPkg) {
+					continue // glitch-sample rejection
+				}
+				// A reset caught near the counter ceiling is classified as
+				// a wrap with delta maxRange−prev — a phantom kilojoule
+				// observation that would dominate the least-squares fit.
+				// No training host burns anywhere near maxPlausibleTrainW,
+				// so any domain delta above it disqualifies the sample.
+				if implausible(dCore) || implausible(dDRAM) || implausible(dPkg) {
+					continue
+				}
 				samples = append(samples, Sample{
 					Profile:  prof.Name,
-					Counters: cur.Sub(prevC),
-					ECoreJ:   float64(power.CounterDelta(prevCore, curCore, maxR)) / 1e6,
-					EDRAMJ:   float64(power.CounterDelta(prevDRAM, curDRAM, maxR)) / 1e6,
-					EPkgJ:    float64(power.CounterDelta(prevPkg, curPkg, maxR)) / 1e6,
+					Counters: dC,
+					ECoreJ:   float64(dCore) / 1e6,
+					EDRAMJ:   float64(dDRAM) / 1e6,
+					EPkgJ:    float64(dPkg) / 1e6,
 				})
-				prevC, prevCore, prevDRAM, prevPkg = cur, curCore, curDRAM, curPkg
 			}
 		}
 	}
@@ -169,6 +209,24 @@ func Train(opts TrainOptions) (*Model, []Sample, error) {
 		return nil, samples, err
 	}
 	return model, samples, nil
+}
+
+// glitched reports whether a delta classification disqualifies a training
+// sample.
+func glitched(k power.DeltaKind) bool {
+	return k == power.DeltaReset || k == power.DeltaRegression
+}
+
+// maxPlausibleTrainW is a generous physics ceiling on one training host's
+// per-domain power: the busiest benchmark draws well under 200 W, so any
+// one-second delta implying more than this is a disguised counter reset,
+// not data.
+const maxPlausibleTrainW = 2000
+
+// implausible reports whether a one-second energy delta (µJ) exceeds the
+// training host's physics ceiling.
+func implausible(deltaUJ uint64) bool {
+	return float64(deltaUJ)/1e6 > maxPlausibleTrainW
 }
 
 // fit runs the regressions of Formula 2 over the samples.

@@ -10,6 +10,11 @@ import (
 	"repro/internal/pseudofs"
 )
 
+// wrapCalibrationFactor bounds how far a wrap-classified raw-counter delta
+// may exceed the modeled host energy before the interval's calibration is
+// rejected as a disguised counter reset (see update).
+const wrapCalibrationFactor = 10
+
 // Namespace is one host's power-based namespace: it partitions the host's
 // RAPL energy among containers and serves per-container counters through
 // the unchanged energy_uj interface. Create with New, attach containers
@@ -33,6 +38,12 @@ type Namespace struct {
 	// Calibration toggle for the ablation study: when false, raw modeled
 	// energy is returned without Formula 3's rescaling.
 	calibrate bool
+
+	// rawSource reads the raw RAPL counters used for Formula 3
+	// calibration; it defaults to the host meter. A chaos harness swaps in
+	// a perturbed source (SetRawSource) to exercise the glitch-rejection
+	// path below.
+	rawSource func(power.Domain) uint64
 
 	lastUpdate float64
 	lastRaw    map[power.Domain]uint64
@@ -59,11 +70,12 @@ func New(k *kernel.Kernel, model *Model) *Namespace {
 		k:          k,
 		model:      model,
 		calibrate:  true,
+		rawSource:  k.Meter().EnergyUJ,
 		lastRaw:    make(map[power.Domain]uint64, 3),
 		containers: make(map[string]*acct),
 	}
 	for _, d := range []power.Domain{power.Package, power.Core, power.DRAM} {
-		ns.lastRaw[d] = k.Meter().EnergyUJ(d)
+		ns.lastRaw[d] = ns.rawSource(d)
 	}
 	ns.lastHostC, _ = k.Perf().Read("/")
 	ns.lastUpdate = k.Now()
@@ -72,6 +84,19 @@ func New(k *kernel.Kernel, model *Model) *Namespace {
 
 // SetCalibration toggles Formula 3's on-the-fly calibration (ablation).
 func (ns *Namespace) SetCalibration(on bool) { ns.calibrate = on }
+
+// SetRawSource swaps the raw-counter read path used for calibration and
+// resynchronizes the last-seen readings from the new source. Chaos
+// harnesses install a perturbed source here; production code never calls
+// it.
+func (ns *Namespace) SetRawSource(read func(power.Domain) uint64) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.rawSource = read
+	for _, d := range []power.Domain{power.Package, power.Core, power.DRAM} {
+		ns.lastRaw[d] = read(d)
+	}
+}
 
 // Install activates the namespace on the host's pseudo filesystem: all
 // subsequent energy_uj reads route through it.
@@ -131,18 +156,39 @@ func (ns *Namespace) update() {
 
 	maxR := ns.k.Meter().MaxEnergyRangeUJ()
 	for _, d := range []power.Domain{power.Package, power.Core, power.DRAM} {
-		raw := ns.k.Meter().EnergyUJ(d)
-		rawDelta := float64(power.CounterDelta(ns.lastRaw[d], raw, maxR)) // µJ
+		raw := ns.rawSource(d)
+		rawDeltaU, kind := power.CounterDeltaKind(ns.lastRaw[d], raw, maxR)
+		rawDelta := float64(rawDeltaU) // µJ
 		ns.lastRaw[d] = raw
 
+		// Glitch-sample rejection: a counter reset or regression makes
+		// this interval's raw delta meaningless (a reset's delta only
+		// covers the time since the restart; a regression's is zero).
+		// Scaling the model by it would smear the error across every
+		// container, so the interval falls back to pure model attribution
+		// — Formula 2 without Formula 3 — and calibration resumes on the
+		// next clean delta. This is what keeps ξ < 0.05 under chaos.
+		calibrate := ns.calibrate && kind != power.DeltaReset && kind != power.DeltaRegression
+
 		mHost := ns.model.Energy(d, hostDelta, dt) * 1e6 // µJ
+
+		// A reset caught near the counter ceiling masquerades as a wrap
+		// with delta maxRange−prev — orders of magnitude beyond anything
+		// the host could burn. The namespace holds its own reference for
+		// what the interval should have cost (Formula 2's host estimate),
+		// so a wrap-classified raw delta wildly above it is rejected the
+		// same way. Clean wraps sit within model error of mHost and are
+		// untouched.
+		if kind == power.DeltaWrapped && mHost > 0 && rawDelta > wrapCalibrationFactor*mHost {
+			calibrate = false
+		}
 		for _, cd := range deltas {
 			mCont := ns.model.Energy(d, cd.c, dt) * 1e6
 			if mCont < 0 {
 				mCont = 0
 			}
 			attributed := mCont
-			if ns.calibrate && mHost > 0 {
+			if calibrate && mHost > 0 {
 				attributed = mCont / mHost * rawDelta
 			}
 			cd.a.energy[d] += attributed

@@ -35,6 +35,12 @@ var (
 	// ErrDenied is returned when a masking policy denies the read — the
 	// EACCES a tenant sees under an AppArmor deny rule.
 	ErrDenied = errors.New("pseudofs: permission denied")
+	// ErrTransient marks a read failure that may succeed on retry — the
+	// EIO/EAGAIN class of errors real procfs/sysfs reads hit under load.
+	// Fault injectors (internal/chaos) wrap their transient errors in it
+	// so consumers can distinguish "retry" from "give up" with errors.Is
+	// without importing the injector.
+	ErrTransient = errors.New("pseudofs: transient read error")
 )
 
 // View identifies the execution context performing a read: its namespace
@@ -74,13 +80,24 @@ type ThermalProvider interface {
 	CoreTempC(v View, core int) (float64, error)
 }
 
+// Injector intercepts Mount reads, letting a fault-injection layer
+// (internal/chaos) perturb them: fail transiently, tear content, serve a
+// stale render, or flap a path between readable and denied. The read
+// callback performs the genuine policied read; an injector decides whether
+// to invoke it, replace its result, or fail outright. A nil injector on the
+// FS is the common case and costs one nil check per read.
+type Injector interface {
+	Read(path string, read func() (string, error)) (string, error)
+}
+
 // FS is one host's pseudo-filesystem tree (both /proc and /sys). Build it
 // with Build; read through a Mount.
 type FS struct {
-	k       *kernel.Kernel
-	files   map[string]Handler
-	energy  EnergyProvider
-	thermal ThermalProvider
+	k        *kernel.Kernel
+	files    map[string]Handler
+	energy   EnergyProvider
+	thermal  ThermalProvider
+	injector Injector
 }
 
 // rawEnergy is the leaky default EnergyProvider.
@@ -139,6 +156,19 @@ func (fs *FS) SetEnergyProvider(p EnergyProvider) { fs.energy = p }
 
 // SetThermalProvider swaps the coretemp read path for a thermal namespace.
 func (fs *FS) SetThermalProvider(p ThermalProvider) { fs.thermal = p }
+
+// EnergyProvider returns the currently installed RAPL read path. Chaos
+// wrappers use it to stack on top of whatever (raw or defended) provider
+// is in force.
+func (fs *FS) EnergyProvider() EnergyProvider { return fs.energy }
+
+// ThermalProvider returns the currently installed coretemp read path.
+func (fs *FS) ThermalProvider() ThermalProvider { return fs.thermal }
+
+// SetInjector installs a read-path fault injector on every Mount of this
+// FS; nil removes it. Install it before handing mounts to consumers — the
+// injector is consulted on every subsequent Mount.Read.
+func (fs *FS) SetInjector(i Injector) { fs.injector = i }
 
 // Kernel returns the kernel this FS renders.
 func (fs *FS) Kernel() *kernel.Kernel { return fs.k }
@@ -291,8 +321,18 @@ func NewMount(fs *FS, v View, p Policy) *Mount {
 func (m *Mount) View() View { return m.view }
 
 // Read returns the file content as the mount's view sees it, applying the
-// masking policy first.
+// masking policy first. When the FS carries a fault injector, the read is
+// routed through it; with no injector the path is byte-identical to the
+// direct policied read.
 func (m *Mount) Read(path string) (string, error) {
+	if inj := m.fs.injector; inj != nil {
+		return inj.Read(path, func() (string, error) { return m.readPolicied(path) })
+	}
+	return m.readPolicied(path)
+}
+
+// readPolicied is the genuine read: masking policy first, then the handler.
+func (m *Mount) readPolicied(path string) (string, error) {
 	rule, matched := m.policy.Lookup(path)
 	if matched {
 		switch rule.Do {
