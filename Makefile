@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-full chaos chaos-sweep clean
+.PHONY: check fmt vet build test race bench bench-full bench-json chaos chaos-sweep clean
 
 check: fmt vet build race
 
@@ -52,6 +52,15 @@ bench:
 # Every table and figure of the paper's evaluation as benchmarks.
 bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Machine-readable benchmark report: the serial/parallel pairs, one
+# iteration each, converted to JSON by internal/tools/benchjson and
+# archived by CI as BENCH_PR3.json.
+bench-json:
+	$(GO) test -run '^$$' -bench \
+		'^(BenchmarkTable1LeakScan|BenchmarkTable1LeakScanParallel|BenchmarkFig3Sweep|BenchmarkFig3SweepParallel)$$' \
+		-benchtime=1x -benchmem . | $(GO) run ./internal/tools/benchjson -o BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
 
 clean:
 	$(GO) clean ./...

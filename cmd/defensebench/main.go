@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/experiments"
 )
@@ -53,8 +54,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the defense's counter reads (0 = off; applies to -fig8)")
 	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
+	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("defensebench"))
+		return 0
 	}
 	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*table3 && !*ablations && !*sweep
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}

@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/experiments"
 )
@@ -48,8 +49,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the observation surface (0 = off)")
 	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
+	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("leakscan"))
+		return 0
 	}
 	all := !*table1 && !*table2 && !*discover
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}

@@ -35,3 +35,13 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("usage not printed to stderr")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.HasPrefix(out.String(), "leakscan ") {
+		t.Fatalf("version output %q lacks the binary name", out.String())
+	}
+}

@@ -1,0 +1,150 @@
+// Command leaksd is the long-running leakage-monitoring service: the
+// paper's one-shot detection framework (Fig. 1) turned into a daemon that
+// schedules scans, caches results, streams verdict changes, and exposes
+// operational metrics — the shape a container-cloud operator actually
+// deploys to watch a fleet's leakage posture over time.
+//
+// API (JSON unless noted):
+//
+//	POST /scans        submit {"kind":"table1"|"inspect"|"discovery"|"fig3"|"fig8"|"chaossweep", ...}
+//	GET  /scans        list jobs
+//	GET  /scans/{id}   poll one job (result embedded when done)
+//	GET  /results      latest verdicts per provider (?provider=cc1 filters)
+//	GET  /channels     the Table I channel registry
+//	GET  /providers    inspectable provider profiles
+//	GET  /events       Server-Sent Events: verdicts + scan lifecycle
+//	GET  /metrics      Prometheus text format
+//	GET  /healthz      liveness, uptime, drain state
+//	GET  /version      build info
+//
+// Usage:
+//
+//	leaksd                          # serve on :8077
+//	leaksd -addr :9000 -workers 4   # bigger scan pool
+//	leaksd -scan-every 10m          # recurring full Table I scans
+//	leaksd -version                 # print build info and exit
+//
+// Identical scan configs (kind, provider, seed, chaos spec — the worker
+// count is excluded, because output is byte-identical at any count) are
+// served from an in-memory TTL+LRU result store instead of recomputed.
+// With default seeds, API-returned renders are byte-identical to the
+// corresponding CLI output (`leakscan -table1` etc.).
+//
+// On SIGINT/SIGTERM the daemon drains: submissions are refused with 503,
+// queued and in-flight scans finish (their results land in the store and
+// on the event stream), SSE streams close, and only then does the HTTP
+// listener stop. A second deadline (-drain-timeout) force-cancels
+// in-flight scans through their contexts if the drain stalls.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run wires flags → scheduler → HTTP server. ready, when non-nil, receives
+// the bound address once the listener is up (tests use it; production
+// passes nil).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("leaksd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8077", "listen address")
+	workers := fs.Int("workers", 2, "concurrent scan executors")
+	jobs := fs.Int("j", 0, "per-scan worker pool default (0 = GOMAXPROCS)")
+	queueCap := fs.Int("queue", 64, "bounded scan queue capacity")
+	storeCap := fs.Int("store", 128, "result store capacity (LRU beyond)")
+	storeTTL := fs.Duration("ttl", 15*time.Minute, "result store TTL")
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-scan deadline")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (non-streaming endpoints)")
+	retries := fs.Int("retries", 3, "max attempts per scan")
+	scanEvery := fs.Duration("scan-every", 0, "run a recurring full Table I scan at this interval (0 = off)")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain deadline")
+	version := fs.Bool("version", false, "print build info and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("leaksd"))
+		return 0
+	}
+	_ = jobs // reserved: the per-request Workers field overrides; kept as a documented default
+	sched := service.New(service.Config{
+		QueueCap:    *queueCap,
+		Workers:     *workers,
+		JobTimeout:  *jobTimeout,
+		MaxAttempts: *retries,
+		StoreCap:    *storeCap,
+		StoreTTL:    *storeTTL,
+	}, nil)
+	sched.Start()
+	if *scanEvery > 0 {
+		stop, err := sched.Every("table1-recurring", *scanEvery, service.ScanRequest{Kind: service.KindTable1})
+		if err != nil {
+			fmt.Fprintf(stderr, "leaksd: -scan-every: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
+
+	handler := service.NewHandler(service.APIConfig{
+		Scheduler:      sched,
+		Version:        buildinfo.String("leaksd"),
+		RequestTimeout: *reqTimeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() {
+		ln, err := net.Listen("tcp", srv.Addr)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		if ready != nil {
+			ready <- ln.Addr().String()
+		}
+		errCh <- srv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "leaksd: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "leaksd: draining (queued and in-flight scans will finish)")
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer drainCancel()
+	if err := sched.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "leaksd: drain: %v (in-flight scans were cancelled)\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "leaksd: http shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "leaksd: stopped")
+	return 0
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errb, nil); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "leaksd ") {
+		t.Fatalf("version output %q lacks the binary name", out.String())
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-warp-drive"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("exit = %d; want 2 for a flag error", code)
+	}
+}
+
+func TestBadListenAddress(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "256.256.256.256:0"}, &out, &errb, nil); code != 1 {
+		t.Fatalf("exit = %d; want 1 for an unusable address", code)
+	}
+	if !strings.Contains(errb.String(), "serve") {
+		t.Fatalf("stderr %q lacks the serve error", errb.String())
+	}
+}
+
+// TestDaemonServesAndDrainsOnSignal boots the real daemon on an ephemeral
+// port, exercises the API end to end, then delivers SIGTERM and verifies
+// the drain completes with exit code 0.
+func TestDaemonServesAndDrainsOnSignal(t *testing.T) {
+	var out, errb bytes.Buffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain-timeout", "30s"}, &out, &errb, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-exit:
+		t.Fatalf("daemon exited early with %d: %s", code, errb.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// Liveness and build info.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || !strings.HasPrefix(health.Version, "leaksd ") {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// One real scan through the daemon (a single-provider inspection is the
+	// cheapest compute-bearing kind).
+	resp, err = http.Post(base+"/scans", "application/json",
+		strings.NewReader(`{"kind":"inspect","provider":"local"}`))
+	if err != nil {
+		t.Fatalf("POST /scans: %v", err)
+	}
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status = %d; want 202", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(fmt.Sprintf("%s/scans/%s", base, job.ID))
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var j struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+			t.Fatalf("decode poll: %v", err)
+		}
+		r.Body.Close()
+		if j.Status == "done" {
+			break
+		}
+		if j.Status == "failed" || j.Status == "canceled" {
+			t.Fatalf("scan %s = %s (%s)", job.ID, j.Status, j.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scan %s stuck in %s", job.ID, j.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Metrics moved.
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	scrape, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if !strings.Contains(string(scrape), `leaksd_scans_total{kind="inspect",status="done"} 1`) {
+		t.Fatalf("metrics lack the finished scan:\n%s", scrape)
+	}
+
+	// SIGTERM → graceful drain → exit 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("deliver SIGTERM: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit = %d; stderr %s", code, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "draining") || !strings.Contains(out.String(), "stopped") {
+		t.Fatalf("drain log = %q; want draining + stopped lines", out.String())
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/experiments"
 )
@@ -49,8 +50,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "worker count for the seed sweep (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the observation surface (0 = off; applies to -fig3)")
 	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
+	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("powersim"))
+		return 0
 	}
 	all := !*fig2 && !*fig3 && !*fig4 && *sweep == 0
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}

@@ -1,0 +1,50 @@
+// Package buildinfo derives a human-readable build/version string from the
+// binary's embedded module metadata (runtime/debug.ReadBuildInfo): module
+// version, VCS revision + dirty flag when stamped, and the Go toolchain.
+// All four binaries expose it behind -version so operators can tell which
+// build produced which artifact.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// read is an injection point for tests; production uses debug.ReadBuildInfo.
+var read = debug.ReadBuildInfo
+
+// String renders "name version (rev abcdef12, dirty) go1.24.0" with
+// whatever subset of that metadata the build actually embedded.
+func String(name string) string {
+	bi, ok := read()
+	if !ok {
+		return name + " (no build info)"
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = ", dirty"
+			}
+		}
+	}
+	parts := []string{name, version}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		parts = append(parts, fmt.Sprintf("(rev %s%s)", rev, modified))
+	}
+	if bi.GoVersion != "" {
+		parts = append(parts, bi.GoVersion)
+	}
+	return strings.Join(parts, " ")
+}

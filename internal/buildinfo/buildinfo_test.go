@@ -1,0 +1,44 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringWithRealBuildInfo(t *testing.T) {
+	s := String("leakscan")
+	if !strings.HasPrefix(s, "leakscan ") {
+		t.Fatalf("version string %q lacks binary name prefix", s)
+	}
+}
+
+func TestStringRendersRevisionAndDirty(t *testing.T) {
+	orig := read
+	defer func() { read = orig }()
+	read = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			GoVersion: "go1.24.0",
+			Main:      debug.Module{Version: "(devel)"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+	s := String("leaksd")
+	for _, want := range []string{"leaksd", "devel", "(rev 0123456789ab, dirty)", "go1.24.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("version %q lacks %q", s, want)
+		}
+	}
+}
+
+func TestStringWithoutBuildInfo(t *testing.T) {
+	orig := read
+	defer func() { read = orig }()
+	read = func() (*debug.BuildInfo, bool) { return nil, false }
+	if got := String("powersim"); got != "powersim (no build info)" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chaos"
@@ -74,14 +75,23 @@ func DefaultChaosRates() []float64 { return []float64{0.01, 0.02, 0.05, 0.10, 0.
 // builds its own worlds, and fault streams are salted per host/path), so
 // they fan out across workers with byte-identical results at any count.
 func ChaosSweep(rates []float64, seed int64, workers int) (*ChaosSweepResult, error) {
+	return ChaosSweepCtx(context.Background(), rates, seed, workers)
+}
+
+// ChaosSweepCtx is ChaosSweep with cooperative cancellation: each grid cell
+// re-runs three full pipelines, so this is the longest sweep in the
+// repository, and a daemon shutdown must be able to abandon the
+// not-yet-dispatched rates. A background context is byte-identical to
+// ChaosSweep.
+func ChaosSweepCtx(ctx context.Context, rates []float64, seed int64, workers int) (*ChaosSweepResult, error) {
 	if len(rates) == 0 {
 		rates = DefaultChaosRates()
 	}
-	base, err := Table1Workers(workers)
+	base, err := Table1Seeded(ctx, chaos.Spec{}, 0, workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: chaos sweep baseline: %w", err)
 	}
-	cells, err := parallel.Map(workers, rates, func(_ int, rate float64) (ChaosCell, error) {
+	cells, err := parallel.MapCtx(ctx, workers, rates, func(_ context.Context, _ int, rate float64) (ChaosCell, error) {
 		return chaosCell(chaos.Spec{Rate: rate, Seed: seed}, base), nil
 	})
 	if err != nil {

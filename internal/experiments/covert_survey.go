@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -61,6 +62,13 @@ func CovertSurvey() (*CovertSurveyResult, error) { return CovertSurveyWorkers(0)
 // measurement builds its own single-server datacenter and drives its own
 // clock), fanned out in parallel with rows kept in grid order.
 func CovertSurveyWorkers(workers int) (*CovertSurveyResult, error) {
+	return CovertSurveyCtx(context.Background(), workers)
+}
+
+// CovertSurveyCtx is CovertSurveyWorkers with cooperative cancellation over
+// the 12-world grid. A background context is byte-identical to
+// CovertSurveyWorkers.
+func CovertSurveyCtx(ctx context.Context, workers int) (*CovertSurveyResult, error) {
 	configs := []covert.Config{
 		{Signal: covert.PowerSignal, SymbolSeconds: 2, Core: 2, LoadCores: 4},
 		{Signal: covert.UtilSignal, SymbolSeconds: 2, Core: 2, LoadCores: 4},
@@ -76,7 +84,7 @@ func CovertSurveyWorkers(workers int) (*CovertSurveyResult, error) {
 			grid = append(grid, cell{cfg: cfg, hardening: hardening})
 		}
 	}
-	rows, err := parallel.Map(workers, grid, func(_ int, c cell) (CovertRow, error) {
+	rows, err := parallel.MapCtx(ctx, workers, grid, func(_ context.Context, _ int, c cell) (CovertRow, error) {
 		ber, n, err := measureCovert(c.cfg, c.hardening)
 		if err != nil {
 			return CovertRow{}, fmt.Errorf("experiments: covert %v on %v: %w", c.cfg.Signal, c.hardening, err)

@@ -8,6 +8,7 @@ package experiments
 // reduction, or a racy pseudo-file handler, these tests are the tripwire.
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -97,7 +98,7 @@ func TestInspectAllSurvivesProviderFailure(t *testing.T) {
 	broken := profiles[2].Name
 	boom := errors.New("profile exploded")
 
-	ins, err := inspectProfiles(profiles, 4, func(p cloud.ProviderProfile) (CloudInspection, error) {
+	ins, err := inspectProfiles(context.Background(), profiles, 4, func(p cloud.ProviderProfile) (CloudInspection, error) {
 		if p.Name == broken {
 			return CloudInspection{}, boom
 		}
@@ -152,7 +153,7 @@ func TestInspectAllSurvivesProviderFailure(t *testing.T) {
 func TestInspectAllAllFailed(t *testing.T) {
 	profiles := append([]cloud.ProviderProfile{cloud.LocalTestbed()}, cloud.CommercialClouds()...)
 	boom := errors.New("fleet down")
-	ins, err := inspectProfiles(profiles, 2, func(cloud.ProviderProfile) (CloudInspection, error) {
+	ins, err := inspectProfiles(context.Background(), profiles, 2, func(cloud.ProviderProfile) (CloudInspection, error) {
 		return CloudInspection{}, boom
 	})
 	if err == nil {
@@ -170,7 +171,7 @@ func TestInspectAllAllFailed(t *testing.T) {
 // folded into its Err field instead of crashing the sweep.
 func TestInspectAllCapturesProviderPanic(t *testing.T) {
 	profiles := append([]cloud.ProviderProfile{cloud.LocalTestbed()}, cloud.CommercialClouds()...)
-	ins, err := inspectProfiles(profiles, 4, func(p cloud.ProviderProfile) (CloudInspection, error) {
+	ins, err := inspectProfiles(context.Background(), profiles, 4, func(p cloud.ProviderProfile) (CloudInspection, error) {
 		if p.Name == profiles[1].Name {
 			panic("inspector bug")
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chaos"
@@ -37,7 +38,26 @@ func DiscoveryWorkers(workers int) (*DiscoveryResult, error) {
 // runs against hosts it does not control. The zero Spec is exactly
 // DiscoveryWorkers.
 func DiscoveryChaosWorkers(spec chaos.Spec, workers int) (*DiscoveryResult, error) {
-	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: 0xd15c, Chaos: spec})
+	return DiscoverySeeded(context.Background(), spec, 0, workers)
+}
+
+// DefaultDiscoverySeed is the testbed seed every one-shot discovery sweep
+// has used; seed 0 in DiscoverySeeded selects it.
+const DefaultDiscoverySeed int64 = 0xd15c
+
+// DiscoverySeeded is DiscoveryChaosWorkers with the testbed seed threaded
+// through (0 = DefaultDiscoverySeed) and cooperative cancellation: the
+// sweep is abandoned before the world is built when ctx is already done,
+// so a shutting-down daemon never starts a doomed cross-validation pass.
+// Background context + seed 0 is byte-identical to DiscoveryChaosWorkers.
+func DiscoverySeeded(ctx context.Context, spec chaos.Spec, seed int64, workers int) (*DiscoveryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = DefaultDiscoverySeed
+	}
+	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: seed, Chaos: spec})
 	srv := dc.Racks[0].Servers[0]
 	probe := srv.Runtime.Create("probe")
 	dc.Clock.Run(30, 1)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -205,6 +206,13 @@ func Fig3Sweep(n int) (*Fig3SweepResult, error) { return Fig3SweepWorkers(n, 0) 
 // over the ordered result slice, keeping the statistics bit-identical to
 // the serial loop at any worker count.
 func Fig3SweepWorkers(n, workers int) (*Fig3SweepResult, error) {
+	return Fig3SweepCtx(context.Background(), n, workers)
+}
+
+// Fig3SweepCtx is Fig3SweepWorkers with cooperative cancellation: a daemon
+// shutdown stops dispatching seeds instead of orphaning the sweep. A
+// background context is byte-identical to Fig3SweepWorkers.
+func Fig3SweepCtx(ctx context.Context, n, workers int) (*Fig3SweepResult, error) {
 	if n <= 0 {
 		n = 5
 	}
@@ -212,7 +220,7 @@ func Fig3SweepWorkers(n, workers int) (*Fig3SweepResult, error) {
 	for i := range seeds {
 		seeds[i] = 1360 + int64(i)
 	}
-	results, err := parallel.Map(workers, seeds, func(_ int, seed int64) (*Fig3Result, error) {
+	results, err := parallel.MapCtx(ctx, workers, seeds, func(_ context.Context, _ int, seed int64) (*Fig3Result, error) {
 		return fig3WithSeed(seed, chaos.Spec{})
 	})
 	if err != nil {

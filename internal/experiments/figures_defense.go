@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -154,11 +155,18 @@ func Fig8Workers(workers int) (*Fig8Result, error) {
 // defense's accuracy, not the evaluator's. The zero Spec is exactly
 // Fig8Workers.
 func Fig8ChaosWorkers(spec chaos.Spec, workers int) (*Fig8Result, error) {
+	return Fig8Ctx(context.Background(), spec, workers)
+}
+
+// Fig8Ctx is Fig8ChaosWorkers with cooperative cancellation over the
+// per-benchmark ξ fan-out. A background context is byte-identical to
+// Fig8ChaosWorkers.
+func Fig8Ctx(ctx context.Context, spec chaos.Spec, workers int) (*Fig8Result, error) {
 	model, _, err := powerns.Train(powerns.TrainOptions{Seed: 8, Chaos: spec})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig 8 train: %w", err)
 	}
-	rows, err := parallel.Map(workers, workload.SPECSubset(), func(_ int, prof workload.Profile) (Fig8Row, error) {
+	rows, err := parallel.MapCtx(ctx, workers, workload.SPECSubset(), func(_ context.Context, _ int, prof workload.Profile) (Fig8Row, error) {
 		xi, err := measureXiChaos(model, prof, true, spec)
 		if err != nil {
 			return Fig8Row{}, fmt.Errorf("experiments: fig 8 %s: %w", prof.Name, err)

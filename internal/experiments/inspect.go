@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chaos"
@@ -8,6 +9,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/parallel"
 )
+
+// DefaultInspectSeed is the datacenter seed every one-shot inspection has
+// used since the first PR (it is what makes `leakscan -table1` output a
+// fixed artifact). Seed-varied scan campaigns — the service layer re-running
+// Table I across many simulated datacenters — pass their own seed through
+// InspectProviderSeeded; seed 0 everywhere means "use this default", so
+// zero-valued requests reproduce the CLI bytes exactly.
+const DefaultInspectSeed int64 = 0x1ea4
 
 // CloudInspection is the result of checking one provider: per-channel
 // availability, in Table I row order. A failed inspection carries its error
@@ -36,10 +45,23 @@ func InspectProvider(p cloud.ProviderProfile) (CloudInspection, error) {
 // rather than flipping availability outright. The zero Spec is exactly
 // InspectProvider.
 func InspectProviderChaos(p cloud.ProviderProfile, spec chaos.Spec) (CloudInspection, error) {
+	return InspectProviderSeeded(p, spec, 0)
+}
+
+// InspectProviderSeeded is InspectProviderChaos with the datacenter seed
+// threaded through: each seed builds a different simulated world (different
+// boot ids, task mixes, counter baselines), so a scan campaign across seeds
+// measures how stable a provider's leakage posture is across hosts rather
+// than re-measuring one frozen world. Seed 0 selects DefaultInspectSeed,
+// keeping the historical byte-identical output for every existing caller.
+func InspectProviderSeeded(p cloud.ProviderProfile, spec chaos.Spec, seed int64) (CloudInspection, error) {
+	if seed == 0 {
+		seed = DefaultInspectSeed
+	}
 	dc := cloud.New(cloud.Config{
 		Racks:          1,
 		ServersPerRack: 1,
-		Seed:           0x1ea4,
+		Seed:           seed,
 		Provider:       &p,
 		Chaos:          spec,
 	})
@@ -80,23 +102,38 @@ func InspectAllWorkers(workers int) ([]CloudInspection, error) {
 // fault streams are salted by hostname inside the cloud, so results remain
 // byte-identical at any worker count.
 func InspectAllChaosWorkers(spec chaos.Spec, workers int) ([]CloudInspection, error) {
+	return InspectAllSeeded(context.Background(), spec, 0, workers)
+}
+
+// InspectAllSeeded is the fully-threaded inspection sweep: every provider's
+// datacenter is built from the given seed (0 = DefaultInspectSeed) and the
+// fan-out honours ctx — cancelling it stops dispatching providers, so a
+// leaksd shutdown aborts an in-flight six-cloud sweep instead of orphaning
+// it. With a background context and seed 0 this is byte-identical to
+// InspectAllChaosWorkers.
+func InspectAllSeeded(ctx context.Context, spec chaos.Spec, seed int64, workers int) ([]CloudInspection, error) {
 	profiles := append([]cloud.ProviderProfile{cloud.LocalTestbed()}, cloud.CommercialClouds()...)
-	return inspectProfiles(profiles, workers, func(p cloud.ProviderProfile) (CloudInspection, error) {
-		return InspectProviderChaos(p, spec)
+	return inspectProfiles(ctx, profiles, workers, func(p cloud.ProviderProfile) (CloudInspection, error) {
+		return InspectProviderSeeded(p, spec, seed)
 	})
 }
 
 // inspectProfiles fans the per-provider inspections out and folds failures
 // into the per-provider Err field (the injectable inspect hook keeps the
 // partial-failure path testable without a breakable provider profile).
+// Context cancellation aborts the sweep with ctx's error.
 func inspectProfiles(
+	ctx context.Context,
 	profiles []cloud.ProviderProfile,
 	workers int,
 	inspect func(cloud.ProviderProfile) (CloudInspection, error),
 ) ([]CloudInspection, error) {
-	out, errs := parallel.MapSettle(workers, profiles, func(_ int, p cloud.ProviderProfile) (CloudInspection, error) {
+	out, errs := parallel.MapSettleCtx(ctx, workers, profiles, func(_ context.Context, _ int, p cloud.ProviderProfile) (CloudInspection, error) {
 		return inspect(p)
 	})
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	failed := 0
 	for i := range out {
 		if errs[i] != nil {

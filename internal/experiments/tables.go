@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -47,7 +48,16 @@ func Table1Workers(workers int) (*Table1Result, error) {
 // availability matrix stable at realistic fault rates; the zero Spec is
 // exactly Table1Workers.
 func Table1ChaosWorkers(spec chaos.Spec, workers int) (*Table1Result, error) {
-	ins, err := InspectAllChaosWorkers(spec, workers)
+	return Table1Seeded(context.Background(), spec, 0, workers)
+}
+
+// Table1Seeded is the fully-threaded Table I entry point the service layer
+// (cmd/leaksd) calls: datacenter seed selection for seed-varied scan
+// campaigns (0 = DefaultInspectSeed) and context cancellation so a daemon
+// shutdown aborts the six-provider fan-out. Background context + seed 0 is
+// byte-identical to Table1ChaosWorkers.
+func Table1Seeded(ctx context.Context, spec chaos.Spec, seed int64, workers int) (*Table1Result, error) {
+	ins, err := InspectAllSeeded(ctx, spec, seed, workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: table 1: %w", err)
 	}

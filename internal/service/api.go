@@ -1,0 +1,242 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// APIConfig wires the HTTP layer. Scheduler is required; everything else
+// has defaults.
+type APIConfig struct {
+	Scheduler *Scheduler
+	// Version is the build-info string served by /healthz and /version.
+	Version string
+	// RequestTimeout bounds each non-streaming request's context
+	// (default 30s). The SSE endpoint is exempt: it lives until the
+	// client hangs up or the server drains.
+	RequestTimeout time.Duration
+	// Heartbeat is the SSE keep-alive comment interval (default 15s).
+	Heartbeat time.Duration
+	// Now is the wall clock (default time.Now).
+	Now func() time.Time
+}
+
+type api struct {
+	cfg   APIConfig
+	sched *Scheduler
+	start time.Time
+}
+
+// NewHandler builds the leaksd HTTP API:
+//
+//	POST /scans        submit a scan (202 queued, 200 cache hit)
+//	GET  /scans        list jobs
+//	GET  /scans/{id}   one job with its result
+//	GET  /results      latest verdicts per provider (?provider= filters)
+//	GET  /channels     the Table I channel registry
+//	GET  /providers    inspectable provider profiles
+//	GET  /events       SSE stream of verdict / scan events
+//	GET  /metrics      Prometheus text exposition
+//	GET  /healthz      liveness + uptime
+//	GET  /version      build info
+//
+// The handler is exactly what cmd/leaksd serves; tests drive it through
+// net/http/httptest.
+func NewHandler(cfg APIConfig) http.Handler {
+	if cfg.Scheduler == nil {
+		panic("service: APIConfig.Scheduler is required")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	a := &api{cfg: cfg, sched: cfg.Scheduler, start: cfg.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /scans", a.timed(a.postScan))
+	mux.HandleFunc("GET /scans", a.timed(a.listScans))
+	mux.HandleFunc("GET /scans/{id}", a.timed(a.getScan))
+	mux.HandleFunc("GET /results", a.timed(a.getResults))
+	mux.HandleFunc("GET /channels", a.timed(a.getChannels))
+	mux.HandleFunc("GET /providers", a.timed(a.getProviders))
+	mux.HandleFunc("GET /events", a.events) // untimed: streams
+	mux.HandleFunc("GET /metrics", a.metrics)
+	mux.HandleFunc("GET /healthz", a.timed(a.healthz))
+	mux.HandleFunc("GET /version", a.timed(a.version))
+	return mux
+}
+
+// timed wraps a handler with the request-scoped timeout.
+func (a *api) timed(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), a.cfg.RequestTimeout)
+		defer cancel()
+		fn(w, r.WithContext(ctx))
+	}
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (a *api) postScan(w http.ResponseWriter, r *http.Request) {
+	var req ScanRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	job, err := a.sched.Submit(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if job.CacheHit {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job)
+}
+
+func (a *api) listScans(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Scans []Job `json:"scans"`
+	}{Scans: a.sched.Jobs()})
+}
+
+func (a *api) getScan(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := a.sched.JobByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such scan %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (a *api) getResults(w http.ResponseWriter, r *http.Request) {
+	provider := r.URL.Query().Get("provider")
+	if provider != "" {
+		if _, ok := ProviderByName(provider); !ok {
+			writeError(w, http.StatusNotFound, "unknown provider %q (one of %v)", provider, ProviderNames())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results []ProviderVerdicts `json:"results"`
+	}{Results: a.sched.Results(provider)})
+}
+
+func (a *api) getChannels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Channels []ChannelInfo `json:"channels"`
+	}{Channels: Channels()})
+}
+
+func (a *api) getProviders(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Providers []string `json:"providers"`
+	}{Providers: ProviderNames()})
+}
+
+func (a *api) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.sched.Metrics().Registry.WritePrometheus(w)
+}
+
+func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		Version       string  `json:"version"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Draining      bool    `json:"draining"`
+	}{
+		Status:        "ok",
+		Version:       a.cfg.Version,
+		UptimeSeconds: a.cfg.Now().Sub(a.start).Seconds(),
+		Draining:      a.sched.draining.Load(),
+	})
+}
+
+func (a *api) version(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Version string `json:"version"`
+	}{Version: a.cfg.Version})
+}
+
+// events serves the SSE stream: every hub event as an `event:`/`data:`
+// frame, with periodic comment heartbeats so idle connections stay alive
+// through proxies. The stream ends when the client disconnects or the
+// scheduler's hub closes the subscription (drain).
+func (a *api) events(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	ch, cancel := a.sched.Subscribe()
+	defer cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": leaksd event stream\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(a.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": keep-alive\n\n")
+			fl.Flush()
+		}
+	}
+}

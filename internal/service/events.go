@@ -1,0 +1,105 @@
+package service
+
+import "sync"
+
+// Event is one item on the service's event stream. Scan lifecycle events
+// (EventScanDone / EventScanFailed) fire once per job; verdict events fire
+// once per (provider, channel) cell of an inspection result, with Changed
+// marking the cells whose availability differs from the last time this
+// service instance observed that cell — the "verdict changes as they land"
+// signal an operator dashboard tails over SSE.
+type Event struct {
+	Type  string `json:"type"`
+	JobID string `json:"job_id"`
+	Kind  Kind   `json:"kind"`
+
+	// Verdict events only.
+	Provider     string `json:"provider,omitempty"`
+	Channel      string `json:"channel,omitempty"`
+	Availability string `json:"availability,omitempty"`
+	Changed      bool   `json:"changed,omitempty"`
+	// Previous availability for changed verdicts ("" on first observation).
+	Previous string `json:"previous,omitempty"`
+
+	// Scan lifecycle events only.
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Event types.
+const (
+	EventVerdict    = "verdict"
+	EventScanDone   = "scan_done"
+	EventScanFailed = "scan_failed"
+)
+
+// hub fans events out to subscribers. Delivery is best-effort per
+// subscriber: a subscriber that stops draining its channel loses events
+// (counted by the scheduler's dropped-events metric) rather than blocking
+// scan completion — the result store, not the event stream, is the source
+// of truth.
+type hub struct {
+	mu   sync.Mutex
+	subs map[int]chan Event
+	next int
+}
+
+func newHub() *hub { return &hub{subs: make(map[int]chan Event)} }
+
+// subscriberBuffer is sized for a full chaossweep worth of verdict events
+// (6 providers × 21 channels × 5 rates ≈ 630) so a briefly-stalled reader
+// does not shed load.
+const subscriberBuffer = 1024
+
+// Subscribe registers a new subscriber; the returned cancel must be called
+// exactly once, after which the channel is closed.
+func (h *hub) Subscribe() (<-chan Event, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.next
+	h.next++
+	ch := make(chan Event, subscriberBuffer)
+	h.subs[id] = ch
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if c, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(c)
+		}
+	}
+}
+
+// Publish delivers ev to every subscriber, returning how many deliveries
+// were dropped because a subscriber's buffer was full.
+func (h *hub) Publish(ev Event) (dropped int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// CloseAll terminates every subscription (service drain): each channel is
+// closed after any buffered events, so an SSE handler drains what it has
+// and returns, unblocking the HTTP server's own graceful shutdown.
+func (h *hub) CloseAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+}
+
+// Subscribers reports the current subscriber count.
+func (h *hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}

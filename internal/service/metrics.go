@@ -1,0 +1,80 @@
+package service
+
+import "repro/internal/telemetry"
+
+// Metrics bundles the scheduler's instrumentation. All families live in
+// one telemetry.Registry that cmd/leaksd also exposes at /metrics; tests
+// read the same registry through the typed handles.
+type Metrics struct {
+	Registry *telemetry.Registry
+
+	// ScansTotal counts finished scans by kind and terminal status
+	// (done / failed / canceled).
+	ScansTotal *telemetry.CounterVec
+	// ScanSeconds is scan wall-clock latency by kind (compute only —
+	// cache hits are served in-line and recorded by CacheHits instead).
+	ScanSeconds *telemetry.HistogramVec
+	// QueueDepth is the number of jobs waiting in the bounded queue.
+	QueueDepth *telemetry.GaugeVec
+	// Inflight is the number of scans currently executing.
+	Inflight *telemetry.GaugeVec
+	// CacheHits / CacheMisses count Submit-time store lookups.
+	CacheHits, CacheMisses *telemetry.CounterVec
+	// Retries counts re-executions after a failed attempt — under chaos
+	// specs this is the chaos-induced-retry signal.
+	Retries *telemetry.CounterVec
+	// QueueRejects counts submissions refused because the queue was full
+	// or the scheduler was draining.
+	QueueRejects *telemetry.CounterVec
+	// Verdicts counts leakage verdicts by channel and availability as
+	// inspection scans land.
+	Verdicts *telemetry.CounterVec
+	// VerdictChanges counts verdict cells that flipped availability.
+	VerdictChanges *telemetry.CounterVec
+	// EventsDropped counts per-subscriber event deliveries shed because a
+	// subscriber stalled.
+	EventsDropped *telemetry.CounterVec
+	// StoreEntries gauges the result store's live size.
+	StoreEntries *telemetry.GaugeVec
+	// StoreEvictions / StoreExpirations count LRU and TTL removals.
+	StoreEvictions, StoreExpirations *telemetry.CounterVec
+}
+
+// NewMetrics registers every scheduler metric on reg (a fresh registry if
+// nil) under the leaksd_ prefix.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Metrics{
+		Registry: reg,
+		ScansTotal: reg.Counter("leaksd_scans_total",
+			"Finished scans by kind and terminal status.", "kind", "status"),
+		ScanSeconds: reg.Histogram("leaksd_scan_duration_seconds",
+			"Scan execution latency by kind (cache hits excluded).", nil, "kind"),
+		QueueDepth: reg.Gauge("leaksd_queue_depth",
+			"Jobs waiting in the bounded scan queue."),
+		Inflight: reg.Gauge("leaksd_scans_inflight",
+			"Scans currently executing."),
+		CacheHits: reg.Counter("leaksd_cache_hits_total",
+			"Scan submissions served from the result store."),
+		CacheMisses: reg.Counter("leaksd_cache_misses_total",
+			"Scan submissions that required computation."),
+		Retries: reg.Counter("leaksd_scan_retries_total",
+			"Scan attempts re-executed after a failure, by kind.", "kind"),
+		QueueRejects: reg.Counter("leaksd_queue_rejects_total",
+			"Submissions refused (queue full or draining).", "reason"),
+		Verdicts: reg.Counter("leaksd_verdicts_total",
+			"Leakage verdicts observed, by channel and availability.", "channel", "availability"),
+		VerdictChanges: reg.Counter("leaksd_verdict_changes_total",
+			"Verdict cells whose availability changed, by provider.", "provider"),
+		EventsDropped: reg.Counter("leaksd_events_dropped_total",
+			"Event deliveries shed because a subscriber stalled."),
+		StoreEntries: reg.Gauge("leaksd_store_entries",
+			"Live entries in the result store."),
+		StoreEvictions: reg.Counter("leaksd_store_evictions_total",
+			"Result-store entries evicted by LRU pressure."),
+		StoreExpirations: reg.Counter("leaksd_store_expirations_total",
+			"Result-store entries removed by TTL."),
+	}
+}

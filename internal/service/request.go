@@ -1,0 +1,174 @@
+// Package service is the long-running heart of leaksd: a scan scheduler
+// with a bounded job queue, per-job deadlines, retry with exponential
+// backoff, an in-memory result store (TTL + LRU + content-hash dedup), a
+// recurring-scan facility, and an event hub streaming leakage-verdict
+// changes to SSE subscribers. It turns the one-shot experiment entry
+// points of internal/experiments into named jobs that many concurrent
+// clients can submit, poll, and watch — the production shape the paper's
+// Fig. 1 framework takes when it monitors container fleets continuously
+// instead of auditing them once.
+//
+// Determinism carries over from the experiment layer: a scan request's
+// identity deliberately excludes the worker count (the concurrency
+// contract guarantees byte-identical output at any -j), so two clients
+// asking the same question at different parallelism share one cached
+// answer.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/experiments"
+)
+
+// Kind names a scan job type — the job-shaped entry points of
+// internal/experiments the scheduler knows how to run.
+type Kind string
+
+// Supported scan kinds.
+const (
+	// KindTable1 runs the full six-provider Table I inspection.
+	KindTable1 Kind = "table1"
+	// KindInspect inspects a single provider (Request.Provider).
+	KindInspect Kind = "inspect"
+	// KindDiscovery sweeps the local testbed for leaking files beyond the
+	// Table I registry.
+	KindDiscovery Kind = "discovery"
+	// KindFig3 runs the synergistic-vs-periodic power attack comparison.
+	KindFig3 Kind = "fig3"
+	// KindFig8 measures the defense's modeling error on the SPEC subset.
+	KindFig8 Kind = "fig8"
+	// KindChaosSweep runs the fault-rate degradation grid.
+	KindChaosSweep Kind = "chaossweep"
+)
+
+// Kinds lists every supported kind (for validation errors and /channels
+// style introspection).
+func Kinds() []Kind {
+	return []Kind{KindTable1, KindInspect, KindDiscovery, KindFig3, KindFig8, KindChaosSweep}
+}
+
+// ScanRequest is the client-facing description of one scan. The zero value
+// of every optional field selects the CLI default, so a bare
+// {"kind":"table1"} reproduces `leakscan -table1` byte for byte.
+type ScanRequest struct {
+	Kind Kind `json:"kind"`
+	// Provider selects the profile for KindInspect ("local", "lxc", "cc1"
+	// … "cc5"); ignored by other kinds.
+	Provider string `json:"provider,omitempty"`
+	// Seed is the datacenter seed for seed-varied campaigns; 0 selects the
+	// kind's historical default (experiments.DefaultInspectSeed etc.).
+	Seed int64 `json:"seed,omitempty"`
+	// ChaosRate arms deterministic fault injection on the scan's
+	// observation surface; 0 disables it.
+	ChaosRate float64 `json:"chaos_rate,omitempty"`
+	// ChaosSeed seeds the fault streams (only meaningful with ChaosRate >
+	// 0; defaults to 1, matching the CLI flag default).
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
+	// Workers bounds the scan's internal worker pool (0 = GOMAXPROCS).
+	// Excluded from the dedup key: output is byte-identical at any count.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Normalize canonicalizes a request so that equal questions hash equal:
+// chaos-off requests drop their chaos seed (it is dead state), chaos-on
+// requests default the seed to 1 exactly like the -chaosseed flag, and the
+// datacenter seed resolves to the kind's actual default (so seed 0 and the
+// explicit historical seed dedup to one cache entry) or to nothing for
+// kinds that ignore it.
+func (r ScanRequest) Normalize() ScanRequest {
+	if r.ChaosRate <= 0 {
+		r.ChaosRate = 0
+		r.ChaosSeed = 0
+	} else if r.ChaosSeed == 0 {
+		r.ChaosSeed = 1
+	}
+	if r.Kind != KindInspect {
+		r.Provider = ""
+	}
+	switch r.Kind {
+	case KindTable1, KindInspect:
+		if r.Seed == 0 {
+			r.Seed = experiments.DefaultInspectSeed
+		}
+	case KindDiscovery:
+		if r.Seed == 0 {
+			r.Seed = experiments.DefaultDiscoverySeed
+		}
+	default:
+		r.Seed = 0 // fig3 / fig8 / chaossweep run fixed internal seeds
+	}
+	return r
+}
+
+// Validate rejects malformed requests with client-facing errors.
+func (r ScanRequest) Validate() error {
+	switch r.Kind {
+	case KindTable1, KindDiscovery, KindFig3, KindFig8, KindChaosSweep:
+	case KindInspect:
+		if r.Provider == "" {
+			return fmt.Errorf("kind %q requires a provider (one of %v)", r.Kind, ProviderNames())
+		}
+		if _, ok := ProviderByName(r.Provider); !ok {
+			return fmt.Errorf("unknown provider %q (one of %v)", r.Provider, ProviderNames())
+		}
+	case "":
+		return fmt.Errorf("missing kind (one of %v)", Kinds())
+	default:
+		return fmt.Errorf("unknown kind %q (one of %v)", r.Kind, Kinds())
+	}
+	if r.ChaosRate < 0 || r.ChaosRate > 1 {
+		return fmt.Errorf("chaos_rate %g outside [0,1]", r.ChaosRate)
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("workers %d negative", r.Workers)
+	}
+	return nil
+}
+
+// Chaos converts the request's chaos knobs to a spec.
+func (r ScanRequest) Chaos() chaos.Spec {
+	if r.ChaosRate <= 0 {
+		return chaos.Spec{}
+	}
+	return chaos.Spec{Rate: r.ChaosRate, Seed: r.ChaosSeed}
+}
+
+// Key is the content hash under which this request's result is stored:
+// identical scan configs dedup to one cache entry. The canonical string
+// covers everything that can change the output bytes — kind, provider,
+// seed, chaos spec — and nothing that cannot (worker count).
+func (r ScanRequest) Key() string {
+	n := r.Normalize()
+	canon := fmt.Sprintf("v1|%s|%s|%d|%g|%d", n.Kind, n.Provider, n.Seed, n.ChaosRate, n.ChaosSeed)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:16])
+}
+
+// ProviderByName resolves a profile by its Table I name.
+func ProviderByName(name string) (cloud.ProviderProfile, bool) {
+	for _, p := range allProviders() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return cloud.ProviderProfile{}, false
+}
+
+// ProviderNames lists the inspectable profiles in Table I column order.
+func ProviderNames() []string {
+	ps := allProviders()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+func allProviders() []cloud.ProviderProfile {
+	return append([]cloud.ProviderProfile{cloud.LocalTestbed(), cloud.LocalLXC()}, cloud.CommercialClouds()...)
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/texttable"
+)
+
+// runScan executes one scan request against the experiment layer,
+// honouring ctx (per-job deadline plus service shutdown) and returning the
+// structured result. The Rendered field is exactly what the corresponding
+// CLI command prints for the same seeds — the byte-identity contract that
+// lets operators diff API results against leakscan output.
+func runScan(ctx context.Context, req ScanRequest) (*ScanResult, error) {
+	req = req.Normalize()
+	spec := req.Chaos()
+	res := &ScanResult{Request: req}
+	switch req.Kind {
+	case KindTable1:
+		t, err := experiments.Table1Seeded(ctx, spec, req.Seed, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Rendered = t.String()
+		res.Verdicts = verdictsOf(t.Inspections)
+	case KindInspect:
+		p, ok := ProviderByName(req.Provider)
+		if !ok {
+			return nil, fmt.Errorf("service: unknown provider %q", req.Provider)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ins, err := experiments.InspectProviderSeeded(p, spec, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rendered = renderInspection(ins, req)
+		res.Verdicts = verdictsOf([]experiments.CloudInspection{ins})
+	case KindDiscovery:
+		d, err := experiments.DiscoverySeeded(ctx, spec, req.Seed, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Rendered = d.String()
+	case KindFig3:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		f, err := experiments.Fig3Chaos(spec)
+		if err != nil {
+			return nil, err
+		}
+		res.Rendered = f.String()
+	case KindFig8:
+		f, err := experiments.Fig8Ctx(ctx, spec, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Rendered = f.String()
+	case KindChaosSweep:
+		seed := req.ChaosSeed
+		if seed == 0 {
+			seed = 1 // the -chaosseed default; the sweep arms its own rates
+		}
+		s, err := experiments.ChaosSweepCtx(ctx, nil, seed, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Rendered = s.String()
+	default:
+		return nil, fmt.Errorf("service: unknown kind %q", req.Kind)
+	}
+	return res, nil
+}
+
+// verdictsOf flattens inspections into (provider, channel, availability)
+// cells, skipping failed providers (their error lives on the job, and a
+// failed inspection is not a verdict).
+func verdictsOf(ins []experiments.CloudInspection) []Verdict {
+	var out []Verdict
+	for _, in := range ins {
+		if in.Err != nil {
+			continue
+		}
+		for _, rep := range in.Reports {
+			out = append(out, Verdict{
+				Provider:     in.Provider,
+				Channel:      rep.Channel.Name,
+				Availability: rep.Availability.String(),
+			})
+		}
+	}
+	return out
+}
+
+// renderInspection prints a single-provider availability column — the
+// service-only slice of Table I a per-provider recurring job produces.
+func renderInspection(ins experiments.CloudInspection, req ScanRequest) string {
+	tb := texttable.New("Leakage Channels", "Leakage Information", strings.ToUpper(ins.Provider))
+	for _, rep := range ins.Reports {
+		tb.Row(rep.Channel.Name, rep.Channel.Info, rep.Availability.String())
+	}
+	return fmt.Sprintf("INSPECTION: %s (%s)\n%s", ins.Provider, req.Chaos(), tb.String())
+}
+
+// ChannelInfo is the JSON shape of one registry channel for GET /channels.
+type ChannelInfo struct {
+	Name       string   `json:"name"`
+	Paths      []string `json:"paths"`
+	Info       string   `json:"info,omitempty"`
+	CoRes      bool     `json:"co_residence"`
+	DoS        bool     `json:"dos"`
+	InfoLeak   bool     `json:"info_leak"`
+	Uniqueness string   `json:"uniqueness"`
+	Manipulate string   `json:"manipulate"`
+}
+
+// Channels exports the Table I registry in JSON-friendly form.
+func Channels() []ChannelInfo {
+	chs := core.TableIChannels()
+	out := make([]ChannelInfo, len(chs))
+	for i, ch := range chs {
+		out[i] = ChannelInfo{
+			Name:       ch.Name,
+			Paths:      ch.Paths,
+			Info:       ch.Info,
+			CoRes:      ch.CoRes,
+			DoS:        ch.DoS,
+			InfoLeak:   ch.InfoLeak,
+			Uniqueness: uniquenessName(ch.Uniqueness),
+			Manipulate: manipulateName(ch.Manipulate),
+		}
+	}
+	return out
+}
+
+func uniquenessName(u core.UClass) string {
+	switch u {
+	case core.UStatic:
+		return "static"
+	case core.UImplant:
+		return "implant"
+	case core.UDynamic:
+		return "dynamic"
+	default:
+		return "none"
+	}
+}
+
+func manipulateName(m core.MLevel) string {
+	switch m {
+	case core.MDirect:
+		return "direct"
+	case core.MIndirect:
+		return "indirect"
+	default:
+		return "none"
+	}
+}

@@ -1,0 +1,418 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeResult builds a deterministic ScanResult for an injected runner.
+func fakeResult(req ScanRequest) *ScanResult {
+	return &ScanResult{
+		Request:  req,
+		Rendered: fmt.Sprintf("fake %s seed=%d", req.Kind, req.Seed),
+		Verdicts: []Verdict{
+			{Provider: "local", Channel: "ch-a", Availability: "●"},
+			{Provider: "local", Channel: "ch-b", Availability: "○"},
+		},
+	}
+}
+
+// instantSleep makes retry backoff free while still honouring cancellation.
+func instantSleep(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+
+// newTestScheduler builds a started scheduler with an injected runner.
+func newTestScheduler(t *testing.T, cfg Config, runner func(context.Context, ScanRequest) (*ScanResult, error)) *Scheduler {
+	t.Helper()
+	if cfg.Sleep == nil {
+		cfg.Sleep = instantSleep
+	}
+	s := New(cfg, nil)
+	s.SetRunner(runner)
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// waitTerminal polls until the job reaches a final state.
+func waitTerminal(t *testing.T, s *Scheduler, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if job, ok := s.JobByID(id); ok && job.Terminal() {
+			return job
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Job{}
+}
+
+func TestSchedulerRunsScanAndStoresResult(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 1}, func(_ context.Context, req ScanRequest) (*ScanResult, error) {
+		return fakeResult(req), nil
+	})
+	job, err := s.Submit(ScanRequest{Kind: KindTable1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if job.CacheHit {
+		t.Fatal("first submission claimed a cache hit")
+	}
+	done := waitTerminal(t, s, job.ID)
+	if done.Status != StatusDone || done.Result == nil {
+		t.Fatalf("job = %+v; want done with result", done)
+	}
+	if done.Attempts != 1 {
+		t.Fatalf("attempts = %d; want 1", done.Attempts)
+	}
+	if got := s.Results("local"); len(got) != 1 || len(got[0].Verdicts) != 2 {
+		t.Fatalf("Results(local) = %+v; want one provider with two verdicts", got)
+	}
+}
+
+func TestSchedulerCacheHitServesStoredResult(t *testing.T) {
+	calls := 0
+	s := newTestScheduler(t, Config{Workers: 1}, func(_ context.Context, req ScanRequest) (*ScanResult, error) {
+		calls++
+		return fakeResult(req), nil
+	})
+	first, err := s.Submit(ScanRequest{Kind: KindTable1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitTerminal(t, s, first.ID)
+
+	// Same question at a different worker count: must dedup to the cache.
+	second, err := s.Submit(ScanRequest{Kind: KindTable1, Workers: 8})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !second.CacheHit || second.Status != StatusDone {
+		t.Fatalf("resubmit = %+v; want immediate cache hit", second)
+	}
+	if second.Result.Rendered != done.Result.Rendered {
+		t.Fatal("cache hit returned different bytes")
+	}
+	if calls != 1 {
+		t.Fatalf("runner ran %d times; want 1", calls)
+	}
+	if v := s.Metrics().CacheHits.With().Value(); v != 1 {
+		t.Fatalf("cache-hit counter = %g; want 1", v)
+	}
+}
+
+func TestSchedulerRetryBackoffThenSuccess(t *testing.T) {
+	var sleeps []time.Duration
+	cfg := Config{
+		Workers: 1, MaxAttempts: 3, RetryBackoff: 10 * time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			return ctx.Err()
+		},
+	}
+	calls := 0
+	s := newTestScheduler(t, cfg, func(_ context.Context, req ScanRequest) (*ScanResult, error) {
+		calls++
+		if calls < 3 {
+			return nil, fmt.Errorf("transient fault %d", calls)
+		}
+		return fakeResult(req), nil
+	})
+	job, err := s.Submit(ScanRequest{Kind: KindFig8})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitTerminal(t, s, job.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("status = %s (err %q); want done after retries", done.Status, done.Error)
+	}
+	if done.Attempts != 3 {
+		t.Fatalf("attempts = %d; want 3", done.Attempts)
+	}
+	// Exponential backoff: base, then 2·base.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(sleeps) != len(want) || sleeps[0] != want[0] || sleeps[1] != want[1] {
+		t.Fatalf("backoff sleeps = %v; want %v", sleeps, want)
+	}
+	if v := s.Metrics().Retries.With(string(KindFig8)).Value(); v != 2 {
+		t.Fatalf("retry counter = %g; want 2", v)
+	}
+}
+
+func TestSchedulerRetriesExhaustedMarksFailed(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 1, MaxAttempts: 2}, func(context.Context, ScanRequest) (*ScanResult, error) {
+		return nil, errors.New("permanent fault")
+	})
+	job, err := s.Submit(ScanRequest{Kind: KindDiscovery})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitTerminal(t, s, job.ID)
+	if done.Status != StatusFailed || !strings.Contains(done.Error, "permanent fault") {
+		t.Fatalf("job = %+v; want failed with the runner's error", done)
+	}
+	if done.Attempts != 2 {
+		t.Fatalf("attempts = %d; want 2", done.Attempts)
+	}
+}
+
+func TestSchedulerRejectsBadRequests(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 1}, func(_ context.Context, req ScanRequest) (*ScanResult, error) {
+		return fakeResult(req), nil
+	})
+	if _, err := s.Submit(ScanRequest{Kind: "nope"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown kind: err = %v; want ErrBadRequest", err)
+	}
+	if _, err := s.Submit(ScanRequest{Kind: KindInspect}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("missing provider: err = %v; want ErrBadRequest", err)
+	}
+}
+
+func TestSchedulerQueueFullBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	s := newTestScheduler(t, Config{Workers: 1, QueueCap: 1}, func(ctx context.Context, req ScanRequest) (*ScanResult, error) {
+		select {
+		case <-gate:
+			return fakeResult(req), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	// Fill the single worker and the single queue slot, then overflow.
+	ids := make([]string, 0, 2)
+	var err error
+	for i := 0; i < 8; i++ {
+		var job Job
+		job, err = s.Submit(ScanRequest{Kind: KindTable1, Seed: int64(i + 1)})
+		if err != nil {
+			break
+		}
+		ids = append(ids, job.ID)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v; want ErrQueueFull", err)
+	}
+	if v := s.Metrics().QueueRejects.With("full").Value(); v < 1 {
+		t.Fatalf("queue-reject counter = %g; want >= 1", v)
+	}
+	close(gate)
+	for _, id := range ids {
+		if done := waitTerminal(t, s, id); done.Status != StatusDone {
+			t.Fatalf("accepted job %s = %s; want done", id, done.Status)
+		}
+	}
+}
+
+func TestSchedulerVerdictChangeEvents(t *testing.T) {
+	avail := "●"
+	s := newTestScheduler(t, Config{Workers: 1}, func(_ context.Context, req ScanRequest) (*ScanResult, error) {
+		return &ScanResult{
+			Request:  req,
+			Rendered: fmt.Sprintf("r %s %d", avail, req.Seed),
+			Verdicts: []Verdict{{Provider: "cc1", Channel: "timer", Availability: avail}},
+		}, nil
+	})
+	events, cancel := s.Subscribe()
+	defer cancel()
+
+	collect := func(id string) []Event {
+		t.Helper()
+		var got []Event
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case ev := <-events:
+				if ev.JobID != id {
+					continue
+				}
+				got = append(got, ev)
+				if ev.Type == EventScanDone || ev.Type == EventScanFailed {
+					return got
+				}
+			case <-deadline:
+				t.Fatalf("no terminal event for %s; got %+v", id, got)
+			}
+		}
+	}
+
+	job1, err := s.Submit(ScanRequest{Kind: KindTable1, Seed: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	evs := collect(job1.ID)
+	if len(evs) != 2 || evs[0].Type != EventVerdict || evs[1].Type != EventScanDone {
+		t.Fatalf("events = %+v; want [verdict, scan_done]", evs)
+	}
+	// First observation of a cell is a change with no previous value.
+	if !evs[0].Changed || evs[0].Previous != "" || evs[0].Availability != "●" {
+		t.Fatalf("first verdict = %+v; want changed, no previous", evs[0])
+	}
+
+	// Same cell, same availability: no change flagged.
+	avail = "●"
+	job2, _ := s.Submit(ScanRequest{Kind: KindTable1, Seed: 2})
+	evs = collect(job2.ID)
+	if evs[0].Changed {
+		t.Fatalf("unchanged verdict flagged as changed: %+v", evs[0])
+	}
+
+	// The cell flips: change flagged with the previous availability.
+	avail = "◐"
+	job3, _ := s.Submit(ScanRequest{Kind: KindTable1, Seed: 3})
+	evs = collect(job3.ID)
+	if !evs[0].Changed || evs[0].Previous != "●" || evs[0].Availability != "◐" {
+		t.Fatalf("flipped verdict = %+v; want changed from ●", evs[0])
+	}
+	if v := s.Metrics().VerdictChanges.With("cc1").Value(); v != 1 {
+		t.Fatalf("verdict-change counter = %g; want 1", v)
+	}
+}
+
+func TestSchedulerDrainFinishesQueuedJobs(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(Config{Workers: 1, QueueCap: 8, Sleep: instantSleep}, nil)
+	s.SetRunner(func(ctx context.Context, req ScanRequest) (*ScanResult, error) {
+		select {
+		case <-gate:
+			return fakeResult(req), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	s.Start()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		job, err := s.Submit(ScanRequest{Kind: KindTable1, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		ids = append(ids, job.ID)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Draining: new submissions are refused, in-flight work continues.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.Submit(ScanRequest{Kind: KindDiscovery}); errors.Is(err, ErrDraining) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scheduler never started refusing submissions")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate) // release the workers
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// No results were lost: every queued job ran to completion.
+	for _, id := range ids {
+		job, ok := s.JobByID(id)
+		if !ok || job.Status != StatusDone || job.Result == nil {
+			t.Fatalf("job %s = %+v; want done with result after drain", id, job)
+		}
+	}
+}
+
+func TestSchedulerForcedShutdownCancelsInflight(t *testing.T) {
+	s := New(Config{Workers: 1, Sleep: instantSleep}, nil)
+	started := make(chan struct{})
+	s.SetRunner(func(ctx context.Context, _ ScanRequest) (*ScanResult, error) {
+		close(started)
+		<-ctx.Done() // a scan that only stops when cancelled
+		return nil, ctx.Err()
+	})
+	s.Start()
+	job, err := s.Submit(ScanRequest{Kind: KindChaosSweep})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v; want deadline exceeded (forced drain)", err)
+	}
+	done := waitTerminal(t, s, job.ID)
+	if done.Status != StatusCanceled {
+		t.Fatalf("status = %s; want canceled after forced drain", done.Status)
+	}
+}
+
+func TestSchedulerEveryRecurring(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 1, QueueCap: 64}, func(_ context.Context, req ScanRequest) (*ScanResult, error) {
+		return fakeResult(req), nil
+	})
+	stop, err := s.Every("nightly", 5*time.Millisecond, ScanRequest{Kind: KindTable1})
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	defer stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var named *Job
+		for _, job := range s.Jobs() {
+			if job.Name == "nightly" && job.Terminal() {
+				j := job
+				named = &j
+				break
+			}
+		}
+		if named != nil {
+			if named.Status != StatusDone {
+				t.Fatalf("recurring job = %+v; want done", named)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recurring schedule never produced a finished job")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+
+	if _, err := s.Every("bad", 0, ScanRequest{Kind: KindTable1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Every(interval=0) err = %v; want ErrBadRequest", err)
+	}
+	if _, err := s.Every("bad", time.Second, ScanRequest{Kind: "nope"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Every(bad kind) err = %v; want ErrBadRequest", err)
+	}
+}
+
+func TestHubDropsWhenSubscriberStalls(t *testing.T) {
+	h := newHub()
+	ch, cancel := h.Subscribe()
+	defer cancel()
+	dropped := 0
+	for i := 0; i < subscriberBuffer+10; i++ {
+		dropped += h.Publish(Event{Type: EventVerdict})
+	}
+	if dropped != 10 {
+		t.Fatalf("dropped = %d; want 10 past the buffer", dropped)
+	}
+	// The buffered prefix is still deliverable.
+	select {
+	case ev := <-ch:
+		if ev.Type != EventVerdict {
+			t.Fatalf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("buffered event not deliverable")
+	}
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// ScanResult is the structured outcome of one scan, stored under the
+// request's content hash. Rendered is byte-identical to what the
+// corresponding CLI invocation prints (the acceptance contract of the
+// service layer); Verdicts is the structured form clients consume.
+type ScanResult struct {
+	Request ScanRequest `json:"request"`
+	// Rendered is the experiment's String() output.
+	Rendered string `json:"rendered"`
+	// Verdicts flattens per-provider per-channel availability (inspection
+	// kinds only; empty for fig3/fig8/chaossweep).
+	Verdicts []Verdict `json:"verdicts,omitempty"`
+	// CompletedAt is when the scan finished (store insertion time).
+	CompletedAt time.Time `json:"completed_at"`
+}
+
+// Verdict is one (provider, channel) availability cell of Table I.
+type Verdict struct {
+	Provider     string `json:"provider"`
+	Channel      string `json:"channel"`
+	Availability string `json:"availability"`
+}
+
+// Store is the in-memory result store: content-hash keyed, TTL-expired,
+// LRU-evicted. It exists so that identical scan configs are served from
+// cache instead of recomputed — a Table I sweep costs seconds of CPU, and
+// a fleet dashboard polling it should not multiply that by its refresh
+// rate.
+//
+// The store never hands out aged-out data: Get checks TTL before LRU
+// promotion, and expired entries are removed on sight (plus wholesale by
+// Sweep, which the scheduler calls opportunistically).
+type Store struct {
+	mu  sync.Mutex
+	cap int
+	ttl time.Duration
+	now func() time.Time
+
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses, evictions, expirations uint64
+}
+
+type storeEntry struct {
+	key      string
+	res      *ScanResult
+	storedAt time.Time
+}
+
+// NewStore builds a store. cap <= 0 selects 128 entries; ttl <= 0 selects
+// 15 minutes; now == nil selects time.Now (tests inject a fake clock).
+func NewStore(capacity int, ttl time.Duration, now func() time.Time) *Store {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Store{
+		cap:     capacity,
+		ttl:     ttl,
+		now:     now,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the live result for key, promoting it to most-recently-used.
+// An expired entry is deleted and reported as a miss.
+func (s *Store) Get(key string) (*ScanResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	ent := el.Value.(*storeEntry)
+	if s.now().Sub(ent.storedAt) >= s.ttl {
+		s.removeLocked(el)
+		s.expirations++
+		s.misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	s.hits++
+	return ent.res, true
+}
+
+// Put stores res under key (refreshing the TTL if the key exists) and
+// evicts the least-recently-used entry when over capacity.
+func (s *Store) Put(key string, res *ScanResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		ent := el.Value.(*storeEntry)
+		ent.res = res
+		ent.storedAt = s.now()
+		s.lru.MoveToFront(el)
+		return
+	}
+	el := s.lru.PushFront(&storeEntry{key: key, res: res, storedAt: s.now()})
+	s.entries[key] = el
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		s.removeLocked(back)
+		s.evictions++
+	}
+}
+
+// Sweep removes every expired entry and returns how many it removed.
+func (s *Store) Sweep() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for el := s.lru.Back(); el != nil; {
+		prev := el.Prev()
+		if s.now().Sub(el.Value.(*storeEntry).storedAt) >= s.ttl {
+			s.removeLocked(el)
+			s.expirations++
+			n++
+		}
+		el = prev
+	}
+	return n
+}
+
+// Len reports the live entry count (expired-but-unswept entries included;
+// they can never be observed through Get).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Stats reports cumulative hit/miss/eviction/expiration counts.
+func (s *Store) Stats() (hits, misses, evictions, expirations uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evictions, s.expirations
+}
+
+func (s *Store) removeLocked(el *list.Element) {
+	ent := el.Value.(*storeEntry)
+	delete(s.entries, ent.key)
+	s.lru.Remove(el)
+}

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutable wall clock for store/scheduler tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func res(s string) *ScanResult { return &ScanResult{Rendered: s} }
+
+func TestStoreGetPutRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	st := NewStore(4, time.Minute, clk.Now)
+	if _, ok := st.Get("k"); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	st.Put("k", res("v"))
+	got, ok := st.Get("k")
+	if !ok || got.Rendered != "v" {
+		t.Fatalf("Get(k) = %v, %v; want v, true", got, ok)
+	}
+	hits, misses, _, _ := st.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d; want 1, 1", hits, misses)
+	}
+}
+
+func TestStoreTTLExpiry(t *testing.T) {
+	clk := newFakeClock()
+	st := NewStore(4, time.Minute, clk.Now)
+	st.Put("k", res("v"))
+	clk.Advance(59 * time.Second)
+	if _, ok := st.Get("k"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	clk.Advance(2 * time.Second) // 61s after Put
+	if _, ok := st.Get("k"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("expired entry still resident: Len = %d", st.Len())
+	}
+	_, _, _, expirations := st.Stats()
+	if expirations != 1 {
+		t.Fatalf("expirations = %d; want 1", expirations)
+	}
+}
+
+func TestStorePutRefreshesTTL(t *testing.T) {
+	clk := newFakeClock()
+	st := NewStore(4, time.Minute, clk.Now)
+	st.Put("k", res("v1"))
+	clk.Advance(45 * time.Second)
+	st.Put("k", res("v2")) // refresh: the same key dedups to one entry
+	clk.Advance(45 * time.Second)
+	got, ok := st.Get("k") // 90s after first Put, 45s after refresh
+	if !ok || got.Rendered != "v2" {
+		t.Fatalf("refreshed entry = %v, %v; want v2, true", got, ok)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("refresh duplicated the entry: Len = %d", st.Len())
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	clk := newFakeClock()
+	st := NewStore(3, time.Hour, clk.Now)
+	for i := 0; i < 3; i++ {
+		st.Put(fmt.Sprintf("k%d", i), res(fmt.Sprintf("v%d", i)))
+	}
+	// Touch k0 so k1 becomes least-recently-used.
+	if _, ok := st.Get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	st.Put("k3", res("v3")) // over capacity: k1 must go
+	if _, ok := st.Get("k1"); ok {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := st.Get(k); !ok {
+			t.Fatalf("%s evicted; want it resident", k)
+		}
+	}
+	_, _, evictions, _ := st.Stats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d; want 1", evictions)
+	}
+}
+
+func TestStoreSweep(t *testing.T) {
+	clk := newFakeClock()
+	st := NewStore(8, time.Minute, clk.Now)
+	st.Put("old1", res("a"))
+	st.Put("old2", res("b"))
+	clk.Advance(30 * time.Second)
+	st.Put("fresh", res("c"))
+	clk.Advance(31 * time.Second) // old* at 61s, fresh at 31s
+	if n := st.Sweep(); n != 2 {
+		t.Fatalf("Sweep removed %d; want 2", n)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d after sweep; want 1", st.Len())
+	}
+	if _, ok := st.Get("fresh"); !ok {
+		t.Fatal("sweep removed a live entry")
+	}
+}
+
+func TestRequestKeyDedup(t *testing.T) {
+	base := ScanRequest{Kind: KindTable1}
+	// Workers must not change the key: output is byte-identical at any -j.
+	if base.Key() != (ScanRequest{Kind: KindTable1, Workers: 8}).Key() {
+		t.Error("worker count changed the dedup key")
+	}
+	// Chaos-off requests ignore the chaos seed (dead state).
+	if base.Key() != (ScanRequest{Kind: KindTable1, ChaosSeed: 99}).Key() {
+		t.Error("chaos seed changed the key with chaos disabled")
+	}
+	// Chaos-on requests default the seed to 1, matching -chaosseed.
+	a := ScanRequest{Kind: KindTable1, ChaosRate: 0.01}
+	b := ScanRequest{Kind: KindTable1, ChaosRate: 0.01, ChaosSeed: 1}
+	if a.Key() != b.Key() {
+		t.Error("chaos seed 0 and 1 should hash identically under chaos")
+	}
+	// Everything that can change output bytes must change the key.
+	distinct := []ScanRequest{
+		{Kind: KindTable1},
+		{Kind: KindDiscovery},
+		{Kind: KindInspect, Provider: "local"},
+		{Kind: KindInspect, Provider: "cc1"},
+		{Kind: KindTable1, Seed: 7},
+		{Kind: KindTable1, ChaosRate: 0.01},
+		{Kind: KindTable1, ChaosRate: 0.01, ChaosSeed: 2},
+	}
+	seen := make(map[string]ScanRequest)
+	for _, r := range distinct {
+		k := r.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("requests %+v and %+v collide on key %s", prev, r, k)
+		}
+		seen[k] = r
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	bad := []ScanRequest{
+		{},                                    // missing kind
+		{Kind: "nope"},                        // unknown kind
+		{Kind: KindInspect},                   // inspect without provider
+		{Kind: KindInspect, Provider: "mars"}, // unknown provider
+		{Kind: KindTable1, ChaosRate: 1.5},    // rate out of range
+		{Kind: KindTable1, Workers: -1},       // negative workers
+	}
+	for _, r := range bad {
+		if err := r.Normalize().Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a malformed request", r)
+		}
+	}
+	good := []ScanRequest{
+		{Kind: KindTable1},
+		{Kind: KindInspect, Provider: "local"},
+		{Kind: KindChaosSweep, Workers: 4},
+		{Kind: KindFig8, ChaosRate: 0.02, ChaosSeed: 3},
+	}
+	for _, r := range good {
+		if err := r.Normalize().Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v; want nil", r, err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("scans_total", "scans", "job")
+	c.With("table1").Inc()
+	c.With("table1").Add(2)
+	c.With("fig3").Inc()
+	if got := c.With("table1").Value(); got != 3 {
+		t.Fatalf("table1 = %v, want 3", got)
+	}
+	if got := c.With("fig3").Value(); got != 1 {
+		t.Fatalf("fig3 = %v, want 1", got)
+	}
+}
+
+func TestCounterRejectsDecrement(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add must panic")
+		}
+	}()
+	c.With().Add(-1)
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Gauge("dup", "h")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth", "depth")
+	g.With().Set(4)
+	g.With().Add(-1)
+	if got := g.With().Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBucketsAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("scan_seconds", "latency", []float64{0.1, 1, 10}, "job")
+	hh := h.With("table1")
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		hh.Observe(v)
+	}
+	if hh.Count() != 5 {
+		t.Fatalf("count = %d, want 5", hh.Count())
+	}
+	if math.Abs(hh.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", hh.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE scan_seconds histogram",
+		`scan_seconds_bucket{job="table1",le="0.1"} 1`,
+		`scan_seconds_bucket{job="table1",le="1"} 3`,
+		`scan_seconds_bucket{job="table1",le="10"} 4`,
+		`scan_seconds_bucket{job="table1",le="+Inf"} 5`,
+		`scan_seconds_sum{job="table1"} 56.05`,
+		`scan_seconds_count{job="table1"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDeterministicAndSorted(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("zz_last", "z")
+	c := r.Counter("aa_first", "a", "k")
+	c.With("b").Inc()
+	c.With("a").Inc()
+	g.With().Set(1)
+
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("two renders of the same state differ")
+	}
+	out := b1.String()
+	if strings.Index(out, "aa_first") > strings.Index(out, "zz_last") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	if strings.Index(out, `aa_first{k="a"}`) > strings.Index(out, `aa_first{k="b"}`) {
+		t.Errorf("children not sorted by label value:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("esc", "h", "path")
+	c.With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc{path="a\"b\\c\n"} 1`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "h", "w")
+	h := r.Histogram("h", "h", []float64{1, 2}, "w")
+	g := r.Gauge("g", "h")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lbl := string(rune('a' + i%2))
+			for j := 0; j < 1000; j++ {
+				c.With(lbl).Inc()
+				h.With(lbl).Observe(float64(j % 3))
+				g.With().Add(1)
+				var b strings.Builder
+				if j%100 == 0 {
+					_ = r.WritePrometheus(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.With("a").Value() + c.With("b").Value(); got != 8000 {
+		t.Fatalf("total = %v, want 8000", got)
+	}
+	if got := g.With().Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+}

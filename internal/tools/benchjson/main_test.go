@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkTable1LeakScan-8   	       1	13600000 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkFig3Sweep-8        	       1	4450000000 ns/op	0.0312 xi/op
+BenchmarkNoSuffix 	       2	500 ns/op
+PASS
+ok  	repro	18.201s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if rep.Pkg != "repro" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("metadata = %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %+v; want 3", rep.Results)
+	}
+	r0 := rep.Results[0]
+	if r0.Name != "BenchmarkTable1LeakScan" || r0.Procs != 8 || r0.Iterations != 1 {
+		t.Fatalf("r0 = %+v", r0)
+	}
+	if r0.NsPerOp != 13600000 || r0.Extra["B/op"] != 123456 || r0.Extra["allocs/op"] != 789 {
+		t.Fatalf("r0 metrics = %+v", r0)
+	}
+	if r1 := rep.Results[1]; r1.Extra["xi/op"] != 0.0312 {
+		t.Fatalf("custom metric lost: %+v", r1)
+	}
+	if r2 := rep.Results[2]; r2.Name != "BenchmarkNoSuffix" || r2.Procs != 0 {
+		t.Fatalf("suffix-less name mangled: %+v", r2)
+	}
+}
+
+func TestParseRejectsEmptyRuns(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok repro 0.01s\n")); err == nil {
+		t.Fatal("empty bench run accepted; want an error")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var errb bytes.Buffer
+	if code := run([]string{"-o", out}, strings.NewReader(sample), &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, raw)
+	}
+	if len(rep.Results) != 3 || rep.GoVersion == "" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var errb bytes.Buffer
+	if code := run([]string{"-nope"}, strings.NewReader(sample), &errb); code != 2 {
+		t.Fatalf("exit = %d; want 2", code)
+	}
+}
