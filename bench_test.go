@@ -13,6 +13,9 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -33,6 +36,51 @@ func benchTable1(b *testing.B, workers int) {
 
 func BenchmarkTable1LeakScan(b *testing.B)         { benchTable1(b, 1) }
 func BenchmarkTable1LeakScanParallel(b *testing.B) { benchTable1(b, 0) }
+
+// The cold/incremental pair measures what the epoch-based engine buys a
+// recurring leaksd scan: the cold variant rebuilds the testbed world and
+// re-renders every pseudo-file per iteration (exactly what each scheduler
+// tick cost before the engine existed); the incremental variant reuses one
+// InspectSession, so each iteration after the first is served from the
+// engine's finding cache with zero re-renders. Same provider, same seed,
+// byte-identical output — the ratio is the recurring-scan speedup reported
+// in README.md's Performance section.
+func BenchmarkRecurringScanCold(b *testing.B) {
+	p := cloud.LocalTestbed()
+	var leaking int
+	for i := 0; i < b.N; i++ {
+		in, err := experiments.InspectProviderSeeded(p, chaos.Spec{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaking = countAvailable(in)
+	}
+	b.ReportMetric(float64(leaking), "local-channels-●")
+}
+
+func BenchmarkRecurringScanIncremental(b *testing.B) {
+	s, err := experiments.NewInspectSession(cloud.LocalTestbed(), chaos.Spec{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var leaking int
+	for i := 0; i < b.N; i++ {
+		leaking = countAvailable(s.Inspect(1))
+	}
+	st := s.EngineStats()
+	b.ReportMetric(float64(leaking), "local-channels-●")
+	b.ReportMetric(float64(st.FindingHits), "finding-hits")
+}
+
+func countAvailable(in experiments.CloudInspection) int {
+	n := 0
+	for _, r := range in.Reports {
+		if r.Availability == core.Available {
+			n++
+		}
+	}
+	return n
+}
 
 func BenchmarkTable2ChannelRanking(b *testing.B) {
 	var varying int

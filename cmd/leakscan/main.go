@@ -10,6 +10,8 @@
 //	leakscan -table1    # availability matrix only
 //	leakscan -table2    # U/V/M + entropy ranking only
 //	leakscan -discover  # leaking files beyond the Table I registry
+//	leakscan -fleet 8   # validate 8 co-resident containers in one batched
+//	                    # engine pass (each host file rendered once)
 //	leakscan -j 4       # fan independent work out over 4 workers
 //	leakscan -table1 -chaos 0.02 -chaosseed 1  # with fault injection
 //
@@ -26,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	table1 := fs.Bool("table1", false, "print Table I (leakage channels per cloud)")
 	table2 := fs.Bool("table2", false, "print Table II (channel ranking)")
 	discover := fs.Bool("discover", false, "list leaking files beyond the Table I registry")
+	fleet := fs.Int("fleet", 0, "validate N co-resident containers in one batched engine pass (0 = off)")
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the observation surface (0 = off)")
 	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
@@ -57,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, buildinfo.String("leakscan"))
 		return 0
 	}
-	all := !*table1 && !*table2 && !*discover
+	all := !*table1 && !*table2 && !*discover && *fleet == 0
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 
 	fail := func(err error) int {
@@ -80,6 +84,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *discover || all {
 		r, err := experiments.DiscoveryChaosWorkers(spec, *jobs)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
+	}
+	if *fleet > 0 {
+		r, err := experiments.FleetScanSeeded(context.Background(), spec, 0, *fleet, *jobs)
 		if err != nil {
 			return fail(err)
 		}

@@ -4,31 +4,42 @@
 // operational metrics — the shape a container-cloud operator actually
 // deploys to watch a fleet's leakage posture over time.
 //
-// API (JSON unless noted):
+// API (JSON unless noted; full schema in docs/openapi.yaml):
 //
-//	POST /scans        submit {"kind":"table1"|"inspect"|"discovery"|"fig3"|"fig8"|"chaossweep", ...}
-//	GET  /scans        list jobs
-//	GET  /scans/{id}   poll one job (result embedded when done)
-//	GET  /results      latest verdicts per provider (?provider=cc1 filters)
-//	GET  /channels     the Table I channel registry
-//	GET  /providers    inspectable provider profiles
-//	GET  /events       Server-Sent Events: verdicts + scan lifecycle
-//	GET  /metrics      Prometheus text format
-//	GET  /healthz      liveness, uptime, drain state
-//	GET  /version      build info
+//	POST /v1/scans        submit {"kind":"table1"|"inspect"|"discovery"|"fig3"|"fig8"|"chaossweep", ...}
+//	GET  /v1/scans        list jobs (?limit=&offset=&provider=&verdict=)
+//	GET  /v1/scans/{id}   poll one job (result embedded when done)
+//	GET  /v1/results      latest verdicts per provider (?limit=&offset=&provider=&verdict=)
+//	GET  /v1/channels     the Table I channel registry
+//	GET  /v1/providers    inspectable provider profiles
+//	GET  /v1/engine       incremental-engine cache + epoch stats
+//	GET  /v1/events       Server-Sent Events: verdicts + scan lifecycle
+//	GET  /v1/metrics      Prometheus text format
+//	GET  /v1/healthz      liveness, uptime, drain state
+//	GET  /v1/version      build info
+//
+// /v1 errors carry the structured envelope {"error":{"code","message"}}.
+// The pre-versioning routes (POST /scans, GET /results, …) remain as
+// byte-identical deprecated aliases — they answer with a Deprecation
+// header and a Link to their /v1 successor (policy in ARCHITECTURE.md).
 //
 // Usage:
 //
 //	leaksd                          # serve on :8077
 //	leaksd -addr :9000 -workers 4   # bigger scan pool
 //	leaksd -scan-every 10m          # recurring full Table I scans
+//	leaksd -sessions 32             # bigger incremental-session pool
 //	leaksd -version                 # print build info and exit
 //
 // Identical scan configs (kind, provider, seed, chaos spec — the worker
 // count is excluded, because output is byte-identical at any count) are
 // served from an in-memory TTL+LRU result store instead of recomputed.
-// With default seeds, API-returned renders are byte-identical to the
-// corresponding CLI output (`leakscan -table1` etc.).
+// Chaos-free table1/inspect/discovery scans that do run reuse pooled
+// incremental-engine sessions (see internal/engine): a recurring scan's
+// later ticks re-validate only pseudo-files whose kernel subsystems
+// changed, with byte-identical output to a cold scan. With default seeds,
+// API-returned renders are byte-identical to the corresponding CLI output
+// (`leakscan -table1` etc.).
 //
 // On SIGINT/SIGTERM the daemon drains: submissions are refused with 503,
 // queued and in-flight scans finish (their results land in the store and
@@ -69,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	queueCap := fs.Int("queue", 64, "bounded scan queue capacity")
 	storeCap := fs.Int("store", 128, "result store capacity (LRU beyond)")
 	storeTTL := fs.Duration("ttl", 15*time.Minute, "result store TTL")
+	sessions := fs.Int("sessions", 16, "incremental-engine session pool capacity (LRU beyond)")
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-scan deadline")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (non-streaming endpoints)")
 	retries := fs.Int("retries", 3, "max attempts per scan")
@@ -90,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		MaxAttempts: *retries,
 		StoreCap:    *storeCap,
 		StoreTTL:    *storeTTL,
+		SessionCap:  *sessions,
 	}, nil)
 	sched.Start()
 	if *scanEvery > 0 {

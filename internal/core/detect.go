@@ -162,7 +162,30 @@ func quorumRead(m *pseudofs.Mount, path string) quorumResult {
 	return q
 }
 
-func validateOne(host, cont *pseudofs.Mount, path string) Finding {
+// HostRead supplies host-context content for one path during validation.
+// The default implementation is HostReader (a retrying read of the host
+// mount); the incremental engine injects a caching reader instead so one
+// host render is shared across every container of a fleet pass.
+//
+// Contract: a HostRead must be equivalent to HostReader(host) — same
+// content, same error classification — whenever it is invoked. ValidatePath
+// only consults it after the container quorum agreed on non-empty content,
+// so implementations never see volatile paths (the quorum disagrees on
+// those first).
+type HostRead func(path string) (string, error)
+
+// HostReader returns the plain HostRead over a host mount: one policied
+// read with transient-failure retries.
+func HostReader(host *pseudofs.Mount) HostRead {
+	return func(path string) (string, error) { return readRetry(host, path) }
+}
+
+// ValidatePath cross-validates a single path: quorum-read it in the
+// container context, and — only when the quorum agrees on non-empty
+// content — compare against the host content supplied by hostRead. It is
+// validateOne with the host read injected, exported for the incremental
+// engine.
+func ValidatePath(hostRead HostRead, cont *pseudofs.Mount, path string) Finding {
 	f := Finding{Path: path}
 	cq := quorumRead(cont, path)
 	switch {
@@ -189,7 +212,7 @@ func validateOne(host, cont *pseudofs.Mount, path string) Finding {
 		f.Status = Masked // bind-mounted empty file
 		return f
 	}
-	hData, hErr := readRetry(host, path)
+	hData, hErr := hostRead(path)
 	if hErr != nil {
 		// Readable in the container but not on the host can only be a
 		// harness inconsistency; treat as namespaced.
@@ -216,6 +239,12 @@ func validateOne(host, cont *pseudofs.Mount, path string) Finding {
 		f.Status = Namespaced
 	}
 	return f
+}
+
+// validateOne is the classic host-mount entry point used by the serial and
+// worker-pool sweeps.
+func validateOne(host, cont *pseudofs.Mount, path string) Finding {
+	return ValidatePath(HostReader(host), cont, path)
 }
 
 // lineOverlap returns the fraction of non-empty container lines that appear

@@ -1,0 +1,280 @@
+// Package engine is the epoch-aware incremental detection engine: the same
+// cross-validation sweep as internal/core, but with dirty tracking so
+// repeated and fleet-wide scans only re-render what changed.
+//
+// The paper's one-shot tool re-reads every pseudo-file on every pass, which
+// is fine once but is the hot path of leaksd's recurring scans. The engine
+// follows the snapshot/generation-counter design of procfs-scraping
+// monitors: every kernel mutation bumps per-subsystem generation counters
+// (kernel.Epochs), every pseudo-file declares which subsystems its render
+// reads (pseudofs.Dep), and the engine caches per-path findings keyed by
+// the path's combined source epoch (pseudofs.PathEpoch). A path is
+// re-validated only when its source epoch moved; everything else is served
+// from cache, byte-identical to what a cold scan would produce.
+//
+// Two cache layers:
+//
+//   - Finding cache, keyed (container mount, path, epoch): the full
+//     cross-validation verdict for one path in one container context.
+//   - Host render cache, keyed (path, epoch) with once-per-epoch
+//     semantics: during a fleet pass over N containers, the host-side
+//     content of each path is rendered exactly once and shared across all
+//     N validations instead of being re-read per (host, container) pair.
+//
+// Byte-identity guarantee: at any epoch, Validate returns exactly what
+// core.CrossValidate would return on the same mounts at the same instant.
+// This rests on three invariants: (1) pseudo-file renders are pure for a
+// fixed view while the clock is paused, (2) dependency tags are
+// conservative — a mutation may dirty more paths than it changed but never
+// fewer, and (3) volatile paths (random/uuid) are classified by the
+// container quorum before the host read, so their content is never cached.
+//
+// Chaos bypass: a fault injector (internal/chaos) consumes per-read
+// randomness, so skipping reads would change every subsequent fault
+// decision. When the FS carries an injector the engine disables itself and
+// delegates to the uncached sweep — chaos runs pay full cost by design.
+//
+// Concurrency: the engine is safe for concurrent use, but the determinism
+// contract is the same as core's — run passes while the simulation clock
+// is paused. Within a pass, per-path work fans out over internal/parallel
+// and results keep path order, so output is byte-identical at any worker
+// count.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/pseudofs"
+)
+
+// Engine is an incremental cross-validation engine over one host mount.
+// Create with New; validate container mounts of the same FS against it.
+type Engine struct {
+	host *pseudofs.Mount
+	fs   *pseudofs.FS
+
+	mu       sync.Mutex
+	findings map[findingKey]findingEntry
+	hostc    map[string]*hostEntry
+
+	// Counters (atomic: a pass fans out over many goroutines).
+	passes         atomic.Uint64
+	bypassedPasses atomic.Uint64
+	findingHits    atomic.Uint64
+	findingMisses  atomic.Uint64
+	hostHits       atomic.Uint64
+	hostRenders    atomic.Uint64
+}
+
+type findingKey struct {
+	cont *pseudofs.Mount
+	path string
+}
+
+type findingEntry struct {
+	epoch uint64
+	f     core.Finding
+}
+
+// hostEntry renders host content for one path exactly once per epoch.
+type hostEntry struct {
+	epoch   uint64
+	once    sync.Once
+	content string
+	err     error
+}
+
+// New creates an engine over the given host-context mount. The mount
+// should be dedicated to the engine (mounts are cheap; see
+// cloud.Server.HostMount).
+func New(host *pseudofs.Mount) *Engine {
+	return &Engine{
+		host:     host,
+		fs:       host.FS(),
+		findings: make(map[findingKey]findingEntry),
+		hostc:    make(map[string]*hostEntry),
+	}
+}
+
+// Host returns the engine's host-context mount.
+func (e *Engine) Host() *pseudofs.Mount { return e.host }
+
+// Validate is the incremental core.CrossValidate: findings for every path
+// visible in the container mount, in path order, serving unchanged paths
+// from cache. Output is byte-identical to a cold core.CrossValidate on
+// (Host(), cont) at the same instant.
+func (e *Engine) Validate(cont *pseudofs.Mount) []core.Finding {
+	return e.ValidateWorkers(cont, 1)
+}
+
+// ValidateWorkers is Validate fanned out over a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS). Results keep path order, so output is
+// byte-identical at any worker count.
+func (e *Engine) ValidateWorkers(cont *pseudofs.Mount, workers int) []core.Finding {
+	e.checkFS(cont)
+	if e.fs.Faulty() {
+		// Chaos bypass: cached (skipped) reads would desynchronize the
+		// injector's per-read fault streams. Delegate to the uncached
+		// sweep and leave every cache untouched.
+		e.bypassedPasses.Add(1)
+		return core.CrossValidateWorkers(e.host, cont, workers)
+	}
+	e.passes.Add(1)
+	paths := cont.Paths()
+	if parallel.Workers(workers) == 1 || len(paths) < 2 {
+		out := make([]core.Finding, 0, len(paths))
+		for _, p := range paths {
+			out = append(out, e.validatePath(cont, p))
+		}
+		return out
+	}
+	out, _ := parallel.Map(workers, paths, func(_ int, p string) (core.Finding, error) {
+		return e.validatePath(cont, p), nil
+	})
+	return out
+}
+
+// FleetValidate validates many container mounts in one batched pass,
+// fanning the (container, path) pairs out over one worker pool. The host
+// render cache guarantees each host-side read is performed at most once
+// per pass and shared across all containers, instead of once per
+// (host, container) pair as the naive loop would. Results are returned per
+// container, in input order, each in path order — byte-identical to
+// calling core.CrossValidate per container.
+func (e *Engine) FleetValidate(conts []*pseudofs.Mount, workers int) [][]core.Finding {
+	for _, c := range conts {
+		e.checkFS(c)
+	}
+	if len(conts) == 0 {
+		return nil
+	}
+	if e.fs.Faulty() {
+		// Chaos bypass, in the exact order the serial per-container loop
+		// would read (injector streams are order-sensitive).
+		e.bypassedPasses.Add(1)
+		out := make([][]core.Finding, len(conts))
+		for i, c := range conts {
+			out[i] = core.CrossValidateWorkers(e.host, c, workers)
+		}
+		return out
+	}
+	e.passes.Add(1)
+	type pair struct {
+		ci   int
+		path string
+	}
+	var pairs []pair
+	counts := make([]int, len(conts))
+	for ci, c := range conts {
+		ps := c.Paths()
+		counts[ci] = len(ps)
+		for _, p := range ps {
+			pairs = append(pairs, pair{ci, p})
+		}
+	}
+	var flat []core.Finding
+	if parallel.Workers(workers) == 1 || len(pairs) < 2 {
+		flat = make([]core.Finding, 0, len(pairs))
+		for _, pr := range pairs {
+			flat = append(flat, e.validatePath(conts[pr.ci], pr.path))
+		}
+	} else {
+		flat, _ = parallel.Map(workers, pairs, func(_ int, pr pair) (core.Finding, error) {
+			return e.validatePath(conts[pr.ci], pr.path), nil
+		})
+	}
+	out := make([][]core.Finding, len(conts))
+	off := 0
+	for ci, n := range counts {
+		out[ci] = flat[off : off+n : off+n]
+		off += n
+	}
+	return out
+}
+
+// validatePath returns the finding for one (container, path), from cache
+// when the path's source epoch is unchanged.
+func (e *Engine) validatePath(cont *pseudofs.Mount, path string) core.Finding {
+	epoch := e.fs.PathEpoch(path)
+	key := findingKey{cont, path}
+
+	e.mu.Lock()
+	if ent, ok := e.findings[key]; ok && ent.epoch == epoch {
+		e.mu.Unlock()
+		e.findingHits.Add(1)
+		return ent.f
+	}
+	e.mu.Unlock()
+
+	e.findingMisses.Add(1)
+	f := core.ValidatePath(e.hostRead(path, epoch), cont, path)
+
+	e.mu.Lock()
+	e.findings[key] = findingEntry{epoch: epoch, f: f}
+	e.mu.Unlock()
+	return f
+}
+
+// hostRead returns a core.HostRead that serves the host content of path
+// from the per-epoch render cache, rendering at most once per epoch even
+// when many container validations of a fleet pass request it concurrently.
+func (e *Engine) hostRead(path string, epoch uint64) core.HostRead {
+	return func(p string) (string, error) {
+		// ValidatePath only reads its own path; guard anyway.
+		if p != path {
+			return core.HostReader(e.host)(p)
+		}
+		e.mu.Lock()
+		ent, ok := e.hostc[p]
+		if !ok || ent.epoch != epoch {
+			ent = &hostEntry{epoch: epoch}
+			e.hostc[p] = ent
+		}
+		e.mu.Unlock()
+		hit := true
+		ent.once.Do(func() {
+			hit = false
+			e.hostRenders.Add(1)
+			ent.content, ent.err = core.HostReader(e.host)(p)
+		})
+		if hit {
+			e.hostHits.Add(1)
+		}
+		return ent.content, ent.err
+	}
+}
+
+// checkFS panics when a container mount belongs to a different FS than the
+// engine's host mount — always a wiring bug: epochs of one kernel say
+// nothing about another's renders.
+func (e *Engine) checkFS(cont *pseudofs.Mount) {
+	if cont.FS() != e.fs {
+		panic(fmt.Sprintf("engine: container mount FS %p does not match host FS %p", cont.FS(), e.fs))
+	}
+}
+
+// Reset drops every cache and zeroes no counters (stats are cumulative for
+// the engine's lifetime). The next pass re-renders everything — the same
+// effect as the first pass of a fresh engine.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.findings = make(map[findingKey]findingEntry)
+	e.hostc = make(map[string]*hostEntry)
+}
+
+// Forget drops the cached findings of one container mount (call when a
+// container is terminated); the shared host render cache is kept.
+func (e *Engine) Forget(cont *pseudofs.Mount) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k := range e.findings {
+		if k.cont == cont {
+			delete(e.findings, k)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/chaos"
-	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/texttable"
 )
@@ -50,28 +49,15 @@ const DefaultDiscoverySeed int64 = 0xd15c
 // sweep is abandoned before the world is built when ctx is already done,
 // so a shutting-down daemon never starts a doomed cross-validation pass.
 // Background context + seed 0 is byte-identical to DiscoveryChaosWorkers.
+//
+// The sweep runs as the first pass of a fresh DiscoverySession (see
+// session.go): all cache misses, byte-identical to the direct
+// core.CrossValidateWorkers path it replaces.
 func DiscoverySeeded(ctx context.Context, spec chaos.Spec, seed int64, workers int) (*DiscoveryResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if seed == 0 {
-		seed = DefaultDiscoverySeed
-	}
-	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: seed, Chaos: spec})
-	srv := dc.Racks[0].Servers[0]
-	probe := srv.Runtime.Create("probe")
-	dc.Clock.Run(30, 1)
-
-	findings := core.CrossValidateWorkers(srv.HostMount(), probe.Mount(), workers)
-	res := &DiscoveryResult{
-		Findings: core.Discover(core.TableIChannels(), findings),
-	}
-	for _, f := range findings {
-		if f.Status == core.Identical || f.Status == core.Partial {
-			res.TotalLeaking++
-		}
-	}
-	return res, nil
+	return NewDiscoverySession(spec, seed).Discover(workers), nil
 }
 
 // String renders the discovery table.

@@ -48,37 +48,6 @@ func InspectProviderChaos(p cloud.ProviderProfile, spec chaos.Spec) (CloudInspec
 	return InspectProviderSeeded(p, spec, 0)
 }
 
-// InspectProviderSeeded is InspectProviderChaos with the datacenter seed
-// threaded through: each seed builds a different simulated world (different
-// boot ids, task mixes, counter baselines), so a scan campaign across seeds
-// measures how stable a provider's leakage posture is across hosts rather
-// than re-measuring one frozen world. Seed 0 selects DefaultInspectSeed,
-// keeping the historical byte-identical output for every existing caller.
-func InspectProviderSeeded(p cloud.ProviderProfile, spec chaos.Spec, seed int64) (CloudInspection, error) {
-	if seed == 0 {
-		seed = DefaultInspectSeed
-	}
-	dc := cloud.New(cloud.Config{
-		Racks:          1,
-		ServersPerRack: 1,
-		Seed:           seed,
-		Provider:       &p,
-		Chaos:          spec,
-	})
-	srv, c, err := dc.Launch("inspector", "probe", 1)
-	if err != nil {
-		return CloudInspection{}, err
-	}
-	// Let counters accumulate so dynamic channels carry real data.
-	dc.Clock.Run(30, 1)
-
-	findings := core.CrossValidate(srv.HostMount(), c.Mount())
-	return CloudInspection{
-		Provider: p.Name,
-		Reports:  core.RollUp(core.TableIChannels(), findings),
-	}, nil
-}
-
 // InspectAll runs the inspection across the local testbed and all five
 // commercial cloud profiles — the full Table I — using the default worker
 // count (GOMAXPROCS).

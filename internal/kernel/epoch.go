@@ -1,0 +1,117 @@
+package kernel
+
+// Subsystem partitions the kernel's mutable accounting state into the
+// coarse dirty-tracking domains the incremental scan engine (internal/engine)
+// cares about. Every mutating entry point bumps the generation counters of
+// the subsystems it touches; every pseudo-file handler declares (via
+// pseudofs dependency tags) which subsystems its rendering reads. A path's
+// render is guaranteed unchanged while the combined epoch of its dependency
+// mask is unchanged — the snapshot/generation-counter design of
+// procfs-scraping monitors, applied to the simulated kernel.
+//
+// The granularity is deliberately coarse (five domains, not per-file): a
+// false "dirty" only costs a redundant re-render, while a false "clean"
+// would violate the engine's byte-identity guarantee. When in doubt a
+// mutation site bumps more subsystems, never fewer.
+type Subsystem int
+
+// The dirty-tracking subsystems. NumSubsystems bounds the array of
+// counters; it is not itself a subsystem.
+const (
+	SubSched Subsystem = iota // scheduler, tasks, cgroups, interrupts, locks, timers
+	SubMem                    // memory zones, VFS, VM counters, block IO, entropy
+	SubNet                    // network devices, softnet, net_prio
+	SubPower                  // RAPL energy, thermal, cpuidle residency
+	SubNS                     // namespace creation/teardown, IPC, hostname
+	NumSubsystems
+)
+
+// String implements fmt.Stringer.
+func (s Subsystem) String() string {
+	switch s {
+	case SubSched:
+		return "sched"
+	case SubMem:
+		return "mem"
+	case SubNet:
+		return "net"
+	case SubPower:
+		return "power"
+	case SubNS:
+		return "ns"
+	default:
+		return "subsystem(?)"
+	}
+}
+
+// SubsystemMask is a bitmask over subsystems; pseudo-file dependency tags
+// and mutation sites both use it.
+type SubsystemMask uint32
+
+// Mask constants, one bit per subsystem.
+const (
+	MaskSched SubsystemMask = 1 << SubSched
+	MaskMem   SubsystemMask = 1 << SubMem
+	MaskNet   SubsystemMask = 1 << SubNet
+	MaskPower SubsystemMask = 1 << SubPower
+	MaskNS    SubsystemMask = 1 << SubNS
+	MaskAll   SubsystemMask = 1<<NumSubsystems - 1
+)
+
+// Has reports whether the mask includes subsystem s.
+func (m SubsystemMask) Has(s Subsystem) bool { return m&(1<<s) != 0 }
+
+// Epochs is a point-in-time snapshot of the per-subsystem generation
+// counters. It is a value type: comparisons are plain ==.
+type Epochs [NumSubsystems]uint64
+
+// Combined folds the counters selected by mask into a single comparable
+// epoch. Two Combined values over the same mask are equal iff none of the
+// masked subsystems were mutated in between — counters only ever increase,
+// and the sum of monotone counters is monotone.
+func (e Epochs) Combined(mask SubsystemMask) uint64 {
+	var sum uint64
+	for s := Subsystem(0); s < NumSubsystems; s++ {
+		if mask.Has(s) {
+			sum += e[s]
+		}
+	}
+	return sum
+}
+
+// bump advances the generation counters of every subsystem in mask.
+// Mutation normally happens on the clock thread, but one read path can
+// reach a bump concurrently (a container energy_uj read triggers lazy
+// power accounting, whose budget enforcer adjusts a cgroup quota through
+// Cgroup()), so the counters are atomics: bumps never race with the
+// engine's Epochs() snapshots.
+func (k *Kernel) bump(mask SubsystemMask) {
+	for s := Subsystem(0); s < NumSubsystems; s++ {
+		if mask.Has(s) {
+			k.epochs[s].Add(1)
+		}
+	}
+}
+
+// Touch is the exported escape hatch for mutations performed outside the
+// kernel's own entry points (e.g. code that writes NSSet or Cgroup fields
+// directly). Callers that mutate kernel-reachable state without going
+// through a bumping method must Touch the affected subsystems, or the
+// incremental engine may serve stale renders.
+func (k *Kernel) Touch(mask SubsystemMask) { k.bump(mask) }
+
+// Epochs returns a snapshot of the per-subsystem generation counters.
+// Like every other snapshot accessor it is a pure read, safe from many
+// goroutines while the clock is paused.
+func (k *Kernel) Epochs() Epochs {
+	var e Epochs
+	for s := Subsystem(0); s < NumSubsystems; s++ {
+		e[s] = k.epochs[s].Load()
+	}
+	return e
+}
+
+// Generation returns the total number of subsystem bumps since boot — a
+// single monotone counter that changes whenever anything changed
+// (equivalent to Epochs().Combined(MaskAll)).
+func (k *Kernel) Generation() uint64 { return k.Epochs().Combined(MaskAll) }

@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/perfcount"
+)
+
+// delta returns the per-subsystem epoch movement between two snapshots.
+func delta(before, after Epochs) Epochs {
+	var d Epochs
+	for i := range d {
+		d[i] = after[i] - before[i]
+	}
+	return d
+}
+
+// moved reports which subsystems moved as a mask.
+func moved(before, after Epochs) SubsystemMask {
+	var m SubsystemMask
+	for s := Subsystem(0); s < NumSubsystems; s++ {
+		if after[s] != before[s] {
+			m |= 1 << s
+		}
+	}
+	return m
+}
+
+func TestEpochBumpPerMutation(t *testing.T) {
+	k := New(Options{Hostname: "epoch-host", Seed: 7})
+	d := 1.0
+	r := perfcount.Rates{}
+
+	cases := []struct {
+		name string
+		mut  func()
+		want SubsystemMask // subsystems that MUST move (supersets allowed: tags are conservative)
+	}{
+		{"Tick", func() { k.Tick(k.Now()+1, 1) }, MaskSched | MaskMem | MaskNet | MaskPower},
+		{"Spawn", func() { k.Spawn("w", k.InitNS(), "/docker/e1", d, r) }, MaskSched | MaskMem},
+		{"Cgroup", func() { k.Cgroup("/docker/e2") }, MaskSched | MaskNet},
+		{"NewNSSet", func() { k.NewNSSet("tenant", "/docker/e2") }, MaskNS},
+		{"AddHostNetDev", func() { k.AddHostNetDev("veth99") }, MaskNet | MaskNS},
+		{"RemoveHostNetDev", func() { k.RemoveHostNetDev("veth99") }, MaskNet | MaskNS},
+		{"Touch", func() { k.Touch(MaskPower) }, MaskPower},
+	}
+	for _, tc := range cases {
+		before := k.Epochs()
+		tc.mut()
+		after := k.Epochs()
+		got := moved(before, after)
+		if got&tc.want != tc.want {
+			t.Errorf("%s: moved mask %05b, want at least %05b (delta %v)",
+				tc.name, got, tc.want, delta(before, after))
+		}
+	}
+}
+
+func TestEpochExitAndLocks(t *testing.T) {
+	k := New(Options{Seed: 3})
+	task := k.Spawn("w", k.InitNS(), "/docker/x", 1, perfcount.Rates{})
+
+	before := k.Epochs()
+	k.AddFileLock(task, "WRITE", 42)
+	if got := moved(before, k.Epochs()); got&MaskSched == 0 {
+		t.Errorf("AddFileLock: sched epoch did not move (mask %05b)", got)
+	}
+
+	before = k.Epochs()
+	k.Exit(task.HostPID)
+	if got := moved(before, k.Epochs()); got&(MaskSched|MaskMem) != MaskSched|MaskMem {
+		t.Errorf("Exit: moved mask %05b, want sched|mem", got)
+	}
+}
+
+func TestEpochsMonotoneAndCombined(t *testing.T) {
+	k := New(Options{Seed: 5})
+	prev := k.Epochs()
+	prevAll := prev.Combined(MaskAll)
+	for i := 0; i < 10; i++ {
+		k.Tick(k.Now()+1, 1)
+		k.Cgroup("/docker/loop")
+		cur := k.Epochs()
+		for s := Subsystem(0); s < NumSubsystems; s++ {
+			if cur[s] < prev[s] {
+				t.Fatalf("step %d: subsystem %s went backwards: %d -> %d", i, s, prev[s], cur[s])
+			}
+		}
+		all := cur.Combined(MaskAll)
+		if all <= prevAll {
+			t.Fatalf("step %d: combined epoch not strictly increasing across mutations: %d -> %d", i, prevAll, all)
+		}
+		prev, prevAll = cur, all
+	}
+
+	// Combined over a partial mask sums exactly the selected counters.
+	e := k.Epochs()
+	want := e[SubSched] + e[SubNet]
+	if got := e.Combined(MaskSched | MaskNet); got != want {
+		t.Errorf("Combined(sched|net) = %d, want %d", got, want)
+	}
+	if got := e.Combined(0); got != 0 {
+		t.Errorf("Combined(0) = %d, want 0", got)
+	}
+}
+
+func TestGenerationUnaffectedByReads(t *testing.T) {
+	k := New(Options{Seed: 11})
+	k.Tick(5, 1)
+	gen := k.Generation()
+	// A broad sample of read-only views must not move any epoch.
+	_ = k.MeminfoSnapshot()
+	_ = k.LoadAvgSnapshot()
+	_ = k.StatSnapshot()
+	_ = k.Tasks()
+	_ = k.Cgroups()
+	_ = k.HostNetDevices()
+	_, _ = k.Uptime()
+	if got := k.Generation(); got != gen {
+		t.Errorf("read-only views moved the generation: %d -> %d", gen, got)
+	}
+}
+
+func TestSubsystemAndMaskNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Subsystem(0); s < NumSubsystems; s++ {
+		n := s.String()
+		if n == "" || seen[n] {
+			t.Fatalf("subsystem %d has empty or duplicate name %q", s, n)
+		}
+		seen[n] = true
+		if !MaskAll.Has(s) {
+			t.Errorf("MaskAll does not contain %s", n)
+		}
+	}
+	if MaskSched.Has(SubNet) {
+		t.Error("MaskSched unexpectedly contains net")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/perfcount"
 	"repro/internal/power"
@@ -158,6 +159,11 @@ type Kernel struct {
 	schedRunNS  []float64
 	schedWaitNS []float64
 	timeslices  []uint64
+
+	// epochs holds the per-subsystem generation counters behind the
+	// incremental scan engine's dirty tracking (see epoch.go). Bumped via
+	// bump(); atomic because one read path can reach a bump concurrently.
+	epochs [NumSubsystems]atomic.Uint64
 }
 
 // CPUTimes is the per-core /proc/stat accounting in USER_HZ(100) ticks.
@@ -339,6 +345,9 @@ func uuidFrom(rng *rand.Rand) string {
 // global clock it is driven by.
 func (k *Kernel) Tick(now, dt float64) {
 	k.now = now
+	// A tick mutates scheduler, memory/VFS, network, and power accounting
+	// all at once; namespace structure is untouched.
+	k.bump(MaskSched | MaskMem | MaskNet | MaskPower)
 
 	// 1. Schedule. First apply per-cgroup CPU quotas (CFS bandwidth
 	// control — the throttling lever the power-based namespace's budget

@@ -169,6 +169,7 @@ func (k *Kernel) NewNSSet(hostname, cgroupRoot string) *NSSet {
 	}
 	s.CreatedAt = k.now
 	s.BootID = k.genUUID()
+	k.bump(MaskNS)
 	return s
 }
 
@@ -184,6 +185,7 @@ func (k *Kernel) allocNSID() uint64 {
 // what makes the (leaky) global device list uniquely identify a host.
 func (k *Kernel) AddHostNetDev(name string) {
 	k.initNS.NetDevs = append(k.initNS.NetDevs, NetDev{Name: name})
+	k.bump(MaskNet | MaskNS)
 }
 
 // RemoveHostNetDev deletes a device from the init NET namespace.
@@ -192,6 +194,7 @@ func (k *Kernel) RemoveHostNetDev(name string) {
 	for i, d := range devs {
 		if d.Name == name {
 			k.initNS.NetDevs = append(devs[:i], devs[i+1:]...)
+			k.bump(MaskNet | MaskNS)
 			return
 		}
 	}

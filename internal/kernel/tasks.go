@@ -78,6 +78,10 @@ func (k *Kernel) Spawn(name string, ns *NSSet, cgroupPath string, demand float64
 	if _, ok := k.cgroups[cgroupPath]; !ok {
 		k.cgroups[cgroupPath] = &Cgroup{Path: cgroupPath}
 	}
+	// A new task changes the global task list, fork counters, and charged
+	// memory (callers commonly set RSSKB/Pinned/HasTimer on the returned
+	// task before the next read — the same mutation burst this bump covers).
+	k.bump(MaskSched | MaskMem)
 	return t
 }
 
@@ -98,6 +102,7 @@ func (k *Kernel) Exit(hostPID int) {
 		}
 		cg.locks = kept
 	}
+	k.bump(MaskSched | MaskMem)
 }
 
 // Task returns the task with the given host pid, or nil.
@@ -165,6 +170,12 @@ func (k *Kernel) Cgroup(path string) *Cgroup {
 		cg = &Cgroup{Path: path}
 		k.cgroups[path] = cg
 	}
+	// Callers of this accessor mutate the returned cgroup (quotas, limits,
+	// ifpriomap) even when it already exists, so conservatively mark the
+	// scheduler/cgroup and network domains dirty: a false "dirty" only
+	// costs the engine a redundant re-render, a false "clean" would break
+	// byte identity. Read-side code uses LookupCgroup and never bumps.
+	k.bump(MaskSched | MaskNet)
 	return cg
 }
 
@@ -194,6 +205,7 @@ func (k *Kernel) RemoveCgroup(path string) {
 	}
 	delete(k.cgroups, path)
 	k.perf.RemoveGroup(path)
+	k.bump(MaskSched | MaskNet)
 }
 
 // AddFileLock registers a file lock held by the task; it appears in the
@@ -211,6 +223,7 @@ func (k *Kernel) AddFileLock(t *Task, rw string, inode uint64) FileLock {
 	}
 	cg := k.Cgroup(t.CgroupPath)
 	cg.locks = append(cg.locks, l)
+	k.bump(MaskSched)
 	return l
 }
 

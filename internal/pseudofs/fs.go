@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/kernel"
 	"repro/internal/power"
@@ -98,6 +99,27 @@ type FS struct {
 	energy   EnergyProvider
 	thermal  ThermalProvider
 	injector Injector
+
+	// Source-epoch bookkeeping for the incremental scan engine (deps.go).
+	// fsGen counts FS-wide render-path changes (provider/injector swaps);
+	// replaceGen counts per-path handler replacements; totalReplaceGen is
+	// the sum of replaceGen. All mutations happen at setup/defense-install
+	// time on the clock thread, never during concurrent scans.
+	fsGen           uint64
+	replaceGen      map[string]uint64
+	totalReplaceGen uint64
+
+	// deps and sortedPaths are precomputed at Build time: the file set is
+	// sealed once Build returns (Replace swaps handlers in place, never
+	// adds paths), so the dependency-table scan and the path sort run once
+	// per FS instead of once per lookup on the recurring-scan hot path.
+	deps        map[string]Dep
+	sortedPaths []string
+
+	// renders counts handler invocations (genuine pseudo-file renders).
+	// The incremental engine's "zero re-renders on an unmutated kernel"
+	// guarantee is asserted against this counter, not inferred.
+	renders atomic.Uint64
 }
 
 // rawEnergy is the leaky default EnergyProvider.
@@ -140,22 +162,45 @@ func DefaultHardware() Hardware { return Hardware{HasRAPL: true, HasCoretemp: tr
 // Build constructs the full /proc and /sys tree over the kernel.
 func Build(k *kernel.Kernel, hw Hardware) *FS {
 	fs := &FS{
-		k:       k,
-		files:   make(map[string]Handler, 128),
-		energy:  rawEnergy{meter: k.Meter()},
-		thermal: rawThermal{meter: k.Meter(), cores: k.Options().Cores},
+		k:          k,
+		files:      make(map[string]Handler, 128),
+		energy:     rawEnergy{meter: k.Meter()},
+		thermal:    rawThermal{meter: k.Meter(), cores: k.Options().Cores},
+		replaceGen: make(map[string]uint64),
 	}
 	fs.buildProc()
 	fs.buildSys(hw)
+	fs.seal()
 	return fs
+}
+
+// seal freezes the file set: precomputes the sorted path list and every
+// path's dependency tag. Build is the only caller; after it returns, paths
+// are never added or removed (Replace swaps handlers in place).
+func (fs *FS) seal() {
+	fs.sortedPaths = make([]string, 0, len(fs.files))
+	fs.deps = make(map[string]Dep, len(fs.files))
+	for p := range fs.files {
+		fs.sortedPaths = append(fs.sortedPaths, p)
+		fs.deps[p] = fs.lookupDep(p)
+	}
+	sort.Strings(fs.sortedPaths)
 }
 
 // SetEnergyProvider swaps the RAPL read path; the power-based namespace
 // calls this to virtualize energy_uj without changing the interface paths.
-func (fs *FS) SetEnergyProvider(p EnergyProvider) { fs.energy = p }
+// The swap bumps the FS-wide render generation so cached renders of the
+// affected paths are invalidated.
+func (fs *FS) SetEnergyProvider(p EnergyProvider) {
+	fs.energy = p
+	fs.fsGen++
+}
 
 // SetThermalProvider swaps the coretemp read path for a thermal namespace.
-func (fs *FS) SetThermalProvider(p ThermalProvider) { fs.thermal = p }
+func (fs *FS) SetThermalProvider(p ThermalProvider) {
+	fs.thermal = p
+	fs.fsGen++
+}
 
 // EnergyProvider returns the currently installed RAPL read path. Chaos
 // wrappers use it to stack on top of whatever (raw or defended) provider
@@ -168,7 +213,10 @@ func (fs *FS) ThermalProvider() ThermalProvider { return fs.thermal }
 // SetInjector installs a read-path fault injector on every Mount of this
 // FS; nil removes it. Install it before handing mounts to consumers — the
 // injector is consulted on every subsequent Mount.Read.
-func (fs *FS) SetInjector(i Injector) { fs.injector = i }
+func (fs *FS) SetInjector(i Injector) {
+	fs.injector = i
+	fs.fsGen++
+}
 
 // Kernel returns the kernel this FS renders.
 func (fs *FS) Kernel() *kernel.Kernel { return fs.k }
@@ -191,6 +239,10 @@ func (fs *FS) Replace(path string, h Handler) {
 		panic(fmt.Sprintf("pseudofs: Replace of unknown file %s", path))
 	}
 	fs.files[path] = h
+	// Handler identity changed: advance the path's render generation so
+	// the incremental engine never serves a pre-fix render post-fix.
+	fs.replaceGen[path]++
+	fs.totalReplaceGen++
 }
 
 // static registers a file whose content ignores the reader entirely.
@@ -198,8 +250,15 @@ func (fs *FS) static(path, content string) {
 	fs.add(path, func(View) (string, error) { return content, nil })
 }
 
-// Paths returns every file path in sorted order.
+// Paths returns every file path in sorted order. The order is computed
+// once at Build time (the file set is sealed); callers get a fresh copy so
+// they may mutate the slice freely.
 func (fs *FS) Paths() []string {
+	if fs.sortedPaths != nil {
+		out := make([]string, len(fs.sortedPaths))
+		copy(out, fs.sortedPaths)
+		return out
+	}
 	out := make([]string, 0, len(fs.files))
 	for p := range fs.files {
 		out = append(out, p)
@@ -214,8 +273,14 @@ func (fs *FS) readFile(path string, v View) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("%w: %s", ErrNotExist, path)
 	}
+	fs.renders.Add(1)
 	return h(v)
 }
+
+// Renders returns the cumulative number of handler invocations (genuine
+// renders) performed by this FS. Policy-denied and absent reads do not
+// render and are not counted.
+func (fs *FS) Renders() uint64 { return fs.renders.Load() }
 
 // Action is what a masking rule does to a matched path.
 type Action int
@@ -266,42 +331,56 @@ func (p Policy) Lookup(path string) (Rule, bool) {
 // map concrete file paths onto registry channels.
 func Match(pattern, path string) bool { return matchPattern(pattern, path) }
 
-// matchPattern implements the limited glob language of Rule.
+// matchPattern implements the limited glob language of Rule. It walks both
+// strings segment by segment without allocating: pattern matching sits on
+// the hot path of every policy check, dependency lookup, and channel
+// roll-up, so the naive strings.Split formulation dominated recurring-scan
+// profiles.
 func matchPattern(pattern, path string) bool {
 	if sub, ok := strings.CutSuffix(pattern, "/**"); ok {
-		return path == sub || strings.HasPrefix(path, sub+"/")
+		return path == sub ||
+			(len(path) > len(sub) && path[len(sub)] == '/' && strings.HasPrefix(path, sub))
 	}
-	ps := strings.Split(pattern, "/")
-	xs := strings.Split(path, "/")
-	if len(ps) != len(xs) {
-		return false
-	}
-	for i := range ps {
-		if !matchSegment(ps[i], xs[i]) {
+	for {
+		pi := strings.IndexByte(pattern, '/')
+		xi := strings.IndexByte(path, '/')
+		if (pi < 0) != (xi < 0) {
+			return false // different segment counts
+		}
+		if pi < 0 {
+			return matchSegment(pattern, path)
+		}
+		if !matchSegment(pattern[:pi], path[:xi]) {
 			return false
 		}
+		pattern, path = pattern[pi+1:], path[xi+1:]
 	}
-	return true
 }
 
+// matchSegment matches one path segment against one pattern segment. Only
+// '*' wildcards, possibly several per segment: the literal before the first
+// star anchors as a prefix, the literal after the last star as a suffix,
+// and literals between stars match greedily left to right.
 func matchSegment(pat, seg string) bool {
-	// Only '*' wildcards, possibly several per segment.
-	parts := strings.Split(pat, "*")
-	if len(parts) == 1 {
+	star := strings.IndexByte(pat, '*')
+	if star < 0 {
 		return pat == seg
 	}
-	if !strings.HasPrefix(seg, parts[0]) {
+	if !strings.HasPrefix(seg, pat[:star]) {
 		return false
 	}
-	seg = seg[len(parts[0]):]
-	for i := 1; i < len(parts)-1; i++ {
-		idx := strings.Index(seg, parts[i])
+	seg, pat = seg[star:], pat[star+1:]
+	for {
+		next := strings.IndexByte(pat, '*')
+		if next < 0 {
+			return strings.HasSuffix(seg, pat)
+		}
+		idx := strings.Index(seg, pat[:next])
 		if idx < 0 {
 			return false
 		}
-		seg = seg[idx+len(parts[i]):]
+		seg, pat = seg[idx+next:], pat[next+1:]
 	}
-	return strings.HasSuffix(seg, parts[len(parts)-1])
 }
 
 // Mount is a read-only pseudo-filesystem mount inside one execution
@@ -319,6 +398,10 @@ func NewMount(fs *FS, v View, p Policy) *Mount {
 
 // View returns the mount's reader context.
 func (m *Mount) View() View { return m.view }
+
+// FS returns the filesystem behind the mount; the incremental engine uses
+// it for source-epoch queries (PathEpoch) and the chaos bypass (Faulty).
+func (m *Mount) FS() *FS { return m.fs }
 
 // Read returns the file content as the mount's view sees it, applying the
 // masking policy first. When the FS carries a fault injector, the read is

@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
+
+	"repro/internal/core"
 )
 
 // APIConfig wires the HTTP layer. Scheduler is required; everything else
@@ -31,18 +34,30 @@ type api struct {
 	start time.Time
 }
 
-// NewHandler builds the leaksd HTTP API:
+// NewHandler builds the leaksd HTTP API. The current surface lives under
+// the versioned /v1 prefix:
 //
-//	POST /scans        submit a scan (202 queued, 200 cache hit)
-//	GET  /scans        list jobs
-//	GET  /scans/{id}   one job with its result
-//	GET  /results      latest verdicts per provider (?provider= filters)
-//	GET  /channels     the Table I channel registry
-//	GET  /providers    inspectable provider profiles
-//	GET  /events       SSE stream of verdict / scan events
-//	GET  /metrics      Prometheus text exposition
-//	GET  /healthz      liveness + uptime
-//	GET  /version      build info
+//	POST /v1/scans        submit a scan (202 queued, 200 cache hit)
+//	GET  /v1/scans        list jobs (?limit=&offset=&provider=&verdict=)
+//	GET  /v1/scans/{id}   one job with its result
+//	GET  /v1/results      latest verdicts per provider (?limit=&offset=&provider=&verdict=)
+//	GET  /v1/channels     the Table I channel registry
+//	GET  /v1/providers    inspectable provider profiles
+//	GET  /v1/engine       incremental-engine cache and epoch statistics
+//	GET  /v1/events       SSE stream of verdict / scan events
+//	GET  /v1/metrics      Prometheus text exposition
+//	GET  /v1/healthz      liveness + uptime
+//	GET  /v1/version      build info
+//
+// Every /v1 error response carries the structured envelope
+// {"error":{"code":"...","message":"..."}}.
+//
+// The pre-versioning routes (POST /scans, GET /scans, /scans/{id},
+// /results, /channels, /providers, /events, /metrics, /healthz, /version)
+// remain as byte-identical thin aliases: same payloads, same legacy
+// {"error":"..."} failure shape, no pagination. They answer with a
+// `Deprecation` header and a `Link: </v1/...>; rel="successor-version"`
+// pointer; see ARCHITECTURE.md for the deprecation policy.
 //
 // The handler is exactly what cmd/leaksd serves; tests drive it through
 // net/http/httptest.
@@ -62,16 +77,32 @@ func NewHandler(cfg APIConfig) http.Handler {
 	a := &api{cfg: cfg, sched: cfg.Scheduler, start: cfg.Now()}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /scans", a.timed(a.postScan))
-	mux.HandleFunc("GET /scans", a.timed(a.listScans))
-	mux.HandleFunc("GET /scans/{id}", a.timed(a.getScan))
-	mux.HandleFunc("GET /results", a.timed(a.getResults))
-	mux.HandleFunc("GET /channels", a.timed(a.getChannels))
-	mux.HandleFunc("GET /providers", a.timed(a.getProviders))
-	mux.HandleFunc("GET /events", a.events) // untimed: streams
-	mux.HandleFunc("GET /metrics", a.metrics)
-	mux.HandleFunc("GET /healthz", a.timed(a.healthz))
-	mux.HandleFunc("GET /version", a.timed(a.version))
+
+	// Versioned surface: structured error envelope, pagination, filters.
+	mux.HandleFunc("POST /v1/scans", a.timed(a.postScanV1))
+	mux.HandleFunc("GET /v1/scans", a.timed(a.listScansV1))
+	mux.HandleFunc("GET /v1/scans/{id}", a.timed(a.getScanV1))
+	mux.HandleFunc("GET /v1/results", a.timed(a.getResultsV1))
+	mux.HandleFunc("GET /v1/channels", a.timed(a.getChannels))
+	mux.HandleFunc("GET /v1/providers", a.timed(a.getProviders))
+	mux.HandleFunc("GET /v1/engine", a.timed(a.getEngine))
+	mux.HandleFunc("GET /v1/events", a.events) // untimed: streams
+	mux.HandleFunc("GET /v1/metrics", a.metrics)
+	mux.HandleFunc("GET /v1/healthz", a.timed(a.healthz))
+	mux.HandleFunc("GET /v1/version", a.timed(a.version))
+
+	// Legacy aliases: byte-identical pre-/v1 behaviour plus deprecation
+	// headers. Handlers that never grew /v1-only behaviour are shared.
+	mux.HandleFunc("POST /scans", a.deprecated("/v1/scans", a.timed(a.postScanLegacy)))
+	mux.HandleFunc("GET /scans", a.deprecated("/v1/scans", a.timed(a.listScansLegacy)))
+	mux.HandleFunc("GET /scans/{id}", a.deprecated("/v1/scans/{id}", a.timed(a.getScanLegacy)))
+	mux.HandleFunc("GET /results", a.deprecated("/v1/results", a.timed(a.getResultsLegacy)))
+	mux.HandleFunc("GET /channels", a.deprecated("/v1/channels", a.timed(a.getChannels)))
+	mux.HandleFunc("GET /providers", a.deprecated("/v1/providers", a.timed(a.getProviders)))
+	mux.HandleFunc("GET /events", a.deprecated("/v1/events", a.events))
+	mux.HandleFunc("GET /metrics", a.deprecated("/v1/metrics", a.metrics))
+	mux.HandleFunc("GET /healthz", a.deprecated("/v1/healthz", a.timed(a.healthz)))
+	mux.HandleFunc("GET /version", a.deprecated("/v1/version", a.timed(a.version)))
 	return mux
 }
 
@@ -84,8 +115,42 @@ func (a *api) timed(fn http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// deprecated marks a legacy route: the response carries a Deprecation
+// header and a successor-version link so clients can discover the /v1
+// replacement mechanically. Body bytes are untouched.
+func (a *api) deprecated(successor string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h := w.Header()
+		h.Set("Deprecation", "true")
+		h.Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		fn(w, r)
+	}
+}
+
+// apiError is the legacy (pre-/v1) error shape, kept byte-identical for
+// old clients.
 type apiError struct {
 	Error string `json:"error"`
+}
+
+// Structured /v1 error codes.
+const (
+	codeBadRequest = "bad_request"
+	codeNotFound   = "not_found"
+	codeQueueFull  = "queue_full"
+	codeDraining   = "draining"
+	codeInternal   = "internal"
+)
+
+// errorBody is the inner object of the /v1 error envelope.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the /v1 error shape: {"error":{"code","message"}}.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -96,32 +161,52 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError emits the legacy flat error shape.
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-func (a *api) postScan(w http.ResponseWriter, r *http.Request) {
+// writeErrorV1 emits the structured /v1 envelope.
+func writeErrorV1(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// errWriter abstracts the two error shapes so one handler body serves both
+// API generations; the code argument is dropped by the legacy writer.
+type errWriter func(w http.ResponseWriter, status int, code, format string, args ...any)
+
+func legacyErr(w http.ResponseWriter, status int, _ string, format string, args ...any) {
+	writeError(w, status, format, args...)
+}
+
+func (a *api) postScanLegacy(w http.ResponseWriter, r *http.Request) { a.postScan(w, r, legacyErr) }
+func (a *api) postScanV1(w http.ResponseWriter, r *http.Request)     { a.postScan(w, r, writeErrorV1) }
+
+func (a *api) postScan(w http.ResponseWriter, r *http.Request, fail errWriter) {
 	var req ScanRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		fail(w, http.StatusBadRequest, codeBadRequest, "invalid JSON body: %v", err)
 		return
 	}
 	job, err := a.sched.Submit(req)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrBadRequest):
-		writeError(w, http.StatusBadRequest, "%v", err)
+		fail(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		fail(w, http.StatusTooManyRequests, codeQueueFull, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		fail(w, http.StatusServiceUnavailable, codeDraining, "%v", err)
 		return
 	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		fail(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		return
 	}
 	code := http.StatusAccepted
@@ -131,23 +216,145 @@ func (a *api) postScan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, job)
 }
 
-func (a *api) listScans(w http.ResponseWriter, _ *http.Request) {
+func (a *api) listScansLegacy(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Scans []Job `json:"scans"`
 	}{Scans: a.sched.Jobs()})
 }
 
-func (a *api) getScan(w http.ResponseWriter, r *http.Request) {
+// page is the parsed limit/offset pair. limit -1 means "no limit" (the
+// parameter was absent).
+type page struct {
+	limit, offset int
+}
+
+// parsePage extracts limit/offset from the query. Absent limit returns
+// every element; limit=0 is a valid "count only" request returning an
+// empty page; negative values and non-integers are client errors.
+func parsePage(r *http.Request, fail errWriter, w http.ResponseWriter) (page, bool) {
+	p := page{limit: -1}
+	q := r.URL.Query()
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			fail(w, http.StatusBadRequest, codeBadRequest, "invalid limit %q: non-negative integer required", s)
+			return p, false
+		}
+		p.limit = n
+	}
+	if s := q.Get("offset"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			fail(w, http.StatusBadRequest, codeBadRequest, "invalid offset %q: non-negative integer required", s)
+			return p, false
+		}
+		p.offset = n
+	}
+	return p, true
+}
+
+// slicePage applies the window to a slice of length n, returning the
+// half-open [lo, hi) index range. Offsets past the end yield an empty
+// window rather than an error — a stable contract for pollers walking a
+// list that can shrink between requests.
+func (p page) slice(n int) (lo, hi int) {
+	if p.offset >= n {
+		return n, n
+	}
+	lo = p.offset
+	hi = n
+	if p.limit >= 0 && lo+p.limit < n {
+		hi = lo + p.limit
+	}
+	return lo, hi
+}
+
+// parseVerdict canonicalizes the ?verdict= filter: the availability glyphs
+// themselves or their ASCII names. Empty means "no filter".
+func parseVerdict(s string) (string, bool) {
+	switch s {
+	case "":
+		return "", true
+	case "available", core.Available.String():
+		return core.Available.String(), true
+	case "partial", core.PartiallyAvailable.String():
+		return core.PartiallyAvailable.String(), true
+	case "unavailable", core.Unavailable.String():
+		return core.Unavailable.String(), true
+	}
+	return "", false
+}
+
+// listScansV1 serves the paginated, filterable job list. Filters apply
+// before pagination; X-Total-Count is the post-filter total so clients can
+// window through exactly the matching set.
+func (a *api) listScansV1(w http.ResponseWriter, r *http.Request) {
+	pg, ok := parsePage(r, writeErrorV1, w)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	provider := q.Get("provider")
+	if provider != "" {
+		if _, known := ProviderByName(provider); !known {
+			writeErrorV1(w, http.StatusNotFound, codeNotFound,
+				"unknown provider %q (one of %v)", provider, ProviderNames())
+			return
+		}
+	}
+	verdict, ok := parseVerdict(q.Get("verdict"))
+	if !ok {
+		writeErrorV1(w, http.StatusBadRequest, codeBadRequest,
+			"invalid verdict %q (one of available, partial, unavailable)", q.Get("verdict"))
+		return
+	}
+
+	jobs := a.sched.Jobs()
+	filtered := jobs[:0:0]
+	for _, j := range jobs {
+		if provider != "" && j.Request.Provider != provider {
+			continue
+		}
+		if verdict != "" && !jobHasVerdict(j, verdict) {
+			continue
+		}
+		filtered = append(filtered, j)
+	}
+	lo, hi := pg.slice(len(filtered))
+	w.Header().Set("X-Total-Count", strconv.Itoa(len(filtered)))
+	writeJSON(w, http.StatusOK, struct {
+		Scans []Job `json:"scans"`
+	}{Scans: filtered[lo:hi]})
+}
+
+// jobHasVerdict reports whether any verdict cell of the job's result
+// carries the given availability glyph.
+func jobHasVerdict(j Job, verdict string) bool {
+	if j.Result == nil {
+		return false
+	}
+	for _, v := range j.Result.Verdicts {
+		if v.Availability == verdict {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *api) getScanLegacy(w http.ResponseWriter, r *http.Request) { a.getScan(w, r, legacyErr) }
+func (a *api) getScanV1(w http.ResponseWriter, r *http.Request)     { a.getScan(w, r, writeErrorV1) }
+
+func (a *api) getScan(w http.ResponseWriter, r *http.Request, fail errWriter) {
 	id := r.PathValue("id")
 	job, ok := a.sched.JobByID(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such scan %q", id)
+		fail(w, http.StatusNotFound, codeNotFound, "no such scan %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
 }
 
-func (a *api) getResults(w http.ResponseWriter, r *http.Request) {
+func (a *api) getResultsLegacy(w http.ResponseWriter, r *http.Request) {
 	provider := r.URL.Query().Get("provider")
 	if provider != "" {
 		if _, ok := ProviderByName(provider); !ok {
@@ -160,6 +367,55 @@ func (a *api) getResults(w http.ResponseWriter, r *http.Request) {
 	}{Results: a.sched.Results(provider)})
 }
 
+// getResultsV1 serves the paginated, filterable verdict list. ?verdict=
+// narrows each provider's cells to one availability and drops providers
+// left with none; pagination windows over the provider entries.
+func (a *api) getResultsV1(w http.ResponseWriter, r *http.Request) {
+	pg, ok := parsePage(r, writeErrorV1, w)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	provider := q.Get("provider")
+	if provider != "" {
+		if _, known := ProviderByName(provider); !known {
+			writeErrorV1(w, http.StatusNotFound, codeNotFound,
+				"unknown provider %q (one of %v)", provider, ProviderNames())
+			return
+		}
+	}
+	verdict, ok := parseVerdict(q.Get("verdict"))
+	if !ok {
+		writeErrorV1(w, http.StatusBadRequest, codeBadRequest,
+			"invalid verdict %q (one of available, partial, unavailable)", q.Get("verdict"))
+		return
+	}
+
+	results := a.sched.Results(provider)
+	if verdict != "" {
+		filtered := results[:0:0]
+		for _, pv := range results {
+			var cells []Verdict
+			for _, v := range pv.Verdicts {
+				if v.Availability == verdict {
+					cells = append(cells, v)
+				}
+			}
+			if len(cells) == 0 {
+				continue
+			}
+			pv.Verdicts = cells
+			filtered = append(filtered, pv)
+		}
+		results = filtered
+	}
+	lo, hi := pg.slice(len(results))
+	w.Header().Set("X-Total-Count", strconv.Itoa(len(results)))
+	writeJSON(w, http.StatusOK, struct {
+		Results []ProviderVerdicts `json:"results"`
+	}{Results: results[lo:hi]})
+}
+
 func (a *api) getChannels(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Channels []ChannelInfo `json:"channels"`
@@ -170,6 +426,13 @@ func (a *api) getProviders(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Providers []string `json:"providers"`
 	}{Providers: ProviderNames()})
+}
+
+// getEngine serves the incremental engine's aggregate cache and epoch
+// statistics — session-pool effectiveness plus the summed counters of
+// every live session engine.
+func (a *api) getEngine(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.sched.EngineInfo())
 }
 
 func (a *api) metrics(w http.ResponseWriter, _ *http.Request) {

@@ -38,6 +38,17 @@ type Metrics struct {
 	StoreEntries *telemetry.GaugeVec
 	// StoreEvictions / StoreExpirations count LRU and TTL removals.
 	StoreEvictions, StoreExpirations *telemetry.CounterVec
+	// EngineSessions gauges live engine-backed sessions in the pool;
+	// EngineSessionHits / EngineSessionMisses mirror pool lookups that
+	// reused vs built a session world.
+	EngineSessions, EngineSessionHits, EngineSessionMisses *telemetry.GaugeVec
+	// EngineFindingHits / EngineFindingMisses mirror the aggregate
+	// incremental-engine verdict cache counters; EngineHostRenders /
+	// EngineHostHits mirror the shared host-read cache. Gauges because
+	// they are snapshots of counters owned by pooled engines (sessions
+	// can be evicted, so the aggregate is not monotone).
+	EngineFindingHits, EngineFindingMisses *telemetry.GaugeVec
+	EngineHostRenders, EngineHostHits      *telemetry.GaugeVec
 }
 
 // NewMetrics registers every scheduler metric on reg (a fresh registry if
@@ -76,5 +87,19 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Result-store entries evicted by LRU pressure."),
 		StoreExpirations: reg.Counter("leaksd_store_expirations_total",
 			"Result-store entries removed by TTL."),
+		EngineSessions: reg.Gauge("leaksd_engine_sessions",
+			"Live engine-backed scan sessions in the pool."),
+		EngineSessionHits: reg.Gauge("leaksd_engine_session_hits",
+			"Pool lookups that reused an existing session world."),
+		EngineSessionMisses: reg.Gauge("leaksd_engine_session_misses",
+			"Pool lookups that built a new session world."),
+		EngineFindingHits: reg.Gauge("leaksd_engine_finding_hits",
+			"Aggregate per-path verdicts served from the incremental engine cache."),
+		EngineFindingMisses: reg.Gauge("leaksd_engine_finding_misses",
+			"Aggregate per-path verdicts re-validated by the incremental engine."),
+		EngineHostRenders: reg.Gauge("leaksd_engine_host_renders",
+			"Aggregate genuine host-side pseudo-file renders."),
+		EngineHostHits: reg.Gauge("leaksd_engine_host_hits",
+			"Aggregate host-side reads served from the shared render cache."),
 	}
 }

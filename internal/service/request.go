@@ -72,15 +72,25 @@ type ScanRequest struct {
 	// Workers bounds the scan's internal worker pool (0 = GOMAXPROCS).
 	// Excluded from the dedup key: output is byte-identical at any count.
 	Workers int `json:"workers,omitempty"`
+	// Limit / Offset are the /v1 pagination parameters. Clients that reuse
+	// their list-query builders when submitting scans may send them; they
+	// never affect what a scan computes, so Normalize clears them and Key
+	// excludes them — a paginated /v1 submission and a legacy submission of
+	// the same scan share one store entry.
+	Limit  int `json:"limit,omitempty"`
+	Offset int `json:"offset,omitempty"`
 }
 
 // Normalize canonicalizes a request so that equal questions hash equal:
 // chaos-off requests drop their chaos seed (it is dead state), chaos-on
-// requests default the seed to 1 exactly like the -chaosseed flag, and the
+// requests default the seed to 1 exactly like the -chaosseed flag, the
 // datacenter seed resolves to the kind's actual default (so seed 0 and the
 // explicit historical seed dedup to one cache entry) or to nothing for
-// kinds that ignore it.
+// kinds that ignore it, and the /v1 pagination parameters are cleared (they
+// shape list responses, never scan output).
 func (r ScanRequest) Normalize() ScanRequest {
+	r.Limit = 0
+	r.Offset = 0
 	if r.ChaosRate <= 0 {
 		r.ChaosRate = 0
 		r.ChaosSeed = 0

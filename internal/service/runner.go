@@ -16,12 +16,33 @@ import (
 // CLI command prints for the same seeds — the byte-identity contract that
 // lets operators diff API results against leakscan output.
 func runScan(ctx context.Context, req ScanRequest) (*ScanResult, error) {
+	return runScanWith(ctx, req, nil)
+}
+
+// runScanWith is runScan with an optional engine-backed session pool.
+// Chaos-free table1/inspect/discovery requests route through pooled
+// sessions when pool is non-nil, so a recurring scan's later ticks reuse
+// the incremental engine (cache hits, zero re-renders) instead of
+// rebuilding the world. The engine's byte-identity invariant — every pass
+// equals a cold scan — keeps the Rendered output identical either way;
+// chaos requests always take the one-shot path (their fault streams must
+// start fresh every run).
+func runScanWith(ctx context.Context, req ScanRequest, pool *sessionPool) (*ScanResult, error) {
 	req = req.Normalize()
 	spec := req.Chaos()
+	pooled := pool != nil && req.ChaosRate == 0
 	res := &ScanResult{Request: req}
 	switch req.Kind {
 	case KindTable1:
-		t, err := experiments.Table1Seeded(ctx, spec, req.Seed, req.Workers)
+		var (
+			t   *experiments.Table1Result
+			err error
+		)
+		if pooled {
+			t, err = pool.table1(ctx, req.Seed, req.Workers)
+		} else {
+			t, err = experiments.Table1Seeded(ctx, spec, req.Seed, req.Workers)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -35,14 +56,33 @@ func runScan(ctx context.Context, req ScanRequest) (*ScanResult, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ins, err := experiments.InspectProviderSeeded(p, spec, req.Seed)
+		var (
+			ins experiments.CloudInspection
+			err error
+		)
+		if pooled {
+			ins, err = pool.inspect(p, req.Seed, req.Workers)
+		} else {
+			ins, err = experiments.InspectProviderSeeded(p, spec, req.Seed)
+		}
 		if err != nil {
 			return nil, err
 		}
 		res.Rendered = renderInspection(ins, req)
 		res.Verdicts = verdictsOf([]experiments.CloudInspection{ins})
 	case KindDiscovery:
-		d, err := experiments.DiscoverySeeded(ctx, spec, req.Seed, req.Workers)
+		var (
+			d   *experiments.DiscoveryResult
+			err error
+		)
+		if pooled {
+			if err = ctx.Err(); err != nil {
+				return nil, err
+			}
+			d = pool.discovery(req.Seed, req.Workers)
+		} else {
+			d, err = experiments.DiscoverySeeded(ctx, spec, req.Seed, req.Workers)
+		}
 		if err != nil {
 			return nil, err
 		}

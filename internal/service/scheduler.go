@@ -77,6 +77,10 @@ type Config struct {
 	// StoreCap / StoreTTL size the result store. Defaults 128 / 15m.
 	StoreCap int
 	StoreTTL time.Duration
+	// SessionCap bounds the engine-backed session pool (the persistent
+	// simulated worlds recurring chaos-free scans reuse across ticks);
+	// least-recently-used sessions are evicted beyond it. Default 16.
+	SessionCap int
 	// Now is the wall clock (tests inject a fake). Default time.Now.
 	Now func() time.Time
 	// Sleep waits between retries, honouring ctx. Default timer sleep;
@@ -134,6 +138,7 @@ type Scheduler struct {
 	store  *Store
 	met    *Metrics
 	hub    *hub
+	pool   *sessionPool
 	runner func(context.Context, ScanRequest) (*ScanResult, error) // nil = runScan
 
 	ctx    context.Context
@@ -173,6 +178,7 @@ func New(cfg Config, met *Metrics) *Scheduler {
 		store:     NewStore(cfg.StoreCap, cfg.StoreTTL, cfg.Now),
 		met:       met,
 		hub:       newHub(),
+		pool:      newSessionPool(cfg.SessionCap),
 		ctx:       ctx,
 		cancel:    cancel,
 		jobs:      make(map[string]*Job),
@@ -329,12 +335,33 @@ func (s *Scheduler) runJob(job *Job) {
 	s.finish(job, res, err)
 }
 
-// run is the execution hook: nil runner selects the real runScan.
+// run is the execution hook: nil runner selects the real scan path,
+// routed through the engine-backed session pool so recurring chaos-free
+// scans reuse incremental state across ticks.
 func (s *Scheduler) run(ctx context.Context, req ScanRequest) (*ScanResult, error) {
 	if s.runner != nil {
 		return s.runner(ctx, req)
 	}
-	return runScan(ctx, req)
+	res, err := runScanWith(ctx, req, s.pool)
+	s.syncEngineMetrics()
+	return res, err
+}
+
+// EngineInfo snapshots the session pool and the aggregate incremental
+// engine counters — what GET /v1/engine serves.
+func (s *Scheduler) EngineInfo() EngineInfo { return s.pool.info() }
+
+// syncEngineMetrics mirrors the aggregate engine counters into the
+// telemetry registry after each executed scan.
+func (s *Scheduler) syncEngineMetrics() {
+	info := s.pool.info()
+	s.met.EngineSessions.With().Set(float64(info.Sessions))
+	s.met.EngineSessionHits.With().Set(float64(info.SessionHits))
+	s.met.EngineSessionMisses.With().Set(float64(info.SessionMisses))
+	s.met.EngineFindingHits.With().Set(float64(info.Stats.FindingHits))
+	s.met.EngineFindingMisses.With().Set(float64(info.Stats.FindingMisses))
+	s.met.EngineHostRenders.With().Set(float64(info.Stats.HostRenders))
+	s.met.EngineHostHits.With().Set(float64(info.Stats.HostHits))
 }
 
 // SetRunner replaces the scan executor (tests inject fast fakes; must be
