@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check lint fmt vet build test race bench bench-full bench-json chaos chaos-sweep clean
+.PHONY: check lint fmt vet build test race bench bench-full bench-json bench-guard profile chaos chaos-sweep clean
 
 check: fmt vet build race
 
@@ -62,16 +62,37 @@ bench-full:
 
 # Machine-readable benchmark report: the serial/parallel pairs plus the
 # cold/incremental recurring-scan pair, converted to JSON by
-# internal/tools/benchjson and archived by CI as BENCH_PR4.json. The
-# recurring pair runs 10 iterations so the incremental variant's steady
-# state (cache hits, zero re-renders) dominates its ns/op.
+# internal/tools/benchjson and archived by CI as BENCH_PR5.json (earlier
+# PRs' reports stay committed as history). The recurring pair runs 10
+# iterations so the incremental variant's steady state (cache hits, zero
+# re-renders) dominates its ns/op.
 bench-json:
 	{ $(GO) test -run '^$$' -bench \
 		'^(BenchmarkTable1LeakScan|BenchmarkTable1LeakScanParallel|BenchmarkFig3Sweep|BenchmarkFig3SweepParallel)$$' \
 		-benchtime=1x -benchmem . && \
 	$(GO) test -run '^$$' -bench '^BenchmarkRecurringScan(Cold|Incremental)$$' \
-		-benchtime=10x -benchmem . ; } | $(GO) run ./internal/tools/benchjson -o BENCH_PR4.json
-	@echo wrote BENCH_PR4.json
+		-benchtime=10x -benchmem . ; } | $(GO) run ./internal/tools/benchjson -o BENCH_PR5.json
+	@echo wrote BENCH_PR5.json
+
+# Allocation-regression gate: re-measure Fig3Sweep and fail if allocs/op
+# regresses more than 10% over the committed BENCH_PR5.json baseline.
+# One-sided — improvements always pass; refresh the baseline with
+# `make bench-json` when an optimization lands.
+bench-guard:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig3Sweep$$' -benchtime=1x -benchmem . \
+		| $(GO) run ./internal/tools/benchguard -baseline BENCH_PR5.json \
+			-bench BenchmarkFig3Sweep -metric allocs/op -max-regress 0.10
+
+# Profile Fig. 3 — the substrate's hottest experiment (the attacker monitor
+# sampling loop over the sharded tick pipeline) — and print the top-10 CPU
+# and allocation consumers. The same -cpuprofile/-memprofile flags exist on
+# leakscan, defensebench, and leaksd for profiling any other workload.
+profile:
+	@mkdir -p bin
+	$(GO) build -o bin/powersim ./cmd/powersim
+	./bin/powersim -fig3 -cpuprofile fig3.cpu.pprof -memprofile fig3.mem.pprof > /dev/null
+	$(GO) tool pprof -top -nodecount=10 bin/powersim fig3.cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space bin/powersim fig3.mem.pprof
 
 clean:
 	$(GO) clean ./...

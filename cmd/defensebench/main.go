@@ -35,6 +35,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the defense's counter reads (0 = off; applies to -fig8)")
 	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
+	prof := profiling.Register(fs)
 	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +64,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, buildinfo.String("defensebench"))
 		return 0
 	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(stderr, "defensebench: %v\n", err)
+		return 1
+	}
+	defer prof.Stop(func(format string, args ...any) { fmt.Fprintf(stderr, format, args...) })
 	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*table3 && !*ablations && !*sweep
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 

@@ -37,6 +37,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the observation surface (0 = off)")
 	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
+	prof := profiling.Register(fs)
 	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,6 +63,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, buildinfo.String("leakscan"))
 		return 0
 	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(stderr, "leakscan: %v\n", err)
+		return 1
+	}
+	defer prof.Stop(func(format string, args ...any) { fmt.Fprintf(stderr, format, args...) })
 	all := !*table1 && !*table2 && !*discover && *fleet == 0
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/profiling"
 	"repro/internal/service"
 )
 
@@ -86,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	retries := fs.Int("retries", 3, "max attempts per scan")
 	scanEvery := fs.Duration("scan-every", 0, "run a recurring full Table I scan at this interval (0 = off)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain deadline")
+	prof := profiling.Register(fs)
 	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -94,6 +96,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stdout, buildinfo.String("leaksd"))
 		return 0
 	}
+	// Profiles cover the daemon's whole lifetime: start before the
+	// scheduler spins up, write on the drain path after serving stops.
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(stderr, "leaksd: %v\n", err)
+		return 1
+	}
+	defer prof.Stop(func(format string, args ...any) { fmt.Fprintf(stderr, format, args...) })
 	_ = jobs // reserved: the per-request Workers field overrides; kept as a documented default
 	sched := service.New(service.Config{
 		QueueCap:    *queueCap,

@@ -32,6 +32,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "worker count for the seed sweep (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the observation surface (0 = off; applies to -fig3)")
 	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
+	prof := profiling.Register(fs)
 	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,6 +60,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, buildinfo.String("powersim"))
 		return 0
 	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(stderr, "powersim: %v\n", err)
+		return 1
+	}
+	defer prof.Stop(func(format string, args ...any) { fmt.Fprintf(stderr, format, args...) })
 	all := !*fig2 && !*fig3 && !*fig4 && *sweep == 0
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 

@@ -1,0 +1,41 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFloorQueueMatchesFullScan drives pushHistory with an adversarial
+// sample stream (idle floors, bursts, sub-1W glitch replacements, long
+// descents and ascents) and checks after every push that the monotonic
+// floor queue answers exactly what the old full-window scan computed:
+// the minimum >1 W value of the trimmed history, 0 when none exists.
+func TestFloorQueueMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := &PowerMonitor{capacity: 60} // small capacity → lots of eviction
+	for i := 0; i < 5000; i++ {
+		var w float64
+		switch rng.Intn(5) {
+		case 0:
+			w = rng.Float64() // sub-1W: excluded from the floor
+		case 1:
+			w = 80 + rng.Float64()*200 // burst
+		case 2:
+			w = 40 - float64(i%700)*0.05 // slow descent through the floor
+		default:
+			w = 35 + rng.Float64()*10 // idle band
+		}
+		m.pushHistory(w)
+
+		want := 0.0
+		for _, v := range m.history {
+			if v > 1 && (want == 0 || v < want) {
+				want = v
+			}
+		}
+		if got := m.floor(); got != want {
+			t.Fatalf("push %d: floor() = %v, full scan = %v (len=%d base=%d)",
+				i, got, want, len(m.history), m.histBase)
+		}
+	}
+}

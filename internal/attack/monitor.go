@@ -33,6 +33,19 @@ type Prober interface {
 	ReadFile(path string) (string, error)
 }
 
+// AppendProber is the optional zero-allocation extension of Prober: the
+// file content is appended into a caller-supplied buffer instead of being
+// allocated as a fresh string. container.Container implements it via
+// pseudofs.Mount.AppendRead. The monitors detect it with a type assertion
+// and reuse one scratch buffer across samples, so the per-second RAPL
+// sampling loop — thousands of counter reads per campaign — stays off the
+// garbage collector entirely. Probers that only implement Prober
+// (chaos-wrapped flaky probers, test fakes) transparently fall back to the
+// string path.
+type AppendProber interface {
+	AppendFile(dst []byte, path string) ([]byte, error)
+}
+
 const (
 	energyPath   = "/sys/class/powercap/intel-rapl:0/energy_uj"
 	maxRangePath = "/sys/class/powercap/intel-rapl:0/max_energy_range_uj"
@@ -85,33 +98,92 @@ func retryable(err error) bool { return errors.Is(err, pseudofs.ErrTransient) }
 // substrate the confirmation read is side-effect-free and always matches,
 // so the protocol is a behavioral no-op there.
 func readUint(p Prober, path string) (uint64, error) {
-	var seen []uint64
+	return readUintScratch(p, nil, path)
+}
+
+// readUintScratch is readUint with an optional reusable scratch buffer.
+// When p implements AppendProber and scratch is non-nil, each attempt
+// renders into *scratch and parses the bytes in place — zero allocations
+// per sample in steady state. The double-read agreement protocol is
+// identical on both paths.
+func readUintScratch(p Prober, scratch *[]byte, path string) (uint64, error) {
+	ap, fast := p.(AppendProber)
+	fast = fast && scratch != nil
+	var seen [stableReadAttempts]uint64
+	nseen := 0
 	var lastErr error
 	for attempt := 0; attempt < stableReadAttempts; attempt++ {
-		raw, err := p.ReadFile(path)
-		if err != nil {
-			if !retryable(err) {
-				return 0, err
+		var v uint64
+		var perr error
+		if fast {
+			b, err := ap.AppendFile((*scratch)[:0], path)
+			if b != nil {
+				*scratch = b[:0] // keep any growth for the next attempt
 			}
-			lastErr = err
-			continue
+			if err != nil {
+				if !retryable(err) {
+					return 0, err
+				}
+				lastErr = err
+				continue
+			}
+			v, perr = parseUintBytes(b)
+		} else {
+			raw, err := p.ReadFile(path)
+			if err != nil {
+				if !retryable(err) {
+					return 0, err
+				}
+				lastErr = err
+				continue
+			}
+			v, perr = strconv.ParseUint(strings.TrimSpace(raw), 10, 64)
 		}
-		v, perr := strconv.ParseUint(strings.TrimSpace(raw), 10, 64)
 		if perr != nil {
 			lastErr = perr // torn render: retry
 			continue
 		}
-		for _, s := range seen {
+		for _, s := range seen[:nseen] {
 			if s == v {
 				return v, nil
 			}
 		}
-		seen = append(seen, v)
+		seen[nseen] = v
+		nseen++
 	}
 	if lastErr == nil {
 		lastErr = errors.New("reads would not settle on one value")
 	}
 	return 0, fmt.Errorf("attack: %s unreadable after %d attempts: %w", path, stableReadAttempts, lastErr)
+}
+
+// parseUintBytes parses a decimal uint64 from b, ignoring surrounding
+// ASCII whitespace — strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+// without the string conversion. Like ParseUint it rejects empty input,
+// non-digit bytes, and values overflowing uint64 (all of which the caller
+// treats as a torn render and retries).
+func parseUintBytes(b []byte) (uint64, error) {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\n' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for n := len(b); n > 0 && (b[n-1] == ' ' || b[n-1] == '\n' || b[n-1] == '\t' || b[n-1] == '\r'); n = len(b) {
+		b = b[:n-1]
+	}
+	if len(b) == 0 {
+		return 0, errors.New("attack: empty counter render")
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("attack: non-digit byte %q in counter render", c)
+		}
+		d := uint64(c - '0')
+		if v > (1<<64-1-d)/10 {
+			return 0, errors.New("attack: counter render overflows uint64")
+		}
+		v = v*10 + d
+	}
+	return v, nil
 }
 
 // PowerMonitor estimates whole-package host power from inside a container
@@ -125,6 +197,17 @@ type PowerMonitor struct {
 	primed   bool
 	history  []float64
 	capacity int
+	scratch  []byte // reusable render buffer for the AppendProber fast path
+
+	// Sliding-window minimum over the >1 W samples of history, kept as a
+	// monotonic min-queue of (absolute sample index, value) pairs with
+	// values increasing front to back. rejectGlitch's idle-floor check
+	// needs the lowest credible sample of the current window on every
+	// clean sample; the queue answers in O(1) amortized where a rescan of
+	// the 600-sample window made the sampling loop quadratic.
+	floorAbs []int
+	floorVal []float64
+	histBase int // absolute index of history[0]
 }
 
 // NewPowerMonitor initializes the monitor, reading the counter wrap range.
@@ -152,7 +235,7 @@ func NewPowerMonitor(p Prober) (*PowerMonitor, error) {
 // half the observed floor) are rejected the same way once enough history
 // exists.
 func (m *PowerMonitor) Sample(dt float64) (float64, error) {
-	cur, err := readUint(m.probe, energyPath)
+	cur, err := readUintScratch(m.probe, &m.scratch, energyPath)
 	if err != nil {
 		return 0, fmt.Errorf("attack: read energy_uj: %w", err)
 	}
@@ -169,11 +252,43 @@ func (m *PowerMonitor) Sample(dt float64) (float64, error) {
 		glitch = true
 	}
 	watts = m.rejectGlitch(watts, glitch)
+	m.pushHistory(watts)
+	return watts, nil
+}
+
+// pushHistory appends a (post-filter) sample, trims the window to
+// capacity, and maintains the monotonic floor queue: a new >1 W sample
+// evicts every queued value it undercuts (they can never be the window
+// minimum again while it is alive).
+func (m *PowerMonitor) pushHistory(watts float64) {
+	if watts > 1 {
+		abs := m.histBase + len(m.history)
+		for n := len(m.floorVal); n > 0 && m.floorVal[n-1] >= watts; n = len(m.floorVal) {
+			m.floorVal = m.floorVal[:n-1]
+			m.floorAbs = m.floorAbs[:n-1]
+		}
+		m.floorVal = append(m.floorVal, watts)
+		m.floorAbs = append(m.floorAbs, abs)
+	}
 	m.history = append(m.history, watts)
 	if len(m.history) > m.capacity {
+		m.histBase += len(m.history) - m.capacity
 		m.history = m.history[len(m.history)-m.capacity:]
 	}
-	return watts, nil
+}
+
+// floor returns the lowest >1 W sample in the current history window, or 0
+// when no such sample exists — exactly the value the old full-window scan
+// computed. Queue entries that slid out of the window are dropped lazily.
+func (m *PowerMonitor) floor() float64 {
+	for len(m.floorAbs) > 0 && m.floorAbs[0] < m.histBase {
+		m.floorAbs = m.floorAbs[1:]
+		m.floorVal = m.floorVal[1:]
+	}
+	if len(m.floorVal) == 0 {
+		return 0
+	}
+	return m.floorVal[0]
 }
 
 // rejectGlitch implements median-of-window outlier rejection. A sample is
@@ -193,12 +308,7 @@ func (m *PowerMonitor) rejectGlitch(watts float64, glitch bool) float64 {
 		if len(m.history) < glitchMinHistory {
 			return watts
 		}
-		floor := 0.0
-		for _, v := range m.history {
-			if v > 1 && (floor == 0 || v < floor) {
-				floor = v
-			}
-		}
+		floor := m.floor()
 		if watts >= 1 && (floor == 0 || watts >= 0.5*floor) {
 			return watts
 		}

@@ -55,6 +55,13 @@ type Config struct {
 	// counter resets, sensor glitches. The zero Spec (the default) injects
 	// nothing and adds no read-path cost.
 	Chaos chaos.Spec
+
+	// TickWorkers sets the worker count for the clock's per-server shard
+	// phase (see internal/simclock's concurrency contract): every server's
+	// Benign→Kernel pair runs on its own shard, so with n > 1 the servers
+	// of one world tick concurrently. 0 resolves to GOMAXPROCS; 1 (and any
+	// value, by the shard contract) produces byte-identical output.
+	TickWorkers int
 }
 
 func (c *Config) fillDefaults() {
@@ -144,6 +151,14 @@ func (s *Server) HostMount() *pseudofs.Mount {
 
 // New builds a datacenter and registers everything on a fresh simulation
 // clock.
+//
+// Tick pipeline (see ARCHITECTURE.md, "tick pipeline"): the shared
+// flash-crowd driver runs in the serial pre-phase; each server's
+// Benign→Kernel pair is registered on its own clock shard (server state —
+// kernel, RNG streams, power meter, chaos injectors — is disjoint per
+// host, so shards may tick in parallel without changing a single byte);
+// each rack's breaker runs in the serial post-phase, reading rack.Power()
+// over fully-ticked servers in fixed rack order.
 func New(cfg Config) *Datacenter {
 	cfg.fillDefaults()
 	dc := &Datacenter{
@@ -151,6 +166,9 @@ func New(cfg Config) *Datacenter {
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		billing: NewBilling(DefaultPricing()),
+	}
+	if cfg.TickWorkers != 1 {
+		dc.Clock.SetWorkers(cfg.TickWorkers)
 	}
 	var flash *FlashDriver
 	if cfg.Benign.SharedFlash {
@@ -209,13 +227,18 @@ func New(cfg Config) *Datacenter {
 			}
 			rack.Servers = append(rack.Servers, srv)
 
-			// Order matters: benign load updates demand, then the
-			// kernel integrates, then the breaker observes.
-			dc.Clock.OnTick(srv.Benign)
-			dc.Clock.OnTick(k)
+			// Order matters within a server: benign load updates demand,
+			// then the kernel integrates. Each server gets its own shard;
+			// nothing a shard touches is reachable from another shard.
+			shard := r*cfg.ServersPerRack + s
+			dc.Clock.OnShardTick(shard, srv.Benign)
+			dc.Clock.OnShardTick(shard, k)
 		}
 		dc.Racks = append(dc.Racks, rack)
-		dc.Clock.OnTick(simclock.TickerFunc(func(now, dt float64) {
+		// The breaker is a cross-server reader: it must observe every
+		// server of its rack fully ticked, in fixed order, so it runs in
+		// the serial post-phase.
+		dc.Clock.OnPostTick(simclock.TickerFunc(func(now, dt float64) {
 			if rack.Breaker.Observe(rack.Power(), dt) {
 				for _, s := range rack.Servers {
 					s.Down = true

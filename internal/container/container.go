@@ -159,6 +159,14 @@ func (c *Container) ReadFile(path string) (string, error) {
 	return c.mount.Read(path)
 }
 
+// AppendFile is the zero-allocation variant of ReadFile: the content is
+// appended to dst (same view, same masking policy). The attacker monitor
+// samples the RAPL counter through this path thousands of times per
+// campaign without generating garbage (attack.AppendProber).
+func (c *Container) AppendFile(dst []byte, path string) ([]byte, error) {
+	return c.mount.AppendRead(dst, path)
+}
+
 // Mount exposes the container's pseudo-fs mount (the detector drives it
 // directly for full-tree walks).
 func (c *Container) Mount() *pseudofs.Mount { return c.mount }

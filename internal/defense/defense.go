@@ -16,8 +16,7 @@
 package defense
 
 import (
-	"fmt"
-	"strings"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/kernel"
@@ -104,99 +103,151 @@ func ApplyNamespaceFixes(fs *pseudofs.FS) {
 		return v.NS
 	}
 
+	// Fixed handlers append into the caller's buffer like every built-in
+	// handler (see pseudofs.Handler); defended hosts stay on the
+	// zero-allocation render path.
+
 	// Case Study I fix: iterate the reader's NET namespace, not init_net.
-	fs.Replace("/sys/fs/cgroup/net_prio/net_prio.ifpriomap", func(v pseudofs.View) (string, error) {
+	fs.Replace("/sys/fs/cgroup/net_prio/net_prio.ifpriomap", func(b []byte, v pseudofs.View) ([]byte, error) {
 		cg := k.Cgroup(v.CgroupPath)
-		var b strings.Builder
 		for _, dev := range k.NetDevices(nsOf(v)) {
 			prio := 0
 			if cg.IfPrioMap != nil {
 				prio = cg.IfPrioMap[dev.Name]
 			}
-			fmt.Fprintf(&b, "%s %d\n", dev.Name, prio)
+			b = append(b, dev.Name...)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, int64(prio), 10)
+			b = append(b, '\n')
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// sched_debug: only tasks of the reader's PID namespace.
-	fs.Replace("/proc/sched_debug", func(v pseudofs.View) (string, error) {
-		var b strings.Builder
-		b.WriteString("Sched Debug Version: v0.11, 4.7.0-repro (namespaced)\n")
-		b.WriteString("\nrunnable tasks:\n")
+	fs.Replace("/proc/sched_debug", func(b []byte, v pseudofs.View) ([]byte, error) {
+		b = append(b, "Sched Debug Version: v0.11, 4.7.0-repro (namespaced)\n"...)
+		b = append(b, "\nrunnable tasks:\n"...)
 		for _, t := range k.TasksInNS(nsOf(v)) {
-			state := " "
 			if t.DemandCores > 0 {
-				state = "R"
+				b = append(b, 'R')
+			} else {
+				b = append(b, ' ')
 			}
-			fmt.Fprintf(&b, "%s %15s %5d\n", state, t.Name, t.NSPID)
+			b = append(b, ' ')
+			b = appendPad(b, 15, t.Name)
+			b = append(b, ' ')
+			b = appendPadInt(b, 5, int64(t.NSPID))
+			b = append(b, '\n')
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// timer_list: only timers owned inside the reader's PID namespace. The
 	// init view additionally shows the kernel's own tick timers (our
 	// kernel does not model kernel threads as tasks, so these rows stand
 	// in for them).
-	fs.Replace("/proc/timer_list", func(v pseudofs.View) (string, error) {
+	fs.Replace("/proc/timer_list", func(b []byte, v pseudofs.View) ([]byte, error) {
 		ns := nsOf(v)
-		var b strings.Builder
-		b.WriteString("Timer List Version: v0.8 (namespaced)\n")
+		b = append(b, "Timer List Version: v0.8 (namespaced)\n"...)
 		i := 0
 		if ns.IsInit() {
 			for cpu := 0; cpu < k.Options().Cores; cpu++ {
-				fmt.Fprintf(&b, " #%d: tick_sched_timer, swapper/%d/0\n", i, cpu)
+				b = append(b, " #"...)
+				b = strconv.AppendInt(b, int64(i), 10)
+				b = append(b, ": tick_sched_timer, swapper/"...)
+				b = strconv.AppendInt(b, int64(cpu), 10)
+				b = append(b, "/0\n"...)
 				i++
 			}
 		}
 		for _, t := range k.TimerOwnersInNS(ns) {
-			fmt.Fprintf(&b, " #%d: hrtimer_wakeup, %s/%d\n", i, t.Name, t.NSPID)
+			b = append(b, " #"...)
+			b = strconv.AppendInt(b, int64(i), 10)
+			b = append(b, ": hrtimer_wakeup, "...)
+			b = append(b, t.Name...)
+			b = append(b, '/')
+			b = strconv.AppendInt(b, int64(t.NSPID), 10)
+			b = append(b, '\n')
 			i++
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// locks: only the reader's cgroup's locks; the init view also keeps
 	// the system daemons' locks.
-	fs.Replace("/proc/locks", func(v pseudofs.View) (string, error) {
+	fs.Replace("/proc/locks", func(b []byte, v pseudofs.View) ([]byte, error) {
 		locks := k.FileLocksInCgroup(v.CgroupPath)
 		if nsOf(v).IsInit() {
 			locks = append(locks, k.SystemLocks()...)
 		}
-		var b strings.Builder
 		for _, l := range locks {
-			fmt.Fprintf(&b, "%d: %s  %s  %s %d 08:01:%d 0 EOF\n",
-				l.ID, l.Type, l.Mode, l.RW, l.HostPID, l.Inode)
+			b = strconv.AppendInt(b, int64(l.ID), 10)
+			b = append(b, ": "...)
+			b = append(b, l.Type...)
+			b = append(b, "  "...)
+			b = append(b, l.Mode...)
+			b = append(b, "  "...)
+			b = append(b, l.RW...)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, int64(l.HostPID), 10)
+			b = append(b, " 08:01:"...)
+			b = strconv.AppendUint(b, l.Inode, 10)
+			b = append(b, " 0 EOF\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// uptime: container-relative uptime; idle scaled to the container's
 	// share (approximated as elapsed time, since per-cgroup idle is not
 	// defined).
-	fs.Replace("/proc/uptime", func(v pseudofs.View) (string, error) {
+	fs.Replace("/proc/uptime", func(b []byte, v pseudofs.View) ([]byte, error) {
 		ns := nsOf(v)
+		up, idle := 0.0, 0.0
 		if ns.IsInit() {
-			up, idle := k.Uptime()
-			return fmt.Sprintf("%.2f %.2f\n", up, idle), nil
+			up, idle = k.Uptime()
+		} else {
+			up = k.Now() - ns.CreatedAt
+			cg := k.Cgroup(v.CgroupPath)
+			used := cg.CPUUsageNS / 1e9
+			idle = up*float64(k.Options().Cores) - used
+			if idle < 0 {
+				idle = 0
+			}
 		}
-		up := k.Now() - ns.CreatedAt
-		cg := k.Cgroup(v.CgroupPath)
-		used := cg.CPUUsageNS / 1e9
-		idle := up*float64(k.Options().Cores) - used
-		if idle < 0 {
-			idle = 0
-		}
-		return fmt.Sprintf("%.2f %.2f\n", up, idle), nil
+		b = strconv.AppendFloat(b, up, 'f', 2, 64)
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, idle, 'f', 2, 64)
+		return append(b, '\n'), nil
 	})
 
 	// boot_id: per-namespace identifier.
-	fs.Replace("/proc/sys/kernel/random/boot_id", func(v pseudofs.View) (string, error) {
+	fs.Replace("/proc/sys/kernel/random/boot_id", func(b []byte, v pseudofs.View) ([]byte, error) {
 		ns := nsOf(v)
 		if ns.IsInit() || ns.BootID == "" {
-			return k.BootID() + "\n", nil
+			b = append(b, k.BootID()...)
+		} else {
+			b = append(b, ns.BootID...)
 		}
-		return ns.BootID + "\n", nil
+		return append(b, '\n'), nil
 	})
+}
+
+// appendPad appends s right-aligned in a width-rune field (fmt's %*s).
+func appendPad(b []byte, width int, s string) []byte {
+	for n := width - len(s); n > 0; n-- {
+		b = append(b, ' ')
+	}
+	return append(b, s...)
+}
+
+// appendPadInt appends v right-aligned in a width-rune field (fmt's %*d).
+func appendPadInt(b []byte, width int, v int64) []byte {
+	var tmp [24]byte
+	s := strconv.AppendInt(tmp[:0], v, 10)
+	for n := width - len(s); n > 0; n-- {
+		b = append(b, ' ')
+	}
+	return append(b, s...)
 }
 
 // TwoStage bundles a full deployment of the defense on one host.

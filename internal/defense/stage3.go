@@ -39,7 +39,10 @@ func ApplyStatisticsFixes(fs *pseudofs.FS) {
 	// /proc/stat: per-cgroup CPU accounting. The container sees exactly
 	// its quota's worth of CPUs, its own cpuacct-derived busy time, and a
 	// btime matching its own (namespaced) boot.
-	fs.Replace("/proc/stat", func(v pseudofs.View) (string, error) {
+	// The stage-3 handlers run only on defended hosts outside the
+	// measurement hot loop, so they keep their fmt-based renderers behind
+	// the StringHandler compat shim rather than the append fast path.
+	fs.Replace("/proc/stat", pseudofs.StringHandler(func(v pseudofs.View) (string, error) {
 		ns := nsOf(v)
 		if ns.IsInit() {
 			return renderHostStat(k), nil
@@ -71,10 +74,10 @@ func ApplyStatisticsFixes(fs *pseudofs.FS) {
 		fmt.Fprintf(&b, "processes %d\n", len(k.TasksInNS(ns))+2)
 		fmt.Fprintf(&b, "procs_running 1\nprocs_blocked 0\n")
 		return b.String(), nil
-	})
+	}))
 
 	// /proc/meminfo: the cgroup limit is the container's world.
-	fs.Replace("/proc/meminfo", func(v pseudofs.View) (string, error) {
+	fs.Replace("/proc/meminfo", pseudofs.StringHandler(func(v pseudofs.View) (string, error) {
 		ns := nsOf(v)
 		if ns.IsInit() {
 			return renderHostMeminfo(k), nil
@@ -104,10 +107,10 @@ func ApplyStatisticsFixes(fs *pseudofs.FS) {
 		row("SwapFree", 0)
 		row("Dirty", 0)
 		return b.String(), nil
-	})
+	}))
 
 	// /proc/loadavg: the container's own run queue.
-	fs.Replace("/proc/loadavg", func(v pseudofs.View) (string, error) {
+	fs.Replace("/proc/loadavg", pseudofs.StringHandler(func(v pseudofs.View) (string, error) {
 		ns := nsOf(v)
 		if ns.IsInit() {
 			la := k.LoadAvgSnapshot()
@@ -128,7 +131,7 @@ func ApplyStatisticsFixes(fs *pseudofs.FS) {
 		}
 		return fmt.Sprintf("%.2f %.2f %.2f %d/%d %d\n",
 			demand, demand, demand, running, len(tasks), maxPID), nil
-	})
+	}))
 }
 
 // renderHostStat re-renders the global /proc/stat for the init view (the

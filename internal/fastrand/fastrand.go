@@ -1,0 +1,424 @@
+// Package fastrand provides a deterministic pseudo-random generator whose
+// output stream is bit-identical to the standard library's
+// math/rand.New(rand.NewSource(seed)) generator, but without interface
+// dispatch or locking, and with all methods eligible for inlining into hot
+// loops.
+//
+// # Why a replica instead of math/rand
+//
+// The simulation kernel draws roughly 850 jitter values per server tick; a
+// Fig. 3 world performs on the order of 10^8 draws. Every one of those
+// draws must reproduce math/rand's sequence exactly, because the values
+// feed rendered pseudo-file counters that are covered by the repo's
+// byte-identity contract. math/rand's *Rand routes every call through a
+// Source64 interface and (for the default source) a mutex-free but
+// devirtualization-hostile call chain. This package re-implements the same
+// additive lagged-Fibonacci generator (x_i = x_{i-273} + x_{i-607} mod 2^64)
+// as a concrete struct with value-receiver-free, branch-light methods.
+//
+// # Seeding without the cooked table
+//
+// math/rand seeds its 607-word state vector from an internal precomputed
+// table (rngCooked) that is produced by ~7.8e12 warm-up iterations at
+// package generation time; it is not practical to recompute and not
+// exported. Instead of vendoring that table, New reconstructs the state
+// through the public API: it creates rand.NewSource(seed) and draws 607
+// Uint64 values. Because the generator's state is a sliding window over
+// its own output, those 607 outputs ARE the full post-draw state: output
+// i (0-based) lands at vec[(333-i) mod 607], and after exactly 607 draws
+// the tap/feed indices return to their initial positions. New then runs
+// the recurrence BACKWARD 607 steps (vec[feed] -= vec[tap]; advance
+// indices) to recover the pre-draw state, so the replica's very first
+// native draw is stdlib draw 0 and Uint64 needs no replay branch.
+//
+// Equivalence for every exported method is enforced by property tests in
+// fastrand_test.go across seeds and interleaved method sequences.
+//
+// # Concurrency
+//
+// A *Rand is not safe for concurrent use. The simulation substrate gives
+// each server its own generator and ticks servers on disjoint shards, so
+// no sharing occurs (see ARCHITECTURE.md, "tick pipeline").
+package fastrand
+
+import "math/rand"
+
+const (
+	rngLen = 607
+	rngTap = 273
+)
+
+// Rand is a drop-in, stream-identical replacement for
+// *math/rand.Rand created via rand.New(rand.NewSource(seed)).
+type Rand struct {
+	tap  int32
+	feed int32
+	vec  [rngLen]uint64
+
+	// readVal/readPos implement Read's 7-bytes-per-Int63 buffering,
+	// mirroring math/rand.Rand exactly.
+	readVal int64
+	readPos int8
+}
+
+// New returns a generator whose stream is bit-identical to
+// rand.New(rand.NewSource(seed)).
+func New(seed int64) *Rand {
+	src := rand.NewSource(seed).(rand.Source64)
+	r := &Rand{}
+	// Initial positions inside math/rand's rngSource after Seed():
+	// tap = 0, feed = rngLen - rngTap = 334. Each Uint64() first
+	// decrements both (wrapping), computes x = vec[feed] + vec[tap],
+	// stores x at vec[feed] and returns it. So output i sits at index
+	// (334 - 1 - i) mod 607 = (333 - i) mod 607, and after 607 outputs
+	// tap/feed are back at 0/334 — the drawn window IS the state.
+	for i := 0; i < rngLen; i++ {
+		j := 333 - i
+		if j < 0 {
+			j += rngLen
+		}
+		r.vec[j] = src.Uint64()
+	}
+	// Undo the 607 draws to recover the pre-draw state. Reverse of a
+	// forward step (with indices currently at post-step positions):
+	// vec[feed] -= vec[tap], then advance tap and feed by one.
+	tap, feed := 0, rngLen-rngTap
+	for i := 0; i < rngLen; i++ {
+		r.vec[feed] -= r.vec[tap]
+		tap++
+		if tap >= rngLen {
+			tap -= rngLen
+		}
+		feed++
+		if feed >= rngLen {
+			feed -= rngLen
+		}
+	}
+	r.tap = int32(tap)
+	r.feed = int32(feed)
+	return r
+}
+
+// Uint64 returns a pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	tap, feed := r.tap-1, r.feed-1
+	if tap < 0 {
+		tap += rngLen
+	}
+	if feed < 0 {
+		feed += rngLen
+	}
+	x := r.vec[feed] + r.vec[tap]
+	r.vec[feed] = x
+	r.tap, r.feed = tap, feed
+	return x
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() & (1<<63 - 1)) }
+
+// Uint32 returns a pseudo-random 32-bit value.
+func (r *Rand) Uint32() uint32 { return uint32(r.Int63() >> 31) }
+
+// Int31 returns a non-negative pseudo-random 31-bit integer.
+func (r *Rand) Int31() int32 { return int32(r.Int63() >> 32) }
+
+// Float64 returns a pseudo-random number in the half-open interval
+// [0.0, 1.0), matching math/rand's retry-on-1.0 behavior exactly.
+//
+// The one-in-2^10 retry (float64(2^63-1) and neighbors round up to 2^63,
+// so f==1 is reachable) lives in a separate method: keeping the loop out
+// of this body keeps Float64 — and its callers like kernel.(*Kernel).jitter
+// — within the compiler's inlining budget, which matters at ~850 draws per
+// server tick.
+func (r *Rand) Float64() float64 {
+	// math/rand computes Int63() / 2^63; multiplying by the exactly
+	// representable 2^-63 is bit-identical (scaling by a power of two is
+	// exact, and no draw can reach the subnormal range) and trades the
+	// ~4× slower FDIV for an FMUL.
+	f := float64(r.Int63()) * (1.0 / (1 << 63))
+	if f == 1 {
+		return r.float64Retry()
+	}
+	return f
+}
+
+// float64Retry redraws until the scaled value is below 1. Split out of
+// Float64 so the hot path has no loop (see Float64).
+func (r *Rand) float64Retry() float64 {
+	for {
+		f := float64(r.Int63()) * (1.0 / (1 << 63))
+		if f != 1 {
+			return f
+		}
+	}
+}
+
+// FillFloat64 writes len(dst) consecutive Float64 draws into dst — the
+// same values len(dst) Float64 calls would return, in the same order.
+//
+// The point is register residency: Float64 must commit tap/feed back to
+// the struct after every draw (the compiler cannot keep fields cached
+// across calls whose surroundings store to arbitrary memory), whereas this
+// loop keeps both indices in locals for the whole block. Callers that
+// consume a batch of draws with a fixed accumulation shape should prefer
+// the fused AddScaledJitter/AddScaledJitter2, which skip the scratch
+// buffer entirely; FillFloat64 is the general-purpose block primitive.
+func (r *Rand) FillFloat64(dst []float64) {
+	tap, feed := int(r.tap), int(r.feed)
+	// The generator invariant keeps both indices inside the state vector;
+	// asserting it once up front (it cannot fire on a Rand built by New)
+	// lets the compiler's bounds-check elimination see that every vec
+	// access below is in range instead of checking each of them per draw.
+	if uint(tap) >= rngLen || uint(feed) >= rngLen {
+		panic("fastrand: corrupt generator state")
+	}
+	for i := 0; i < len(dst); {
+		tap--
+		if tap < 0 {
+			tap = rngLen - 1
+		}
+		feed--
+		if feed < 0 {
+			feed = rngLen - 1
+		}
+		x := r.vec[feed] + r.vec[tap]
+		r.vec[feed] = x
+		// Identical to Float64: Int63 scaling with retry-on-1.0. On the
+		// one-in-2^10 f==1 draw, simply not advancing i redraws the slot.
+		f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
+		if f != 1 {
+			dst[i] = f
+			i++
+		}
+	}
+	r.tap, r.feed = int32(tap), int32(feed)
+}
+
+// AddScaledJitter draws len(dst) consecutive Float64 values f and performs
+//
+//	dst[i] += scale * (1 + (f*2-1)*amp)
+//
+// consuming exactly the same stream positions as len(dst) Float64 calls.
+// This is the simulation kernel's per-CPU jitter fan-out (the expression is
+// kernel.jitter's body verbatim, with the row's common factor hoisted as
+// scale); fusing the draw with the accumulate keeps the generator state in
+// registers AND skips the scratch-buffer round trip a Fill-then-consume
+// pair would cost — at ~600 fused draws per 24-core server tick the memory
+// traffic is the difference that shows up in Fig. 3 sweeps.
+func (r *Rand) AddScaledJitter(dst []float64, scale, amp float64) {
+	tap, feed := int(r.tap), int(r.feed)
+	if uint(tap) >= rngLen || uint(feed) >= rngLen {
+		panic("fastrand: corrupt generator state")
+	}
+	// Chunked draw loop: between wraps both indices only decrement, so a
+	// run of min(tap, feed) draws needs no wrap branches at all. The outer
+	// loop handles the (rare) wrap step and any slots a retry left
+	// unfilled; the inner loop is pure decrement/load/FMA traffic.
+	i := 0
+	for i < len(dst) {
+		n := tap
+		if feed < n {
+			n = feed
+		}
+		if rem := len(dst) - i; n > rem {
+			n = rem
+		}
+		if n <= 0 {
+			// One draw with full wrap handling (an index at 0 wraps to
+			// rngLen-1 because the decrement happens before use).
+			tap--
+			if tap < 0 {
+				tap = rngLen - 1
+			}
+			feed--
+			if feed < 0 {
+				feed = rngLen - 1
+			}
+			x := r.vec[feed] + r.vec[tap]
+			r.vec[feed] = x
+			// Identical to Float64: Int63 scaling with retry-on-1.0; a
+			// rejected draw simply doesn't advance i.
+			f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
+			if f != 1 {
+				dst[i] += scale * (1 + (f*2-1)*amp)
+				i++
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			tap--
+			feed--
+			x := r.vec[feed] + r.vec[tap]
+			r.vec[feed] = x
+			f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
+			if f != 1 {
+				dst[i] += scale * (1 + (f*2-1)*amp)
+				i++
+			}
+		}
+	}
+	r.tap, r.feed = int32(tap), int32(feed)
+}
+
+// AddScaledJitter2 is the paired-stream variant of AddScaledJitter: for
+// each index i it draws two consecutive Float64 values f1, f2 and performs
+//
+//	a[i] += scaleA * (1 + (f1*2-1)*amp)
+//	b[i] += scaleB * (1 + (f2*2-1)*amp)
+//
+// consuming exactly the stream of 2·len(a) Float64 calls in a-then-b
+// order. It panics if len(a) != len(b). The kernel's cpuidle residency
+// update (usage entry count and time-in-state per CPU, two draws per CPU)
+// is the intended caller.
+func (r *Rand) AddScaledJitter2(a, b []float64, scaleA, scaleB, amp float64) {
+	if len(a) != len(b) {
+		panic("fastrand: AddScaledJitter2 slice length mismatch")
+	}
+	tap, feed := int(r.tap), int(r.feed)
+	if uint(tap) >= rngLen || uint(feed) >= rngLen {
+		panic("fastrand: corrupt generator state")
+	}
+	// Chunked like AddScaledJitter, with a two-phase accumulator: phase 0
+	// holds the pending usage draw (f1) until phase 1 completes the pair
+	// and commits both accumulates in a-then-b order. The chunk budget n
+	// counts DRAWS (not pairs), so a mid-chunk retry can never overrun the
+	// wrap-free run.
+	i := 0
+	phase := 0
+	var f1 float64
+	for i < len(a) {
+		n := tap
+		if feed < n {
+			n = feed
+		}
+		if rem := 2*(len(a)-i) - phase; n > rem {
+			n = rem
+		}
+		if n <= 0 {
+			tap--
+			if tap < 0 {
+				tap = rngLen - 1
+			}
+			feed--
+			if feed < 0 {
+				feed = rngLen - 1
+			}
+			x := r.vec[feed] + r.vec[tap]
+			r.vec[feed] = x
+			f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
+			if f == 1 {
+				continue // retry: redraw the same phase
+			}
+			if phase == 0 {
+				f1, phase = f, 1
+			} else {
+				a[i] += scaleA * (1 + (f1*2-1)*amp)
+				b[i] += scaleB * (1 + (f*2-1)*amp)
+				i++
+				phase = 0
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			tap--
+			feed--
+			x := r.vec[feed] + r.vec[tap]
+			r.vec[feed] = x
+			f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
+			if f == 1 {
+				continue
+			}
+			if phase == 0 {
+				f1, phase = f, 1
+			} else {
+				a[i] += scaleA * (1 + (f1*2-1)*amp)
+				b[i] += scaleB * (1 + (f*2-1)*amp)
+				i++
+				phase = 0
+			}
+		}
+	}
+	r.tap, r.feed = int32(tap), int32(feed)
+}
+
+// Int31n returns a non-negative pseudo-random number in [0,n).
+// It panics if n <= 0. The rejection-sampling structure matches
+// math/rand exactly so the consumed stream is identical.
+func (r *Rand) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("invalid argument to Int31n")
+	}
+	if n&(n-1) == 0 { // n is power of two
+		return r.Int31() & (n - 1)
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := r.Int31()
+	for v > max {
+		v = r.Int31()
+	}
+	return v % n
+}
+
+// Int63n returns a non-negative pseudo-random number in [0,n).
+// It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("invalid argument to Int63n")
+	}
+	if n&(n-1) == 0 { // n is power of two
+		return r.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.Int63()
+	for v > max {
+		v = r.Int63()
+	}
+	return v % n
+}
+
+// Intn returns a non-negative pseudo-random number in [0,n).
+// It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("invalid argument to Intn")
+	}
+	if n <= 1<<31-1 {
+		return int(r.Int31n(int32(n)))
+	}
+	return int(r.Int63n(int64(n)))
+}
+
+// Perm returns, as a slice of n ints, a pseudo-random permutation of
+// the integers in the half-open interval [0,n).
+func (r *Rand) Perm(n int) []int {
+	m := make([]int, n)
+	// Matches math/rand.(*Rand).Perm: in-loop Fisher-Yates with
+	// Intn(i+1) draws starting at i=0.
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
+}
+
+// Read generates len(p) random bytes and writes them into p. It always
+// returns len(p) and a nil error. The byte stream matches
+// math/rand.(*Rand).Read for the same seed and call sequence.
+func (r *Rand) Read(p []byte) (n int, err error) {
+	pos := r.readPos
+	val := r.readVal
+	for n = 0; n < len(p); n++ {
+		if pos == 0 {
+			val = r.Int63()
+			pos = 7
+		}
+		p[n] = byte(val)
+		val >>= 8
+		pos--
+	}
+	r.readPos = pos
+	r.readVal = val
+	return
+}

@@ -21,10 +21,10 @@ package kernel
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fastrand"
 	"repro/internal/perfcount"
 	"repro/internal/power"
 )
@@ -88,14 +88,19 @@ func (o *Options) fillDefaults() {
 // ARCHITECTURE.md's concurrency contract.
 type Kernel struct {
 	opts Options
-	rng  *rand.Rand
+
+	// rng drives the simulation's jitter stream. It is a fastrand.Rand —
+	// bit-identical to math/rand for the same seed, but inlinable: Tick
+	// draws ~850 jitter values per step at 24 cores, making this the
+	// hottest call site in the whole substrate.
+	rng *fastrand.Rand
 
 	// uuidRNG feeds /proc/sys/kernel/random/uuid reads. It is deliberately
 	// separate from rng: reads happen concurrently during parallel
 	// cross-validation, and must neither race on nor reorder the jitter
 	// stream that drives the deterministic simulation.
 	uuidMu  sync.Mutex
-	uuidRNG *rand.Rand
+	uuidRNG *fastrand.Rand
 
 	meter *power.Meter
 	perf  *perfcount.Monitor
@@ -112,6 +117,17 @@ type Kernel struct {
 	nextLockID int
 	sysLocks   []FileLock
 	sysLockSeq uint64
+
+	// taskList mirrors tasks in ascending-pid order and cgroupList mirrors
+	// cgroups in creation order; rootCG caches cgroups["/"] (created in New,
+	// never removed). Tick iterates the slices instead of the maps: the map
+	// versions cost randomized-iteration and string-hash overhead on every
+	// tick, and the accumulations they feed are order-invariant (integer
+	// counts, and float sums whose stability under Go's randomized map order
+	// the byte-identity goldens have always depended on).
+	taskList   []*Task
+	cgroupList []*Cgroup
+	rootCG     *Cgroup
 
 	// Scheduler & CPU accounting.
 	cpu          []CPUTimes
@@ -164,6 +180,24 @@ type Kernel struct {
 	// incremental scan engine's dirty tracking (see epoch.go). Bumped via
 	// bump(); atomic because one read path can reach a bump concurrently.
 	epochs [NumSubsystems]atomic.Uint64
+
+	// Tick scratch space, reused every step so the hot loop allocates
+	// nothing. Safe because Tick runs on a single shard worker and never
+	// hands these slices/maps to code that retains them (power.Meter.Step
+	// copies what it needs).
+	perCoreScratch []float64
+	sharesScratch  []float64
+	quotaDemand    map[string]float64
+	quotaOut       map[string]float64
+
+	// Load-average decay factors, memoized on the last dt seen: the
+	// driving clock steps with a constant dt, so the three math.Exp calls
+	// per tick collapse to three cached multiplies. Recomputing on a dt
+	// change keeps the result bit-identical to the unmemoized form.
+	decayDt  float64
+	decayA1  float64
+	decayA5  float64
+	decayA15 float64
 }
 
 // CPUTimes is the per-core /proc/stat accounting in USER_HZ(100) ticks.
@@ -210,20 +244,24 @@ func New(opts Options) *Kernel {
 	opts.fillDefaults()
 	k := &Kernel{
 		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
+		rng:     fastrand.New(opts.Seed),
 		perf:    perfcount.NewMonitor(),
 		tasks:   make(map[int]*Task),
 		cgroups: make(map[string]*Cgroup),
 		nextPID: 300, // early pids are kernel threads
 	}
 	k.meter = power.New(opts.Power)
-	k.uuidRNG = rand.New(rand.NewSource(opts.Seed ^ 0x75756964)) // "uuid"
-	k.bootID = uuidFrom(k.rng)                                   // same draw order as always
+	k.uuidRNG = fastrand.New(opts.Seed ^ 0x75756964) // "uuid"
+	k.bootID = uuidFrom(k.rng)                       // same draw order as always
 	if opts.WallClockNow > opts.BootWallClock {
 		k.uptimeBase = float64(opts.WallClockNow - opts.BootWallClock)
 	}
 	k.initNS = k.newInitNS()
 	k.cpu = make([]CPUTimes, opts.Cores)
+	k.perCoreScratch = make([]float64, opts.Cores)
+	k.sharesScratch = make([]float64, opts.Cores)
+	k.quotaDemand = make(map[string]float64, 8)
+	k.quotaOut = make(map[string]float64, 8)
 	k.newidleCost = make([]uint64, opts.Cores)
 	k.schedRunNS = make([]float64, opts.Cores)
 	k.schedWaitNS = make([]float64, opts.Cores)
@@ -286,8 +324,12 @@ func New(opts Options) *Kernel {
 		}
 	}
 
-	// The root cgroup always exists.
-	k.cgroups["/"] = &Cgroup{Path: "/"}
+	// The root cgroup always exists (and is never removed — RemoveCgroup
+	// refuses "/" — so the cached pointer stays valid for the kernel's
+	// lifetime).
+	k.rootCG = &Cgroup{Path: "/"}
+	k.cgroups["/"] = k.rootCG
+	k.cgroupList = append(k.cgroupList, k.rootCG)
 	k.perf.CreateGroup("/")
 	return k
 }
@@ -330,7 +372,7 @@ func (k *Kernel) genUUID() string {
 }
 
 // uuidFrom formats 16 bytes of rng output as an RFC-4122 UUID.
-func uuidFrom(rng *rand.Rand) string {
+func uuidFrom(rng *fastrand.Rand) string {
 	b := make([]byte, 16)
 	rng.Read(b)
 	b[6] = (b[6] & 0x0f) | 0x40
@@ -353,10 +395,20 @@ func (k *Kernel) Tick(now, dt float64) {
 	// control — the throttling lever the power-based namespace's budget
 	// enforcement uses), then derive the global speedup factor when the
 	// host is oversubscribed, and the aggregate activity vector.
+	//
+	// quotaF is nil when no cgroup carries a quota (the common case:
+	// undefended worlds never set QuotaCores), which skips two map
+	// allocations per tick; multiplying by an explicit 1.0 factor and
+	// skipping the multiply are bit-identical in IEEE-754, so both paths
+	// produce the same bytes.
 	quotaF := k.quotaFactors()
 	var demand float64
-	for _, t := range k.tasks {
-		demand += t.DemandCores * quotaF[t.CgroupPath]
+	for _, t := range k.taskList {
+		d := t.DemandCores
+		if quotaF != nil {
+			d *= quotaF[t.CgroupPath]
+		}
+		demand += d
 	}
 	f := 1.0
 	cores := float64(k.opts.Cores)
@@ -367,10 +419,16 @@ func (k *Kernel) Tick(now, dt float64) {
 	k.lastBusy = busy
 
 	var agg perfcount.Rates
-	perCore := make([]float64, k.opts.Cores)
+	perCore := k.perCoreScratch
+	for i := range perCore {
+		perCore[i] = 0
+	}
 	var pinnedLoad float64
-	for _, t := range k.tasks {
-		tf := f * quotaF[t.CgroupPath]
+	for _, t := range k.taskList {
+		tf := f
+		if quotaF != nil {
+			tf *= quotaF[t.CgroupPath]
+		}
 		r := t.Rates.Times(tf)
 		agg = agg.Plus(r)
 		if len(t.Pinned) > 0 {
@@ -392,7 +450,10 @@ func (k *Kernel) Tick(now, dt float64) {
 		perCore[i] += unpinned / cores
 	}
 	// Normalize to power-share fractions.
-	shares := make([]float64, len(perCore))
+	shares := k.sharesScratch
+	for i := range shares {
+		shares[i] = 0
+	}
 	if busy > 0 {
 		for i, u := range perCore {
 			shares[i] = u / busy
@@ -407,23 +468,24 @@ func (k *Kernel) Tick(now, dt float64) {
 	// 3. Per-cgroup accounting: cpuacct cycles and perf counters. The root
 	// cgroup receives the whole-host aggregate below, so tasks living
 	// directly in "/" are skipped here to avoid double counting.
-	for _, t := range k.tasks {
+	for _, t := range k.taskList {
 		if t.CgroupPath == "/" {
 			continue
 		}
-		cg := k.cgroups[t.CgroupPath]
+		cg := t.cg // cached k.cgroups[t.CgroupPath]; nil after RemoveCgroup
 		if cg == nil {
 			continue
 		}
-		teff := eff * quotaF[t.CgroupPath]
+		teff := eff
+		if quotaF != nil {
+			teff *= quotaF[t.CgroupPath]
+		}
 		cpuSec := t.DemandCores * teff * dt
 		cg.CPUUsageNS += cpuSec * 1e9
 		k.perf.Account(t.CgroupPath, t.Rates.Times(teff).Scale(dt))
 	}
 	// Root cgroup observes everything (host-wide accounting).
-	if root := k.cgroups["/"]; root != nil {
-		root.CPUUsageNS += busy * capFactor * dt * 1e9
-	}
+	k.rootCG.CPUUsageNS += busy * capFactor * dt * 1e9
 	k.perf.Account("/", agg.Times(capFactor).Scale(dt))
 
 	// 4. CPU time accounting (USER_HZ ticks) and idle bookkeeping.
@@ -448,41 +510,51 @@ func (k *Kernel) Tick(now, dt float64) {
 		k.timeslices[i] += uint64(util*dt*200) + 1
 	}
 
-	// 5. Interrupts, softirqs, context switches.
+	// 5. Interrupts, softirqs, context switches. Two bit-identical
+	// transformations keep this section — the widest jitter fan-out of the
+	// tick — cheap: the per-CPU share is hoisted out of the inner loops
+	// (total/cores is the leading factor of the original left-associated
+	// expression), and each row's draw+accumulate is fused into a single
+	// fastrand pass (AddScaledJitter applies jitter's expression verbatim
+	// while keeping the generator state in registers, with no scratch
+	// buffer in between).
 	for _, irq := range k.irqs {
-		total := irq.ratePerSec(k) * dt
-		for c := range irq.PerCPU {
-			irq.PerCPU[c] += total / cores * k.jitter(0.1)
-		}
+		share := irq.ratePerSec(k) * dt / cores
+		k.rng.AddScaledJitter(irq.PerCPU, share, 0.1)
 	}
 	for _, s := range k.softirqs {
-		total := s.ratePerSec(k) * dt
-		for c := range s.PerCPU {
-			s.PerCPU[c] += total / cores * k.jitter(0.1)
-		}
+		share := s.ratePerSec(k) * dt / cores
+		k.rng.AddScaledJitter(s.PerCPU, share, 0.1)
 	}
 	k.ctxtSwitches += (300 + 900*busy) * dt
 
 	// 6. Load averages: exponentially-damped toward the runnable count,
-	// with the classic 1/5/15-minute constants.
-	decay := func(load, minutes float64) float64 {
-		a := 1 - math.Exp(-dt/(minutes*60))
-		return load + (demand-load)*a
+	// with the classic 1/5/15-minute constants. The decay factors depend
+	// only on dt (constant under a steadily stepping clock), so they are
+	// memoized rather than re-derived through math.Exp every tick.
+	if dt != k.decayDt || k.decayA1 == 0 {
+		k.decayDt = dt
+		k.decayA1 = 1 - math.Exp(-dt/(1*60))
+		k.decayA5 = 1 - math.Exp(-dt/(5*60))
+		k.decayA15 = 1 - math.Exp(-dt/(15*60))
 	}
-	k.load1 = decay(k.load1, 1)
-	k.load5 = decay(k.load5, 5)
-	k.load15 = decay(k.load15, 15)
+	k.load1 += (demand - k.load1) * k.decayA1
+	k.load5 += (demand - k.load5) * k.decayA5
+	k.load15 += (demand - k.load15) * k.decayA15
 
-	// 7. cpuidle residency.
+	// 7. cpuidle residency. The per-CPU bases are the leading factors of
+	// the original left-associated expressions, hoisted out of the inner
+	// loop (bit-identical; saves multiplies and a division per CPU).
 	idleFrac := idleCores / cores
 	for i := range k.idleStates {
 		st := &k.idleStates[i]
 		// Deeper states get the longer residencies; POLL gets almost none.
-		weight := []float64{0.01, 0.09, 0.3, 0.6}[i]
-		for c := range st.UsagePerCPU {
-			st.UsagePerCPU[c] += idleFrac * weight * 80 * dt * k.jitter(0.05)
-			st.TimeUSPerCPU[c] += idleFrac * weight * dt * 1e6 / cores * k.jitter(0.05)
-		}
+		weight := idleWeights[i]
+		usage := idleFrac * weight * 80 * dt
+		timeUS := idleFrac * weight * dt * 1e6 / cores
+		// Two draws per CPU, in the original usage-then-time order,
+		// fused with the accumulate (see section 5).
+		k.rng.AddScaledJitter2(st.UsagePerCPU, st.TimeUSPerCPU, usage, timeUS, 0.05)
 	}
 
 	// 8. Memory & VFS drift.
@@ -518,9 +590,8 @@ func (k *Kernel) Tick(now, dt float64) {
 	k.pgAllocs += (500 + 80000*busy) * dt * k.jitter(0.2)
 	k.sectorsRead += (40 + 1500*busy) * dt * k.jitter(0.4)
 	k.sectorsWritten += (80 + 2500*busy) * dt * k.jitter(0.4)
-	for i := range k.softnetPackets {
-		k.softnetPackets[i] += (25 + 700*busy/cores) * dt * k.jitter(0.2)
-	}
+	softnet := (25 + 700*busy/cores) * dt
+	k.rng.AddScaledJitter(k.softnetPackets, softnet, 0.2)
 
 	// 9. Entropy pool random walk between depletion and refill.
 	k.entropyAvail += (k.rng.Float64()*2 - 1) * 120 * dt
@@ -564,13 +635,28 @@ func (k *Kernel) Tick(now, dt float64) {
 }
 
 // quotaFactors computes, per cgroup, the demand scale enforcing its CPU
-// quota (1 when unlimited or under quota).
+// quota (1 when unlimited or under quota). It returns nil when no cgroup
+// carries a quota at all — callers treat nil as "factor 1 everywhere" —
+// so the hot, undefended path builds no maps. When quotas exist, the two
+// scratch maps on the Kernel are cleared and reused.
 func (k *Kernel) quotaFactors() map[string]float64 {
-	demand := make(map[string]float64, len(k.cgroups))
-	for _, t := range k.tasks {
+	hasQuota := false
+	for _, cg := range k.cgroupList {
+		if cg.QuotaCores > 0 {
+			hasQuota = true
+			break
+		}
+	}
+	if !hasQuota {
+		return nil
+	}
+	demand := k.quotaDemand
+	clear(demand)
+	for _, t := range k.taskList {
 		demand[t.CgroupPath] += t.DemandCores
 	}
-	out := make(map[string]float64, len(demand))
+	out := k.quotaOut
+	clear(out)
 	for path, d := range demand {
 		out[path] = 1
 		cg := k.cgroups[path]
@@ -581,7 +667,15 @@ func (k *Kernel) quotaFactors() map[string]float64 {
 	return out
 }
 
-// jitter returns a multiplicative noise factor in [1-a, 1+a].
+// idleWeights is the residency share of each cpuidle state (POLL, C1, C3,
+// C6): deeper states get the longer residencies. Package-level so Tick's
+// hot loop indexes a constant array instead of building a literal.
+var idleWeights = [4]float64{0.01, 0.09, 0.3, 0.6}
+
+// jitter returns a multiplicative noise factor in [1-a, 1+a]. It must stay
+// within the compiler's inlining budget (go build -gcflags='-m' reports
+// the cost): Tick calls it ~850 times per server step, and the call-frame
+// overhead of a non-inlined jitter is measurable at Fig. 3 scale.
 func (k *Kernel) jitter(a float64) float64 {
 	return 1 + (k.rng.Float64()*2-1)*a
 }

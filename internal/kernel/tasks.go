@@ -38,6 +38,12 @@ type Task struct {
 	HasTimer bool
 
 	StartedAt float64
+
+	// cg caches k.cgroups[CgroupPath] so the per-task accounting in Tick
+	// needs no string-keyed map lookup. Spawn sets it; Cgroup/RemoveCgroup
+	// keep it in sync with the cgroup table (nil when the cgroup has been
+	// removed, matching the old lookup's miss behavior).
+	cg *Cgroup
 }
 
 // FileLock is one entry of /proc/locks. The leak: the lock table is global,
@@ -74,10 +80,17 @@ func (k *Kernel) Spawn(name string, ns *NSSet, cgroupPath string, demand float64
 	}
 	t.NSPID = ns.adoptPID(t.HostPID)
 	k.tasks[t.HostPID] = t
+	// taskList stays in ascending-pid order because nextPID only grows and
+	// Exit removes in place.
+	k.taskList = append(k.taskList, t)
 	k.forksTotal++
-	if _, ok := k.cgroups[cgroupPath]; !ok {
-		k.cgroups[cgroupPath] = &Cgroup{Path: cgroupPath}
+	cg, ok := k.cgroups[cgroupPath]
+	if !ok {
+		cg = &Cgroup{Path: cgroupPath}
+		k.cgroups[cgroupPath] = cg
+		k.cgroupList = append(k.cgroupList, cg)
 	}
+	t.cg = cg
 	// A new task changes the global task list, fork counters, and charged
 	// memory (callers commonly set RSSKB/Pinned/HasTimer on the returned
 	// task before the next read — the same mutation burst this bump covers).
@@ -93,6 +106,12 @@ func (k *Kernel) Exit(hostPID int) {
 	}
 	t.NS.releasePID(hostPID)
 	delete(k.tasks, hostPID)
+	for i, lt := range k.taskList {
+		if lt == t {
+			k.taskList = append(k.taskList[:i], k.taskList[i+1:]...)
+			break
+		}
+	}
 	if cg := k.cgroups[t.CgroupPath]; cg != nil {
 		kept := cg.locks[:0]
 		for _, l := range cg.locks {
@@ -169,6 +188,14 @@ func (k *Kernel) Cgroup(path string) *Cgroup {
 	if !ok {
 		cg = &Cgroup{Path: path}
 		k.cgroups[path] = cg
+		k.cgroupList = append(k.cgroupList, cg)
+		// A removed-then-recreated cgroup re-binds live tasks, matching
+		// the per-tick map lookup this cache replaces.
+		for _, t := range k.taskList {
+			if t.CgroupPath == path {
+				t.cg = cg
+			}
+		}
 	}
 	// Callers of this accessor mutate the returned cgroup (quotas, limits,
 	// ifpriomap) even when it already exists, so conservatively mark the
@@ -202,6 +229,19 @@ func (k *Kernel) Cgroups() []string {
 func (k *Kernel) RemoveCgroup(path string) {
 	if path == "/" {
 		return
+	}
+	if cg, ok := k.cgroups[path]; ok {
+		for i, c := range k.cgroupList {
+			if c == cg {
+				k.cgroupList = append(k.cgroupList[:i], k.cgroupList[i+1:]...)
+				break
+			}
+		}
+		for _, t := range k.taskList {
+			if t.cg == cg {
+				t.cg = nil
+			}
+		}
 	}
 	delete(k.cgroups, path)
 	k.perf.RemoveGroup(path)

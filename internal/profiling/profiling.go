@@ -1,0 +1,77 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flag pair
+// into the repo's commands, the way `go test` exposes them. The hot paths
+// this repo optimizes (the shard tick phase, the append-render path, the
+// attacker sampling loop) were found and verified with exactly these
+// profiles; `make profile` runs Fig. 3 under them and prints the top-10.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered on a FlagSet.
+type Flags struct {
+	cpuPath *string
+	memPath *string
+	cpuFile *os.File
+}
+
+// Register adds -cpuprofile and -memprofile to fs and returns the handle
+// used to start/stop collection around the command's work.
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpuPath: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memPath: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was given. It must be paired
+// with Stop (defer it immediately).
+func (f *Flags) Start() error {
+	if *f.cpuPath == "" {
+		return nil
+	}
+	out, err := os.Create(*f.cpuPath)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(out); err != nil {
+		out.Close()
+		return fmt.Errorf("profiling: start CPU profile: %w", err)
+	}
+	f.cpuFile = out
+	return nil
+}
+
+// Stop ends CPU profiling and, if -memprofile was given, garbage-collects
+// once (so the heap profile reflects live objects, not retired garbage —
+// the allocs space is recorded regardless) and writes the heap profile.
+// Errors are reported, not fatal: a failed profile write must not turn a
+// successful experiment run into a failure.
+func (f *Flags) Stop(errw func(format string, args ...any)) {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			errw("profiling: close CPU profile: %v\n", err)
+		}
+		f.cpuFile = nil
+	}
+	if *f.memPath != "" {
+		out, err := os.Create(*f.memPath)
+		if err != nil {
+			errw("profiling: %v\n", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(out); err != nil {
+			errw("profiling: write heap profile: %v\n", err)
+		}
+		if err := out.Close(); err != nil {
+			errw("profiling: close heap profile: %v\n", err)
+		}
+	}
+}

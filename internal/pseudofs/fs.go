@@ -60,8 +60,28 @@ func HostView(k *kernel.Kernel) View {
 	return View{NS: k.InitNS(), CgroupPath: "/"}
 }
 
-// Handler renders one pseudo-file for a given reader.
-type Handler func(v View) (string, error)
+// Handler renders one pseudo-file for a given reader by appending the
+// content to dst and returning the extended buffer. The append style keeps
+// the hot sampling paths (energy counters, cpuacct, per-CPU tables)
+// allocation-free: callers own the buffer, handlers never retain it, and
+// the scalar helpers in render.go replace the historical fmt.Sprintf
+// formatting byte for byte. On error, handlers return dst with any partial
+// content unspecified — callers must discard it.
+type Handler func(dst []byte, v View) ([]byte, error)
+
+// StringHandler adapts a legacy string-returning renderer to the append
+// Handler signature. It keeps one allocation per render (the string), so
+// use it only off the hot path — e.g. defense fixes built around
+// namespace-aware accessors that were written before the append migration.
+func StringHandler(h func(v View) (string, error)) Handler {
+	return func(dst []byte, v View) ([]byte, error) {
+		s, err := h(v)
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, s...), nil
+	}
+}
 
 // EnergyProvider supplies the content of the RAPL energy_uj files. The
 // default provider returns the host meter's counters to every reader — the
@@ -247,7 +267,9 @@ func (fs *FS) Replace(path string, h Handler) {
 
 // static registers a file whose content ignores the reader entirely.
 func (fs *FS) static(path, content string) {
-	fs.add(path, func(View) (string, error) { return content, nil })
+	fs.add(path, func(dst []byte, _ View) ([]byte, error) {
+		return append(dst, content...), nil
+	})
 }
 
 // Paths returns every file path in sorted order. The order is computed
@@ -267,14 +289,14 @@ func (fs *FS) Paths() []string {
 	return out
 }
 
-// readFile renders a file for a view, without masking.
-func (fs *FS) readFile(path string, v View) (string, error) {
+// appendFile renders a file for a view into dst, without masking.
+func (fs *FS) appendFile(dst []byte, path string, v View) ([]byte, error) {
 	h, ok := fs.files[path]
 	if !ok {
-		return "", fmt.Errorf("%w: %s", ErrNotExist, path)
+		return dst, fmt.Errorf("%w: %s", ErrNotExist, path)
 	}
 	fs.renders.Add(1)
-	return h(v)
+	return h(dst, v)
 }
 
 // Renders returns the cumulative number of handler invocations (genuine
@@ -407,6 +429,10 @@ func (m *Mount) FS() *FS { return m.fs }
 // masking policy first. When the FS carries a fault injector, the read is
 // routed through it; with no injector the path is byte-identical to the
 // direct policied read.
+//
+// Read is the string-compat API: it renders through the append path into a
+// pooled buffer and pays exactly one allocation (the returned string).
+// Allocation-sensitive samplers should use AppendRead instead.
 func (m *Mount) Read(path string) (string, error) {
 	if inj := m.fs.injector; inj != nil {
 		return inj.Read(path, func() (string, error) { return m.readPolicied(path) })
@@ -414,27 +440,65 @@ func (m *Mount) Read(path string) (string, error) {
 	return m.readPolicied(path)
 }
 
-// readPolicied is the genuine read: masking policy first, then the handler.
+// AppendRead appends the file content, as the mount's view sees it, to dst
+// and returns the extended buffer. With no fault injector installed the
+// whole read is allocation-free; with an injector the content is routed
+// through the (string-based) injector first, since injectors may rewrite
+// it. On error the returned buffer is dst unchanged.
+func (m *Mount) AppendRead(dst []byte, path string) ([]byte, error) {
+	if inj := m.fs.injector; inj != nil {
+		s, err := inj.Read(path, func() (string, error) { return m.readPolicied(path) })
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, s...), nil
+	}
+	return m.appendPolicied(dst, path)
+}
+
+// readPolicied is the string form of the genuine read, used by the compat
+// Read API and as the injector callback. It borrows a pooled buffer so the
+// only allocation is the returned string itself.
 func (m *Mount) readPolicied(path string) (string, error) {
+	bp := bufPool.Get().(*[]byte)
+	b, err := m.appendPolicied((*bp)[:0], path)
+	s := string(b)
+	*bp = b[:0]
+	bufPool.Put(bp)
+	if err != nil {
+		return "", err
+	}
+	return s, nil
+}
+
+// appendPolicied is the genuine read: masking policy first, then the
+// handler, appended to dst.
+func (m *Mount) appendPolicied(dst []byte, path string) ([]byte, error) {
 	rule, matched := m.policy.Lookup(path)
 	if matched {
 		switch rule.Do {
 		case Deny:
-			return "", fmt.Errorf("%w: %s", ErrDenied, path)
+			return dst, fmt.Errorf("%w: %s", ErrDenied, path)
 		case Empty:
-			return "", nil
+			return dst, nil
 		case Filter:
-			content, err := m.fs.readFile(path, m.view)
+			// Filter rules keep their string Transform signature; render
+			// into a scratch buffer and transform the resulting string.
+			bp := bufPool.Get().(*[]byte)
+			b, err := m.fs.appendFile((*bp)[:0], path, m.view)
+			content := string(b)
+			*bp = b[:0]
+			bufPool.Put(bp)
 			if err != nil {
-				return "", err
+				return dst, err
 			}
 			if rule.Transform == nil {
-				return "", nil
+				return dst, nil
 			}
-			return rule.Transform(content), nil
+			return append(dst, rule.Transform(content)...), nil
 		}
 	}
-	return m.fs.readFile(path, m.view)
+	return m.fs.appendFile(dst, path, m.view)
 }
 
 // Paths lists every path present in the underlying FS. Denied files remain

@@ -2,7 +2,6 @@ package pseudofs
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/kernel"
 )
@@ -11,6 +10,10 @@ import (
 // kernel-wide state with no namespace check — those are the leakage
 // channels; handlers flagged "NAMESPACED" consult the reader's View and
 // model correctly containerized files.
+//
+// Handlers append into the caller's buffer (see Handler and render.go);
+// every formatting helper reproduces the historical fmt verb bit for bit,
+// which the render-property test asserts per registered path.
 func (fs *FS) buildProc() {
 	k := fs.k
 
@@ -18,63 +21,85 @@ func (fs *FS) buildProc() {
 
 	// /proc/uptime: host uptime and aggregate idle time, regardless of
 	// when the container started.
-	fs.add("/proc/uptime", func(View) (string, error) {
+	fs.add("/proc/uptime", func(b []byte, _ View) ([]byte, error) {
 		up, idle := k.Uptime()
-		return fmt.Sprintf("%.2f %.2f\n", up, idle), nil
+		b = apFloat(b, up, 2)
+		b = append(b, ' ')
+		b = apFloat(b, idle, 2)
+		return append(b, '\n'), nil
 	})
 
 	// /proc/version: host kernel build string.
-	fs.add("/proc/version", func(View) (string, error) {
-		return k.KernelVersion() + "\n", nil
+	fs.add("/proc/version", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, k.KernelVersion()...)
+		return append(b, '\n'), nil
 	})
 
 	// /proc/loadavg: host-wide run queue.
-	fs.add("/proc/loadavg", func(View) (string, error) {
+	fs.add("/proc/loadavg", func(b []byte, _ View) ([]byte, error) {
 		la := k.LoadAvgSnapshot()
-		return fmt.Sprintf("%.2f %.2f %.2f %d/%d %d\n",
-			la.Load1, la.Load5, la.Load15, la.Runnable, la.Total, la.LastPID), nil
+		b = apFloat(b, la.Load1, 2)
+		b = append(b, ' ')
+		b = apFloat(b, la.Load5, 2)
+		b = append(b, ' ')
+		b = apFloat(b, la.Load15, 2)
+		b = append(b, ' ')
+		b = apInt(b, int64(la.Runnable))
+		b = append(b, '/')
+		b = apInt(b, int64(la.Total))
+		b = append(b, ' ')
+		b = apInt(b, int64(la.LastPID))
+		return append(b, '\n'), nil
 	})
 
 	// /proc/meminfo: physical host memory, not the cgroup limit.
-	fs.add("/proc/meminfo", func(View) (string, error) {
+	fs.add("/proc/meminfo", func(b []byte, _ View) ([]byte, error) {
 		mi := k.MeminfoSnapshot()
-		var b strings.Builder
-		row := func(name string, kb uint64) {
-			fmt.Fprintf(&b, "%-16s%8d kB\n", name+":", kb)
+		row := func(b []byte, name string, kb uint64) []byte {
+			b = append(b, name...)
+			b = append(b, ':')
+			b = apSpaces(b, 16-len(name)-1) // %-16s over name+":"
+			b = apPadUint(b, 8, kb)
+			return append(b, " kB\n"...)
 		}
-		row("MemTotal", mi.TotalKB)
-		row("MemFree", mi.FreeKB)
-		row("MemAvailable", mi.AvailableKB)
-		row("Buffers", mi.BuffersKB)
-		row("Cached", mi.CachedKB)
-		row("Active", mi.ActiveKB)
-		row("Inactive", mi.InactiveKB)
-		row("SwapTotal", mi.SwapTotalKB)
-		row("SwapFree", mi.SwapFreeKB)
-		row("Dirty", mi.DirtyKB)
-		return b.String(), nil
+		b = row(b, "MemTotal", mi.TotalKB)
+		b = row(b, "MemFree", mi.FreeKB)
+		b = row(b, "MemAvailable", mi.AvailableKB)
+		b = row(b, "Buffers", mi.BuffersKB)
+		b = row(b, "Cached", mi.CachedKB)
+		b = row(b, "Active", mi.ActiveKB)
+		b = row(b, "Inactive", mi.InactiveKB)
+		b = row(b, "SwapTotal", mi.SwapTotalKB)
+		b = row(b, "SwapFree", mi.SwapFreeKB)
+		b = row(b, "Dirty", mi.DirtyKB)
+		return b, nil
 	})
 
 	// /proc/zoneinfo: physical RAM zone watermarks.
-	fs.add("/proc/zoneinfo", func(View) (string, error) {
-		var b strings.Builder
-		for _, z := range k.ZoneSnapshot() {
-			fmt.Fprintf(&b, "Node 0, zone %8s\n", z.Name)
-			fmt.Fprintf(&b, "  pages free     %d\n", z.Free)
-			fmt.Fprintf(&b, "        min      %d\n", z.Min)
-			fmt.Fprintf(&b, "        low      %d\n", z.Low)
-			fmt.Fprintf(&b, "        high     %d\n", z.High)
-			fmt.Fprintf(&b, "        spanned  %d\n", z.Spanned)
-			fmt.Fprintf(&b, "        present  %d\n", z.Present)
-			fmt.Fprintf(&b, "        managed  %d\n", z.Managed)
+	fs.add("/proc/zoneinfo", func(b []byte, _ View) ([]byte, error) {
+		zrow := func(b []byte, label string, v uint64) []byte {
+			b = append(b, label...)
+			b = apUint(b, v)
+			return append(b, '\n')
 		}
-		return b.String(), nil
+		for _, z := range k.ZoneSnapshot() {
+			b = append(b, "Node 0, zone "...)
+			b = apPadStr(b, 8, z.Name)
+			b = append(b, '\n')
+			b = zrow(b, "  pages free     ", z.Free)
+			b = zrow(b, "        min      ", z.Min)
+			b = zrow(b, "        low      ", z.Low)
+			b = zrow(b, "        high     ", z.High)
+			b = zrow(b, "        spanned  ", z.Spanned)
+			b = zrow(b, "        present  ", z.Present)
+			b = zrow(b, "        managed  ", z.Managed)
+		}
+		return b, nil
 	})
 
 	// /proc/stat: kernel activity since boot.
-	fs.add("/proc/stat", func(View) (string, error) {
+	fs.add("/proc/stat", func(b []byte, _ View) ([]byte, error) {
 		s := k.StatSnapshot()
-		var b strings.Builder
 		var tot [7]float64
 		for _, c := range s.PerCPU {
 			tot[0] += c.User
@@ -85,182 +110,268 @@ func (fs *FS) buildProc() {
 			tot[5] += c.IRQ
 			tot[6] += c.SoftIRQ
 		}
-		fmt.Fprintf(&b, "cpu  %d %d %d %d %d %d %d 0 0 0\n",
-			int64(tot[0]), int64(tot[1]), int64(tot[2]), int64(tot[3]),
-			int64(tot[4]), int64(tot[5]), int64(tot[6]))
-		for i, c := range s.PerCPU {
-			fmt.Fprintf(&b, "cpu%d %d %d %d %d %d %d %d 0 0 0\n", i,
-				int64(c.User), int64(c.Nice), int64(c.System), int64(c.Idle),
-				int64(c.IOWait), int64(c.IRQ), int64(c.SoftIRQ))
+		b = append(b, "cpu  "...)
+		for i, v := range tot {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = apInt(b, int64(v))
 		}
-		fmt.Fprintf(&b, "intr %d\n", s.IntrTotal)
-		fmt.Fprintf(&b, "ctxt %d\n", s.CtxtSwitches)
-		fmt.Fprintf(&b, "btime %d\n", s.BootTime)
-		fmt.Fprintf(&b, "processes %d\n", s.Processes)
-		fmt.Fprintf(&b, "procs_running %d\n", s.ProcsRunning)
-		fmt.Fprintf(&b, "procs_blocked 0\n")
-		return b.String(), nil
+		b = append(b, " 0 0 0\n"...)
+		for i, c := range s.PerCPU {
+			b = append(b, "cpu"...)
+			b = apInt(b, int64(i))
+			b = append(b, ' ')
+			b = apInt(b, int64(c.User))
+			b = append(b, ' ')
+			b = apInt(b, int64(c.Nice))
+			b = append(b, ' ')
+			b = apInt(b, int64(c.System))
+			b = append(b, ' ')
+			b = apInt(b, int64(c.Idle))
+			b = append(b, ' ')
+			b = apInt(b, int64(c.IOWait))
+			b = append(b, ' ')
+			b = apInt(b, int64(c.IRQ))
+			b = append(b, ' ')
+			b = apInt(b, int64(c.SoftIRQ))
+			b = append(b, " 0 0 0\n"...)
+		}
+		b = append(b, "intr "...)
+		b = apUint(b, s.IntrTotal)
+		b = append(b, "\nctxt "...)
+		b = apUint(b, s.CtxtSwitches)
+		b = append(b, "\nbtime "...)
+		b = apInt(b, s.BootTime)
+		b = append(b, "\nprocesses "...)
+		b = apUint(b, s.Processes)
+		b = append(b, "\nprocs_running "...)
+		b = apInt(b, int64(s.ProcsRunning))
+		b = append(b, "\nprocs_blocked 0\n"...)
+		return b, nil
 	})
 
 	// /proc/cpuinfo: physical CPU description.
-	fs.add("/proc/cpuinfo", func(View) (string, error) {
-		var b strings.Builder
+	fs.add("/proc/cpuinfo", func(b []byte, _ View) ([]byte, error) {
 		for _, c := range k.CPUInfoSnapshot() {
-			fmt.Fprintf(&b, "processor\t: %d\n", c.Processor)
-			fmt.Fprintf(&b, "vendor_id\t: GenuineIntel\n")
-			fmt.Fprintf(&b, "model name\t: %s\n", c.Model)
-			fmt.Fprintf(&b, "cpu MHz\t\t: %.3f\n", c.MHz)
-			fmt.Fprintf(&b, "cache size\t: %d KB\n", c.CacheKB)
-			fmt.Fprintf(&b, "cpu cores\t: %d\n\n", c.Cores)
+			b = append(b, "processor\t: "...)
+			b = apInt(b, int64(c.Processor))
+			b = append(b, "\nvendor_id\t: GenuineIntel\nmodel name\t: "...)
+			b = append(b, c.Model...)
+			b = append(b, "\ncpu MHz\t\t: "...)
+			b = apFloat(b, c.MHz, 3)
+			b = append(b, "\ncache size\t: "...)
+			b = apInt(b, int64(c.CacheKB))
+			b = append(b, " KB\ncpu cores\t: "...)
+			b = apInt(b, int64(c.Cores))
+			b = append(b, "\n\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/interrupts: per-IRQ counters for the whole host.
-	fs.add("/proc/interrupts", func(View) (string, error) {
-		var b strings.Builder
-		b.WriteString("           ")
+	fs.add("/proc/interrupts", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, "           "...)
 		for i := 0; i < k.Options().Cores; i++ {
-			fmt.Fprintf(&b, "%12s", fmt.Sprintf("CPU%d", i))
+			b = apCPULabel(b, 12, i)
 		}
-		b.WriteByte('\n')
+		b = append(b, '\n')
 		for _, irq := range k.Interrupts() {
-			fmt.Fprintf(&b, "%4s:", irq.Name)
+			b = apPadStr(b, 4, irq.Name)
+			b = append(b, ':')
 			for _, v := range irq.PerCPU {
-				fmt.Fprintf(&b, "%12d", int64(v))
+				b = apPadInt(b, 12, int64(v))
 			}
-			fmt.Fprintf(&b, "   %s\n", irq.Desc)
+			b = append(b, "   "...)
+			b = append(b, irq.Desc...)
+			b = append(b, '\n')
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/softirqs: softirq handler invocation counts.
-	fs.add("/proc/softirqs", func(View) (string, error) {
-		var b strings.Builder
-		b.WriteString("           ")
+	fs.add("/proc/softirqs", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, "           "...)
 		for i := 0; i < k.Options().Cores; i++ {
-			fmt.Fprintf(&b, "%12s", fmt.Sprintf("CPU%d", i))
+			b = apCPULabel(b, 12, i)
 		}
-		b.WriteByte('\n')
+		b = append(b, '\n')
 		for _, s := range k.SoftIRQs() {
-			fmt.Fprintf(&b, "%8s:", s.Name)
+			b = apPadStr(b, 8, s.Name)
+			b = append(b, ':')
 			for _, v := range s.PerCPU {
-				fmt.Fprintf(&b, "%12d", int64(v))
+				b = apPadInt(b, 12, int64(v))
 			}
-			b.WriteByte('\n')
+			b = append(b, '\n')
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/schedstat: scheduler statistics per cpu.
-	fs.add("/proc/schedstat", func(View) (string, error) {
-		var b strings.Builder
-		b.WriteString("version 15\n")
-		fmt.Fprintf(&b, "timestamp %d\n", int64(k.Now()*250))
+	fs.add("/proc/schedstat", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, "version 15\ntimestamp "...)
+		b = apInt(b, int64(k.Now()*250))
+		b = append(b, '\n')
 		for i, c := range k.SchedStatSnapshot() {
-			fmt.Fprintf(&b, "cpu%d 0 0 0 0 0 0 %d %d %d\n", i, c.RunNS, c.WaitNS, c.Timeslices)
+			b = append(b, "cpu"...)
+			b = apInt(b, int64(i))
+			b = append(b, " 0 0 0 0 0 0 "...)
+			b = apUint(b, c.RunNS)
+			b = append(b, ' ')
+			b = apUint(b, c.WaitNS)
+			b = append(b, ' ')
+			b = apUint(b, c.Timeslices)
+			b = append(b, '\n')
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/sched_debug: dumps EVERY task on the host with its name — the
 	// paper's favourite signature-implant channel.
-	fs.add("/proc/sched_debug", func(View) (string, error) {
-		var b strings.Builder
-		b.WriteString("Sched Debug Version: v0.11, 4.7.0-repro\n")
-		fmt.Fprintf(&b, "ktime : %.6f\n", k.Now()*1000)
-		b.WriteString("\nrunnable tasks:\n")
-		b.WriteString("            task   PID         tree-key  switches  prio\n")
-		b.WriteString("-----------------------------------------------------\n")
+	fs.add("/proc/sched_debug", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, "Sched Debug Version: v0.11, 4.7.0-repro\nktime : "...)
+		b = apFloat(b, k.Now()*1000, 6)
+		b = append(b, "\n\nrunnable tasks:\n"...)
+		b = append(b, "            task   PID         tree-key  switches  prio\n"...)
+		b = append(b, "-----------------------------------------------------\n"...)
 		for _, t := range k.Tasks() {
-			state := " "
 			if t.DemandCores > 0 {
-				state = "R"
+				b = append(b, 'R')
+			} else {
+				b = append(b, ' ')
 			}
-			fmt.Fprintf(&b, "%s %15s %5d %16.6f %9d   120\n",
-				state, t.Name, t.HostPID, k.Now()*100, int64(k.Now()*50))
+			b = append(b, ' ')
+			b = apPadStr(b, 15, t.Name)
+			b = append(b, ' ')
+			b = apPadInt(b, 5, int64(t.HostPID))
+			b = append(b, ' ')
+			b = apPadFloat(b, 16, 6, k.Now()*100)
+			b = append(b, ' ')
+			b = apPadInt(b, 9, int64(k.Now()*50))
+			b = append(b, "   120\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/timer_list: armed timers with their owning task names.
-	fs.add("/proc/timer_list", func(View) (string, error) {
-		var b strings.Builder
-		b.WriteString("Timer List Version: v0.8\n")
-		fmt.Fprintf(&b, "HRTIMER_MAX_CLOCK_BASES: 4\nnow at %d nsecs\n\n", int64(k.Now()*1e9))
+	fs.add("/proc/timer_list", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, "Timer List Version: v0.8\nHRTIMER_MAX_CLOCK_BASES: 4\nnow at "...)
+		b = apInt(b, int64(k.Now()*1e9))
+		b = append(b, " nsecs\n\n"...)
 		for i, t := range k.TimerOwners() {
-			fmt.Fprintf(&b, " #%d: <0000000000000000>, hrtimer_wakeup, S:01, futex_wait_queue_me, %s/%d\n",
-				i, t.Name, t.HostPID)
-			fmt.Fprintf(&b, " # expires at %d-%d nsecs [in %d to %d nsecs]\n",
-				int64(k.Now()*1e9), int64(k.Now()*1e9)+50000, 1000000, 1050000)
+			b = append(b, " #"...)
+			b = apInt(b, int64(i))
+			b = append(b, ": <0000000000000000>, hrtimer_wakeup, S:01, futex_wait_queue_me, "...)
+			b = append(b, t.Name...)
+			b = append(b, '/')
+			b = apInt(b, int64(t.HostPID))
+			b = append(b, "\n # expires at "...)
+			b = apInt(b, int64(k.Now()*1e9))
+			b = append(b, '-')
+			b = apInt(b, int64(k.Now()*1e9)+50000)
+			b = append(b, " nsecs [in 1000000 to 1050000 nsecs]\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/locks: the global file-lock table.
-	fs.add("/proc/locks", func(View) (string, error) {
-		var b strings.Builder
+	fs.add("/proc/locks", func(b []byte, _ View) ([]byte, error) {
 		for _, l := range k.FileLocks() {
-			fmt.Fprintf(&b, "%d: %s  %s  %s %d 08:01:%d 0 EOF\n",
-				l.ID, l.Type, l.Mode, l.RW, l.HostPID, l.Inode)
+			b = apInt(b, int64(l.ID))
+			b = append(b, ": "...)
+			b = append(b, l.Type...)
+			b = append(b, "  "...)
+			b = append(b, l.Mode...)
+			b = append(b, "  "...)
+			b = append(b, l.RW...)
+			b = append(b, ' ')
+			b = apInt(b, int64(l.HostPID))
+			b = append(b, " 08:01:"...)
+			b = apUint(b, l.Inode)
+			b = append(b, " 0 EOF\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/modules: loaded kernel modules.
-	fs.add("/proc/modules", func(View) (string, error) {
-		var b strings.Builder
+	fs.add("/proc/modules", func(b []byte, _ View) ([]byte, error) {
 		for _, m := range k.Modules() {
-			b.WriteString(m)
-			b.WriteString(" - Live 0x0000000000000000\n")
+			b = append(b, m...)
+			b = append(b, " - Live 0x0000000000000000\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/sys/fs/*: VFS object counts.
-	fs.add("/proc/sys/fs/dentry-state", func(View) (string, error) {
+	fs.add("/proc/sys/fs/dentry-state", func(b []byte, _ View) ([]byte, error) {
 		v := k.VFSSnapshot()
-		return fmt.Sprintf("%d\t%d\t45\t0\t0\t0\n", v.Dentries, v.DentryUnused), nil
+		b = apUint(b, v.Dentries)
+		b = append(b, '\t')
+		b = apUint(b, v.DentryUnused)
+		b = append(b, "\t45\t0\t0\t0\n"...)
+		return b, nil
 	})
-	fs.add("/proc/sys/fs/inode-nr", func(View) (string, error) {
+	fs.add("/proc/sys/fs/inode-nr", func(b []byte, _ View) ([]byte, error) {
 		v := k.VFSSnapshot()
-		return fmt.Sprintf("%d\t%d\n", v.Inodes, v.InodesFree), nil
+		b = apUint(b, v.Inodes)
+		b = append(b, '\t')
+		b = apUint(b, v.InodesFree)
+		return append(b, '\n'), nil
 	})
-	fs.add("/proc/sys/fs/file-nr", func(View) (string, error) {
+	fs.add("/proc/sys/fs/file-nr", func(b []byte, _ View) ([]byte, error) {
 		v := k.VFSSnapshot()
-		return fmt.Sprintf("%d\t0\t%d\n", v.FilesOpen, v.FilesMax), nil
+		b = apUint(b, v.FilesOpen)
+		b = append(b, "\t0\t"...)
+		b = apUint(b, v.FilesMax)
+		return append(b, '\n'), nil
 	})
 
 	// /proc/sys/kernel/random/*.
-	fs.add("/proc/sys/kernel/random/boot_id", func(View) (string, error) {
-		return k.BootID() + "\n", nil
+	fs.add("/proc/sys/kernel/random/boot_id", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, k.BootID()...)
+		return append(b, '\n'), nil
 	})
-	fs.add("/proc/sys/kernel/random/entropy_avail", func(View) (string, error) {
-		return fmt.Sprintf("%d\n", k.EntropyAvail()), nil
+	fs.add("/proc/sys/kernel/random/entropy_avail", func(b []byte, _ View) ([]byte, error) {
+		b = apInt(b, int64(k.EntropyAvail()))
+		return append(b, '\n'), nil
 	})
-	fs.add("/proc/sys/kernel/random/uuid", func(View) (string, error) {
-		return k.GenUUID() + "\n", nil
+	fs.add("/proc/sys/kernel/random/uuid", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, k.GenUUID()...)
+		return append(b, '\n'), nil
 	})
 
 	// /proc/sys/kernel/sched_domain/cpu#/domain0/max_newidle_lb_cost.
 	for i := 0; i < k.Options().Cores; i++ {
 		cpu := i
 		fs.add(fmt.Sprintf("/proc/sys/kernel/sched_domain/cpu%d/domain0/max_newidle_lb_cost", i),
-			func(View) (string, error) {
-				return fmt.Sprintf("%d\n", k.NewidleCost()[cpu]), nil
+			func(b []byte, _ View) ([]byte, error) {
+				b = apUint(b, k.NewidleCost()[cpu])
+				return append(b, '\n'), nil
 			})
 	}
 
 	// /proc/fs/ext4/sda1/mb_groups: allocator state of the host disk.
-	fs.add("/proc/fs/ext4/sda1/mb_groups", func(View) (string, error) {
-		var b strings.Builder
-		b.WriteString("#group: free  frags first [ 2^0   2^1   2^2   2^3   2^4   2^5   2^6 ]\n")
+	fs.add("/proc/fs/ext4/sda1/mb_groups", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, "#group: free  frags first [ 2^0   2^1   2^2   2^3   2^4   2^5   2^6 ]\n"...)
 		for i, g := range k.Ext4GroupSnapshot() {
-			fmt.Fprintf(&b, "#%d    : %d  %d  %d  [ %d  %d  %d  %d  %d  %d  %d ]\n",
-				i, g.Free, g.Frags, g.First,
-				g.Free%7, g.Free%11, g.Free%13, g.Free%17, g.Free%19, g.Free%23, g.Free/64)
+			b = append(b, '#')
+			b = apInt(b, int64(i))
+			b = append(b, "    : "...)
+			b = apInt(b, int64(g.Free))
+			b = append(b, "  "...)
+			b = apInt(b, int64(g.Frags))
+			b = append(b, "  "...)
+			b = apInt(b, int64(g.First))
+			b = append(b, "  [ "...)
+			for j, v := range [7]int{g.Free % 7, g.Free % 11, g.Free % 13, g.Free % 17, g.Free % 19, g.Free % 23, g.Free / 64} {
+				if j > 0 {
+					b = append(b, "  "...)
+				}
+				b = apInt(b, int64(v))
+			}
+			b = append(b, " ]\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// --- NAMESPACED files (correct behaviour, for contrast) -------------
@@ -269,55 +380,74 @@ func (fs *FS) buildProc() {
 	// runtimes of the era did not unshare it, so a container sees its full
 	// host-side cgroup path (e.g. /docker/<id>) — different from the
 	// host's root path, and itself a mild identity leak.
-	fs.add("/proc/self/cgroup", func(v View) (string, error) {
+	fs.add("/proc/self/cgroup", func(b []byte, v View) ([]byte, error) {
 		path := v.CgroupPath
-		var b strings.Builder
-		for i, ctrl := range []string{"perf_event", "net_cls,net_prio", "cpuset", "cpu,cpuacct", "memory"} {
-			fmt.Fprintf(&b, "%d:%s:%s\n", 11-i, ctrl, path)
+		for i, ctrl := range [...]string{"perf_event", "net_cls,net_prio", "cpuset", "cpu,cpuacct", "memory"} {
+			b = apInt(b, int64(11-i))
+			b = append(b, ':')
+			b = append(b, ctrl...)
+			b = append(b, ':')
+			b = append(b, path...)
+			b = append(b, '\n')
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/sys/kernel/hostname respects the UTS namespace.
-	fs.add("/proc/sys/kernel/hostname", func(v View) (string, error) {
+	fs.add("/proc/sys/kernel/hostname", func(b []byte, v View) ([]byte, error) {
 		ns := v.NS
 		if ns == nil {
 			ns = k.InitNS()
 		}
-		return ns.Hostname + "\n", nil
+		b = append(b, ns.Hostname...)
+		return append(b, '\n'), nil
 	})
 
 	// /proc/net/dev respects the NET namespace: containers see their veth
 	// pair only.
-	fs.add("/proc/net/dev", func(v View) (string, error) {
+	fs.add("/proc/net/dev", func(b []byte, v View) ([]byte, error) {
 		ns := v.NS
 		if ns == nil {
 			ns = k.InitNS()
 		}
-		var b strings.Builder
-		b.WriteString("Inter-|   Receive                |  Transmit\n")
-		b.WriteString(" face |bytes    packets errs drop|bytes    packets errs drop\n")
+		b = append(b, "Inter-|   Receive                |  Transmit\n"...)
+		b = append(b, " face |bytes    packets errs drop|bytes    packets errs drop\n"...)
 		for _, d := range k.NetDevices(ns) {
-			fmt.Fprintf(&b, "%6s: %8d %8d    0    0 %8d %8d    0    0\n",
-				d.Name, int64(k.Now()*1000), int64(k.Now()*10), int64(k.Now()*800), int64(k.Now()*8))
+			b = apPadStr(b, 6, d.Name)
+			b = append(b, ": "...)
+			b = apPadInt(b, 8, int64(k.Now()*1000))
+			b = append(b, ' ')
+			b = apPadInt(b, 8, int64(k.Now()*10))
+			b = append(b, "    0    0 "...)
+			b = apPadInt(b, 8, int64(k.Now()*800))
+			b = append(b, ' ')
+			b = apPadInt(b, 8, int64(k.Now()*8))
+			b = append(b, "    0    0\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/sysvipc/shm respects the IPC namespace — the positive control
 	// showing what a *completed* container adaptation looks like.
-	fs.add("/proc/sysvipc/shm", func(v View) (string, error) {
+	fs.add("/proc/sysvipc/shm", func(b []byte, v View) ([]byte, error) {
 		ns := v.NS
 		if ns == nil {
 			ns = k.InitNS()
 		}
-		var b strings.Builder
-		b.WriteString("       key      shmid perms                  size  cpid  lpid nattch   uid   gid\n")
+		b = append(b, "       key      shmid perms                  size  cpid  lpid nattch   uid   gid\n"...)
 		for _, seg := range ns.ShmSegments() {
-			fmt.Fprintf(&b, "%10d %10d  1600 %21d %5d %5d      2  1000  1000\n",
-				seg.Key, seg.ID, seg.SizeKB*1024, seg.CPid, seg.CPid)
+			b = apPadInt(b, 10, int64(seg.Key))
+			b = append(b, ' ')
+			b = apPadInt(b, 10, int64(seg.ID))
+			b = append(b, "  1600 "...)
+			b = apPadInt(b, 21, int64(seg.SizeKB)*1024)
+			b = append(b, ' ')
+			b = apPadInt(b, 5, int64(seg.CPid))
+			b = append(b, ' ')
+			b = apPadInt(b, 5, int64(seg.CPid))
+			b = append(b, "      2  1000  1000\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/self/ns/*: the namespace identifiers themselves — different
@@ -326,12 +456,16 @@ func (fs *FS) buildProc() {
 		{"mnt", 1}, {"uts", 2}, {"pid", 3}, {"net", 4}, {"ipc", 5}, {"user", 6}, {"cgroup", 7},
 	} {
 		nt := nt
-		fs.add("/proc/self/ns/"+nt.name, func(v View) (string, error) {
+		fs.add("/proc/self/ns/"+nt.name, func(b []byte, v View) ([]byte, error) {
 			ns := v.NS
 			if ns == nil {
 				ns = k.InitNS()
 			}
-			return fmt.Sprintf("%s:[%d]\n", nt.name, ns.ID(nt.typ())), nil
+			b = append(b, nt.name...)
+			b = append(b, ":["...)
+			b = apUint(b, ns.ID(nt.typ()))
+			b = append(b, "]\n"...)
+			return b, nil
 		})
 	}
 
@@ -346,39 +480,59 @@ func (fs *FS) buildProc() {
 	// detector discovers them without registry help (leakscan -discover).
 
 	// /proc/vmstat: global VM event counters.
-	fs.add("/proc/vmstat", func(View) (string, error) {
+	fs.add("/proc/vmstat", func(b []byte, _ View) ([]byte, error) {
 		v := k.VMStatSnapshot()
-		return fmt.Sprintf("nr_free_pages %d\npgfault %d\npgalloc_normal %d\npgmajfault %d\n",
-			v.FreePages, v.PgFaults, v.PgAllocs, v.PgFaults/150), nil
+		b = append(b, "nr_free_pages "...)
+		b = apUint(b, v.FreePages)
+		b = append(b, "\npgfault "...)
+		b = apUint(b, v.PgFaults)
+		b = append(b, "\npgalloc_normal "...)
+		b = apUint(b, v.PgAllocs)
+		b = append(b, "\npgmajfault "...)
+		b = apUint(b, v.PgFaults/150)
+		return append(b, '\n'), nil
 	})
 
 	// /proc/diskstats: host block-device IO counters.
-	fs.add("/proc/diskstats", func(View) (string, error) {
+	fs.add("/proc/diskstats", func(b []byte, _ View) ([]byte, error) {
 		d := k.DiskStatSnapshot()
-		return fmt.Sprintf("   8       0 sda %d 120 %d 340 %d 88 %d 410 0 500 750\n   8       1 sda1 %d 118 %d 338 %d 86 %d 402 0 495 740\n",
-			d.SectorsRead/8, d.SectorsRead, d.SectorsWritten/10, d.SectorsWritten,
-			d.SectorsRead/8-2, d.SectorsRead-16, d.SectorsWritten/10-2, d.SectorsWritten-20), nil
+		b = append(b, "   8       0 sda "...)
+		b = apUint(b, d.SectorsRead/8)
+		b = append(b, " 120 "...)
+		b = apUint(b, d.SectorsRead)
+		b = append(b, " 340 "...)
+		b = apUint(b, d.SectorsWritten/10)
+		b = append(b, " 88 "...)
+		b = apUint(b, d.SectorsWritten)
+		b = append(b, " 410 0 500 750\n   8       1 sda1 "...)
+		b = apUint(b, d.SectorsRead/8-2)
+		b = append(b, " 118 "...)
+		b = apUint(b, d.SectorsRead-16)
+		b = append(b, " 338 "...)
+		b = apUint(b, d.SectorsWritten/10-2)
+		b = append(b, " 86 "...)
+		b = apUint(b, d.SectorsWritten-20)
+		b = append(b, " 402 0 495 740\n"...)
+		return b, nil
 	})
 
 	// /proc/buddyinfo: physical-memory fragmentation per order.
-	fs.add("/proc/buddyinfo", func(View) (string, error) {
-		var b strings.Builder
-		b.WriteString("Node 0, zone   Normal ")
+	fs.add("/proc/buddyinfo", func(b []byte, _ View) ([]byte, error) {
+		b = append(b, "Node 0, zone   Normal "...)
 		for _, n := range k.BuddyInfo() {
-			fmt.Fprintf(&b, "%7d", n)
+			b = apPadUint(b, 7, n)
 		}
-		b.WriteByte('\n')
-		return b.String(), nil
+		return append(b, '\n'), nil
 	})
 
 	// /proc/net/softnet_stat: per-CPU packet processing — global despite
 	// living under /proc/net (it is per-CPU, not per-namespace, state).
-	fs.add("/proc/net/softnet_stat", func(View) (string, error) {
-		var b strings.Builder
+	fs.add("/proc/net/softnet_stat", func(b []byte, _ View) ([]byte, error) {
 		for _, n := range k.SoftnetSnapshot() {
-			fmt.Fprintf(&b, "%08x 00000000 00000000 00000000 00000000 00000000 00000000 00000000 00000000 00000000\n", n)
+			b = apHex08(b, n)
+			b = append(b, " 00000000 00000000 00000000 00000000 00000000 00000000 00000000 00000000 00000000\n"...)
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// /proc/partitions and /proc/swaps: fleet-static host disk layout.

@@ -2,7 +2,6 @@ package pseudofs
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/power"
 )
@@ -10,6 +9,10 @@ import (
 // buildSys wires the /sys tree: cgroup controller files, NUMA node stats,
 // cpuidle residency, the coretemp hwmon sensors, and the Intel RAPL powercap
 // interface of Case Study II.
+//
+// The RAPL energy_uj and cpuacct handlers are the hottest reads in the
+// repo — the attacker monitor samples them thousands of times per campaign
+// — so they render through strconv.Append* with zero allocations.
 func (fs *FS) buildSys(hw Hardware) {
 	k := fs.k
 
@@ -19,46 +22,77 @@ func (fs *FS) buildSys(hw Hardware) {
 	// container sees every physical interface of the host.
 	// (LookupCgroup, not Cgroup: read handlers must never create table
 	// entries — parallel cross-validation reads these concurrently.)
-	fs.add("/sys/fs/cgroup/net_prio/net_prio.ifpriomap", func(v View) (string, error) {
+	fs.add("/sys/fs/cgroup/net_prio/net_prio.ifpriomap", func(b []byte, v View) ([]byte, error) {
 		cg, _ := k.LookupCgroup(v.CgroupPath)
-		var b strings.Builder
 		for _, dev := range k.HostNetDevices() { // BUG preserved: host list
 			prio := 0
 			if cg != nil && cg.IfPrioMap != nil {
 				prio = cg.IfPrioMap[dev.Name]
 			}
-			fmt.Fprintf(&b, "%s %d\n", dev.Name, prio)
+			b = append(b, dev.Name...)
+			b = append(b, ' ')
+			b = apInt(b, int64(prio))
+			b = append(b, '\n')
 		}
-		return b.String(), nil
+		return b, nil
 	})
 
 	// cpuacct usage for the reader's cgroup — properly delegated.
-	fs.add("/sys/fs/cgroup/cpuacct/cpuacct.usage", func(v View) (string, error) {
+	fs.add("/sys/fs/cgroup/cpuacct/cpuacct.usage", func(b []byte, v View) ([]byte, error) {
 		var usage int64
 		if cg, ok := k.LookupCgroup(v.CgroupPath); ok {
 			usage = int64(cg.CPUUsageNS)
 		}
-		return fmt.Sprintf("%d\n", usage), nil
+		b = apInt(b, usage)
+		return append(b, '\n'), nil
 	})
 
 	// /sys/devices/system/node/node0/{numastat,vmstat,meminfo}: NUMA node
 	// counters are host-global.
-	fs.add("/sys/devices/system/node/node0/numastat", func(View) (string, error) {
+	fs.add("/sys/devices/system/node/node0/numastat", func(b []byte, _ View) ([]byte, error) {
 		n := k.NUMASnapshot()
-		return fmt.Sprintf("numa_hit %d\nnuma_miss %d\nnuma_foreign %d\ninterleave_hit %d\nlocal_node %d\nother_node %d\n",
-			int64(n.Hit), int64(n.Miss), int64(n.Foreign), int64(n.InterleaveHit),
-			int64(n.LocalNode), int64(n.OtherNode)), nil
+		b = append(b, "numa_hit "...)
+		b = apInt(b, int64(n.Hit))
+		b = append(b, "\nnuma_miss "...)
+		b = apInt(b, int64(n.Miss))
+		b = append(b, "\nnuma_foreign "...)
+		b = apInt(b, int64(n.Foreign))
+		b = append(b, "\ninterleave_hit "...)
+		b = apInt(b, int64(n.InterleaveHit))
+		b = append(b, "\nlocal_node "...)
+		b = apInt(b, int64(n.LocalNode))
+		b = append(b, "\nother_node "...)
+		b = apInt(b, int64(n.OtherNode))
+		return append(b, '\n'), nil
 	})
-	fs.add("/sys/devices/system/node/node0/vmstat", func(View) (string, error) {
+	fs.add("/sys/devices/system/node/node0/vmstat", func(b []byte, _ View) ([]byte, error) {
 		mi := k.MeminfoSnapshot()
 		n := k.NUMASnapshot()
-		return fmt.Sprintf("nr_free_pages %d\nnr_alloc_batch 63\nnr_inactive_anon %d\nnr_active_anon %d\nnuma_hit %d\nnuma_local %d\n",
-			mi.FreeKB/4, mi.InactiveKB/4, mi.ActiveKB/4, int64(n.Hit), int64(n.LocalNode)), nil
+		b = append(b, "nr_free_pages "...)
+		b = apUint(b, mi.FreeKB/4)
+		b = append(b, "\nnr_alloc_batch 63\nnr_inactive_anon "...)
+		b = apUint(b, mi.InactiveKB/4)
+		b = append(b, "\nnr_active_anon "...)
+		b = apUint(b, mi.ActiveKB/4)
+		b = append(b, "\nnuma_hit "...)
+		b = apInt(b, int64(n.Hit))
+		b = append(b, "\nnuma_local "...)
+		b = apInt(b, int64(n.LocalNode))
+		return append(b, '\n'), nil
 	})
-	fs.add("/sys/devices/system/node/node0/meminfo", func(View) (string, error) {
+	fs.add("/sys/devices/system/node/node0/meminfo", func(b []byte, _ View) ([]byte, error) {
 		mi := k.MeminfoSnapshot()
-		return fmt.Sprintf("Node 0 MemTotal:       %d kB\nNode 0 MemFree:        %d kB\nNode 0 MemUsed:        %d kB\nNode 0 Active:         %d kB\nNode 0 Inactive:       %d kB\n",
-			mi.TotalKB, mi.FreeKB, mi.TotalKB-mi.FreeKB, mi.ActiveKB, mi.InactiveKB), nil
+		b = append(b, "Node 0 MemTotal:       "...)
+		b = apUint(b, mi.TotalKB)
+		b = append(b, " kB\nNode 0 MemFree:        "...)
+		b = apUint(b, mi.FreeKB)
+		b = append(b, " kB\nNode 0 MemUsed:        "...)
+		b = apUint(b, mi.TotalKB-mi.FreeKB)
+		b = append(b, " kB\nNode 0 Active:         "...)
+		b = apUint(b, mi.ActiveKB)
+		b = append(b, " kB\nNode 0 Inactive:       "...)
+		b = apUint(b, mi.InactiveKB)
+		return append(b, " kB\n"...), nil
 	})
 
 	// /sys/devices/system/cpu/cpu#/cpuidle/state#/{name,usage,time}.
@@ -68,13 +102,15 @@ func (fs *FS) buildSys(hw Hardware) {
 			cpu, si := cpu, si
 			base := fmt.Sprintf("/sys/devices/system/cpu/cpu%d/cpuidle/state%d", cpu, si)
 			fs.static(base+"/name", states[si].Name+"\n")
-			fs.add(base+"/usage", func(View) (string, error) {
+			fs.add(base+"/usage", func(b []byte, _ View) ([]byte, error) {
 				st := k.IdleStateSnapshot()
-				return fmt.Sprintf("%d\n", int64(st[si].UsagePerCPU[cpu])), nil
+				b = apInt(b, int64(st[si].UsagePerCPU[cpu]))
+				return append(b, '\n'), nil
 			})
-			fs.add(base+"/time", func(View) (string, error) {
+			fs.add(base+"/time", func(b []byte, _ View) ([]byte, error) {
 				st := k.IdleStateSnapshot()
-				return fmt.Sprintf("%d\n", int64(st[si].TimeUSPerCPU[cpu])), nil
+				b = apInt(b, int64(st[si].TimeUSPerCPU[cpu]))
+				return append(b, '\n'), nil
 			})
 		}
 	}
@@ -83,22 +119,24 @@ func (fs *FS) buildSys(hw Hardware) {
 	// sensors in millidegrees. temp1 is the package, temp2..tempN+1 the
 	// cores.
 	if hw.HasCoretemp {
-		fs.add("/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp1_input", func(v View) (string, error) {
+		fs.add("/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp1_input", func(b []byte, v View) ([]byte, error) {
 			t, err := fs.thermal.CoreTempC(v, -1)
 			if err != nil {
-				return "", err
+				return b, err
 			}
-			return fmt.Sprintf("%d\n", int64(t*1000)), nil
+			b = apInt(b, int64(t*1000))
+			return append(b, '\n'), nil
 		})
 		for c := 0; c < k.Options().Cores; c++ {
 			c := c
 			fs.add(fmt.Sprintf("/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp%d_input", c+2),
-				func(v View) (string, error) {
+				func(b []byte, v View) ([]byte, error) {
 					t, err := fs.thermal.CoreTempC(v, c)
 					if err != nil {
-						return "", err
+						return b, err
 					}
-					return fmt.Sprintf("%d\n", int64(t*1000)), nil
+					b = apInt(b, int64(t*1000))
+					return append(b, '\n'), nil
 				})
 		}
 	}
@@ -119,12 +157,13 @@ func (fs *FS) buildSys(hw Hardware) {
 		for _, d := range domains {
 			d := d
 			fs.static(d.dir+"/name", d.name+"\n")
-			fs.add(d.dir+"/energy_uj", func(v View) (string, error) {
+			fs.add(d.dir+"/energy_uj", func(b []byte, v View) ([]byte, error) {
 				uj, err := fs.energy.EnergyUJ(v, d.dom)
 				if err != nil {
-					return "", err
+					return b, err
 				}
-				return fmt.Sprintf("%d\n", uj), nil
+				b = apUint(b, uj)
+				return append(b, '\n'), nil
 			})
 			fs.static(d.dir+"/max_energy_range_uj",
 				fmt.Sprintf("%d\n", k.Meter().MaxEnergyRangeUJ()))

@@ -11,11 +11,43 @@
 //   - Events: one-shot callbacks scheduled at absolute simulated times
 //     (attack launches, workload phase changes), dispatched in time order and,
 //     for equal times, in scheduling order.
+//
+// # Sharded ticking
+//
+// A step optionally runs in three phases (see ARCHITECTURE.md, "tick
+// pipeline"): serial pre-phase tickers (OnTick), then per-shard tickers
+// (OnShardTick) — shards are mutually independent and may execute on worker
+// goroutines when SetWorkers(n>1) — and finally serial post-phase tickers
+// (OnPostTick). Within one shard, tickers still run strictly in
+// registration order on a single goroutine.
+//
+// # Concurrency contract
+//
+// The phase split preserves the repo's byte-identity guarantee at any
+// worker count because the parallelism never reorders observable work:
+//
+//   - every ticker runs exactly once per step with the same (now, dt);
+//   - tickers registered on the same shard keep their registration order;
+//   - tickers on different shards must not share mutable state (callers
+//     guarantee this — in the cloud substrate a shard is one server, whose
+//     scheduler/power/chaos state is disjoint from every other server's);
+//   - pre- and post-phase tickers act as barriers: the pre-phase completes
+//     before any shard starts, and every shard completes before the
+//     post-phase begins, so cross-server readers (rack breakers) observe
+//     all servers fully ticked, in a fixed serial order.
+//
+// Everything outside the shard phase — events, pre/post tickers, Advance
+// itself — stays single-threaded, and with SetWorkers(1) (the default) the
+// shard phase degrades to a plain serial loop in shard-index order.
 package simclock
 
 import (
 	"container/heap"
 	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Ticker is implemented by components that integrate state over simulated
@@ -58,13 +90,23 @@ func (q *eventQueue) Pop() any {
 }
 
 // Clock is a deterministic simulated clock. The zero value is ready to use
-// and starts at time 0. Clock is not safe for concurrent use; the simulation
-// is single-threaded by design so that runs are reproducible.
+// and starts at time 0. Clock is not safe for concurrent use: Advance, Run,
+// At, and the registration methods must all be called from one goroutine.
+// The only internal concurrency is the shard phase of a step (see the
+// package comment's concurrency contract), and Advance joins all shard
+// workers before returning, so callers always observe a quiescent clock.
 type Clock struct {
 	now     float64
 	tickers []Ticker
 	events  eventQueue
 	seq     int
+
+	// Shard phase state. shards[i] holds the tickers of shard i in
+	// registration order; workers is the resolved worker count used to
+	// fan shards out (1 = serial).
+	shards  [][]Ticker
+	post    []Ticker
+	workers int
 }
 
 // New returns a Clock starting at t=0 seconds.
@@ -73,10 +115,49 @@ func New() *Clock { return &Clock{} }
 // Now returns the current simulated time in seconds.
 func (c *Clock) Now() float64 { return c.now }
 
-// OnTick registers t to receive every subsequent time step. Tickers run in
-// registration order.
+// OnTick registers t to receive every subsequent time step during the
+// serial pre-phase. Pre-phase tickers run in registration order, before any
+// shard ticker.
 func (c *Clock) OnTick(t Ticker) {
 	c.tickers = append(c.tickers, t)
+}
+
+// OnShardTick registers t on shard (a small non-negative index). All
+// tickers of one shard run sequentially, in registration order, on a single
+// goroutine; distinct shards may run concurrently when SetWorkers(n>1), so
+// tickers on different shards must not share mutable state. The shard phase
+// runs after every OnTick ticker and before every OnPostTick ticker.
+func (c *Clock) OnShardTick(shard int, t Ticker) {
+	if shard < 0 {
+		panic(fmt.Sprintf("simclock: OnShardTick(%d): shard must be non-negative", shard))
+	}
+	for len(c.shards) <= shard {
+		c.shards = append(c.shards, nil)
+	}
+	c.shards[shard] = append(c.shards[shard], t)
+}
+
+// OnPostTick registers t to run in the serial post-phase of every step,
+// after all shards have completed. Post-phase tickers run in registration
+// order and may safely read state written by any shard.
+func (c *Clock) OnPostTick(t Ticker) {
+	c.post = append(c.post, t)
+}
+
+// SetWorkers sets the worker count for the shard phase. n <= 0 resolves to
+// GOMAXPROCS via the shared internal/parallel policy; n == 1 (the default)
+// ticks shards serially in index order. The rendered output of a run is
+// byte-identical at every worker count.
+func (c *Clock) SetWorkers(n int) {
+	c.workers = parallel.Workers(n)
+}
+
+// Workers reports the resolved shard-phase worker count (>= 1).
+func (c *Clock) Workers() int {
+	if c.workers < 1 {
+		return 1
+	}
+	return c.workers
 }
 
 // At schedules fn to run when simulated time reaches at seconds. Scheduling
@@ -112,23 +193,110 @@ func (c *Clock) Advance(dt float64) {
 		e.fn(c.now)
 	}
 	c.now = target
+	// Phase 1: serial pre-phase (shared drivers, e.g. the flash-crowd
+	// generator, whose RNG draws must happen once, in a fixed order).
 	for _, t := range c.tickers {
 		t.Tick(c.now, dt)
+	}
+	// Phase 2: shards. Each shard's tickers run in registration order on
+	// one goroutine; shards are disjoint by contract, so fanning them out
+	// cannot change any shard's computation.
+	if len(c.shards) > 0 {
+		if c.Workers() > 1 && len(c.shards) > 1 {
+			c.tickShardsParallel(dt)
+		} else {
+			for _, shard := range c.shards {
+				for _, t := range shard {
+					t.Tick(c.now, dt)
+				}
+			}
+		}
+	}
+	// Phase 3: serial post-phase (cross-shard readers, e.g. rack breakers
+	// summing server power in fixed order).
+	for _, t := range c.post {
+		t.Tick(c.now, dt)
+	}
+}
+
+// tickShardsParallel fans the shard phase out over c.workers goroutines
+// using a work-stealing cursor, then joins them all before returning. It is
+// deliberately hand-rolled instead of reusing parallel.ForEach: Advance is
+// the innermost loop of every experiment (~10^5 calls per world), and the
+// generic helper's per-call result slice would show up as per-tick garbage.
+// A panic on any shard is captured and re-thrown on the caller's goroutine
+// after all workers have stopped, mirroring internal/parallel's policy.
+func (c *Clock) tickShardsParallel(dt float64) {
+	w := c.workers
+	if w > len(c.shards) {
+		w = len(c.shards)
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		pmu    sync.Mutex
+		pval   any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if pval == nil {
+						pval = r
+					}
+					pmu.Unlock()
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(c.shards) {
+					return
+				}
+				for _, t := range c.shards[i] {
+					t.Tick(c.now, dt)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval)
 	}
 }
 
 // Run advances the clock in uniform steps of dt until Now reaches until. The
 // final step is truncated so the clock lands exactly on until.
+//
+// When until is not an exact multiple of dt in floating point (e.g.
+// Run(1.0, 0.1)), the accumulated sum of steps can undershoot until by a
+// few ULPs, which would otherwise produce a final micro-step smaller than
+// dt×1e-9 — physically meaningless, numerically hazardous for integrators
+// dividing by dt, and historically the source of a denormal-width Advance.
+// Run folds any residual smaller than that threshold into the preceding
+// step instead: the last full step is stretched to land exactly on until.
+// For horizons that ARE exact multiples of dt (every shipping experiment)
+// this changes nothing, bit for bit.
 func (c *Clock) Run(until, dt float64) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("simclock: Run with step %g: step must be positive", dt))
 	}
+	eps := dt * 1e-9
 	for c.now < until {
-		step := dt
-		if c.now+step > until {
-			step = until - c.now
+		rem := until - c.now
+		if rem <= dt || rem-dt < eps {
+			// Final step (possibly stretched by a sub-epsilon residue that
+			// the next iteration would otherwise turn into a denormal
+			// micro-step): take it all and land exactly on until. The snap
+			// below erases the ≤1-ULP rounding error of c.now += rem, which
+			// would otherwise re-enter the loop with a ~1e-16 step.
+			c.Advance(rem)
+			c.now = until
+			return
 		}
-		c.Advance(step)
+		c.Advance(dt)
 	}
 }
 

@@ -145,6 +145,50 @@ func TestRunLandsExactlyOnTarget(t *testing.T) {
 	}
 }
 
+func TestRunNoDenormalFinalMicroStep(t *testing.T) {
+	// 0.1 is not exactly representable in binary; ten accumulated steps
+	// undershoot 1.0 by one ULP. The pre-fix Run then issued an eleventh
+	// Advance of ~1.1e-16 s — a denormal-width step that integrators
+	// dividing by dt amplified into garbage. Run must fold the residue
+	// into the tenth step and land exactly on the horizon.
+	c := New()
+	var steps []float64
+	c.OnTick(TickerFunc(func(now, dt float64) { steps = append(steps, dt) }))
+	c.Run(1.0, 0.1)
+	if c.Now() != 1.0 {
+		t.Fatalf("Now = %.17g, want exactly 1.0", c.Now())
+	}
+	if len(steps) != 10 {
+		t.Fatalf("Run(1.0, 0.1) issued %d steps (%v), want exactly 10", len(steps), steps)
+	}
+	for i, dt := range steps {
+		if dt < 0.09 {
+			t.Fatalf("step %d has width %.17g — denormal micro-step leaked through", i, dt)
+		}
+	}
+}
+
+func TestRunExactMultipleBitIdentical(t *testing.T) {
+	// Horizons that are exact binary multiples of dt (every shipping
+	// experiment: whole seconds at dt=1, minutes at dt=0.25, …) must see
+	// N steps of exactly dt — the denormal guard may not perturb them.
+	c := New()
+	var steps []float64
+	c.OnTick(TickerFunc(func(now, dt float64) { steps = append(steps, dt) }))
+	c.Run(8, 0.25)
+	if c.Now() != 8 {
+		t.Fatalf("Now = %.17g, want exactly 8", c.Now())
+	}
+	if len(steps) != 32 {
+		t.Fatalf("Run(8, 0.25) issued %d steps, want 32", len(steps))
+	}
+	for i, dt := range steps {
+		if dt != 0.25 {
+			t.Fatalf("step %d = %.17g, want exactly 0.25", i, dt)
+		}
+	}
+}
+
 func TestRunPanicsOnBadStep(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,145 @@
+// Command benchguard is the CI allocation-regression gate: it reads fresh
+// `go test -bench -benchmem` text from stdin, finds one benchmark's value
+// for one metric, and compares it against the committed JSON baseline
+// (the BENCH_PR5.json archived by `make bench-json`). If the fresh value
+// exceeds baseline × (1 + -max-regress) the gate fails.
+//
+// Usage (see `make bench-guard`):
+//
+//	go test -run '^$' -bench '^BenchmarkFig3Sweep$' -benchtime=1x -benchmem . |
+//	  go run ./internal/tools/benchguard -baseline BENCH_PR5.json \
+//	    -bench BenchmarkFig3Sweep -metric allocs/op -max-regress 0.10
+//
+// Improvements (fresh < baseline) always pass — the gate is one-sided, so
+// it never blocks a PR for being faster; refresh the baseline with
+// `make bench-json` when an optimization lands.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// report mirrors the subset of internal/tools/benchjson's schema the guard
+// needs.
+type report struct {
+	Results []struct {
+		Name    string             `json:"name"`
+		NsPerOp float64            `json:"ns_per_op"`
+		Extra   map[string]float64 `json:"extra"`
+	} `json:"results"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "", "committed benchjson report to guard against")
+	bench := fs.String("bench", "", "benchmark name (without the -P procs suffix)")
+	metric := fs.String("metric", "allocs/op", `metric to compare ("ns/op" or an extra unit like "allocs/op")`)
+	maxRegress := fs.Float64("max-regress", 0.10, "allowed fractional regression over baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "benchguard: %v\n", err)
+		return 1
+	}
+	if *baselinePath == "" || *bench == "" {
+		return fail(fmt.Errorf("-baseline and -bench are required"))
+	}
+
+	base, err := baselineValue(*baselinePath, *bench, *metric)
+	if err != nil {
+		return fail(err)
+	}
+	fresh, err := freshValue(stdin, *bench, *metric)
+	if err != nil {
+		return fail(err)
+	}
+
+	limit := base * (1 + *maxRegress)
+	verdict := "ok"
+	code := 0
+	if fresh > limit {
+		verdict = "REGRESSION"
+		code = 1
+	}
+	fmt.Fprintf(stdout, "benchguard %s %s: baseline=%.0f fresh=%.0f limit=%.0f (+%.0f%%) → %s\n",
+		*bench, *metric, base, fresh, limit, *maxRegress*100, verdict)
+	if code != 0 {
+		fmt.Fprintf(stderr, "benchguard: %s %s regressed %.1f%% over the committed baseline (max %.0f%%)\n",
+			*bench, *metric, (fresh/base-1)*100, *maxRegress*100)
+	}
+	return code
+}
+
+// baselineValue pulls the metric for bench out of the committed JSON
+// report.
+func baselineValue(path, bench, metric string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, r := range rep.Results {
+		if r.Name != bench {
+			continue
+		}
+		if metric == "ns/op" {
+			return r.NsPerOp, nil
+		}
+		if v, ok := r.Extra[metric]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("%s: %s has no %q metric", path, bench, metric)
+	}
+	return 0, fmt.Errorf("%s: no result named %s", path, bench)
+}
+
+// freshValue scans `go test -bench` text for the benchmark's line (its
+// name carries the -P GOMAXPROCS suffix) and extracts the metric's value.
+func freshValue(r io.Reader, bench, metric string) (float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		if name != bench {
+			continue
+		}
+		// fields: name iterations v1 unit1 v2 unit2 …
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] == metric {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return 0, fmt.Errorf("parse %q %s: %w", fields[i], metric, err)
+				}
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("benchmark line for %s has no %q column (did you pass -benchmem?)", bench, metric)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("no benchmark line for %s on stdin", bench)
+}

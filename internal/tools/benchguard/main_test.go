@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineJSON = `{
+  "results": [
+    {"name": "BenchmarkFig3Sweep", "ns_per_op": 4000000000,
+     "extra": {"B/op": 294644440, "allocs/op": 1000000}}
+  ]
+}`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(baselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGuard(t *testing.T, path, benchLine string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run([]string{
+		"-baseline", path, "-bench", "BenchmarkFig3Sweep",
+		"-metric", "allocs/op", "-max-regress", "0.10",
+	}, strings.NewReader(benchLine), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestGuardPassesWithinBudget(t *testing.T) {
+	path := writeBaseline(t)
+	code, out, _ := runGuard(t, path,
+		"BenchmarkFig3Sweep-8   1  3900000000 ns/op  290000000 B/op  1050000 allocs/op\nPASS\n")
+	if code != 0 {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("verdict missing from %q", out)
+	}
+}
+
+func TestGuardPassesOnImprovement(t *testing.T) {
+	path := writeBaseline(t)
+	code, _, _ := runGuard(t, path,
+		"BenchmarkFig3Sweep-8   1  3900000000 ns/op  290000000 B/op  400000 allocs/op\n")
+	if code != 0 {
+		t.Fatalf("improvement must pass, code=%d", code)
+	}
+}
+
+func TestGuardFailsOnRegression(t *testing.T) {
+	path := writeBaseline(t)
+	code, out, errs := runGuard(t, path,
+		"BenchmarkFig3Sweep-8   1  3900000000 ns/op  290000000 B/op  1200000 allocs/op\n")
+	if code != 1 {
+		t.Fatalf("20%% regression must fail, code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(errs, "regressed") {
+		t.Fatalf("diagnostics missing: out=%q err=%q", out, errs)
+	}
+}
+
+func TestGuardRejectsMissingMetricColumn(t *testing.T) {
+	path := writeBaseline(t)
+	code, _, errs := runGuard(t, path,
+		"BenchmarkFig3Sweep-8   1  3900000000 ns/op\n")
+	if code != 1 || !strings.Contains(errs, "-benchmem") {
+		t.Fatalf("missing -benchmem hint: code=%d err=%q", code, errs)
+	}
+}
+
+func TestGuardRejectsUnknownBenchmark(t *testing.T) {
+	path := writeBaseline(t)
+	var out, errb strings.Builder
+	code := run([]string{"-baseline", path, "-bench", "BenchmarkNope"},
+		strings.NewReader("BenchmarkFig3Sweep-8 1 1 ns/op 1 B/op 1 allocs/op\n"), &out, &errb)
+	if code != 1 || !strings.Contains(errb.String(), "no result named") {
+		t.Fatalf("code=%d err=%q", code, errb.String())
+	}
+}
