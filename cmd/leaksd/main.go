@@ -23,6 +23,13 @@
 // byte-identical deprecated aliases — they answer with a Deprecation
 // header and a Link to their /v1 successor (policy in ARCHITECTURE.md).
 //
+// The /v1 read endpoints serve through an epoch-keyed response cache
+// (-respcache, default on): bodies render once per state epoch and replay
+// allocation-free, every 200 carries a strong ETag, and If-None-Match
+// clients get 304s until the underlying state actually changes. The full
+// serving contract — and the leaksload harness that measures it — is
+// documented in docs/SERVING.md.
+//
 // Usage:
 //
 //	leaksd                          # serve on :8077
@@ -86,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (non-streaming endpoints)")
 	retries := fs.Int("retries", 3, "max attempts per scan")
 	scanEvery := fs.Duration("scan-every", 0, "run a recurring full Table I scan at this interval (0 = off)")
+	respCache := fs.Bool("respcache", true, "serve /v1 reads through the epoch-keyed response cache (ETag/304)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain deadline")
 	prof := profiling.Register(fs)
 	version := fs.Bool("version", false, "print build info and exit")
@@ -124,9 +132,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	handler := service.NewHandler(service.APIConfig{
-		Scheduler:      sched,
-		Version:        buildinfo.String("leaksd"),
-		RequestTimeout: *reqTimeout,
+		Scheduler:            sched,
+		Version:              buildinfo.String("leaksd"),
+		RequestTimeout:       *reqTimeout,
+		DisableResponseCache: !*respCache,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

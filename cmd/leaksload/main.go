@@ -1,0 +1,259 @@
+// Command leaksload is the deterministic load harness for leaksd's /v1
+// serving path: it drives the daemon's handler with a seeded, weighted
+// endpoint mix — in-process against a synthetic-state daemon by default,
+// or over HTTP against a running leaksd with -addr — and reports latency
+// quantiles, status counts, and sustained throughput.
+//
+// Usage:
+//
+//	leaksload                        # 5s closed-loop in-proc run, default mix
+//	leaksload -n 500000 -c 8         # exact request budget across 8 workers
+//	leaksload -rps 100000 -duration 10s   # open-loop at a target rate
+//	leaksload -revalidate            # steady-state pollers (exercises 304s)
+//	leaksload -respcache=false       # cold-render baseline (cache off)
+//	leaksload -addr http://localhost:8077 -duration 10s   # remote daemon
+//	leaksload -mix "results=6,scans=2,engine=1" -seed 7
+//	leaksload -json                  # machine-readable result
+//	leaksload -metrics               # dump the loadgen_* telemetry families
+//
+// The default in-proc mode fabricates deterministic scan state first (one
+// synthetic inspect result per provider, via the scheduler's runner hook —
+// no real compute), so /v1/results and /v1/scans serve realistic bodies.
+// The mix entries are endpoint shorthands (results, scans, channels,
+// providers, engine, version — expanded to /v1/<name>) or explicit paths
+// with optional query strings; weights follow "=N" (default 1).
+//
+// Two runs with the same seed, mix, and budget issue byte-identical
+// request sequences — load tests here are reproducible artifacts, like
+// every other experiment in this repository. Expected numbers for the
+// 1-CPU CI host live in docs/SERVING.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leaksload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "remote leaksd base URL (empty = in-process daemon)")
+	mixSpec := fs.String("mix", "results=6,scans=2,channels=1,providers=1,engine=1,version=1",
+		"weighted endpoint mix: name-or-path[=weight], comma-separated")
+	requests := fs.Int("n", 0, "total request budget (0 = run for -duration)")
+	duration := fs.Duration("duration", 5*time.Second, "run length when -n is 0")
+	rps := fs.Float64("rps", 0, "open-loop target req/s across all workers (0 = closed loop)")
+	concurrency := fs.Int("c", 4, "concurrent load workers")
+	seed := fs.Int64("seed", 1, "endpoint-mix seed (same seed, same request sequence)")
+	revalidate := fs.Bool("revalidate", false, "send If-None-Match from prior responses (steady-state 304s)")
+	respCache := fs.Bool("respcache", true, "in-proc mode: serve through the response cache")
+	jsonOut := fs.Bool("json", false, "print the result as JSON")
+	metrics := fs.Bool("metrics", false, "dump loadgen telemetry in Prometheus text format")
+	version := fs.Bool("version", false, "print build info and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("leaksload"))
+		return 0
+	}
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "leaksload: %v\n", err)
+		return 2
+	}
+
+	var handler http.Handler
+	if *addr != "" {
+		base := strings.TrimRight(*addr, "/")
+		if !strings.Contains(base, "://") {
+			base = "http://" + base // bare host:port, the common spelling
+		}
+		handler = &remoteTarget{base: base, client: &http.Client{Timeout: 30 * time.Second}}
+	} else {
+		daemon, shutdown, err := inprocDaemon(!*respCache)
+		if err != nil {
+			fmt.Fprintf(stderr, "leaksload: %v\n", err)
+			return 1
+		}
+		defer shutdown()
+		handler = daemon
+	}
+
+	reg := telemetry.NewRegistry()
+	cfg := loadgen.Config{
+		Mix:         mix,
+		Requests:    *requests,
+		Duration:    *duration,
+		RPS:         *rps,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+		Revalidate:  *revalidate,
+		Registry:    reg,
+	}
+	res, err := loadgen.Run(context.Background(), handler, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "leaksload: %v\n", err)
+		return 1
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(res)
+	} else {
+		fmt.Fprintln(stdout, res)
+	}
+	if *metrics {
+		_ = reg.WritePrometheus(stdout)
+	}
+	if res.Other > 0 {
+		fmt.Fprintf(stderr, "leaksload: %d responses were neither 200 nor 304\n", res.Other)
+		return 1
+	}
+	return 0
+}
+
+// parseMix expands "name-or-path[=weight]" entries. Shorthand names map to
+// their /v1 path.
+func parseMix(spec string) ([]loadgen.Endpoint, error) {
+	var mix []loadgen.Endpoint
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		path, weight := entry, 1
+		if i := strings.LastIndexByte(entry, '='); i >= 0 {
+			n, err := strconv.Atoi(entry[i+1:])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("mix entry %q: weight must be a positive integer", entry)
+			}
+			path, weight = entry[:i], n
+		}
+		if !strings.HasPrefix(path, "/") {
+			path = "/v1/" + path
+		}
+		mix = append(mix, loadgen.Endpoint{Path: path, Weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix %q", spec)
+	}
+	return mix, nil
+}
+
+// inprocDaemon builds a leaksd handler over deterministic synthetic state:
+// one fabricated inspect result per provider, produced through the
+// scheduler's runner hook so no real scan compute runs.
+func inprocDaemon(disableCache bool) (http.Handler, func(), error) {
+	sched := service.New(service.Config{Workers: 2, QueueCap: 64}, nil)
+	sched.SetRunner(syntheticRunner)
+	sched.Start()
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sched.Shutdown(ctx)
+	}
+	for _, name := range service.ProviderNames() {
+		if _, err := sched.Submit(service.ScanRequest{Kind: service.KindInspect, Provider: name}); err != nil {
+			shutdown()
+			return nil, nil, fmt.Errorf("seed scan for %q: %v", name, err)
+		}
+	}
+	// Wait for the synthetic scans to land so the load run serves stable
+	// epochs (an in-flight scan would keep bumping them).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, j := range sched.Jobs() {
+			if !j.Terminal() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			shutdown()
+			return nil, nil, fmt.Errorf("seed scans did not finish within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	handler := service.NewHandler(service.APIConfig{
+		Scheduler:            sched,
+		Version:              buildinfo.String("leaksload"),
+		DisableResponseCache: disableCache,
+	})
+	return handler, shutdown, nil
+}
+
+// syntheticRunner fabricates a deterministic inspect result: every Table I
+// channel for the request's provider, availability cycling through the
+// three glyphs by channel index.
+func syntheticRunner(_ context.Context, req service.ScanRequest) (*service.ScanResult, error) {
+	glyphs := []string{core.Available.String(), core.PartiallyAvailable.String(), core.Unavailable.String()}
+	channels := service.Channels()
+	verdicts := make([]service.Verdict, len(channels))
+	for i, ch := range channels {
+		verdicts[i] = service.Verdict{
+			Provider:     req.Provider,
+			Channel:      ch.Name,
+			Availability: glyphs[i%len(glyphs)],
+		}
+	}
+	return &service.ScanResult{
+		Request:  req,
+		Rendered: fmt.Sprintf("synthetic inspect of %s (%d channels)", req.Provider, len(channels)),
+		Verdicts: verdicts,
+	}, nil
+}
+
+// remoteTarget adapts a remote leaksd to http.Handler so the same loadgen
+// loop drives both modes. Latency then includes the network, which is the
+// point of remote runs.
+type remoteTarget struct {
+	base   string
+	client *http.Client
+}
+
+func (t *remoteTarget) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	req, err := http.NewRequest(r.Method, t.base+r.URL.RequestURI(), nil)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if et := resp.Header.Get("Etag"); et != "" {
+		w.Header().Set("Etag", et)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

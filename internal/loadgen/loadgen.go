@@ -1,0 +1,287 @@
+// Package loadgen is the deterministic load generator behind cmd/leaksload:
+// it drives an http.Handler — leaksd's in-process handler or a proxy to a
+// remote daemon — with a seeded, weighted endpoint mix at a target rate and
+// reports latency quantiles, status counts, and throughput.
+//
+// Determinism is the design constraint, matching the rest of the
+// repository: the endpoint sequence each worker issues is a pure function
+// of (Seed, worker index) via internal/fastrand, so two runs against the
+// same state make the same requests in the same order. Load generation is
+// open-loop when RPS is set (requests are due on a fixed schedule and
+// lateness is not forgiven — queueing delay shows up as latency, the
+// honest way to measure a saturated server) and closed-loop when it is not
+// (each worker fires as fast as the handler returns).
+//
+// The measurement loop is allocation-conscious so the generator does not
+// drown the signal it measures: each worker reuses one http.Request per
+// mix endpoint and one response writer whose header map persists across
+// requests, the way a keep-alive connection's would.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fastrand"
+	"repro/internal/telemetry"
+)
+
+// Endpoint is one weighted entry of the request mix.
+type Endpoint struct {
+	// Path is the request target, e.g. "/v1/results?limit=50".
+	Path string
+	// Weight is the relative draw frequency (must be > 0).
+	Weight int
+}
+
+// Config tunes one load run.
+type Config struct {
+	// Mix is the weighted endpoint set (required).
+	Mix []Endpoint
+	// Requests is the total request budget. 0 means run until Duration.
+	Requests int
+	// Duration bounds a run without a request budget (ignored when
+	// Requests > 0).
+	Duration time.Duration
+	// RPS is the open-loop target rate across all workers (0 = closed
+	// loop).
+	RPS float64
+	// Concurrency is the worker count (default 1).
+	Concurrency int
+	// Seed seeds the per-worker endpoint-mix streams (default 1).
+	Seed int64
+	// Revalidate sends each request with If-None-Match set to the ETag of
+	// the worker's previous response from the same endpoint — the
+	// steady-state poller shape that exercises the 304 path.
+	Revalidate bool
+	// Registry, when non-nil, receives the loadgen_request_seconds
+	// histogram and loadgen_requests_total counters. Use a fresh registry
+	// per run; families register once.
+	Registry *telemetry.Registry
+}
+
+// Result summarizes one run.
+type Result struct {
+	Requests  int64
+	Status200 int64
+	Status304 int64
+	// Other counts every remaining status (4xx/5xx — failures under a
+	// correct mix).
+	Other int64
+	// Bytes is the summed response-body size.
+	Bytes   int64
+	Elapsed time.Duration
+	// RPS is Requests / Elapsed.
+	RPS float64
+	// Latency quantiles over every request (handler wall time).
+	P50, P90, P99, Max time.Duration
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d requests in %v (%.0f req/s): 200=%d 304=%d other=%d p50=%v p90=%v p99=%v max=%v",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.RPS,
+		r.Status200, r.Status304, r.Other, r.P50, r.P90, r.P99, r.Max)
+}
+
+// Run drives h with cfg's mix and returns the aggregate result. It stops
+// when the request budget is spent, the duration elapses, or ctx is
+// cancelled — whichever comes first.
+func Run(ctx context.Context, h http.Handler, cfg Config) (Result, error) {
+	if len(cfg.Mix) == 0 {
+		return Result{}, fmt.Errorf("loadgen: empty endpoint mix")
+	}
+	total := 0
+	for _, e := range cfg.Mix {
+		if e.Weight <= 0 {
+			return Result{}, fmt.Errorf("loadgen: endpoint %q has non-positive weight %d", e.Path, e.Weight)
+		}
+		total += e.Weight
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadgen: need Requests or Duration")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	var hist *telemetry.Histogram
+	var c200, c304, cOther *telemetry.Counter
+	if cfg.Registry != nil {
+		hv := cfg.Registry.Histogram("loadgen_request_seconds",
+			"Per-request handler latency.", telemetry.DefaultServingBuckets())
+		cv := cfg.Registry.Counter("loadgen_requests_total",
+			"Requests issued, by response status class.", "status")
+		hist = hv.With()
+		c200, c304, cOther = cv.With("200"), cv.With("304"), cv.With("other")
+	}
+
+	var (
+		wg      sync.WaitGroup
+		results = make([]workerResult, cfg.Concurrency)
+	)
+	deadline := time.Time{}
+	if cfg.Requests <= 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = runWorker(ctx, h, cfg, id, total, start, deadline,
+				hist, c200, c304, cOther)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var out Result
+	var samples []time.Duration
+	for _, wr := range results {
+		out.Requests += wr.requests
+		out.Status200 += wr.s200
+		out.Status304 += wr.s304
+		out.Other += wr.other
+		out.Bytes += wr.bytes
+		samples = append(samples, wr.samples...)
+	}
+	out.Elapsed = elapsed
+	if elapsed > 0 {
+		out.RPS = float64(out.Requests) / elapsed.Seconds()
+	}
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		out.P50 = quantile(samples, 0.50)
+		out.P90 = quantile(samples, 0.90)
+		out.P99 = quantile(samples, 0.99)
+		out.Max = samples[len(samples)-1]
+	}
+	return out, ctx.Err()
+}
+
+// quantile reads the q-th quantile from sorted samples (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+type workerResult struct {
+	requests, s200, s304, other, bytes int64
+	samples                            []time.Duration
+}
+
+// runWorker issues worker id's slice of the request schedule: in budget
+// mode the global requests k with k % Concurrency == id, in duration mode
+// an unbounded local sequence. Open-loop pacing assigns global request k
+// the due time start + k/RPS and never forgives lateness.
+func runWorker(ctx context.Context, h http.Handler, cfg Config, id, totalWeight int,
+	start time.Time, deadline time.Time,
+	hist *telemetry.Histogram, c200, c304, cOther *telemetry.Counter) workerResult {
+
+	rng := fastrand.New(cfg.Seed + int64(id)*1_000_003)
+	// One reusable request per mix entry; the response writer's header map
+	// persists across requests like a real connection's would.
+	reqs := make([]*http.Request, len(cfg.Mix))
+	for i, e := range cfg.Mix {
+		reqs[i] = httptest.NewRequest(http.MethodGet, e.Path, nil)
+	}
+	lastETag := make([]string, len(cfg.Mix))
+	w := &nullWriter{h: make(http.Header)}
+
+	var wr workerResult
+	if cfg.Requests > 0 {
+		wr.samples = make([]time.Duration, 0, (cfg.Requests+cfg.Concurrency-1)/cfg.Concurrency)
+	}
+	for k := id; ; k += cfg.Concurrency {
+		if cfg.Requests > 0 {
+			if k >= cfg.Requests {
+				return wr
+			}
+		} else if time.Now().After(deadline) {
+			return wr
+		}
+		if ctx.Err() != nil {
+			return wr
+		}
+		if cfg.RPS > 0 {
+			due := start.Add(time.Duration(float64(k) / cfg.RPS * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+
+		// Weighted endpoint draw — deterministic per (seed, worker).
+		n := rng.Intn(totalWeight)
+		ei := 0
+		for n >= cfg.Mix[ei].Weight {
+			n -= cfg.Mix[ei].Weight
+			ei++
+		}
+		req := reqs[ei]
+		if cfg.Revalidate {
+			if lastETag[ei] != "" {
+				req.Header["If-None-Match"] = []string{lastETag[ei]}
+			} else {
+				delete(req.Header, "If-None-Match")
+			}
+		}
+
+		w.code = http.StatusOK
+		w.n = 0
+		t0 := time.Now()
+		h.ServeHTTP(w, req)
+		lat := time.Since(t0)
+
+		wr.requests++
+		wr.bytes += w.n
+		wr.samples = append(wr.samples, lat)
+		switch w.code {
+		case http.StatusOK:
+			wr.s200++
+			if c200 != nil {
+				c200.Inc()
+			}
+		case http.StatusNotModified:
+			wr.s304++
+			if c304 != nil {
+				c304.Inc()
+			}
+		default:
+			wr.other++
+			if cOther != nil {
+				cOther.Inc()
+			}
+		}
+		if hist != nil {
+			hist.Observe(lat.Seconds())
+		}
+		if cfg.Revalidate {
+			if et := w.h.Get("Etag"); et != "" {
+				lastETag[ei] = et
+			}
+		}
+	}
+}
+
+// nullWriter counts body bytes and captures the status; its header map is
+// reused across requests.
+type nullWriter struct {
+	h    http.Header
+	code int
+	n    int64
+}
+
+func (w *nullWriter) Header() http.Header  { return w.h }
+func (w *nullWriter) WriteHeader(code int) { w.code = code }
+func (w *nullWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}

@@ -6,10 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
-
-	"repro/internal/core"
 )
 
 // APIConfig wires the HTTP layer. Scheduler is required; everything else
@@ -24,6 +21,11 @@ type APIConfig struct {
 	RequestTimeout time.Duration
 	// Heartbeat is the SSE keep-alive comment interval (default 15s).
 	Heartbeat time.Duration
+	// DisableResponseCache turns off the /v1 response cache and the
+	// ETag/If-None-Match machinery that rides on it (leaksd
+	// -respcache=false; benchmarks use it to measure cold renders). Every
+	// GET then renders fresh — correct, just not allocation-free.
+	DisableResponseCache bool
 	// Now is the wall clock (default time.Now).
 	Now func() time.Time
 }
@@ -32,6 +34,14 @@ type api struct {
 	cfg   APIConfig
 	sched *Scheduler
 	start time.Time
+
+	mux *http.ServeMux
+	// endpoints maps URL paths to the zero-alloc cached serving path;
+	// ServeHTTP consults it before the mux for GET/HEAD requests.
+	endpoints map[string]*cachedEndpoint
+	// providers is the known-provider set, built once: ProviderByName
+	// allocates the profile slice per call, which the hot path cannot.
+	providers map[string]struct{}
 }
 
 // NewHandler builds the leaksd HTTP API. The current surface lives under
@@ -51,6 +61,14 @@ type api struct {
 //
 // Every /v1 error response carries the structured envelope
 // {"error":{"code":"...","message":"..."}}.
+//
+// The /v1 read endpoints (scans, results, channels, providers, engine,
+// version) serve through an epoch-keyed response cache: bodies are
+// rendered once per (canonical query, epoch) and replayed with zero heap
+// allocations until the backing state mutates, and every 200 carries a
+// strong ETag derived from the epoch snapshot so If-None-Match
+// revalidation answers 304 for free. docs/SERVING.md documents the
+// contract.
 //
 // The pre-versioning routes (POST /scans, GET /scans, /scans/{id},
 // /results, /channels, /providers, /events, /metrics, /healthz, /version)
@@ -76,20 +94,41 @@ func NewHandler(cfg APIConfig) http.Handler {
 	}
 	a := &api{cfg: cfg, sched: cfg.Scheduler, start: cfg.Now()}
 
-	mux := http.NewServeMux()
+	a.providers = make(map[string]struct{})
+	for _, name := range ProviderNames() {
+		a.providers[name] = struct{}{}
+	}
+	s := cfg.Scheduler
+	a.endpoints = map[string]*cachedEndpoint{
+		"/v1/scans": a.newCachedEndpoint("scans", true,
+			func() (uint64, bool) { return s.JobsEpoch(), true }, a.renderScans),
+		"/v1/results": a.newCachedEndpoint("results", true,
+			func() (uint64, bool) { return s.ResultsEpoch(), true }, a.renderResults),
+		"/v1/channels":  a.newCachedEndpoint("channels", false, staticEpoch, a.renderChannels),
+		"/v1/providers": a.newCachedEndpoint("providers", false, staticEpoch, a.renderProviders),
+		"/v1/engine": a.newCachedEndpoint("engine", false,
+			func() (uint64, bool) { return s.EngineEpoch(), s.RunningScans() == 0 }, a.renderEngine),
+		"/v1/version": a.newCachedEndpoint("version", false, staticEpoch, a.renderVersion),
+	}
 
-	// Versioned surface: structured error envelope, pagination, filters.
+	mux := http.NewServeMux()
+	a.mux = mux
+
+	// Versioned surface: structured error envelope, pagination, filters,
+	// and (on the read endpoints) the epoch-keyed response cache. Cached
+	// GETs short-circuit in ServeHTTP; their mux registrations exist so
+	// other methods keep 405 semantics.
 	mux.HandleFunc("POST /v1/scans", a.timed(a.postScanV1))
-	mux.HandleFunc("GET /v1/scans", a.timed(a.listScansV1))
+	mux.HandleFunc("GET /v1/scans", a.cachedHandler("/v1/scans"))
 	mux.HandleFunc("GET /v1/scans/{id}", a.timed(a.getScanV1))
-	mux.HandleFunc("GET /v1/results", a.timed(a.getResultsV1))
-	mux.HandleFunc("GET /v1/channels", a.timed(a.getChannels))
-	mux.HandleFunc("GET /v1/providers", a.timed(a.getProviders))
-	mux.HandleFunc("GET /v1/engine", a.timed(a.getEngine))
+	mux.HandleFunc("GET /v1/results", a.cachedHandler("/v1/results"))
+	mux.HandleFunc("GET /v1/channels", a.cachedHandler("/v1/channels"))
+	mux.HandleFunc("GET /v1/providers", a.cachedHandler("/v1/providers"))
+	mux.HandleFunc("GET /v1/engine", a.cachedHandler("/v1/engine"))
 	mux.HandleFunc("GET /v1/events", a.events) // untimed: streams
 	mux.HandleFunc("GET /v1/metrics", a.metrics)
 	mux.HandleFunc("GET /v1/healthz", a.timed(a.healthz))
-	mux.HandleFunc("GET /v1/version", a.timed(a.version))
+	mux.HandleFunc("GET /v1/version", a.cachedHandler("/v1/version"))
 
 	// Legacy aliases: byte-identical pre-/v1 behaviour plus deprecation
 	// headers. Handlers that never grew /v1-only behaviour are shared.
@@ -103,7 +142,7 @@ func NewHandler(cfg APIConfig) http.Handler {
 	mux.HandleFunc("GET /metrics", a.deprecated("/v1/metrics", a.metrics))
 	mux.HandleFunc("GET /healthz", a.deprecated("/v1/healthz", a.timed(a.healthz)))
 	mux.HandleFunc("GET /version", a.deprecated("/v1/version", a.timed(a.version)))
-	return mux
+	return a
 }
 
 // timed wraps a handler with the request-scoped timeout.
@@ -222,111 +261,6 @@ func (a *api) listScansLegacy(w http.ResponseWriter, _ *http.Request) {
 	}{Scans: a.sched.Jobs()})
 }
 
-// page is the parsed limit/offset pair. limit -1 means "no limit" (the
-// parameter was absent).
-type page struct {
-	limit, offset int
-}
-
-// parsePage extracts limit/offset from the query. Absent limit returns
-// every element; limit=0 is a valid "count only" request returning an
-// empty page; negative values and non-integers are client errors.
-func parsePage(r *http.Request, fail errWriter, w http.ResponseWriter) (page, bool) {
-	p := page{limit: -1}
-	q := r.URL.Query()
-	if s := q.Get("limit"); s != "" {
-		n, err := strconv.Atoi(s)
-		if err != nil || n < 0 {
-			fail(w, http.StatusBadRequest, codeBadRequest, "invalid limit %q: non-negative integer required", s)
-			return p, false
-		}
-		p.limit = n
-	}
-	if s := q.Get("offset"); s != "" {
-		n, err := strconv.Atoi(s)
-		if err != nil || n < 0 {
-			fail(w, http.StatusBadRequest, codeBadRequest, "invalid offset %q: non-negative integer required", s)
-			return p, false
-		}
-		p.offset = n
-	}
-	return p, true
-}
-
-// slicePage applies the window to a slice of length n, returning the
-// half-open [lo, hi) index range. Offsets past the end yield an empty
-// window rather than an error — a stable contract for pollers walking a
-// list that can shrink between requests.
-func (p page) slice(n int) (lo, hi int) {
-	if p.offset >= n {
-		return n, n
-	}
-	lo = p.offset
-	hi = n
-	if p.limit >= 0 && lo+p.limit < n {
-		hi = lo + p.limit
-	}
-	return lo, hi
-}
-
-// parseVerdict canonicalizes the ?verdict= filter: the availability glyphs
-// themselves or their ASCII names. Empty means "no filter".
-func parseVerdict(s string) (string, bool) {
-	switch s {
-	case "":
-		return "", true
-	case "available", core.Available.String():
-		return core.Available.String(), true
-	case "partial", core.PartiallyAvailable.String():
-		return core.PartiallyAvailable.String(), true
-	case "unavailable", core.Unavailable.String():
-		return core.Unavailable.String(), true
-	}
-	return "", false
-}
-
-// listScansV1 serves the paginated, filterable job list. Filters apply
-// before pagination; X-Total-Count is the post-filter total so clients can
-// window through exactly the matching set.
-func (a *api) listScansV1(w http.ResponseWriter, r *http.Request) {
-	pg, ok := parsePage(r, writeErrorV1, w)
-	if !ok {
-		return
-	}
-	q := r.URL.Query()
-	provider := q.Get("provider")
-	if provider != "" {
-		if _, known := ProviderByName(provider); !known {
-			writeErrorV1(w, http.StatusNotFound, codeNotFound,
-				"unknown provider %q (one of %v)", provider, ProviderNames())
-			return
-		}
-	}
-	verdict, ok := parseVerdict(q.Get("verdict"))
-	if !ok {
-		writeErrorV1(w, http.StatusBadRequest, codeBadRequest,
-			"invalid verdict %q (one of available, partial, unavailable)", q.Get("verdict"))
-		return
-	}
-
-	jobs := a.sched.Jobs()
-	filtered := jobs[:0:0]
-	for _, j := range jobs {
-		if provider != "" && j.Request.Provider != provider {
-			continue
-		}
-		if verdict != "" && !jobHasVerdict(j, verdict) {
-			continue
-		}
-		filtered = append(filtered, j)
-	}
-	lo, hi := pg.slice(len(filtered))
-	w.Header().Set("X-Total-Count", strconv.Itoa(len(filtered)))
-	writeJSON(w, http.StatusOK, struct {
-		Scans []Job `json:"scans"`
-	}{Scans: filtered[lo:hi]})
-}
-
 // jobHasVerdict reports whether any verdict cell of the job's result
 // carries the given availability glyph.
 func jobHasVerdict(j Job, verdict string) bool {
@@ -367,55 +301,6 @@ func (a *api) getResultsLegacy(w http.ResponseWriter, r *http.Request) {
 	}{Results: a.sched.Results(provider)})
 }
 
-// getResultsV1 serves the paginated, filterable verdict list. ?verdict=
-// narrows each provider's cells to one availability and drops providers
-// left with none; pagination windows over the provider entries.
-func (a *api) getResultsV1(w http.ResponseWriter, r *http.Request) {
-	pg, ok := parsePage(r, writeErrorV1, w)
-	if !ok {
-		return
-	}
-	q := r.URL.Query()
-	provider := q.Get("provider")
-	if provider != "" {
-		if _, known := ProviderByName(provider); !known {
-			writeErrorV1(w, http.StatusNotFound, codeNotFound,
-				"unknown provider %q (one of %v)", provider, ProviderNames())
-			return
-		}
-	}
-	verdict, ok := parseVerdict(q.Get("verdict"))
-	if !ok {
-		writeErrorV1(w, http.StatusBadRequest, codeBadRequest,
-			"invalid verdict %q (one of available, partial, unavailable)", q.Get("verdict"))
-		return
-	}
-
-	results := a.sched.Results(provider)
-	if verdict != "" {
-		filtered := results[:0:0]
-		for _, pv := range results {
-			var cells []Verdict
-			for _, v := range pv.Verdicts {
-				if v.Availability == verdict {
-					cells = append(cells, v)
-				}
-			}
-			if len(cells) == 0 {
-				continue
-			}
-			pv.Verdicts = cells
-			filtered = append(filtered, pv)
-		}
-		results = filtered
-	}
-	lo, hi := pg.slice(len(results))
-	w.Header().Set("X-Total-Count", strconv.Itoa(len(results)))
-	writeJSON(w, http.StatusOK, struct {
-		Results []ProviderVerdicts `json:"results"`
-	}{Results: results[lo:hi]})
-}
-
 func (a *api) getChannels(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Channels []ChannelInfo `json:"channels"`
@@ -426,13 +311,6 @@ func (a *api) getProviders(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Providers []string `json:"providers"`
 	}{Providers: ProviderNames()})
-}
-
-// getEngine serves the incremental engine's aggregate cache and epoch
-// statistics — session-pool effectiveness plus the summed counters of
-// every live session engine.
-func (a *api) getEngine(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, a.sched.EngineInfo())
 }
 
 func (a *api) metrics(w http.ResponseWriter, _ *http.Request) {

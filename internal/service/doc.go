@@ -1,0 +1,28 @@
+// Package service is the long-running heart of leaksd: a scan scheduler
+// with a bounded job queue, per-job deadlines, retry with exponential
+// backoff, an in-memory result store (TTL + LRU + content-hash dedup), a
+// recurring-scan facility, and an event hub streaming leakage-verdict
+// changes to SSE subscribers. It turns the one-shot experiment entry
+// points of internal/experiments into named jobs that many concurrent
+// clients can submit, poll, and watch — the production shape the paper's
+// Fig. 1 framework takes when it monitors container fleets continuously
+// instead of auditing them once.
+//
+// Determinism carries over from the experiment layer: a scan request's
+// identity deliberately excludes the worker count (the concurrency
+// contract guarantees byte-identical output at any -j), so two clients
+// asking the same question at different parallelism share one cached
+// answer.
+//
+// # Serving path
+//
+// The HTTP layer (NewHandler) serves the /v1 read endpoints through an
+// epoch-keyed response cache (internal/service/respcache). The scheduler
+// maintains one serving epoch per endpoint family — jobsEpoch for
+// /v1/scans, resultsEpoch for /v1/results, engineEpoch for /v1/engine —
+// bumped inside the same critical section as every mutation that can
+// change the endpoint's bytes. A response rendered at epoch E is replayed
+// with zero heap allocations until the epoch moves, and its strong ETag
+// ("<endpoint>-e<E>") lets If-None-Match clients revalidate for free.
+// docs/SERVING.md documents the full contract; cmd/leaksload measures it.
+package service

@@ -49,6 +49,17 @@ type Metrics struct {
 	// can be evicted, so the aggregate is not monotone).
 	EngineFindingHits, EngineFindingMisses *telemetry.GaugeVec
 	EngineHostRenders, EngineHostHits      *telemetry.GaugeVec
+	// HTTPRequests counts /v1 read-path responses by endpoint and status
+	// ("200" or "304"); HTTPRequestSeconds is the serving latency. The
+	// serving path resolves each child once at handler construction — With
+	// on every request would allocate, and the cache-hit path is contracted
+	// to zero allocations.
+	HTTPRequests       *telemetry.CounterVec
+	HTTPRequestSeconds *telemetry.HistogramVec
+	// HTTPCacheHits / HTTPCacheMisses count response-cache lookups by
+	// endpoint. A miss is a cold render (epoch just bumped, new window, or
+	// the cache is disabled).
+	HTTPCacheHits, HTTPCacheMisses *telemetry.CounterVec
 }
 
 // NewMetrics registers every scheduler metric on reg (a fresh registry if
@@ -101,5 +112,14 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Aggregate genuine host-side pseudo-file renders."),
 		EngineHostHits: reg.Gauge("leaksd_engine_host_hits",
 			"Aggregate host-side reads served from the shared render cache."),
+		HTTPRequests: reg.Counter("leaksd_http_requests_total",
+			"Cached /v1 read-path responses by endpoint and status.", "endpoint", "status"),
+		HTTPRequestSeconds: reg.Histogram("leaksd_http_request_seconds",
+			"Cached /v1 read-path serving latency by endpoint.",
+			telemetry.DefaultServingBuckets(), "endpoint"),
+		HTTPCacheHits: reg.Counter("leaksd_http_respcache_hits_total",
+			"Response-cache lookups served from a prebuilt entry, by endpoint.", "endpoint"),
+		HTTPCacheMisses: reg.Counter("leaksd_http_respcache_misses_total",
+			"Response-cache lookups that required a cold render, by endpoint.", "endpoint"),
 	}
 }

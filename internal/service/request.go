@@ -1,18 +1,3 @@
-// Package service is the long-running heart of leaksd: a scan scheduler
-// with a bounded job queue, per-job deadlines, retry with exponential
-// backoff, an in-memory result store (TTL + LRU + content-hash dedup), a
-// recurring-scan facility, and an event hub streaming leakage-verdict
-// changes to SSE subscribers. It turns the one-shot experiment entry
-// points of internal/experiments into named jobs that many concurrent
-// clients can submit, poll, and watch — the production shape the paper's
-// Fig. 1 framework takes when it monitors container fleets continuously
-// instead of auditing them once.
-//
-// Determinism carries over from the experiment layer: a scan request's
-// identity deliberately excludes the worker count (the concurrency
-// contract guarantees byte-identical output at any -j), so two clients
-// asking the same question at different parallelism share one cached
-// answer.
 package service
 
 import (
@@ -23,6 +8,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/experiments"
+	"repro/internal/service/respcache"
 )
 
 // Kind names a scan job type — the job-shaped entry points of
@@ -151,10 +137,16 @@ func (r ScanRequest) Chaos() chaos.Spec {
 // Key is the content hash under which this request's result is stored:
 // identical scan configs dedup to one cache entry. The canonical string
 // covers everything that can change the output bytes — kind, provider,
-// seed, chaos spec — and nothing that cannot (worker count).
+// seed, chaos spec — and nothing that cannot (worker count, pagination).
+// The provider/pagination portion renders through respcache.Query.Canonical
+// — the same canonicalizer the /v1 response cache keys on — so the scan
+// dedup key and the response-cache key cannot drift apart on how
+// equivalent spellings (limit=50 vs absent, reordered parameters)
+// canonicalize.
 func (r ScanRequest) Key() string {
 	n := r.Normalize()
-	canon := fmt.Sprintf("v1|%s|%s|%d|%g|%d", n.Kind, n.Provider, n.Seed, n.ChaosRate, n.ChaosSeed)
+	q := respcache.Query{Provider: n.Provider, Limit: respcache.NoLimit}
+	canon := fmt.Sprintf("v2|%s|%s|%d|%g|%d", n.Kind, q.Canonical(), n.Seed, n.ChaosRate, n.ChaosSeed)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:16])
 }

@@ -1,0 +1,31 @@
+// Package respcache is the pre-rendered response cache behind leaksd's
+// /v1 read path. The incremental engine's epoch machinery (internal/kernel,
+// internal/engine) proves that a response body is immutable until some
+// tracked state mutates; this package turns that invariant into HTTP
+// serving machinery:
+//
+//   - Query is the canonical filter+pagination parameter set. ParseQuery
+//     canonicalizes a raw query string without allocating on well-formed
+//     input (reordered parameters, absent-vs-default spellings, and unknown
+//     parameters all collapse to one canonical Query), so equivalent
+//     request spellings share one cache entry. The same canonicalizer
+//     backs ScanRequest.Key in internal/service — the scan dedup key and
+//     the response cache key cannot drift apart.
+//   - Cache maps (Query, epoch) to a prebuilt Entry and holds entries for
+//     exactly one epoch: storing under a newer epoch drops every older
+//     entry, which is the whole invalidation story — nothing expires,
+//     nothing is patched, an epoch bump simply makes the old world
+//     unreachable.
+//   - Entry is a fully rendered response: status, body bytes, and
+//     pre-allocated header value slices (ETag, X-Total-Count,
+//     Content-Type), so serving a hit is two map assignments, a
+//     WriteHeader, and one Write — zero heap allocations. The ETag is
+//     derived from the epoch snapshot, so If-None-Match revalidation
+//     answers 304 without touching the body at all.
+//
+// The cache deliberately has no TTL and no per-entry eviction: epoch bumps
+// are the only invalidation, exactly mirroring the engine's "responses are
+// immutable until an epoch bumps" contract. A small capacity bound guards
+// against adversarial pagination spam (distinct limit/offset pairs);
+// beyond it, responses are still served, just not retained.
+package respcache

@@ -163,6 +163,24 @@ type Scheduler struct {
 	recStop  chan struct{}
 	draining atomic.Bool
 	started  atomic.Bool
+
+	// Serving epochs back the /v1 response cache (internal/service/respcache):
+	// each counts the mutations that can change one read endpoint's bytes, and
+	// every bump happens inside the same critical section as the mutation it
+	// reports, so a render that reads the epoch first and the data second can
+	// never cache new bytes under an old epoch.
+	//
+	//   jobsEpoch    any Job field mutation (GET /v1/scans)
+	//   resultsEpoch a latest-verdict update (GET /v1/results)
+	//   engineEpoch  a real scan touched the session pool (GET /v1/engine)
+	//
+	// running counts scans currently executing; /v1/engine is only cacheable
+	// at quiescence (running == 0), because a mid-scan pool snapshot changes
+	// without an epoch bump.
+	jobsEpoch    atomic.Uint64
+	resultsEpoch atomic.Uint64
+	engineEpoch  atomic.Uint64
+	running      atomic.Int64
 }
 
 // New builds a scheduler (not yet running; call Start). met == nil
@@ -228,14 +246,18 @@ func (s *Scheduler) submit(req ScanRequest, name string) (Job, error) {
 		s.met.CacheHits.With().Inc()
 		job := s.newJob(req, name)
 		now := s.cfg.Now()
+		s.mu.Lock()
 		job.Status = StatusDone
 		job.CacheHit = true
 		job.Result = res
 		job.StartedAt = now
 		job.FinishedAt = now
+		snap := *job
+		s.jobsEpoch.Add(1)
+		s.mu.Unlock()
 		s.met.ScansTotal.With(string(req.Kind), string(StatusDone)).Inc()
 		s.publish(Event{Type: EventScanDone, JobID: job.ID, Kind: req.Kind, CacheHit: true})
-		return *job, nil
+		return snap, nil
 	}
 	s.met.CacheMisses.With().Inc()
 
@@ -268,6 +290,7 @@ func (s *Scheduler) failJob(job *Job, err error) {
 	job.Status = StatusFailed
 	job.Error = err.Error()
 	job.FinishedAt = s.cfg.Now()
+	s.jobsEpoch.Add(1)
 	s.mu.Unlock()
 }
 
@@ -285,6 +308,7 @@ func (s *Scheduler) newJob(req ScanRequest, name string) *Job {
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	s.jobsEpoch.Add(1)
 	return job
 }
 
@@ -299,7 +323,10 @@ func (s *Scheduler) runJob(job *Job) {
 	s.mu.Lock()
 	job.Status = StatusRunning
 	job.StartedAt = s.cfg.Now()
+	s.jobsEpoch.Add(1)
 	s.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
 	s.met.Inflight.With().Add(1)
 	defer s.met.Inflight.With().Add(-1)
 
@@ -318,6 +345,7 @@ func (s *Scheduler) runJob(job *Job) {
 		}
 		s.mu.Lock()
 		job.Attempts = attempt
+		s.jobsEpoch.Add(1)
 		s.mu.Unlock()
 
 		jctx, cancel := context.WithTimeout(s.ctx, s.cfg.JobTimeout)
@@ -344,8 +372,25 @@ func (s *Scheduler) run(ctx context.Context, req ScanRequest) (*ScanResult, erro
 	}
 	res, err := runScanWith(ctx, req, s.pool)
 	s.syncEngineMetrics()
+	s.engineEpoch.Add(1)
 	return res, err
 }
+
+// JobsEpoch counts Job mutations — the /v1/scans serving epoch.
+func (s *Scheduler) JobsEpoch() uint64 { return s.jobsEpoch.Load() }
+
+// ResultsEpoch counts latest-verdict updates — the /v1/results serving
+// epoch.
+func (s *Scheduler) ResultsEpoch() uint64 { return s.resultsEpoch.Load() }
+
+// EngineEpoch counts session-pool generations — the /v1/engine serving
+// epoch. Only meaningful at quiescence; see RunningScans.
+func (s *Scheduler) EngineEpoch() uint64 { return s.engineEpoch.Load() }
+
+// RunningScans reports how many scans are executing right now. While it is
+// non-zero the session pool mutates without epoch bumps, so /v1/engine
+// bypasses its response cache.
+func (s *Scheduler) RunningScans() int64 { return s.running.Load() }
 
 // EngineInfo snapshots the session pool and the aggregate incremental
 // engine counters — what GET /v1/engine serves.
@@ -383,6 +428,7 @@ func (s *Scheduler) finish(job *Job, res *ScanResult, err error) {
 		job.Status = status
 		job.Error = err.Error()
 		job.FinishedAt = now
+		s.jobsEpoch.Add(1)
 		s.mu.Unlock()
 		s.met.ScansTotal.With(string(job.Request.Kind), string(status)).Inc()
 		s.publish(Event{Type: EventScanFailed, JobID: job.ID, Kind: job.Request.Kind, Error: err.Error()})
@@ -423,6 +469,8 @@ func (s *Scheduler) finish(job *Job, res *ScanResult, err error) {
 	job.Status = StatusDone
 	job.Result = res
 	job.FinishedAt = now
+	s.jobsEpoch.Add(1)
+	s.resultsEpoch.Add(1)
 	s.mu.Unlock()
 
 	s.met.ScansTotal.With(string(job.Request.Kind), string(StatusDone)).Inc()

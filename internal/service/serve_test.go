@@ -1,0 +1,350 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fastrand"
+)
+
+// doGet drives a handler directly (no TCP) with an optional If-None-Match.
+func doGet(h http.Handler, target, inm string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// waitScan submits a scan and waits for its terminal snapshot.
+func waitScan(t *testing.T, s *Scheduler, req ScanRequest) Job {
+	t.Helper()
+	job, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !job.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", job.ID, job.Status)
+		}
+		time.Sleep(time.Millisecond)
+		job, _ = s.JobByID(job.ID)
+	}
+	return job
+}
+
+// TestV1CacheHitBodiesMatchColdRenders is the cache-correctness property
+// test: two handlers over ONE scheduler — cached and cache-disabled —
+// must answer every query with byte-identical bodies across a randomized
+// sequence of queries and state mutations, and a repeated query (a
+// guaranteed cache hit) must replay the same bytes.
+func TestV1CacheHitBodiesMatchColdRenders(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 2}, fakeInspectRunner)
+	cached := NewHandler(APIConfig{Scheduler: s, Version: "v"})
+	cold := NewHandler(APIConfig{Scheduler: s, Version: "v", DisableResponseCache: true})
+
+	rng := fastrand.New(42)
+	pick := func(opts []string) string { return opts[rng.Intn(len(opts))] }
+	providers := []string{"", "provider=local", "provider=cc1", "provider=cc2", "provider=nope"}
+	verdicts := []string{"", "verdict=available", "verdict=●", "verdict=partial", "verdict=◐",
+		"verdict=unavailable", "verdict=bogus"}
+	limits := []string{"", "limit=0", "limit=1", "limit=2", "limit=50", "limit=-1"}
+	offsets := []string{"", "offset=0", "offset=1", "offset=3", "offset=99"}
+	endpoints := []string{"/v1/results", "/v1/scans", "/v1/channels", "/v1/providers", "/v1/engine", "/v1/version"}
+	mutProviders := []string{"local", "cc1", "cc2"}
+
+	for i := 0; i < 400; i++ {
+		if rng.Intn(8) == 0 {
+			waitScan(t, s, ScanRequest{
+				Kind:     KindInspect,
+				Provider: mutProviders[rng.Intn(len(mutProviders))],
+				Seed:     int64(1 + rng.Intn(3)),
+			})
+		}
+		target := endpoints[rng.Intn(len(endpoints))]
+		if target == "/v1/results" || target == "/v1/scans" {
+			params := []string{pick(providers), pick(verdicts), pick(limits), pick(offsets)}
+			// Shuffle: parameter order must not matter.
+			for j := len(params) - 1; j > 0; j-- {
+				k := rng.Intn(j + 1)
+				params[j], params[k] = params[k], params[j]
+			}
+			var nonEmpty []string
+			for _, p := range params {
+				if p != "" {
+					nonEmpty = append(nonEmpty, p)
+				}
+			}
+			if len(nonEmpty) > 0 {
+				target += "?" + strings.Join(nonEmpty, "&")
+			}
+		}
+
+		warm := doGet(cached, target, "") // miss or hit, depending on history
+		hit := doGet(cached, target, "")  // guaranteed hit (no mutation between)
+		fresh := doGet(cold, target, "")
+
+		if warm.Code != fresh.Code || hit.Code != fresh.Code {
+			t.Fatalf("step %d %s: status cached=%d/%d cold=%d", i, target, warm.Code, hit.Code, fresh.Code)
+		}
+		if warm.Body.String() != fresh.Body.String() {
+			t.Fatalf("step %d %s: cached body diverged from cold render:\ncached: %s\ncold:   %s",
+				i, target, warm.Body.String(), fresh.Body.String())
+		}
+		if hit.Body.String() != fresh.Body.String() {
+			t.Fatalf("step %d %s: cache-hit body diverged from cold render", i, target)
+		}
+		if got, want := warm.Header().Get("X-Total-Count"), fresh.Header().Get("X-Total-Count"); got != want {
+			t.Fatalf("step %d %s: X-Total-Count cached=%q cold=%q", i, target, got, want)
+		}
+	}
+}
+
+// TestV1ETagLifecycle: a 200 carries a strong epoch-derived ETag,
+// If-None-Match revalidates with a 304, and any scheduler mutation bumps
+// the tag so stale validators fetch fresh bytes.
+func TestV1ETagLifecycle(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 2}, fakeInspectRunner)
+	h := NewHandler(APIConfig{Scheduler: s, Version: "v"})
+
+	first := doGet(h, "/v1/results", "")
+	etag := first.Header().Get("ETag")
+	if first.Code != http.StatusOK || etag == "" {
+		t.Fatalf("GET /v1/results: code=%d etag=%q", first.Code, etag)
+	}
+	if !strings.HasPrefix(etag, `"results-e`) {
+		t.Fatalf("ETag %q does not carry the endpoint-epoch form", etag)
+	}
+	if rec := doGet(h, "/v1/results", etag); rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+		t.Fatalf("revalidation: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	// A completed scan mutates the verdict state: new epoch, new tag, and
+	// the stale validator gets a full 200.
+	waitScan(t, s, ScanRequest{Kind: KindInspect, Provider: "cc2"})
+	second := doGet(h, "/v1/results", etag)
+	if second.Code != http.StatusOK {
+		t.Fatalf("stale If-None-Match after mutation: code=%d, want 200", second.Code)
+	}
+	if newTag := second.Header().Get("ETag"); newTag == etag || newTag == "" {
+		t.Fatalf("ETag did not bump across a mutation: %q -> %q", etag, newTag)
+	}
+
+	// /v1/scans watches job mutations: even a cache-hit submission (a new
+	// done job) bumps it.
+	before := doGet(h, "/v1/scans", "").Header().Get("ETag")
+	waitScan(t, s, ScanRequest{Kind: KindInspect, Provider: "cc2"}) // dedup hit
+	if after := doGet(h, "/v1/scans", "").Header().Get("ETag"); after == before {
+		t.Fatalf("scans ETag did not bump across a submission: %q", after)
+	}
+
+	// Static endpoints revalidate forever.
+	for _, ep := range []string{"/v1/channels", "/v1/providers", "/v1/version"} {
+		tag := doGet(h, ep, "").Header().Get("ETag")
+		if tag == "" {
+			t.Fatalf("%s: no ETag", ep)
+		}
+		if rec := doGet(h, ep, tag); rec.Code != http.StatusNotModified {
+			t.Fatalf("%s: revalidation code=%d", ep, rec.Code)
+		}
+	}
+}
+
+// TestV1EngineETagBumpsOnRealScan drives the REAL scan path (no fake
+// runner): engine session churn and a chaos-armed kernel mutation must
+// both move the /v1/engine and /v1/results ETags.
+func TestV1EngineETagBumpsOnRealScan(t *testing.T) {
+	s := New(Config{Workers: 1}, nil)
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	h := NewHandler(APIConfig{Scheduler: s, Version: "v"})
+
+	engineBefore := doGet(h, "/v1/engine", "").Header().Get("ETag")
+	resultsBefore := doGet(h, "/v1/results", "").Header().Get("ETag")
+
+	// Session churn: a chaos-free inspect builds a pooled engine world.
+	waitScan(t, s, ScanRequest{Kind: KindInspect, Provider: "local"})
+	engineMid := doGet(h, "/v1/engine", "").Header().Get("ETag")
+	if engineMid == engineBefore || engineMid == "" {
+		t.Fatalf("engine ETag did not bump on session churn: %q -> %q", engineBefore, engineMid)
+	}
+
+	// Kernel mutation under chaos: fault injection on the observation
+	// surface still lands results and bumps both surfaces.
+	waitScan(t, s, ScanRequest{Kind: KindInspect, Provider: "local", ChaosRate: 0.3, ChaosSeed: 7})
+	if engineAfter := doGet(h, "/v1/engine", "").Header().Get("ETag"); engineAfter == engineMid {
+		t.Fatalf("engine ETag did not bump on a chaos scan: %q", engineAfter)
+	}
+	if resultsAfter := doGet(h, "/v1/results", "").Header().Get("ETag"); resultsAfter == resultsBefore {
+		t.Fatalf("results ETag did not bump on a chaos scan: %q", resultsAfter)
+	}
+}
+
+// TestV1EngineUncacheableWhileScanning: while a scan is in flight the
+// session pool mutates without epoch bumps, so /v1/engine must bypass the
+// cache — no ETag, no 304 — and resume caching at quiescence.
+func TestV1EngineUncacheableWhileScanning(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s := newTestScheduler(t, Config{Workers: 1}, func(_ context.Context, req ScanRequest) (*ScanResult, error) {
+		close(started)
+		<-release
+		return fakeResult(req), nil
+	})
+	h := NewHandler(APIConfig{Scheduler: s, Version: "v"})
+
+	quietTag := doGet(h, "/v1/engine", "").Header().Get("ETag")
+	if quietTag == "" {
+		t.Fatal("quiescent /v1/engine carried no ETag")
+	}
+
+	if _, err := s.Submit(ScanRequest{Kind: KindTable1}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	busy := doGet(h, "/v1/engine", quietTag)
+	if busy.Code != http.StatusOK {
+		t.Fatalf("busy /v1/engine honoured If-None-Match: code=%d", busy.Code)
+	}
+	if tag := busy.Header().Get("ETag"); tag != "" {
+		t.Fatalf("busy /v1/engine carried ETag %q; must be uncacheable mid-scan", tag)
+	}
+	close(release)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.RunningScans() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scan did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if tag := doGet(h, "/v1/engine", "").Header().Get("ETag"); tag == "" {
+		t.Fatal("quiescent /v1/engine lost its ETag")
+	}
+}
+
+// TestV1EquivalentSpellingsShareCacheEntry: canonicalization means the
+// second and later equivalent spellings are cache hits, not renders.
+func TestV1EquivalentSpellingsShareCacheEntry(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 2}, fakeInspectRunner)
+	h := NewHandler(APIConfig{Scheduler: s, Version: "v"})
+	waitScan(t, s, ScanRequest{Kind: KindInspect, Provider: "local"})
+
+	hits := s.Metrics().HTTPCacheHits.With("results")
+	misses := s.Metrics().HTTPCacheMisses.With("results")
+	spellings := []string{
+		"/v1/results?provider=local&limit=50",
+		"/v1/results?limit=50&provider=local",          // reordered
+		"/v1/results?limit=50&provider=local&offset=0", // default spelled out
+		"/v1/results?provider=local&limit=50&foo=bar",  // unknown param
+		"/v1/results?provider=local&limit=50&limit=7",  // first duplicate wins
+	}
+	h0, m0 := hits.Value(), misses.Value()
+	for _, target := range spellings {
+		doGet(h, target, "")
+	}
+	if gotMiss := misses.Value() - m0; gotMiss != 1 {
+		t.Fatalf("equivalent spellings caused %v renders, want 1", gotMiss)
+	}
+	if gotHits := hits.Value() - h0; gotHits != float64(len(spellings)-1) {
+		t.Fatalf("equivalent spellings got %v cache hits, want %d", gotHits, len(spellings)-1)
+	}
+}
+
+// TestV1CacheDisabledServesNoETag: -respcache=false turns off both the
+// cache and the conditional-request machinery.
+func TestV1CacheDisabledServesNoETag(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 2}, fakeInspectRunner)
+	h := NewHandler(APIConfig{Scheduler: s, Version: "v", DisableResponseCache: true})
+	waitScan(t, s, ScanRequest{Kind: KindInspect, Provider: "local"})
+
+	rec := doGet(h, "/v1/results", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code=%d", rec.Code)
+	}
+	if tag := rec.Header().Get("ETag"); tag != "" {
+		t.Fatalf("cache-disabled response carried ETag %q", tag)
+	}
+	if rec := doGet(h, "/v1/results", `"results-e1"`); rec.Code != http.StatusNotModified && rec.Code != http.StatusOK {
+		t.Fatalf("code=%d", rec.Code)
+	} else if rec.Code == http.StatusNotModified {
+		t.Fatal("cache-disabled handler answered 304")
+	}
+	if got := rec.Header().Get("X-Total-Count"); got == "" {
+		t.Fatal("cache-disabled response lost X-Total-Count")
+	}
+}
+
+// TestHTTPServingMetricsExposed: the leaksd_http_* families land in the
+// Prometheus exposition after traffic.
+func TestHTTPServingMetricsExposed(t *testing.T) {
+	s := newTestScheduler(t, Config{Workers: 2}, fakeInspectRunner)
+	h := NewHandler(APIConfig{Scheduler: s, Version: "v"})
+	doGet(h, "/v1/results", "")
+	doGet(h, "/v1/results", "")
+	tag := doGet(h, "/v1/results", "").Header().Get("ETag")
+	doGet(h, "/v1/results", tag)
+
+	metrics := doGet(h, "/v1/metrics", "").Body.String()
+	for _, want := range []string{
+		`leaksd_http_requests_total{endpoint="results",status="200"} 3`,
+		`leaksd_http_requests_total{endpoint="results",status="304"} 1`,
+		`leaksd_http_respcache_hits_total{endpoint="results"} 3`,
+		`leaksd_http_respcache_misses_total{endpoint="results"} 1`,
+		"leaksd_http_request_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestScanRequestKeyCanonicalization is the regression test for the shared
+// canonicalizer: pagination/worker spellings that cannot change scan
+// output hash to one key; spellings that can change output hash apart.
+func TestScanRequestKeyCanonicalization(t *testing.T) {
+	base := ScanRequest{Kind: KindInspect, Provider: "local"}
+	same := []ScanRequest{
+		{Kind: KindInspect, Provider: "local", Limit: 50},
+		{Kind: KindInspect, Provider: "local", Offset: 3},
+		{Kind: KindInspect, Provider: "local", Limit: 50, Offset: 3, Workers: 8},
+		{Kind: KindInspect, Provider: "local", Seed: 0x1ea4}, // the historical default seed
+	}
+	for _, r := range same {
+		if r.Key() != base.Key() {
+			t.Errorf("%+v.Key() = %q, want %q (equivalent spellings must share one store entry)",
+				r, r.Key(), base.Key())
+		}
+	}
+	diff := []ScanRequest{
+		{Kind: KindInspect, Provider: "cc1"},
+		{Kind: KindInspect, Provider: "local", Seed: 2},
+		{Kind: KindInspect, Provider: "local", ChaosRate: 0.5},
+		{Kind: KindTable1},
+	}
+	seen := map[string]string{base.Key(): "base"}
+	for _, r := range diff {
+		k := r.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%+v.Key() collides with %s", r, prev)
+		}
+		seen[k] = "variant"
+	}
+	// Chaos seed defaulting matches the -chaosseed flag default.
+	a := ScanRequest{Kind: KindTable1, ChaosRate: 0.5}
+	b := ScanRequest{Kind: KindTable1, ChaosRate: 0.5, ChaosSeed: 1}
+	if a.Key() != b.Key() {
+		t.Error("chaos seed 0 and the explicit default 1 must share a key")
+	}
+}

@@ -230,6 +230,15 @@ func DefaultLatencyBuckets() []float64 {
 	return []float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
 }
 
+// DefaultServingBuckets spans the HTTP serving-latency range: a /v1
+// response-cache hit lands in single-digit microseconds, a cold render in
+// the tens-to-hundreds, and anything past a millisecond is contention.
+// DefaultLatencyBuckets starts where this one ends — scan compute and
+// request serving live three orders of magnitude apart.
+func DefaultServingBuckets() []float64 {
+	return []float64{1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 5e-3, 2.5e-2, 0.1, 1}
+}
+
 // With resolves the child for the given label values.
 func (v *HistogramVec) With(labelValues ...string) *Histogram {
 	return &Histogram{f: v.f, c: v.f.child(labelValues)}

@@ -1,14 +1,21 @@
-// Command benchguard is the CI allocation-regression gate: it reads fresh
-// `go test -bench -benchmem` text from stdin, finds one benchmark's value
-// for one metric, and compares it against the committed JSON baseline
-// (the BENCH_PR5.json archived by `make bench-json`). If the fresh value
-// exceeds baseline × (1 + -max-regress) the gate fails.
+// Command benchguard is the CI benchmark-regression gate: it reads fresh
+// `go test -bench -benchmem` text from stdin, extracts each gated
+// benchmark's metric, and compares it against the committed JSON baseline
+// (the BENCH_PR6.json archived by `make bench-json`). A gate fails when
+// the fresh value exceeds baseline × (1 + max-regress).
 //
-// Usage (see `make bench-guard`):
+// Gates are declared with the repeatable -gate flag, "bench:metric:frac":
 //
-//	go test -run '^$' -bench '^BenchmarkFig3Sweep$' -benchtime=1x -benchmem . |
-//	  go run ./internal/tools/benchguard -baseline BENCH_PR5.json \
-//	    -bench BenchmarkFig3Sweep -metric allocs/op -max-regress 0.10
+//	{ go test -run '^$' -bench '^BenchmarkFig3Sweep$' -benchtime=1x -benchmem . &&
+//	  go test -run '^$' -bench '^BenchmarkV1ResultsHit$' -benchtime=200000x -benchmem . ; } |
+//	  go run ./internal/tools/benchguard -baseline BENCH_PR6.json \
+//	    -gate 'BenchmarkFig3Sweep:allocs/op:0.10' \
+//	    -gate 'BenchmarkV1ResultsHit:allocs/op:0' \
+//	    -gate 'BenchmarkServingLoad:p99-ns:0.50'
+//
+// A frac of 0 is the strictest gate: any increase over baseline fails —
+// the shape of a zero-allocation contract. The legacy single-gate flags
+// (-bench/-metric/-max-regress) remain as shorthand for one -gate.
 //
 // Improvements (fresh < baseline) always pass — the gate is one-sided, so
 // it never blocks a PR for being faster; refresh the baseline with
@@ -36,6 +43,40 @@ type report struct {
 	} `json:"results"`
 }
 
+// gate is one benchmark/metric regression bound.
+type gate struct {
+	bench, metric string
+	maxRegress    float64
+}
+
+// gateFlags collects repeated -gate values.
+type gateFlags []gate
+
+func (g *gateFlags) String() string {
+	parts := make([]string, len(*g))
+	for i, x := range *g {
+		parts[i] = fmt.Sprintf("%s:%s:%g", x.bench, x.metric, x.maxRegress)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses "bench:metric:frac". The metric may itself contain no colon
+// (allocs/op, ns/op, p99-ns all qualify), so splitting on the first and
+// last colon is unambiguous.
+func (g *gateFlags) Set(s string) error {
+	first := strings.Index(s, ":")
+	last := strings.LastIndex(s, ":")
+	if first < 0 || first == last {
+		return fmt.Errorf("gate %q: want bench:metric:max-regress", s)
+	}
+	frac, err := strconv.ParseFloat(s[last+1:], 64)
+	if err != nil || frac < 0 {
+		return fmt.Errorf("gate %q: max-regress must be a non-negative number", s)
+	}
+	*g = append(*g, gate{bench: s[:first], metric: s[first+1 : last], maxRegress: frac})
+	return nil
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
@@ -44,9 +85,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	baselinePath := fs.String("baseline", "", "committed benchjson report to guard against")
-	bench := fs.String("bench", "", "benchmark name (without the -P procs suffix)")
-	metric := fs.String("metric", "allocs/op", `metric to compare ("ns/op" or an extra unit like "allocs/op")`)
-	maxRegress := fs.Float64("max-regress", 0.10, "allowed fractional regression over baseline")
+	var gates gateFlags
+	fs.Var(&gates, "gate", `repeatable gate "bench:metric:max-regress" (e.g. "BenchmarkV1ResultsHit:allocs/op:0")`)
+	bench := fs.String("bench", "", "legacy single-gate benchmark name (without the -P procs suffix)")
+	metric := fs.String("metric", "allocs/op", `legacy single-gate metric ("ns/op" or an extra unit like "allocs/op")`)
+	maxRegress := fs.Float64("max-regress", 0.10, "legacy single-gate allowed fractional regression")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,64 +97,75 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchguard: %v\n", err)
 		return 1
 	}
-	if *baselinePath == "" || *bench == "" {
-		return fail(fmt.Errorf("-baseline and -bench are required"))
+	if *bench != "" {
+		gates = append(gates, gate{bench: *bench, metric: *metric, maxRegress: *maxRegress})
+	}
+	if *baselinePath == "" || len(gates) == 0 {
+		return fail(fmt.Errorf("-baseline and at least one -gate (or -bench) are required"))
 	}
 
-	base, err := baselineValue(*baselinePath, *bench, *metric)
+	baseline, err := loadBaseline(*baselinePath)
 	if err != nil {
 		return fail(err)
 	}
-	fresh, err := freshValue(stdin, *bench, *metric)
+	fresh, err := parseBenchOutput(stdin)
 	if err != nil {
 		return fail(err)
 	}
 
-	limit := base * (1 + *maxRegress)
-	verdict := "ok"
 	code := 0
-	if fresh > limit {
-		verdict = "REGRESSION"
-		code = 1
-	}
-	fmt.Fprintf(stdout, "benchguard %s %s: baseline=%.0f fresh=%.0f limit=%.0f (+%.0f%%) → %s\n",
-		*bench, *metric, base, fresh, limit, *maxRegress*100, verdict)
-	if code != 0 {
-		fmt.Fprintf(stderr, "benchguard: %s %s regressed %.1f%% over the committed baseline (max %.0f%%)\n",
-			*bench, *metric, (fresh/base-1)*100, *maxRegress*100)
+	for _, g := range gates {
+		bm, ok := baseline[g.bench]
+		if !ok {
+			return fail(fmt.Errorf("%s: no result named %s", *baselinePath, g.bench))
+		}
+		base, ok := bm[g.metric]
+		if !ok {
+			return fail(fmt.Errorf("%s: %s has no %q metric", *baselinePath, g.bench, g.metric))
+		}
+		freshV, ok := fresh[g.bench][g.metric]
+		if !ok {
+			return fail(fmt.Errorf("stdin has no %s for %s (did you pass -benchmem and run the benchmark?)", g.metric, g.bench))
+		}
+		limit := base * (1 + g.maxRegress)
+		verdict := "ok"
+		if freshV > limit {
+			verdict = "REGRESSION"
+			code = 1
+			fmt.Fprintf(stderr, "benchguard: %s %s regressed to %.0f over the committed baseline %.0f (max +%.0f%%)\n",
+				g.bench, g.metric, freshV, base, g.maxRegress*100)
+		}
+		fmt.Fprintf(stdout, "benchguard %s %s: baseline=%.0f fresh=%.0f limit=%.0f (+%.0f%%) → %s\n",
+			g.bench, g.metric, base, freshV, limit, g.maxRegress*100, verdict)
 	}
 	return code
 }
 
-// baselineValue pulls the metric for bench out of the committed JSON
-// report.
-func baselineValue(path, bench, metric string) (float64, error) {
+// loadBaseline indexes the committed JSON report as bench → metric → value.
+func loadBaseline(path string) (map[string]map[string]float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var rep report
 	if err := json.Unmarshal(raw, &rep); err != nil {
-		return 0, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	out := make(map[string]map[string]float64, len(rep.Results))
 	for _, r := range rep.Results {
-		if r.Name != bench {
-			continue
+		m := map[string]float64{"ns/op": r.NsPerOp}
+		for k, v := range r.Extra {
+			m[k] = v
 		}
-		if metric == "ns/op" {
-			return r.NsPerOp, nil
-		}
-		if v, ok := r.Extra[metric]; ok {
-			return v, nil
-		}
-		return 0, fmt.Errorf("%s: %s has no %q metric", path, bench, metric)
+		out[r.Name] = m
 	}
-	return 0, fmt.Errorf("%s: no result named %s", path, bench)
+	return out, nil
 }
 
-// freshValue scans `go test -bench` text for the benchmark's line (its
-// name carries the -P GOMAXPROCS suffix) and extracts the metric's value.
-func freshValue(r io.Reader, bench, metric string) (float64, error) {
+// parseBenchOutput scans `go test -bench` text into bench → metric →
+// value (benchmark names lose their -P GOMAXPROCS suffix).
+func parseBenchOutput(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -123,23 +177,22 @@ func freshValue(r io.Reader, bench, metric string) (float64, error) {
 		if i := strings.LastIndex(name, "-"); i > 0 {
 			name = name[:i]
 		}
-		if name != bench {
-			continue
+		m := out[name]
+		if m == nil {
+			m = make(map[string]float64)
+			out[name] = m
 		}
 		// fields: name iterations v1 unit1 v2 unit2 …
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] == metric {
-				v, err := strconv.ParseFloat(fields[i], 64)
-				if err != nil {
-					return 0, fmt.Errorf("parse %q %s: %w", fields[i], metric, err)
-				}
-				return v, nil
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q %s: %w", fields[i], fields[i+1], err)
 			}
+			m[fields[i+1]] = v
 		}
-		return 0, fmt.Errorf("benchmark line for %s has no %q column (did you pass -benchmem?)", bench, metric)
 	}
 	if err := sc.Err(); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return 0, fmt.Errorf("no benchmark line for %s on stdin", bench)
+	return out, nil
 }
