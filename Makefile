@@ -61,14 +61,16 @@ bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Machine-readable benchmark report: the serial/parallel pairs, the
-# cold/incremental recurring-scan pair, and the /v1 serving benchmarks
-# (cache-hit, 304, cold render, loadgen p99/req/s), converted to JSON by
-# internal/tools/benchjson and archived by CI as BENCH_PR6.json (earlier
-# PRs' reports stay committed as history). The recurring pair runs 10
-# iterations so the incremental variant's steady state dominates its
-# ns/op; the serving hit/load benchmarks run 200k iterations so the
+# cold/incremental recurring-scan pair, the /v1 serving benchmarks
+# (cache-hit, 304, cold render, loadgen p99/req/s), and the cluster
+# scaling curve (coordinator fan-out at 1/2/4 workers), converted to JSON
+# by internal/tools/benchjson and archived by CI as BENCH_PR7.json
+# (earlier PRs' reports stay committed as history). The recurring pair
+# runs 10 iterations so the incremental variant's steady state dominates
+# its ns/op; the serving hit/load benchmarks run 200k iterations so the
 # steady-state cache path dominates (the cold render runs fewer — it is
-# three orders of magnitude slower per op).
+# three orders of magnitude slower per op); the cluster benchmark runs 5
+# full fleet scans per worker count.
 bench-json:
 	{ $(GO) test -run '^$$' -bench \
 		'^(BenchmarkTable1LeakScan|BenchmarkTable1LeakScanParallel|BenchmarkFig3Sweep|BenchmarkFig3SweepParallel)$$' \
@@ -78,10 +80,12 @@ bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkV1ResultsHit(304)?$$|^BenchmarkServingLoad$$' \
 		-benchtime=200000x -benchmem . && \
 	$(GO) test -run '^$$' -bench '^BenchmarkV1ResultsCold$$' \
-		-benchtime=2000x -benchmem . ; } | $(GO) run ./internal/tools/benchjson -o BENCH_PR6.json
-	@echo wrote BENCH_PR6.json
+		-benchtime=2000x -benchmem . && \
+	$(GO) test -run '^$$' -bench '^BenchmarkClusterFleet$$' \
+		-benchtime=5x -benchmem . ; } | $(GO) run ./internal/tools/benchjson -o BENCH_PR7.json
+	@echo wrote BENCH_PR7.json
 
-# Benchmark-regression gates against the committed BENCH_PR6.json
+# Benchmark-regression gates against the committed BENCH_PR7.json
 # baseline: Fig3Sweep allocations (the compute path), the /v1 cache-hit
 # zero-allocation contract (max-regress 0 — one allocation fails), and
 # the serving p99 (generous 50% headroom; CI hosts are noisy timers but
@@ -92,7 +96,7 @@ bench-guard:
 	{ $(GO) test -run '^$$' -bench '^BenchmarkFig3Sweep$$' -benchtime=1x -benchmem . && \
 	$(GO) test -run '^$$' -bench '^BenchmarkV1ResultsHit(304)?$$|^BenchmarkServingLoad$$' \
 		-benchtime=200000x -benchmem . ; } \
-		| $(GO) run ./internal/tools/benchguard -baseline BENCH_PR6.json \
+		| $(GO) run ./internal/tools/benchguard -baseline BENCH_PR7.json \
 			-gate 'BenchmarkFig3Sweep:allocs/op:0.10' \
 			-gate 'BenchmarkV1ResultsHit:allocs/op:0' \
 			-gate 'BenchmarkV1ResultsHit304:allocs/op:0' \

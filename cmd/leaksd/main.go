@@ -14,6 +14,10 @@
 //	GET  /v1/providers    inspectable provider profiles
 //	GET  /v1/engine       incremental-engine cache + epoch stats
 //	GET  /v1/events       Server-Sent Events: verdicts + scan lifecycle
+//	GET  /v1/cluster      cluster role + membership/heartbeat status
+//	POST /v1/cluster/scans   coordinator: partitioned fleet scan
+//	POST /v1/cluster/shards  worker: execute one fleet shard
+//	GET  /v1/cluster/ping    worker: liveness probe
 //	GET  /v1/metrics      Prometheus text format
 //	GET  /v1/healthz      liveness, uptime, drain state
 //	GET  /v1/version      build info
@@ -37,6 +41,18 @@
 //	leaksd -scan-every 10m          # recurring full Table I scans
 //	leaksd -sessions 32             # bigger incremental-session pool
 //	leaksd -version                 # print build info and exit
+//
+// Clustered deployment (fault-tolerant partitioned fleet scans; design in
+// ARCHITECTURE.md):
+//
+//	leaksd -role=worker -addr :8081                        # shard executor
+//	leaksd -role=worker -addr :8082
+//	leaksd -role=coordinator -peers localhost:8081,localhost:8082
+//
+// The coordinator partitions fleet scans across workers by consistent
+// hashing, heartbeats them (-heartbeat), and requeues shards from dead
+// workers; merged output is byte-identical to a single-node scan. Workers
+// cache -worlds fleet replicas and advance them by epoch deltas.
 //
 // Identical scan configs (kind, provider, seed, chaos spec — the worker
 // count is excluded, because output is byte-identical at any count) are
@@ -64,13 +80,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/profiling"
 	"repro/internal/service"
 )
+
+// splitPeers parses the -peers flag: comma-separated worker base URLs,
+// empty elements dropped so trailing commas are harmless.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
@@ -94,6 +124,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	retries := fs.Int("retries", 3, "max attempts per scan")
 	scanEvery := fs.Duration("scan-every", 0, "run a recurring full Table I scan at this interval (0 = off)")
 	respCache := fs.Bool("respcache", true, "serve /v1 reads through the epoch-keyed response cache (ETag/304)")
+	role := fs.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
+	peers := fs.String("peers", "", "coordinator: comma-separated worker base URLs (host:port or http://…)")
+	workerID := fs.String("worker-id", "", "worker: cluster identity (default: the listen address)")
+	heartbeat := fs.Duration("heartbeat", 2*time.Second, "coordinator: worker liveness probe interval")
+	worlds := fs.Int("worlds", 4, "worker: cached fleet replicas (LRU beyond)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain deadline")
 	prof := profiling.Register(fs)
 	version := fs.Bool("version", false, "print build info and exit")
@@ -131,10 +166,43 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		defer stop()
 	}
 
+	// Cluster wiring: a worker executes shards against locally cached fleet
+	// replicas; a coordinator partitions fleet scans across its peers over
+	// HTTP with heartbeat-driven failure detection. Metrics land on the
+	// scheduler's registry so one /v1/metrics scrape covers both.
+	var node *cluster.Node
+	var coord *cluster.Coordinator
+	switch *role {
+	case "standalone", "":
+		node = cluster.NewStandaloneNode()
+	case "worker":
+		id := *workerID
+		if id == "" {
+			id = *addr
+		}
+		node = cluster.NewWorkerNode(cluster.NewWorker(id, cluster.NewLocalWorlds(*worlds)))
+	case "coordinator":
+		tr := cluster.NewHTTPTransport(splitPeers(*peers), nil)
+		ids := tr.Workers()
+		if len(ids) == 0 {
+			fmt.Fprintln(stderr, "leaksd: -role=coordinator requires -peers")
+			return 2
+		}
+		met := cluster.NewMetrics(sched.Metrics().Registry)
+		coord = cluster.NewCoordinator(cluster.Config{HeartbeatEvery: *heartbeat}, tr, ids, met)
+		coord.Start()
+		defer coord.Stop()
+		node = cluster.NewCoordinatorNode(coord)
+	default:
+		fmt.Fprintf(stderr, "leaksd: unknown -role %q (standalone, coordinator, worker)\n", *role)
+		return 2
+	}
+
 	handler := service.NewHandler(service.APIConfig{
 		Scheduler:            sched,
 		Version:              buildinfo.String("leaksd"),
 		RequestTimeout:       *reqTimeout,
+		Cluster:              node,
 		DisableResponseCache: !*respCache,
 	})
 	srv := &http.Server{

@@ -39,6 +39,171 @@ func TestBadListenAddress(t *testing.T) {
 	}
 }
 
+func TestRoleFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-role", "banana"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("exit = %d; want 2 for an unknown role", code)
+	}
+	if !strings.Contains(errb.String(), "unknown -role") {
+		t.Fatalf("stderr %q lacks the role error", errb.String())
+	}
+}
+
+func TestCoordinatorRequiresPeers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-role", "coordinator"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("exit = %d; want 2 for a coordinator without peers", code)
+	}
+	if !strings.Contains(errb.String(), "-peers") {
+		t.Fatalf("stderr %q lacks the peers error", errb.String())
+	}
+}
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" a:1, b:2,,c:3 ,")
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitPeers = %v; want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitPeers = %v; want %v", got, want)
+		}
+	}
+	if splitPeers("") != nil {
+		t.Fatalf("splitPeers(\"\") = %v; want nil", splitPeers(""))
+	}
+}
+
+// TestClusterEndToEnd boots two worker daemons and a coordinator daemon on
+// ephemeral ports — real HTTP between nodes — runs a partitioned fleet
+// scan through POST /v1/cluster/scans, checks role gating, and drains all
+// three with one SIGTERM.
+func TestClusterEndToEnd(t *testing.T) {
+	type daemon struct {
+		out, errb bytes.Buffer
+		exit      chan int
+		base      string
+	}
+	boot := func(args ...string) *daemon {
+		d := &daemon{exit: make(chan int, 1)}
+		ready := make(chan string, 1)
+		go func() { d.exit <- run(args, &d.out, &d.errb, ready) }()
+		select {
+		case addr := <-ready:
+			d.base = "http://" + addr
+			return d
+		case code := <-d.exit:
+			t.Fatalf("daemon %v exited early with %d: %s", args, code, d.errb.String())
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon %v never became ready", args)
+		}
+		return nil
+	}
+
+	w1 := boot("-addr", "127.0.0.1:0", "-role", "worker")
+	w2 := boot("-addr", "127.0.0.1:0", "-role", "worker")
+	coord := boot("-addr", "127.0.0.1:0", "-role", "coordinator",
+		"-peers", strings.TrimPrefix(w1.base, "http://")+","+strings.TrimPrefix(w2.base, "http://"))
+
+	// Worker liveness probe answers on workers, 409s on the coordinator.
+	resp, err := http.Get(w1.base + "/v1/cluster/ping")
+	if err != nil {
+		t.Fatalf("GET ping: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker ping status = %d; want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(coord.base + "/v1/cluster/ping")
+	if err != nil {
+		t.Fatalf("GET coordinator ping: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("coordinator ping status = %d; want 409 wrong_role", resp.StatusCode)
+	}
+
+	// A partitioned fleet scan over real HTTP links: complete, with every
+	// container accounted for.
+	resp, err = http.Post(coord.base+"/v1/cluster/scans", "application/json",
+		strings.NewReader(`{"provider":"local","containers":6}`))
+	if err != nil {
+		t.Fatalf("POST cluster scan: %v", err)
+	}
+	var scan struct {
+		Generation uint64 `json:"generation"`
+		Partial    bool   `json:"partial"`
+		Leaking    []int  `json:"leaking"`
+		Shards     []struct {
+			Status string `json:"status"`
+			Worker string `json:"worker"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scan); err != nil {
+		t.Fatalf("decode scan: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan status = %d; want 200", resp.StatusCode)
+	}
+	if scan.Partial || scan.Generation == 0 || len(scan.Leaking) != 6 {
+		t.Fatalf("scan = %+v; want complete result over 6 containers", scan)
+	}
+	for _, sh := range scan.Shards {
+		if sh.Status != "done" {
+			t.Fatalf("shard on %s = %s; want done", sh.Worker, sh.Status)
+		}
+	}
+	for i, n := range scan.Leaking {
+		if n < 0 {
+			t.Fatalf("container %d degraded out of a complete scan", i)
+		}
+	}
+
+	// Cluster status on the coordinator lists both workers.
+	resp, err = http.Get(coord.base + "/v1/cluster")
+	if err != nil {
+		t.Fatalf("GET /v1/cluster: %v", err)
+	}
+	var status struct {
+		Role    string `json:"role"`
+		Cluster struct {
+			Workers []struct {
+				ID    string `json:"id"`
+				Alive bool   `json:"alive"`
+			} `json:"workers"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatalf("decode cluster status: %v", err)
+	}
+	resp.Body.Close()
+	if status.Role != "coordinator" || len(status.Cluster.Workers) != 2 {
+		t.Fatalf("cluster status = %+v; want coordinator with 2 workers", status)
+	}
+	for _, w := range status.Cluster.Workers {
+		if !w.Alive {
+			t.Fatalf("worker %s marked dead in a healthy cluster", w.ID)
+		}
+	}
+
+	// One SIGTERM reaches all three daemons; each drains to exit 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("deliver SIGTERM: %v", err)
+	}
+	for _, d := range []*daemon{w1, w2, coord} {
+		select {
+		case code := <-d.exit:
+			if code != 0 {
+				t.Fatalf("exit = %d; stderr %s", code, d.errb.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("a daemon never exited after SIGTERM")
+		}
+	}
+}
+
 // TestDaemonServesAndDrainsOnSignal boots the real daemon on an ephemeral
 // port, exercises the API end to end, then delivers SIGTERM and verifies
 // the drain completes with exit code 0.

@@ -12,9 +12,16 @@
 //	leaksload -revalidate            # steady-state pollers (exercises 304s)
 //	leaksload -respcache=false       # cold-render baseline (cache off)
 //	leaksload -addr http://localhost:8077 -duration 10s   # remote daemon
+//	leaksload -addr localhost:8077 -timeout 2s            # bounded per-request wait
 //	leaksload -mix "results=6,scans=2,engine=1" -seed 7
 //	leaksload -json                  # machine-readable result
 //	leaksload -metrics               # dump the loadgen_* telemetry families
+//
+// Remote runs are bounded and accountable: every request carries the
+// -timeout deadline, and transport-level failures (connection refused,
+// reset, timeout) are counted per cause and reported at exit with a
+// nonzero status — a load run against a dying worker reports errors
+// instead of hanging.
 //
 // The default in-proc mode fabricates deterministic scan state first (one
 // synthetic inspect result per provider, via the scheduler's runner hook —
@@ -32,13 +39,19 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -63,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rps := fs.Float64("rps", 0, "open-loop target req/s across all workers (0 = closed loop)")
 	concurrency := fs.Int("c", 4, "concurrent load workers")
 	seed := fs.Int64("seed", 1, "endpoint-mix seed (same seed, same request sequence)")
+	timeout := fs.Duration("timeout", 30*time.Second, "remote mode: per-request timeout (dead daemons surface as errors, not hangs)")
 	revalidate := fs.Bool("revalidate", false, "send If-None-Match from prior responses (steady-state 304s)")
 	respCache := fs.Bool("respcache", true, "in-proc mode: serve through the response cache")
 	jsonOut := fs.Bool("json", false, "print the result as JSON")
@@ -83,12 +97,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var handler http.Handler
+	var remote *remoteTarget
 	if *addr != "" {
 		base := strings.TrimRight(*addr, "/")
 		if !strings.Contains(base, "://") {
 			base = "http://" + base // bare host:port, the common spelling
 		}
-		handler = &remoteTarget{base: base, client: &http.Client{Timeout: 30 * time.Second}}
+		if *timeout <= 0 {
+			fmt.Fprintln(stderr, "leaksload: -timeout must be positive")
+			return 2
+		}
+		remote = &remoteTarget{base: base, client: &http.Client{Timeout: *timeout}}
+		handler = remote
 	} else {
 		daemon, shutdown, err := inprocDaemon(!*respCache)
 		if err != nil {
@@ -126,11 +146,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *metrics {
 		_ = reg.WritePrometheus(stdout)
 	}
+	exit := 0
+	if remote != nil {
+		if n := remote.errors.Load(); n > 0 {
+			// A dying or unreachable daemon must fail the run loudly: every
+			// transport-level failure (connection refused, reset, timeout) was
+			// counted per cause and is reported here instead of hiding inside
+			// the 502 status bucket.
+			fmt.Fprintf(stderr, "leaksload: %d transport errors against %s:\n", n, remote.base)
+			remote.mu.Lock()
+			causes := make([]string, 0, len(remote.byCause))
+			for cause := range remote.byCause {
+				causes = append(causes, cause)
+			}
+			sort.Strings(causes)
+			for _, cause := range causes {
+				fmt.Fprintf(stderr, "  %6d  %s\n", remote.byCause[cause], cause)
+			}
+			remote.mu.Unlock()
+			exit = 1
+		}
+	}
 	if res.Other > 0 {
 		fmt.Fprintf(stderr, "leaksload: %d responses were neither 200 nor 304\n", res.Other)
-		return 1
+		exit = 1
 	}
-	return 0
+	return exit
 }
 
 // parseMix expands "name-or-path[=weight]" entries. Shorthand names map to
@@ -230,16 +271,60 @@ func syntheticRunner(_ context.Context, req service.ScanRequest) (*service.ScanR
 
 // remoteTarget adapts a remote leaksd to http.Handler so the same loadgen
 // loop drives both modes. Latency then includes the network, which is the
-// point of remote runs.
+// point of remote runs. Transport-level failures — connection refused,
+// reset, timeout — are accounted per cause so a run against a dying
+// daemon reports what went wrong instead of hanging or silently folding
+// errors into a status bucket.
 type remoteTarget struct {
 	base   string
 	client *http.Client
+
+	errors  atomic.Uint64
+	mu      sync.Mutex
+	byCause map[string]uint64
+}
+
+// fail counts one transport failure and surfaces it as a 502 to the
+// loadgen loop (which files it under Other, failing the run).
+func (t *remoteTarget) fail(w http.ResponseWriter, err error) {
+	t.errors.Add(1)
+	t.mu.Lock()
+	if t.byCause == nil {
+		t.byCause = make(map[string]uint64)
+	}
+	t.byCause[errorCause(err)]++
+	t.mu.Unlock()
+	w.WriteHeader(http.StatusBadGateway)
+}
+
+// errorCause collapses transport errors into stable buckets: the raw
+// strings embed ephemeral ports and would never aggregate.
+func errorCause(err error) string {
+	switch {
+	case err == nil:
+		return "unknown"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return "connection refused"
+	case errors.Is(err, syscall.ECONNRESET):
+		return "connection reset"
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return "timeout"
+	}
+	var oerr *net.OpError
+	if errors.As(err, &oerr) {
+		return oerr.Op + " error"
+	}
+	return "other transport error"
 }
 
 func (t *remoteTarget) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	req, err := http.NewRequest(r.Method, t.base+r.URL.RequestURI(), nil)
 	if err != nil {
-		w.WriteHeader(http.StatusBadGateway)
+		t.fail(w, err)
 		return
 	}
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
@@ -247,7 +332,7 @@ func (t *remoteTarget) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
-		w.WriteHeader(http.StatusBadGateway)
+		t.fail(w, err)
 		return
 	}
 	defer resp.Body.Close()

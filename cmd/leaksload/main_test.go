@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// deadAddr reserves a port and releases it: connections to it are refused.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+// TestRemoteDeadDaemonReportsErrors: a run against a refused connection
+// must exit nonzero and account the failures by cause — not hang, not
+// bury them.
+func TestRemoteDeadDaemonReportsErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", deadAddr(t), "-n", "20", "-c", "2", "-timeout", "2s",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code %d against a dead daemon, want 1\nstderr: %s", code, errb.String())
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, "transport errors") {
+		t.Fatalf("stderr should report transport errors, got:\n%s", msg)
+	}
+	if !strings.Contains(msg, "connection refused") && !strings.Contains(msg, "dial error") {
+		t.Fatalf("stderr should bucket the cause, got:\n%s", msg)
+	}
+}
+
+// TestRemoteTimeoutBounded: a daemon that accepts and then stalls must be
+// cut off by -timeout and the run must finish promptly with the timeouts
+// accounted.
+func TestRemoteTimeoutBounded(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		<-stall
+	}))
+	defer func() { close(stall); srv.Close() }()
+
+	var out, errb bytes.Buffer
+	start := time.Now()
+	code := run([]string{
+		"-addr", srv.URL, "-n", "4", "-c", "2", "-timeout", "150ms",
+	}, &out, &errb)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("run against a stalled daemon took %v — timeout not applied", elapsed)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d against a stalled daemon, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "timeout") {
+		t.Fatalf("stderr should bucket timeouts, got:\n%s", errb.String())
+	}
+}
+
+// TestTimeoutFlagValidation: a non-positive timeout in remote mode is a
+// usage error.
+func TestTimeoutFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "localhost:1", "-timeout", "0s", "-n", "1"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d for -timeout 0, want 2", code)
+	}
+}
+
+// TestParseMix covers the shorthand/weight grammar.
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("results=6,/v1/scans?limit=5=2,version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(mix))
+	}
+	if mix[0].Path != "/v1/results" || mix[0].Weight != 6 {
+		t.Fatalf("entry 0 = %+v", mix[0])
+	}
+	if mix[1].Path != "/v1/scans?limit=5" || mix[1].Weight != 2 {
+		t.Fatalf("entry 1 = %+v", mix[1])
+	}
+	if mix[2].Path != "/v1/version" || mix[2].Weight != 1 {
+		t.Fatalf("entry 2 = %+v", mix[2])
+	}
+	if _, err := parseMix("results=0"); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := parseMix(""); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}

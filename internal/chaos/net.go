@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file extends the fault taxonomy from the observation surface to the
+// *inter-node* links of a leaksd cluster (internal/cluster). The paper's
+// detection framework runs on one host; at fleet scale the coordinator and
+// its workers talk over a network that drops, delays, duplicates, and
+// half-partitions — the failure modes every distributed scan must survive.
+// Like every other injector in this package, link faults are drawn from
+// seeded split RNG streams: each link's fault sequence depends only on
+// (seed, link name) and on how many messages that link has carried, never
+// on cross-link interleaving, so a cluster chaos run is deterministic and
+// replayable as long as each link's sends are serialized (which the
+// cluster coordinator's per-worker dispatch loops guarantee).
+
+// NetSpec is the link-chaos knob pair, mirroring Spec: one overall message
+// fault rate and one seed. The zero NetSpec injects nothing.
+type NetSpec struct {
+	// Rate is the probability in [0,1] that any given message is perturbed.
+	Rate float64
+	// Seed selects the fault streams. Same (Rate, Seed) ⇒ same fault
+	// schedule on every link.
+	Seed int64
+}
+
+// Enabled reports whether the spec injects anything.
+func (s NetSpec) Enabled() bool { return s.Rate > 0 }
+
+// String renders the spec for logs and experiment headers.
+func (s NetSpec) String() string {
+	if !s.Enabled() {
+		return "net chaos off"
+	}
+	return fmt.Sprintf("net chaos rate=%g seed=%d", s.Rate, s.Seed)
+}
+
+// NetConfig expands a NetSpec into per-fault-kind rates; tests that need a
+// single isolated fault kind construct one directly.
+type NetConfig struct {
+	Seed int64
+
+	DropRate      float64       // request lost in flight
+	DelayRate     float64       // request delivered after jitter
+	DupRate       float64       // request delivered twice
+	PartitionRate float64       // one-way partition episode starts
+	PartitionMsgs int           // messages silenced per partition episode
+	MaxDelay      time.Duration // jitter upper bound (uniform in (0, MaxDelay])
+}
+
+// Config derives the per-kind rates from the overall rate: 35% of faulted
+// messages are dropped, 35% delayed, 15% duplicated, and 15% open a
+// one-way partition episode that silences the next few messages in one
+// direction.
+func (s NetSpec) Config() NetConfig {
+	r := s.Rate
+	return NetConfig{
+		Seed:          s.Seed,
+		DropRate:      0.35 * r,
+		DelayRate:     0.35 * r,
+		DupRate:       0.15 * r,
+		PartitionRate: 0.15 * r,
+		PartitionMsgs: 3,
+		MaxDelay:      20 * time.Millisecond,
+	}
+}
+
+// NetFault is the fate of one message, decided before delivery.
+type NetFault struct {
+	// Delay is applied before the delivery attempt (zero = none).
+	Delay time.Duration
+	// Drop loses the request in flight: the remote never sees it.
+	Drop bool
+	// DropReply delivers the request but loses the response — the remote
+	// did the work, the sender cannot know. This is the dangerous half of a
+	// one-way partition: retries must be idempotent.
+	DropReply bool
+	// Dup delivers the request twice (duplicated retransmit).
+	Dup bool
+}
+
+// Faulted reports whether the message is perturbed at all.
+func (f NetFault) Faulted() bool { return f.Drop || f.DropReply || f.Dup || f.Delay > 0 }
+
+// String names the fault for telemetry labels ("clean", "drop", "dup",
+// "delay", "drop_reply").
+func (f NetFault) String() string {
+	switch {
+	case f.Drop:
+		return "drop"
+	case f.DropReply:
+		return "drop_reply"
+	case f.Dup:
+		return "dup"
+	case f.Delay > 0:
+		return "delay"
+	default:
+		return "clean"
+	}
+}
+
+// linkState is one link's fault stream: its RNG plus the partition episode
+// latch.
+type linkState struct {
+	rng *rand.Rand
+	// partLeft counts remaining silenced messages in the current one-way
+	// partition episode; partReply selects which direction is silenced
+	// (false: requests are lost; true: replies are lost).
+	partLeft  int
+	partReply bool
+}
+
+// Net draws per-message link faults. Safe for concurrent use across links;
+// a single link's fault sequence is deterministic as long as that link's
+// messages are serialized (one in flight at a time), which is how the
+// cluster coordinator dispatches.
+type Net struct {
+	cfg   NetConfig
+	mu    sync.Mutex
+	links map[string]*linkState
+}
+
+// NewNet returns a link-fault source drawing from cfg.
+func NewNet(cfg NetConfig) *Net {
+	return &Net{cfg: cfg, links: make(map[string]*linkState)}
+}
+
+// Next decides the fate of the next message on the named link. Link names
+// identify independent streams — the cluster uses one per (kind, worker)
+// pair, e.g. "shard:worker-1" and "ping:worker-1", so heartbeat traffic
+// cannot perturb shard-call fault sequences.
+func (n *Net) Next(link string) NetFault {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.links[link]
+	if !ok {
+		st = &linkState{rng: rand.New(rand.NewSource(Split(n.cfg.Seed, "net", link)))}
+		n.links[link] = st
+	}
+	if st.partLeft > 0 {
+		st.partLeft--
+		if st.partReply {
+			return NetFault{DropReply: true}
+		}
+		return NetFault{Drop: true}
+	}
+	// One roll decides the message's fate via a subtractive threshold walk,
+	// the same scheme Injector.Read uses for pseudo-file faults.
+	p := st.rng.Float64()
+	if p -= n.cfg.DropRate; p < 0 {
+		return NetFault{Drop: true}
+	}
+	if p -= n.cfg.DelayRate; p < 0 {
+		if n.cfg.MaxDelay <= 0 {
+			return NetFault{}
+		}
+		return NetFault{Delay: time.Duration(1 + st.rng.Int63n(int64(n.cfg.MaxDelay)))}
+	}
+	if p -= n.cfg.DupRate; p < 0 {
+		return NetFault{Dup: true}
+	}
+	if p -= n.cfg.PartitionRate; p < 0 {
+		st.partReply = st.rng.Float64() < 0.5
+		st.partLeft = n.cfg.PartitionMsgs - 1
+		if st.partReply {
+			return NetFault{DropReply: true}
+		}
+		return NetFault{Drop: true}
+	}
+	return NetFault{}
+}

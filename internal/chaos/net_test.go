@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// faultTrace draws n faults from one link and renders them comparably.
+func faultTrace(n *Net, link string, count int) []string {
+	out := make([]string, count)
+	for i := range out {
+		f := n.Next(link)
+		out[i] = f.String() + "/" + f.Delay.String()
+	}
+	return out
+}
+
+// TestNetSameSeedSameSchedule: the determinism contract — two Nets with
+// the same config draw identical fault sequences on every link.
+func TestNetSameSeedSameSchedule(t *testing.T) {
+	cfg := NetSpec{Rate: 0.5, Seed: 42}.Config()
+	a, b := NewNet(cfg), NewNet(cfg)
+	for _, link := range []string{"shard:w0", "shard:w1", "ping:w0"} {
+		ta, tb := faultTrace(a, link, 300), faultTrace(b, link, 300)
+		for i := range ta {
+			if ta[i] != tb[i] {
+				t.Fatalf("link %s message %d: %s vs %s — schedule not seed-deterministic", link, i, ta[i], tb[i])
+			}
+		}
+	}
+}
+
+// TestNetSeedChangesSchedule: different seeds must not replay the same
+// schedule (the whole point of the seed knob).
+func TestNetSeedChangesSchedule(t *testing.T) {
+	a := NewNet(NetSpec{Rate: 0.5, Seed: 1}.Config())
+	b := NewNet(NetSpec{Rate: 0.5, Seed: 2}.Config())
+	ta, tb := faultTrace(a, "shard:w0", 200), faultTrace(b, "shard:w0", 200)
+	same := 0
+	for i := range ta {
+		if ta[i] == tb[i] {
+			same++
+		}
+	}
+	if same == len(ta) {
+		t.Fatal("seeds 1 and 2 produced identical 200-message schedules")
+	}
+}
+
+// TestNetLinkIndependence: a link's stream depends only on its own message
+// count, never on traffic interleaved on other links — the property that
+// makes cluster chaos runs replayable.
+func TestNetLinkIndependence(t *testing.T) {
+	cfg := NetSpec{Rate: 0.6, Seed: 7}.Config()
+	solo := NewNet(cfg)
+	noisy := NewNet(cfg)
+	want := faultTrace(solo, "shard:w0", 100)
+	got := make([]string, 0, 100)
+	for i := 0; i < 100; i++ {
+		// Interleave heavy unrelated traffic between every draw.
+		noisy.Next("shard:w1")
+		noisy.Next("ping:w0")
+		noisy.Next("ping:w1")
+		f := noisy.Next("shard:w0")
+		got = append(got, f.String()+"/"+f.Delay.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("message %d: %s vs %s — cross-link traffic perturbed the stream", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNetPartitionEpisode: a partition silences PartitionMsgs consecutive
+// messages in one direction.
+func TestNetPartitionEpisode(t *testing.T) {
+	n := NewNet(NetConfig{Seed: 3, PartitionRate: 1, PartitionMsgs: 3})
+	first := n.Next("link")
+	if !first.Drop && !first.DropReply {
+		t.Fatalf("partition opener should silence, got %s", first)
+	}
+	dir := first.String()
+	for i := 0; i < 2; i++ {
+		f := n.Next("link")
+		if f.String() != dir {
+			t.Fatalf("episode message %d: %s, want %s (one-way, consecutive)", i+2, f, dir)
+		}
+	}
+}
+
+// TestNetZeroSpecClean: the zero spec injects nothing.
+func TestNetZeroSpecClean(t *testing.T) {
+	if (NetSpec{}).Enabled() {
+		t.Fatal("zero NetSpec claims to be enabled")
+	}
+	n := NewNet(NetSpec{}.Config())
+	for i := 0; i < 100; i++ {
+		if f := n.Next("link"); f.Faulted() {
+			t.Fatalf("zero spec injected %s", f)
+		}
+	}
+}
+
+// TestNetRateShares: the per-kind rates partition the overall rate.
+func TestNetRateShares(t *testing.T) {
+	cfg := NetSpec{Rate: 0.4, Seed: 1}.Config()
+	total := cfg.DropRate + cfg.DelayRate + cfg.DupRate + cfg.PartitionRate
+	if diff := total - 0.4; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("kind rates sum to %g, want 0.4", total)
+	}
+	if cfg.PartitionMsgs <= 0 || cfg.MaxDelay <= 0 {
+		t.Fatalf("derived config missing episode/delay bounds: %+v", cfg)
+	}
+}
+
+// TestNetDelayBounded: injected delays stay within (0, MaxDelay].
+func TestNetDelayBounded(t *testing.T) {
+	n := NewNet(NetConfig{Seed: 9, DelayRate: 1, MaxDelay: 5 * time.Millisecond})
+	for i := 0; i < 200; i++ {
+		f := n.Next("link")
+		if f.Delay <= 0 || f.Delay > 5*time.Millisecond {
+			t.Fatalf("delay %v outside (0, 5ms]", f.Delay)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// killAfter wraps a transport and crashes the victim worker after its
+// n-th successful shard — the mid-scan loss the acceptance criteria name.
+type killAfter struct {
+	inner  *InProc
+	victim string
+	left   atomic.Int32
+}
+
+func (k *killAfter) ExecShard(ctx context.Context, workerID string, req *ShardRequest) (*ShardResult, error) {
+	res, err := k.inner.ExecShard(ctx, workerID, req)
+	if err == nil && workerID == k.victim && k.left.Add(-1) == 0 {
+		k.inner.Kill(k.victim)
+	}
+	return res, err
+}
+
+func (k *killAfter) Ping(ctx context.Context, workerID string) (*Heartbeat, error) {
+	return k.inner.Ping(ctx, workerID)
+}
+
+// TestClusterKillWorkerMidScan is the headline acceptance test: a worker
+// dies *during* the scan, after having already landed shards; its
+// remaining shards requeue to other workers along the ring walk, and the
+// merged result is still byte-identical to the single-node scan, with the
+// reassignment visible in the coordinator's counters.
+func TestClusterKillWorkerMidScan(t *testing.T) {
+	spec := Spec{Provider: "local", Containers: 12}
+	ref, _, err := SingleNode(spec, 0)
+	if err != nil {
+		t.Fatalf("single-node reference: %v", err)
+	}
+
+	workers := make([]*Worker, 3)
+	ids := make([]string, 3)
+	for i := range workers {
+		ids[i] = fmt.Sprintf("worker-%d", i)
+		workers[i] = NewWorker(ids[i], NewLocalWorlds(2))
+	}
+	inner := NewInProc(workers...)
+	cfg := testConfig()
+	cfg.ShardSize = 1 // many shards so the victim holds work when it dies
+	// Pick the worker owning the most shards as the victim.
+	probe := NewCoordinator(cfg, inner, ids, nil)
+	owned := map[string]int{}
+	for _, sh := range probe.partition(spec) {
+		owned[sh.worker()]++
+	}
+	victim, most := "", 0
+	for w, n := range owned {
+		if n > most {
+			victim, most = w, n
+		}
+	}
+	if most < 2 {
+		t.Fatalf("no worker owns two shards of %d — enlarge the fleet", spec.Containers)
+	}
+
+	tr := &killAfter{inner: inner, victim: victim}
+	tr.left.Store(1) // die after the first landed shard
+	coord := NewCoordinator(cfg, tr, ids, nil)
+	res, err := coord.Scan(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("cluster scan: %v", err)
+	}
+	if res.Partial {
+		t.Fatalf("surviving workers could not absorb the victim's shards: %+v", res.Shards)
+	}
+	if got, want := mustJSON(t, res.Findings), mustJSON(t, ref); !bytes.Equal(got, want) {
+		t.Fatal("merged result after mid-scan worker death diverges from single-node")
+	}
+	st := coord.Status()
+	if st.Reassignments == 0 || st.Requeues == 0 {
+		t.Fatalf("worker death left no trace in counters: %+v", st)
+	}
+	if coord.met.Reassignments.With().Value() == 0 {
+		t.Fatal("leaksd_cluster_reassignments_total not incremented")
+	}
+	moved := 0
+	for _, sh := range res.Shards {
+		if sh.Reassigned > 0 {
+			moved++
+			if sh.Worker == victim {
+				t.Fatalf("reassigned shard %d still credits the dead victim", sh.Shard)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no shard records a reassignment")
+	}
+}
+
+// TestClusterChaosLinksByteIdentity runs a fleet scan through a
+// fault-injected transport — drops, delays, duplications, one-way
+// partitions — and requires the merged result to remain byte-identical to
+// the single-node scan: idempotent shards plus bounded retries absorb
+// every link fault.
+func TestClusterChaosLinksByteIdentity(t *testing.T) {
+	spec := Spec{Provider: "local", Containers: 10}
+	ref, _, err := SingleNode(spec, 0)
+	if err != nil {
+		t.Fatalf("single-node reference: %v", err)
+	}
+
+	workers := make([]*Worker, 2)
+	ids := make([]string, 2)
+	for i := range workers {
+		ids[i] = fmt.Sprintf("worker-%d", i)
+		workers[i] = NewWorker(ids[i], NewLocalWorlds(2))
+	}
+	met := NewMetrics(nil)
+	net := chaos.NewNet(chaos.NetSpec{Rate: 0.4, Seed: 1337}.Config())
+	ct := WithChaos(NewInProc(workers...), net, met)
+	ct.sleep = func(ctx context.Context, _ time.Duration) {} // no wall time in tests
+
+	cfg := Config{
+		ShardSize:    2,
+		MaxAttempts:  12, // generous: the budget is the backstop, not the test
+		RetryBackoff: time.Millisecond,
+		RetryBudget:  time.Minute,
+		Sleep:        instantSleep,
+	}
+	coord := NewCoordinator(cfg, ct, ids, met)
+	res, err := coord.Scan(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("chaos scan: %v", err)
+	}
+	if res.Partial {
+		t.Fatalf("chaos scan degraded to partial despite bounded-retry headroom: %+v", res.Shards)
+	}
+	if got, want := mustJSON(t, res.Findings), mustJSON(t, ref); !bytes.Equal(got, want) {
+		t.Fatal("chaos-scan result diverges from single-node — link faults leaked into findings")
+	}
+	faulted := 0.0
+	for _, kind := range []string{"drop", "drop_reply", "dup", "delay"} {
+		faulted += met.NetFaults.With(kind).Value()
+	}
+	if faulted == 0 {
+		t.Fatal("rate-0.4 chaos run injected no faults — wrapper not in the path")
+	}
+}
+
+// TestChaosTransportDupIsIdempotent: a duplicated delivery executes the
+// shard twice; the worker's shard counter sees both, the caller sees one
+// result with the same bytes.
+func TestChaosTransportDupIsIdempotent(t *testing.T) {
+	w := NewWorker("w0", NewLocalWorlds(0))
+	met := NewMetrics(nil)
+	net := chaos.NewNet(chaos.NetConfig{Seed: 1, DupRate: 1})
+	ct := WithChaos(NewInProc(w), net, met)
+
+	req := &ShardRequest{Spec: Spec{Containers: 2}, Containers: []int{0, 1}}
+	res, err := ct.ExecShard(context.Background(), "w0", req)
+	if err != nil {
+		t.Fatalf("dup delivery: %v", err)
+	}
+	if hb := w.Heartbeat(); hb.Shards != 2 {
+		t.Fatalf("worker executed %d shards, want 2 (original + retransmit)", hb.Shards)
+	}
+	again, err := ct.ExecShard(context.Background(), "w0", req)
+	if err != nil {
+		t.Fatalf("second dup delivery: %v", err)
+	}
+	if got, want := mustJSON(t, res.Findings), mustJSON(t, again.Findings); !bytes.Equal(got, want) {
+		t.Fatal("duplicated executions returned different bytes — shard not idempotent")
+	}
+	if met.NetFaults.With("dup").Value() != 2 {
+		t.Fatalf("dup faults counted %g, want 2", met.NetFaults.With("dup").Value())
+	}
+}
+
+// TestChaosTransportDropSurfacesError: dropped requests and dropped
+// replies both surface ErrLinkDropped, and a dropped reply still executes
+// the shard remotely (the one-way partition hazard).
+func TestChaosTransportDropSurfacesError(t *testing.T) {
+	w := NewWorker("w0", NewLocalWorlds(0))
+	req := &ShardRequest{Spec: Spec{Containers: 1}, Containers: []int{0}}
+
+	drop := WithChaos(NewInProc(w), chaos.NewNet(chaos.NetConfig{Seed: 1, DropRate: 1}), nil)
+	if _, err := drop.ExecShard(context.Background(), "w0", req); err == nil {
+		t.Fatal("dropped request reported success")
+	}
+	if hb := w.Heartbeat(); hb.Shards != 0 {
+		t.Fatal("dropped request still reached the worker")
+	}
+
+	// Find a seed whose first fault on this link is a lost *reply* (the
+	// partition direction is part of the seeded schedule).
+	var seed int64
+	for s := int64(1); s < 200; s++ {
+		n := chaos.NewNet(chaos.NetConfig{Seed: s, PartitionRate: 1, PartitionMsgs: 1})
+		if n.Next("shard:w1").DropReply {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no seed under 200 opens a reply-direction partition — shares broken")
+	}
+	w2 := NewWorker("w1", NewLocalWorlds(0))
+	lost := WithChaos(NewInProc(w2), chaos.NewNet(chaos.NetConfig{Seed: seed, PartitionRate: 1, PartitionMsgs: 1}), nil)
+	if _, err := lost.ExecShard(context.Background(), "w1", req); err == nil {
+		t.Fatal("lost reply reported success")
+	}
+	if hb := w2.Heartbeat(); hb.Shards != 1 {
+		t.Fatalf("lost-reply delivery executed %d shards, want 1 — the work happened, the sender cannot know", hb.Shards)
+	}
+}

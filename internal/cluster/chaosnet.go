@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// ErrLinkDropped is what a chaos-faulted link surfaces to the coordinator:
+// either the request was lost in flight (the worker never saw it) or the
+// reply was (the worker did the work, the coordinator cannot know). The
+// two are indistinguishable to the sender — exactly why shard execution
+// must be idempotent.
+var ErrLinkDropped = errors.New("cluster: link dropped message")
+
+// ChaosTransport wraps a Transport and perturbs its messages with faults
+// drawn from a chaos.Net: delays, drops, duplicated deliveries, and
+// one-way partition episodes. Fault streams are per link — "shard:<id>"
+// for shard calls and "ping:<id>" for liveness probes — so a link's fault
+// schedule is a pure function of (seed, link name, message count) and a
+// chaos run replays exactly as long as each link's sends stay serialized,
+// which the coordinator's per-worker dispatch loops and serial heartbeat
+// sweep both guarantee.
+type ChaosTransport struct {
+	inner Transport
+	net   *chaos.Net
+	met   *Metrics
+	// sleep is the delay injector (tests replace it to avoid wall time).
+	sleep func(context.Context, time.Duration)
+}
+
+// WithChaos wraps inner with link-fault injection. met may be nil.
+func WithChaos(inner Transport, net *chaos.Net, met *Metrics) *ChaosTransport {
+	return &ChaosTransport{
+		inner: inner,
+		net:   net,
+		met:   met,
+		sleep: func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+			case <-t.C:
+			}
+		},
+	}
+}
+
+// apply delivers one message under the link's next fault. deliver must be
+// idempotent: Dup invokes it twice and keeps the second result (a
+// retransmit arriving after the original).
+func (t *ChaosTransport) apply(ctx context.Context, link string, deliver func() error) error {
+	f := t.net.Next(link)
+	if t.met != nil {
+		t.met.NetFaults.With(f.String()).Inc()
+	}
+	if f.Delay > 0 {
+		t.sleep(ctx, f.Delay)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if f.Drop {
+		return fmt.Errorf("%w: %s (request lost)", ErrLinkDropped, link)
+	}
+	if err := deliver(); err != nil {
+		return err
+	}
+	if f.Dup {
+		// Duplicated retransmit: the remote executes twice; idempotence makes
+		// the second result identical, and it is the one the sender keeps.
+		if err := deliver(); err != nil {
+			return err
+		}
+	}
+	if f.DropReply {
+		return fmt.Errorf("%w: %s (reply lost)", ErrLinkDropped, link)
+	}
+	return nil
+}
+
+// ExecShard implements Transport.
+func (t *ChaosTransport) ExecShard(ctx context.Context, workerID string, req *ShardRequest) (*ShardResult, error) {
+	var res *ShardResult
+	err := t.apply(ctx, "shard:"+workerID, func() error {
+		var derr error
+		res, derr = t.inner.ExecShard(ctx, workerID, req)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Ping implements Transport.
+func (t *ChaosTransport) Ping(ctx context.Context, workerID string) (*Heartbeat, error) {
+	var hb *Heartbeat
+	err := t.apply(ctx, "ping:"+workerID, func() error {
+		var derr error
+		hb, derr = t.inner.Ping(ctx, workerID)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hb, nil
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPTransport reaches worker daemons over their /v1/cluster endpoints:
+// POST {base}/v1/cluster/shards executes a shard, GET {base}/v1/cluster/ping
+// probes liveness. Worker IDs are their base URLs (scheme optional;
+// "host:port" gets "http://"), so the peer list handed to leaksd
+// -role=coordinator doubles as the membership. Any transport-level failure
+// or non-2xx status wraps ErrWorkerDown — to the coordinator an
+// unreachable worker and a crashed one are the same thing.
+type HTTPTransport struct {
+	client *http.Client
+	peers  map[string]string // workerID -> base URL
+}
+
+// NewHTTPTransport builds a transport over the peer base URLs. client may
+// be nil (a default with a 2-minute overall timeout is used; per-call
+// deadlines come from the coordinator's contexts).
+func NewHTTPTransport(peers []string, client *http.Client) *HTTPTransport {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	t := &HTTPTransport{client: client, peers: make(map[string]string, len(peers))}
+	for _, p := range peers {
+		t.peers[p] = normalizeBaseURL(p)
+	}
+	return t
+}
+
+// Workers returns the configured worker IDs (unsorted; NewRing sorts).
+func (t *HTTPTransport) Workers() []string {
+	out := make([]string, 0, len(t.peers))
+	for id := range t.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// normalizeBaseURL accepts "host:port" and full URLs; trailing slashes are
+// trimmed so path joins stay clean.
+func normalizeBaseURL(p string) string {
+	p = strings.TrimRight(p, "/")
+	if !strings.Contains(p, "://") {
+		p = "http://" + p
+	}
+	return p
+}
+
+func (t *HTTPTransport) base(workerID string) (string, error) {
+	b, ok := t.peers[workerID]
+	if !ok {
+		return "", fmt.Errorf("%w: %s (not a configured peer)", ErrWorkerDown, workerID)
+	}
+	return b, nil
+}
+
+// do runs one request and decodes a JSON body into out, folding every
+// failure mode into ErrWorkerDown.
+func (t *HTTPTransport) do(ctx context.Context, workerID, method, path string, body, out any) error {
+	base, err := t.base(workerID)
+	if err != nil {
+		return err
+	}
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("cluster: encode %s: %w", path, err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+	if err != nil {
+		return fmt.Errorf("cluster: build %s: %w", path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrWorkerDown, workerID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%w: %s: %s %s: %s", ErrWorkerDown, workerID, path,
+			resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("%w: %s: decode %s: %v", ErrWorkerDown, workerID, path, err)
+		}
+	}
+	return nil
+}
+
+// ExecShard implements Transport.
+func (t *HTTPTransport) ExecShard(ctx context.Context, workerID string, req *ShardRequest) (*ShardResult, error) {
+	var res ShardResult
+	if err := t.do(ctx, workerID, http.MethodPost, "/v1/cluster/shards", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Ping implements Transport.
+func (t *HTTPTransport) Ping(ctx context.Context, workerID string) (*Heartbeat, error) {
+	var hb Heartbeat
+	if err := t.do(ctx, workerID, http.MethodGet, "/v1/cluster/ping", nil, &hb); err != nil {
+		return nil, err
+	}
+	return &hb, nil
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import "repro/internal/telemetry"
+
+// Metrics is the cluster's telemetry bundle, registered under the
+// leaksd_cluster_ prefix. cmd/leaksd registers it on the same registry as
+// the scheduler's families so one /v1/metrics scrape covers both.
+type Metrics struct {
+	Registry *telemetry.Registry
+
+	// WorkersKnown / WorkersLive gauge the configured worker set and the
+	// subset currently passing heartbeats.
+	WorkersKnown, WorkersLive *telemetry.GaugeVec
+	// HeartbeatFailures counts failed liveness probes by worker.
+	HeartbeatFailures *telemetry.CounterVec
+	// Reassignments counts shards moved to a different worker after a
+	// failure or a dead-worker bounce; Requeues counts every re-enqueue
+	// (a retry on the same worker also requeues).
+	Reassignments, Requeues *telemetry.CounterVec
+	// ShardsTotal counts terminal shard outcomes by status (done / failed).
+	ShardsTotal *telemetry.CounterVec
+	// ShardSeconds is per-shard wall latency (successful attempts only).
+	ShardSeconds *telemetry.HistogramVec
+	// ScansTotal counts cluster fleet scans by outcome
+	// (done / partial / failed).
+	ScansTotal *telemetry.CounterVec
+	// NetFaults counts injected inter-node link faults by kind when the
+	// transport is chaos-wrapped.
+	NetFaults *telemetry.CounterVec
+}
+
+// NewMetrics registers the cluster families on reg (fresh registry when
+// nil).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Metrics{
+		Registry: reg,
+		WorkersKnown: reg.Gauge("leaksd_cluster_workers",
+			"Workers in the cluster membership."),
+		WorkersLive: reg.Gauge("leaksd_cluster_workers_live",
+			"Workers currently passing heartbeats."),
+		HeartbeatFailures: reg.Counter("leaksd_cluster_heartbeat_failures_total",
+			"Failed worker liveness probes, by worker.", "worker"),
+		Reassignments: reg.Counter("leaksd_cluster_reassignments_total",
+			"Shards moved to a different worker after a failure."),
+		Requeues: reg.Counter("leaksd_cluster_requeues_total",
+			"Shard re-enqueues (every retry requeues; reassignments also move)."),
+		ShardsTotal: reg.Counter("leaksd_cluster_shards_total",
+			"Terminal shard outcomes, by status.", "status"),
+		ShardSeconds: reg.Histogram("leaksd_cluster_shard_seconds",
+			"Per-shard wall latency of successful attempts.", nil),
+		ScansTotal: reg.Counter("leaksd_cluster_scans_total",
+			"Cluster fleet scans, by outcome.", "outcome"),
+		NetFaults: reg.Counter("leaksd_cluster_net_faults_total",
+			"Injected inter-node link faults, by kind.", "kind"),
+	}
+}

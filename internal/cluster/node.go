@@ -1,0 +1,78 @@
+package cluster
+
+// Role is a leaksd process's position in a cluster.
+type Role string
+
+// Cluster roles. Standalone is the pre-cluster daemon: no peers, fleet
+// scans run single-node in process.
+const (
+	RoleStandalone  Role = "standalone"
+	RoleCoordinator Role = "coordinator"
+	RoleWorker      Role = "worker"
+)
+
+// Node bundles a process's cluster identity for the HTTP surface: which
+// role it plays and the role's machinery. The service layer asks the node
+// what it can do; role-mismatched requests (a shard POSTed to a
+// coordinator, a fleet scan POSTed to a worker) are rejected there.
+type Node struct {
+	role   Role
+	worker *Worker
+	coord  *Coordinator
+}
+
+// NewStandaloneNode describes a daemon outside any cluster.
+func NewStandaloneNode() *Node { return &Node{role: RoleStandalone} }
+
+// NewWorkerNode describes a worker daemon executing shards.
+func NewWorkerNode(w *Worker) *Node { return &Node{role: RoleWorker, worker: w} }
+
+// NewCoordinatorNode describes a coordinator daemon partitioning scans.
+func NewCoordinatorNode(c *Coordinator) *Node { return &Node{role: RoleCoordinator, coord: c} }
+
+// Role returns the node's role.
+func (n *Node) Role() Role {
+	if n == nil {
+		return RoleStandalone
+	}
+	return n.role
+}
+
+// Worker returns the node's worker (nil unless RoleWorker).
+func (n *Node) Worker() *Worker {
+	if n == nil {
+		return nil
+	}
+	return n.worker
+}
+
+// Coordinator returns the node's coordinator (nil unless RoleCoordinator).
+func (n *Node) Coordinator() *Coordinator {
+	if n == nil {
+		return nil
+	}
+	return n.coord
+}
+
+// NodeStatus is the /v1/cluster envelope: the role always, the role's
+// detail when the node has one.
+type NodeStatus struct {
+	Role Role `json:"role"`
+	// Worker is the worker's own heartbeat (RoleWorker only).
+	Worker *Heartbeat `json:"worker,omitempty"`
+	// Cluster is the coordinator's fleet view (RoleCoordinator only).
+	Cluster *Status `json:"cluster,omitempty"`
+}
+
+// Status snapshots the node for the HTTP surface.
+func (n *Node) Status() NodeStatus {
+	st := NodeStatus{Role: n.Role()}
+	if w := n.Worker(); w != nil {
+		st.Worker = w.Heartbeat()
+	}
+	if c := n.Coordinator(); c != nil {
+		cs := c.Status()
+		st.Cluster = &cs
+	}
+	return st
+}

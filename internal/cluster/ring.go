@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over worker IDs with virtual nodes.
+// Container keys — "provider|mount-name" — hash onto the ring and belong
+// to the first worker point clockwise; adding or removing one worker only
+// moves the keys adjacent to its points, so recurring fleet scans keep
+// most containers on the worker whose replica engine already has their
+// findings cached. The walk order from a key's point doubles as the key's
+// deterministic failover sequence.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	workers  []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// DefaultReplicas is the virtual-node count per worker: enough that a
+// handful of workers split a fleet within a few percent of evenly.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over the worker IDs (replicas <= 0 selects
+// DefaultReplicas). Worker order does not matter; the ring is a pure
+// function of the ID set.
+func NewRing(workers []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		replicas: replicas,
+		points:   make([]ringPoint, 0, len(workers)*replicas),
+		workers:  append([]string(nil), workers...),
+	}
+	sort.Strings(r.workers)
+	for _, w := range r.workers {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", w, i)), worker: w})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+// Workers returns the ring's worker IDs in sorted order.
+func (r *Ring) Workers() []string { return r.workers }
+
+// Owner returns the worker owning the key (the first point clockwise from
+// the key's hash).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].worker
+}
+
+// Sequence returns the key's deterministic failover order: every distinct
+// worker in ring-walk order starting at the key's point. The first entry
+// is Owner(key); a shard whose attempt on sequence[i] fails moves to
+// sequence[i+1] (mod), so reassignment is as stable as ownership.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(r.workers))
+	out := make([]string, 0, len(r.workers))
+	start := r.search(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.workers); i++ {
+		w := r.points[(start+i)%len(r.points)].worker
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or clockwise of the key.
+func (r *Ring) search(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// ringHash is FNV-64a (the same family the chaos seed splitter uses)
+// finished with a splitmix64-style avalanche. Raw FNV of short,
+// similar strings — "w0#17", "local|tenant-00042" — clusters badly in the
+// high bits, which is exactly where ring placement looks; the finalizer
+// diffuses every input bit across the word, and stays dependency-free.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Transport carries coordinator→worker calls. Implementations must return
+// an error (not hang forever) when the worker is unreachable; the
+// coordinator layers per-attempt timeouts, retry budgets, and chaos
+// injection on top.
+type Transport interface {
+	// ExecShard delivers a shard to the worker and returns its result.
+	ExecShard(ctx context.Context, workerID string, req *ShardRequest) (*ShardResult, error)
+	// Ping probes the worker for liveness.
+	Ping(ctx context.Context, workerID string) (*Heartbeat, error)
+}
+
+// ErrWorkerDown is returned by transports when the target worker is
+// unknown, killed, or unreachable.
+var ErrWorkerDown = errors.New("cluster: worker down")
+
+// InProc wires coordinator and workers in one process: calls are direct
+// method invocations. Kill simulates a worker crash — subsequent calls
+// fail with ErrWorkerDown — and Revive undoes it; both may race a scan,
+// which is exactly what the mid-scan loss tests exercise.
+type InProc struct {
+	mu      sync.RWMutex
+	workers map[string]*Worker
+	dead    map[string]bool
+}
+
+// NewInProc builds an in-process transport over the given workers.
+func NewInProc(workers ...*Worker) *InProc {
+	t := &InProc{workers: make(map[string]*Worker), dead: make(map[string]bool)}
+	for _, w := range workers {
+		t.workers[w.ID()] = w
+	}
+	return t
+}
+
+// Kill makes the worker unreachable (simulated crash).
+func (t *InProc) Kill(workerID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dead[workerID] = true
+}
+
+// Revive brings a killed worker back.
+func (t *InProc) Revive(workerID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.dead, workerID)
+}
+
+func (t *InProc) worker(id string) (*Worker, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.dead[id] {
+		return nil, fmt.Errorf("%w: %s (killed)", ErrWorkerDown, id)
+	}
+	w, ok := t.workers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (unknown)", ErrWorkerDown, id)
+	}
+	return w, nil
+}
+
+// ExecShard implements Transport.
+func (t *InProc) ExecShard(ctx context.Context, workerID string, req *ShardRequest) (*ShardResult, error) {
+	w, err := t.worker(workerID)
+	if err != nil {
+		return nil, err
+	}
+	return w.ExecShard(ctx, req)
+}
+
+// Ping implements Transport.
+func (t *InProc) Ping(_ context.Context, workerID string) (*Heartbeat, error) {
+	w, err := t.worker(workerID)
+	if err != nil {
+		return nil, err
+	}
+	return w.Heartbeat(), nil
+}

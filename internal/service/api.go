@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // APIConfig wires the HTTP layer. Scheduler is required; everything else
@@ -21,6 +23,11 @@ type APIConfig struct {
 	RequestTimeout time.Duration
 	// Heartbeat is the SSE keep-alive comment interval (default 15s).
 	Heartbeat time.Duration
+	// Cluster is the node's cluster identity (nil = standalone). It gates
+	// the /v1/cluster surface: the status endpoint always answers, the
+	// scan/shard/ping endpoints answer 409 wrong_role unless the node
+	// plays the required role.
+	Cluster *cluster.Node
 	// DisableResponseCache turns off the /v1 response cache and the
 	// ETag/If-None-Match machinery that rides on it (leaksd
 	// -respcache=false; benchmarks use it to measure cold renders). Every
@@ -55,6 +62,10 @@ type api struct {
 //	GET  /v1/providers    inspectable provider profiles
 //	GET  /v1/engine       incremental-engine cache and epoch statistics
 //	GET  /v1/events       SSE stream of verdict / scan events
+//	GET  /v1/cluster      cluster role/status envelope (all roles)
+//	POST /v1/cluster/scans   partitioned fleet scan (coordinator role)
+//	POST /v1/cluster/shards  execute one shard (worker role)
+//	GET  /v1/cluster/ping    liveness probe (worker role)
 //	GET  /v1/metrics      Prometheus text exposition
 //	GET  /v1/healthz      liveness + uptime
 //	GET  /v1/version      build info
@@ -126,6 +137,10 @@ func NewHandler(cfg APIConfig) http.Handler {
 	mux.HandleFunc("GET /v1/providers", a.cachedHandler("/v1/providers"))
 	mux.HandleFunc("GET /v1/engine", a.cachedHandler("/v1/engine"))
 	mux.HandleFunc("GET /v1/events", a.events) // untimed: streams
+	mux.HandleFunc("GET /v1/cluster", a.timed(a.getClusterV1))
+	mux.HandleFunc("POST /v1/cluster/scans", a.timed(a.postClusterScanV1))
+	mux.HandleFunc("POST /v1/cluster/shards", a.timed(a.postClusterShardV1))
+	mux.HandleFunc("GET /v1/cluster/ping", a.timed(a.getClusterPingV1))
 	mux.HandleFunc("GET /v1/metrics", a.metrics)
 	mux.HandleFunc("GET /v1/healthz", a.timed(a.healthz))
 	mux.HandleFunc("GET /v1/version", a.cachedHandler("/v1/version"))

@@ -74,6 +74,15 @@ type Config struct {
 	// RetryBackoff is the first retry's delay; each further retry doubles
 	// it. Default 50ms.
 	RetryBackoff time.Duration
+	// RetryBudget is the deadline-aware cap on one job's cumulative
+	// retry time, measured from its first attempt: once the budget has
+	// elapsed no further attempt starts, and the job terminates with a
+	// terminal failed status citing the budget. It closes the latent gap
+	// where a permanently failing job with a long backoff ladder could
+	// keep burning attempts long past any useful deadline. Default
+	// MaxAttempts×JobTimeout — wide enough to never cut short a ladder
+	// the attempt bound alone would have allowed.
+	RetryBudget time.Duration
 	// StoreCap / StoreTTL size the result store. Defaults 128 / 15m.
 	StoreCap int
 	StoreTTL time.Duration
@@ -103,6 +112,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = time.Duration(c.MaxAttempts) * c.JobTimeout
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -334,8 +346,14 @@ func (s *Scheduler) runJob(job *Job) {
 		res *ScanResult
 		err error
 	)
+	deadline := s.cfg.Now().Add(s.cfg.RetryBudget)
 	for attempt := 1; attempt <= s.cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
+			if s.cfg.Now().After(deadline) {
+				err = fmt.Errorf("service: retry budget %v exhausted after %d attempts: %w",
+					s.cfg.RetryBudget, attempt-1, err)
+				break
+			}
 			s.met.Retries.With(string(job.Request.Kind)).Inc()
 			// Exponential backoff: base, 2·base, 4·base, …
 			if serr := s.cfg.Sleep(s.ctx, s.cfg.RetryBackoff<<(attempt-2)); serr != nil {

@@ -416,3 +416,68 @@ func TestHubDropsWhenSubscriberStalls(t *testing.T) {
 		t.Fatal("buffered event not deliverable")
 	}
 }
+
+// TestSchedulerRetryBudgetTerminatesPermanentFailure: a permanently
+// failing job must reach a terminal failed status once its deadline-aware
+// retry budget elapses — long before a generous attempt bound would have
+// let it stop.
+func TestSchedulerRetryBudgetTerminatesPermanentFailure(t *testing.T) {
+	clock := newFakeClock()
+	boom := errors.New("boom")
+	cfg := Config{
+		Workers:      1,
+		MaxAttempts:  100,
+		RetryBackoff: 400 * time.Millisecond,
+		RetryBudget:  time.Second,
+		Now:          clock.Now,
+		// Sleeping advances the fake clock instead of waiting, so the
+		// budget's deadline arithmetic is exercised without wall time.
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			clock.Advance(d)
+			return ctx.Err()
+		},
+	}
+	s := newTestScheduler(t, cfg, func(context.Context, ScanRequest) (*ScanResult, error) {
+		return nil, boom
+	})
+	job, err := s.Submit(ScanRequest{Kind: KindTable1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitTerminal(t, s, job.ID)
+	if done.Status != StatusFailed {
+		t.Fatalf("status = %s; want failed", done.Status)
+	}
+	if !strings.Contains(done.Error, "retry budget") {
+		t.Fatalf("terminal error should cite the retry budget, got %q", done.Error)
+	}
+	if !strings.Contains(done.Error, "boom") {
+		t.Fatalf("terminal error should wrap the underlying failure, got %q", done.Error)
+	}
+	// Backoff ladder 400ms, 800ms crosses the 1s budget after 3 attempts —
+	// two orders of magnitude below the attempt bound.
+	if done.Attempts >= 100 || done.Attempts == 0 {
+		t.Fatalf("attempts = %d; want the budget (not MaxAttempts) to terminate", done.Attempts)
+	}
+}
+
+// TestSchedulerRetryBudgetDefaultNeverPreempts: the default budget
+// (MaxAttempts×JobTimeout) is wide enough that the attempt bound, not the
+// budget, decides a short ladder's fate — existing behaviour unchanged.
+func TestSchedulerRetryBudgetDefaultNeverPreempts(t *testing.T) {
+	boom := errors.New("boom")
+	s := newTestScheduler(t, Config{Workers: 1, MaxAttempts: 3}, func(context.Context, ScanRequest) (*ScanResult, error) {
+		return nil, boom
+	})
+	job, err := s.Submit(ScanRequest{Kind: KindTable1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitTerminal(t, s, job.ID)
+	if done.Status != StatusFailed || done.Attempts != 3 {
+		t.Fatalf("job = %+v; want 3 attempts then failure", done)
+	}
+	if strings.Contains(done.Error, "retry budget") {
+		t.Fatalf("default budget preempted the attempt bound: %q", done.Error)
+	}
+}

@@ -24,6 +24,10 @@ var v1Routes = []string{
 	"GET /v1/providers",
 	"GET /v1/engine",
 	"GET /v1/events",
+	"GET /v1/cluster",
+	"POST /v1/cluster/scans",
+	"POST /v1/cluster/shards",
+	"GET /v1/cluster/ping",
 	"GET /v1/metrics",
 	"GET /v1/healthz",
 	"GET /v1/version",
