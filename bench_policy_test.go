@@ -1,0 +1,30 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/policy"
+)
+
+// BenchmarkPolicySynthesis measures the full policy pipeline on CC1 —
+// mine the benign read surface, synthesize the deny/empty rule set, and
+// verify closure against a frozen world — reporting the headline closure
+// ratio and rule count alongside the usual time/alloc metrics. This is
+// the cost of one POST /v1/policies synthesis, end to end.
+func BenchmarkPolicySynthesis(b *testing.B) {
+	var (
+		rules   int
+		closure float64
+	)
+	for i := 0; i < b.N; i++ {
+		pol, rep, err := policy.Generate(cloud.CC1(), 0, policy.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rules = len(pol.Rules)
+		closure = rep.Closure
+	}
+	b.ReportMetric(closure, "closure")
+	b.ReportMetric(float64(rules), "rules")
+}

@@ -13,6 +13,13 @@
 //	defensebench -j 4            # fan independent work out over 4 workers
 //	defensebench -fig8 -chaos 0.02 -chaosseed 1  # fig8 with faulty counters
 //	defensebench -chaossweep     # fault-rate degradation grid (extension)
+//	defensebench -policy p.json  # score a mask policy against the stage grid
+//
+// The -policy flag loads a mask-policy JSON file (the format leaksd's
+// POST /v1/policies stores and internal/policy.Encode emits) and replays
+// it offline against the defense stage grid: residual Table I leakage and
+// collateral app breakage, side by side with "no defense", stage 1
+// masking, and stage 2 namespacing.
 //
 // The -j flag bounds the worker pool for the parallel experiments
 // (Fig. 8's per-benchmark ξ measurements, the covert-channel grid, and
@@ -52,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	table3 := fs.Bool("table3", false, "UnixBench overhead")
 	ablations := fs.Bool("ablations", false, "ablation and extension studies")
 	sweep := fs.Bool("chaossweep", false, "fault-rate grid: detector/attack/defense degradation")
+	policyFile := fs.String("policy", "", "evaluate a mask-policy JSON file against the defense stage grid")
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the defense's counter reads (0 = off; applies to -fig8)")
 	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
@@ -69,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer prof.Stop(func(format string, args ...any) { fmt.Fprintf(stderr, format, args...) })
-	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*table3 && !*ablations && !*sweep
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*table3 && !*ablations && !*sweep && *policyFile == ""
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 
 	fail := func(err error) int {
@@ -157,6 +165,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *sweep {
 		r, err := experiments.ChaosSweep(nil, *chaosSeed, *jobs)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
+	}
+	if *policyFile != "" {
+		r, err := experiments.PolicyEvalFile(*policyFile)
 		if err != nil {
 			return fail(err)
 		}

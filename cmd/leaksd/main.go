@@ -13,7 +13,13 @@
 //	GET  /v1/channels     the Table I channel registry
 //	GET  /v1/providers    inspectable provider profiles
 //	GET  /v1/engine       incremental-engine cache + epoch stats
-//	GET  /v1/events       Server-Sent Events: verdicts + scan lifecycle
+//	GET  /v1/events       Server-Sent Events: verdicts + scan lifecycle + policy rollouts
+//	POST /v1/policies     synthesize (or store) a mask policy for a provider
+//	GET  /v1/policies     list stored policies
+//	GET  /v1/policies/{id}          one policy with report + latest rollout
+//	DELETE /v1/policies/{id}        remove a stored policy
+//	POST /v1/policies/{id}/rollout  staged canary rollout over a fresh fleet
+//	GET  /v1/policies/{id}/rollout  latest rollout outcome
 //	GET  /v1/cluster      cluster role + membership/heartbeat status
 //	POST /v1/cluster/scans   coordinator: partitioned fleet scan
 //	POST /v1/cluster/shards  worker: execute one fleet shard
@@ -63,6 +69,17 @@
 // changed, with byte-identical output to a cold scan. With default seeds,
 // API-returned renders are byte-identical to the corresponding CLI output
 // (`leakscan -table1` etc.).
+//
+// The /v1/policies surface closes the loop from detection to defense:
+// POST with just a provider mines the benign pseudo-file read surface,
+// synthesizes a minimal deny/empty masking policy that closes the leaking
+// Table I channels without breaking any benign read, and verifies closure
+// by re-running the detector under the policy. A rollout stages the policy
+// onto a ring-hash-ranked canary subset of a fresh fleet, watches benign
+// reads across health epochs, then promotes — or auto-reverts on the first
+// broken read. Phases and verdict flips stream on /v1/events; outcomes
+// land in the leaksd_policy_* metric families. ARCHITECTURE.md documents
+// the state machine; defensebench -policy replays stored policies offline.
 //
 // On SIGINT/SIGTERM the daemon drains: submissions are refused with 503,
 // queued and in-flight scans finish (their results land in the store and

@@ -98,6 +98,14 @@ func (r *Ring) search(key string) int {
 	return i
 }
 
+// KeyHash exposes the ring's hash function for consumers that need
+// placement decisions consistent with ring ownership without a full ring —
+// the policy canary controller ranks a provider's containers by
+// KeyHash("provider|name") to pick its k% canary set, so the same
+// containers that would land together on a worker also enter a canary
+// together, and the set is stable as the fleet grows.
+func KeyHash(key string) uint64 { return ringHash(key) }
+
 // ringHash is FNV-64a (the same family the chaos seed splitter uses)
 // finished with a splitmix64-style avalanche. Raw FNV of short,
 // similar strings — "w0#17", "local|tenant-00042" — clusters badly in the

@@ -93,6 +93,7 @@ func (r *Runtime) Create(name string, extra ...pseudofs.Rule) *Container {
 		CgroupPath: cgPath,
 		NS:         ns,
 		mount:      pseudofs.NewMount(r.fs, pseudofs.View{NS: ns, CgroupPath: cgPath}, policy),
+		base:       policy,
 		runtime:    r,
 	}
 	// Every container has an init process (pid 1 inside) and a host-side
@@ -147,10 +148,32 @@ type Container struct {
 	NS         *kernel.NSSet
 
 	mount   *pseudofs.Mount
+	base    pseudofs.Policy // creation-time policy, restored by RevertPolicy
 	runtime *Runtime
 	init    *kernel.Task
 	veth    string
 	tasks   []*kernel.Task
+}
+
+// ApplyPolicy overlays rules ahead of the container's creation-time policy
+// by remounting its pseudo-fs view — the live-rollout analogue of passing
+// extra rules at Create. First match wins, so the overlay shadows the base
+// policy wherever patterns overlap. The new mount is a distinct identity:
+// incremental engines treat the container as unseen and re-validate it,
+// which is exactly right — its observable surface just changed.
+func (c *Container) ApplyPolicy(name string, rules []pseudofs.Rule) {
+	p := pseudofs.Policy{
+		Name:  name,
+		Rules: append(append([]pseudofs.Rule(nil), rules...), c.base.Rules...),
+	}
+	c.mount = pseudofs.NewMount(c.runtime.fs, c.mount.View(), p)
+}
+
+// RevertPolicy restores the creation-time policy (canary rollback). A
+// fresh mount is built even if no overlay is active, keeping the
+// re-validation semantics identical to ApplyPolicy.
+func (c *Container) RevertPolicy() {
+	c.mount = pseudofs.NewMount(c.runtime.fs, c.mount.View(), c.base)
 }
 
 // ReadFile reads a pseudo-file exactly as a tenant process inside the

@@ -251,33 +251,14 @@ type StageOutcome struct {
 // AblationDefenseStages compares no defense, stage 1 only (masking), and
 // stage 2 (namespacing): residual leakage vs application breakage.
 func AblationDefenseStages() ([]StageOutcome, error) {
-	countLeaks := func(fs *pseudofs.FS, k *kernel.Kernel, rt *container.Runtime, extra []pseudofs.Rule) int {
-		probe := rt.Create("probe", extra...)
-		defer func() { _ = rt.Destroy(probe.ID) }()
-		k.Tick(k.Now()+5, 5)
-		host := pseudofs.NewMount(fs, pseudofs.HostView(k), pseudofs.Policy{})
-		n := 0
-		for _, rep := range core.RollUp(core.TableIChannels(), core.CrossValidate(host, probe.Mount())) {
-			if rep.Availability == core.Available {
-				n++
-			}
-		}
-		return n
-	}
-	newWorld := func(seed int64) (*kernel.Kernel, *pseudofs.FS, *container.Runtime) {
-		k := kernel.New(kernel.Options{Hostname: "stage", Seed: seed})
-		fs := pseudofs.Build(k, pseudofs.DefaultHardware())
-		return k, fs, container.NewRuntime(k, fs, container.DockerProfile())
-	}
-
 	var out []StageOutcome
 
 	// Baseline.
-	k0, fs0, rt0 := newWorld(31)
-	out = append(out, StageOutcome{Name: "no defense", LeakingChannels: countLeaks(fs0, k0, rt0, nil)})
+	k0, fs0, rt0 := stageWorld(31)
+	out = append(out, StageOutcome{Name: "no defense", LeakingChannels: stageLeakCount(fs0, k0, rt0, nil)})
 
 	// Stage 1: masks from a fresh inspection.
-	k1, fs1, rt1 := newWorld(32)
+	k1, fs1, rt1 := stageWorld(32)
 	probe := rt1.Create("inspect")
 	k1.Tick(5, 5)
 	host := pseudofs.NewMount(fs1, pseudofs.HostView(k1), pseudofs.Policy{})
@@ -288,12 +269,12 @@ func AblationDefenseStages() ([]StageOutcome, error) {
 	rules := defense.MaskingRules(reports)
 	out = append(out, StageOutcome{
 		Name:            "stage 1 (masking)",
-		LeakingChannels: countLeaks(fs1, k1, rt1, rules),
+		LeakingChannels: stageLeakCount(fs1, k1, rt1, rules),
 		BrokenApps:      len(defense.AssessImpact(rules, defense.CommonApps())),
 	})
 
 	// Stage 2: namespace fixes + power namespace, no masks.
-	k2, fs2, rt2 := newWorld(33)
+	k2, fs2, rt2 := stageWorld(33)
 	model, _, err := powerns.Train(powerns.TrainOptions{Seed: 33})
 	if err != nil {
 		return nil, err
@@ -303,10 +284,35 @@ func AblationDefenseStages() ([]StageOutcome, error) {
 	ns.Install(fs2)
 	out = append(out, StageOutcome{
 		Name:            "stage 2 (namespacing)",
-		LeakingChannels: countLeaks(fs2, k2, rt2, nil),
+		LeakingChannels: stageLeakCount(fs2, k2, rt2, nil),
 		BrokenApps:      0, // interfaces stay readable, now with private data
 	})
 	return out, nil
+}
+
+// stageWorld builds one isolated kernel/pseudofs/runtime triple for a
+// defense-stage measurement; each stage gets its own seed so the rows are
+// independent observations.
+func stageWorld(seed int64) (*kernel.Kernel, *pseudofs.FS, *container.Runtime) {
+	k := kernel.New(kernel.Options{Hostname: "stage", Seed: seed})
+	fs := pseudofs.Build(k, pseudofs.DefaultHardware())
+	return k, fs, container.NewRuntime(k, fs, container.DockerProfile())
+}
+
+// stageLeakCount counts Table I channels still fully available (●) to a
+// probe container created with the given extra masking rules.
+func stageLeakCount(fs *pseudofs.FS, k *kernel.Kernel, rt *container.Runtime, extra []pseudofs.Rule) int {
+	probe := rt.Create("probe", extra...)
+	defer func() { _ = rt.Destroy(probe.ID) }()
+	k.Tick(k.Now()+5, 5)
+	host := pseudofs.NewMount(fs, pseudofs.HostView(k), pseudofs.Policy{})
+	n := 0
+	for _, rep := range core.RollUp(core.TableIChannels(), core.CrossValidate(host, probe.Mount())) {
+		if rep.Availability == core.Available {
+			n++
+		}
+	}
+	return n
 }
 
 // RenderStages renders the stage comparison.

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/defense"
+	"repro/internal/policy"
+	"repro/internal/texttable"
+)
+
+// PolicyStages evaluates a stored mask policy offline against the defense
+// stage grid: the policy's rules are applied to a probe container exactly
+// like the stage-1 masking rules, so its residual leakage and collateral
+// app damage land in the same table as "no defense", stage 1, and stage 2.
+// Synthesized policies prefer empty-masking over denial wherever the mined
+// benign surface needs a path, so they should match stage 1's closure with
+// strictly less breakage.
+func PolicyStages(pol policy.Policy) ([]StageOutcome, error) {
+	rules, err := pol.PseudoRules()
+	if err != nil {
+		return nil, err
+	}
+	stages, err := AblationDefenseStages()
+	if err != nil {
+		return nil, err
+	}
+	k, fs, rt := stageWorld(34)
+	return append(stages, StageOutcome{
+		Name:            fmt.Sprintf("policy (%s)", pol.Name()),
+		LeakingChannels: stageLeakCount(fs, k, rt, rules),
+		BrokenApps:      len(defense.AssessImpact(rules, defense.CommonApps())),
+	}), nil
+}
+
+// PolicyEvalFile loads a policy JSON file (the policy.Encode format that
+// POST /v1/policies records) and renders the stage-grid comparison — the
+// defensebench -policy entry point.
+func PolicyEvalFile(path string) (string, error) {
+	pol, err := policy.LoadFile(path)
+	if err != nil {
+		return "", err
+	}
+	outcomes, err := PolicyStages(pol)
+	if err != nil {
+		return "", err
+	}
+	tb := texttable.New("Defense", "Channels still ●", "Apps broken")
+	for _, o := range outcomes {
+		tb.Row(o.Name, fmt.Sprintf("%d / 21", o.LeakingChannels), fmt.Sprintf("%d / %d", o.BrokenApps, len(defense.CommonApps())))
+	}
+	return fmt.Sprintf("POLICY EVAL: %s (%d rules, provider %s) vs the defense stages\n%s",
+		path, len(pol.Rules), pol.Provider, tb.String()), nil
+}

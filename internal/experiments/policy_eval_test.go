@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/policy"
+)
+
+// TestPolicyEvalFile synthesizes a CC1 policy, writes it in the stored
+// JSON format, and replays it through the defensebench -policy path: the
+// rendered grid must carry the policy row next to the defense stages, and
+// the empty-masking synthesis must not break more apps than stage 1's
+// deny-only masking.
+func TestPolicyEvalFile(t *testing.T) {
+	pol, _, err := policy.Generate(cloud.CC1(), 0, policy.Options{})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	raw, err := pol.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "cc1.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write policy: %v", err)
+	}
+
+	out, err := PolicyEvalFile(path)
+	if err != nil {
+		t.Fatalf("PolicyEvalFile: %v", err)
+	}
+	for _, want := range []string{"POLICY EVAL:", "no defense", "stage 1 (masking)", "stage 2 (namespacing)", "policy (synthesized/cc1)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	outcomes, err := PolicyStages(pol)
+	if err != nil {
+		t.Fatalf("PolicyStages: %v", err)
+	}
+	if len(outcomes) != 4 {
+		t.Fatalf("outcomes = %d rows; want 4", len(outcomes))
+	}
+	stage1, polRow := outcomes[1], outcomes[3]
+	if polRow.LeakingChannels >= outcomes[0].LeakingChannels {
+		t.Fatalf("policy closes nothing: %+v vs baseline %+v", polRow, outcomes[0])
+	}
+	if polRow.BrokenApps > stage1.BrokenApps {
+		t.Fatalf("policy breaks more apps (%d) than stage 1 masking (%d)", polRow.BrokenApps, stage1.BrokenApps)
+	}
+}
+
+// TestPolicyEvalFileErrors covers the offline loader's failure modes.
+func TestPolicyEvalFileErrors(t *testing.T) {
+	if _, err := PolicyEvalFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"provider":"cc1","rules":[{"pattern":"","action":"deny"}]}`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := PolicyEvalFile(bad); err == nil {
+		t.Fatal("empty-pattern rule accepted")
+	}
+}

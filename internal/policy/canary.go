@@ -1,0 +1,371 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/pseudofs"
+	"repro/internal/workload"
+)
+
+// Phase is the canary rollout state machine:
+//
+//	pending → canary → promoting → done
+//	            └──────→ rolled_back
+//
+// The only transition out of canary other than promotion is rollback, and
+// rollback is terminal: a policy that broke a benign read once does not
+// get retried without re-synthesis.
+type Phase string
+
+// Rollout phases.
+const (
+	PhasePending    Phase = "pending"
+	PhaseCanary     Phase = "canary"
+	PhasePromoting  Phase = "promoting"
+	PhaseDone       Phase = "done"
+	PhaseRolledBack Phase = "rolled_back"
+)
+
+// Event is one observation the rollout controller emits while it runs.
+// Channel != "" marks a verdict event (a channel's fleet-worst availability
+// at this epoch, with its previous value when it changed); Channel == ""
+// marks a phase transition. Epoch is the world's FS-wide source epoch at
+// emission — the same counter the incremental engine keys its caches by,
+// so a watcher can correlate verdict flips with world changes.
+type Event struct {
+	Phase        Phase
+	Epoch        uint64
+	Channel      string
+	Availability string
+	Previous     string
+	Changed      bool
+	Reason       string
+}
+
+// RolloutConfig tunes the canary controller. The zero value selects the
+// defaults.
+type RolloutConfig struct {
+	// CanaryPercent is the share of the fleet the policy applies to first
+	// (default 20, clamped to [1,100]). The canary set is chosen by
+	// ranking cluster.KeyHash("provider|name") — consistent with the scan
+	// ring's placement, and stable as the fleet grows.
+	CanaryPercent int
+	// HealthyEpochs is how many consecutive healthy canary epochs promote
+	// the policy to the whole fleet (default 3).
+	HealthyEpochs int
+	// TicksPerEpoch is how many 1-second world ticks one epoch spans
+	// (default 5).
+	TicksPerEpoch int
+	// Workers bounds validation/capture fan-out (default 1).
+	Workers int
+}
+
+func (c RolloutConfig) canaryPercent() int {
+	switch {
+	case c.CanaryPercent <= 0:
+		return 20
+	case c.CanaryPercent > 100:
+		return 100
+	}
+	return c.CanaryPercent
+}
+
+func (c RolloutConfig) healthyEpochs() int {
+	if c.HealthyEpochs <= 0 {
+		return 3
+	}
+	return c.HealthyEpochs
+}
+
+func (c RolloutConfig) ticksPerEpoch() int {
+	if c.TicksPerEpoch <= 0 {
+		return 5
+	}
+	return c.TicksPerEpoch
+}
+
+func (c RolloutConfig) workers() int {
+	if c.Workers <= 0 {
+		return 1
+	}
+	return c.Workers
+}
+
+// Result is the terminal outcome of one rollout.
+type Result struct {
+	Phase      Phase `json:"phase"`
+	Epochs     int   `json:"epochs"`
+	CanarySize int   `json:"canary_size"`
+	FleetSize  int   `json:"fleet_size"`
+	// ChannelsClosed / ChannelsLeaking summarize the fleet-worst Table I
+	// availability after the rollout finished (done) or was reverted
+	// (rolled_back — leaking counts then reflect the restored baseline).
+	ChannelsClosed  int      `json:"channels_closed"`
+	ChannelsLeaking int      `json:"channels_leaking"`
+	BenignFailures  []string `json:"benign_failures,omitempty"`
+	Reason          string   `json:"reason,omitempty"`
+}
+
+// Fleet is a provider's container fleet on one simulated host, the target
+// a policy rolls out to. It owns the world, an incremental engine over the
+// host mount, and the benign workload suite the health check replays.
+type Fleet struct {
+	provider string
+	seed     int64
+	dc       *cloud.Datacenter
+	srv      *cloud.Server
+	eng      *engine.Engine
+	conts    []*container.Container
+	specs    []workload.TraceSpec
+}
+
+// NewFleet launches n tenant containers of the provider profile on one
+// server and advances the world to the canonical observation instant.
+func NewFleet(p cloud.ProviderProfile, spec chaos.Spec, seed int64, n int) (*Fleet, error) {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("policy: fleet needs at least 1 container, got %d", n)
+	}
+	dc := cloud.New(cloud.Config{
+		Racks:          1,
+		ServersPerRack: 1,
+		CoresPerServer: n + 4, // room for the fleet plus background load
+		Seed:           seed,
+		Provider:       &p,
+		Chaos:          spec,
+	})
+	f := &Fleet{provider: p.Name, seed: seed, dc: dc, specs: workload.BenignSuite(seed)}
+	for i := 0; i < n; i++ {
+		srv, c, err := dc.Launch("tenant", fmt.Sprintf("tenant-%02d", i), 1)
+		if err != nil {
+			return nil, fmt.Errorf("policy: launch tenant %d: %w", i, err)
+		}
+		f.srv = srv
+		f.conts = append(f.conts, c)
+	}
+	dc.Clock.Run(30, 1)
+	f.eng = engine.New(f.srv.HostMount())
+	return f, nil
+}
+
+// Size returns the fleet's container count.
+func (f *Fleet) Size() int { return len(f.conts) }
+
+// Epoch returns the world's FS-wide source epoch (stamped on events).
+func (f *Fleet) Epoch() uint64 { return f.srv.FS.Epoch() }
+
+// Canaries returns the indices of the pct% canary set: the containers with
+// the lowest cluster.KeyHash("provider|name"), at least one. Because the
+// ranking hashes the same keys the scan ring partitions by, the canary set
+// is stable as the fleet grows and consistent with worker placement.
+func (f *Fleet) Canaries(pct int) []int {
+	type ranked struct {
+		hash uint64
+		idx  int
+	}
+	rs := make([]ranked, len(f.conts))
+	for i, c := range f.conts {
+		rs[i] = ranked{hash: cluster.KeyHash(f.provider + "|" + c.Name), idx: i}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].hash != rs[j].hash {
+			return rs[i].hash < rs[j].hash
+		}
+		return rs[i].idx < rs[j].idx
+	})
+	n := (pct*len(f.conts) + 99) / 100
+	if n < 1 {
+		n = 1
+	}
+	if n > len(f.conts) {
+		n = len(f.conts)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = rs[i].idx
+	}
+	sort.Ints(out)
+	return out
+}
+
+// worstAvail cross-validates the given containers in one batched engine
+// pass and returns each Table I channel's fleet-worst availability (the
+// most leaking verdict across the set).
+func (f *Fleet) worstAvail(indices []int, workers int) map[string]core.Availability {
+	mounts := make([]*pseudofs.Mount, len(indices))
+	for i, idx := range indices {
+		mounts[i] = f.conts[idx].Mount()
+	}
+	channels := core.TableIChannels()
+	worst := make(map[string]core.Availability, len(channels))
+	for _, ch := range channels {
+		worst[ch.Name] = core.Unavailable // explicit ○ entry even when nothing leaks
+	}
+	for _, findings := range f.eng.FleetValidate(mounts, workers) {
+		for _, rep := range core.RollUp(channels, findings) {
+			if rep.Availability > worst[rep.Channel.Name] {
+				worst[rep.Channel.Name] = rep.Availability
+			}
+		}
+	}
+	return worst
+}
+
+// benignSurface replays the benign suite through the given containers and
+// returns the merged successful read counts.
+func (f *Fleet) benignSurface(indices []int, workers int) map[string]int {
+	merged := make(map[string]int)
+	for _, idx := range indices {
+		for _, tr := range workload.CaptureAll(f.conts[idx].Mount(), f.specs, f.seed, workers) {
+			for path, n := range tr.Reads {
+				merged[path] += n
+			}
+		}
+	}
+	return merged
+}
+
+// newFailures returns paths readable at baseline but unreadable now.
+func newFailures(baseline, now map[string]int) []string {
+	var out []string
+	for path, n := range baseline {
+		if n > 0 && now[path] == 0 {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitVerdicts reports each channel's availability against the previous
+// epoch's and updates last in place. Channels iterate in registry order so
+// the event stream is deterministic.
+func (f *Fleet) emitVerdicts(phase Phase, avail, last map[string]core.Availability, emit func(Event)) {
+	epoch := f.Epoch()
+	for _, ch := range core.TableIChannels() {
+		cur, prev := avail[ch.Name], last[ch.Name]
+		ev := Event{
+			Phase:        phase,
+			Epoch:        epoch,
+			Channel:      ch.Name,
+			Availability: cur.String(),
+			Changed:      cur != prev,
+		}
+		if ev.Changed {
+			ev.Previous = prev.String()
+		}
+		emit(ev)
+		last[ch.Name] = cur
+	}
+}
+
+// Rollout applies the policy to the canary set, watches verdicts and
+// benign replays across world epochs, and either promotes the policy to
+// the whole fleet after cfg.HealthyEpochs healthy epochs or rolls the
+// canaries back on the first benign read the policy breaks. Events stream
+// through emit (may be nil) as the controller observes them; leaksd maps
+// them onto the /v1/events SSE feed.
+func (f *Fleet) Rollout(pol Policy, cfg RolloutConfig, emit func(Event)) (Result, error) {
+	if emit == nil {
+		emit = func(Event) {}
+	}
+	rules, err := pol.PseudoRules()
+	if err != nil {
+		return Result{}, err
+	}
+	canaries := f.Canaries(cfg.canaryPercent())
+	all := make([]int, len(f.conts))
+	for i := range all {
+		all[i] = i
+	}
+	res := Result{
+		Phase:      PhasePending,
+		CanarySize: len(canaries),
+		FleetSize:  len(f.conts),
+	}
+	workers := cfg.workers()
+
+	// Baseline: fleet-worst verdicts and the benign surface the health
+	// check compares against, both captured before any policy applies.
+	last := f.worstAvail(all, workers)
+	baseline := f.benignSurface(all, workers)
+	wasLeaking := make(map[string]bool, len(last))
+	for ch, a := range last {
+		wasLeaking[ch] = a != core.Unavailable
+	}
+
+	emit(Event{Phase: PhaseCanary, Epoch: f.Epoch()})
+	res.Phase = PhaseCanary
+	for _, idx := range canaries {
+		f.conts[idx].ApplyPolicy(pol.Name(), rules)
+	}
+	for epoch := 1; epoch <= cfg.healthyEpochs(); epoch++ {
+		f.dc.Clock.Run(f.dc.Clock.Now()+float64(cfg.ticksPerEpoch()), 1)
+		res.Epochs = epoch
+		f.emitVerdicts(PhaseCanary, f.worstAvail(canaries, workers), last, emit)
+		replay := f.benignSurface(canaries, workers)
+		if failures := newFailures(baseline, replay); len(failures) > 0 {
+			for _, idx := range canaries {
+				f.conts[idx].RevertPolicy()
+			}
+			res.Phase = PhaseRolledBack
+			res.BenignFailures = failures
+			res.Reason = fmt.Sprintf("benign read broken on canary: %s", failures[0])
+			restored := f.worstAvail(all, workers)
+			res.ChannelsClosed, res.ChannelsLeaking = closureCounts(restored, wasLeaking)
+			emit(Event{Phase: PhaseRolledBack, Epoch: f.Epoch(), Reason: res.Reason})
+			return res, nil
+		}
+	}
+
+	emit(Event{Phase: PhasePromoting, Epoch: f.Epoch()})
+	res.Phase = PhasePromoting
+	for _, idx := range all {
+		f.conts[idx].ApplyPolicy(pol.Name(), rules)
+	}
+	f.dc.Clock.Run(f.dc.Clock.Now()+float64(cfg.ticksPerEpoch()), 1)
+	res.Epochs++
+	final := f.worstAvail(all, workers)
+	f.emitVerdicts(PhasePromoting, final, last, emit)
+	if failures := newFailures(baseline, f.benignSurface(all, workers)); len(failures) > 0 {
+		for _, idx := range all {
+			f.conts[idx].RevertPolicy()
+		}
+		res.Phase = PhaseRolledBack
+		res.BenignFailures = failures
+		res.Reason = fmt.Sprintf("benign read broken on promotion: %s", failures[0])
+		restored := f.worstAvail(all, workers)
+		res.ChannelsClosed, res.ChannelsLeaking = closureCounts(restored, wasLeaking)
+		emit(Event{Phase: PhaseRolledBack, Epoch: f.Epoch(), Reason: res.Reason})
+		return res, nil
+	}
+	res.Phase = PhaseDone
+	res.ChannelsClosed, res.ChannelsLeaking = closureCounts(final, wasLeaking)
+	emit(Event{Phase: PhaseDone, Epoch: f.Epoch()})
+	return res, nil
+}
+
+// closureCounts summarizes a fleet-worst availability map: closed counts
+// channels that leaked at baseline and read ○ now; leaking counts channels
+// still ● / ◐.
+func closureCounts(avail map[string]core.Availability, wasLeaking map[string]bool) (closed, leaking int) {
+	for ch, a := range avail {
+		if a == core.Unavailable {
+			if wasLeaking[ch] {
+				closed++
+			}
+		} else {
+			leaking++
+		}
+	}
+	return closed, leaking
+}

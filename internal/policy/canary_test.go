@@ -1,0 +1,183 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+)
+
+func TestCanariesRankedByRingHash(t *testing.T) {
+	f, err := NewFleet(cloud.CC1(), chaos.Spec{}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Canaries(20)
+	if len(got) != 2 { // ceil(20% of 10)
+		t.Fatalf("canary size %d, want 2", len(got))
+	}
+	// The set must be the two lowest KeyHash("provider|name") containers —
+	// the same placement function the scan ring partitions by.
+	type ranked struct {
+		hash uint64
+		idx  int
+	}
+	var rs []ranked
+	for i, c := range f.conts {
+		rs = append(rs, ranked{cluster.KeyHash(f.provider + "|" + c.Name), i})
+	}
+	for _, idx := range got {
+		below := 0
+		for _, r := range rs {
+			if r.hash < rs[idx].hash {
+				below++
+			}
+		}
+		if below >= 2 {
+			t.Fatalf("container %d is not among the 2 lowest hashes", idx)
+		}
+	}
+	// Deterministic and clamped.
+	if !reflect.DeepEqual(got, f.Canaries(20)) {
+		t.Fatal("canary selection not deterministic")
+	}
+	if n := len(f.Canaries(1)); n != 1 {
+		t.Fatalf("1%% of 10 containers should clamp to 1 canary, got %d", n)
+	}
+	if n := len(f.Canaries(100)); n != 10 {
+		t.Fatalf("100%% should select the whole fleet, got %d", n)
+	}
+}
+
+// TestRolloutPromotes is the happy path: a correctly synthesized policy
+// survives the canary epochs, promotes to the whole fleet, and ends with
+// the channels closed and zero benign breakage.
+func TestRolloutPromotes(t *testing.T) {
+	pol, err := Synthesize(cloud.CC1(), 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFleet(cloud.CC1(), chaos.Spec{}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	res, err := f.Rollout(pol, RolloutConfig{}, func(e Event) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phase != PhaseDone {
+		t.Fatalf("rollout ended in %s (reason %q), want done", res.Phase, res.Reason)
+	}
+	if res.CanarySize != 1 || res.FleetSize != 5 {
+		t.Fatalf("canary/fleet = %d/%d, want 1/5", res.CanarySize, res.FleetSize)
+	}
+	if len(res.BenignFailures) != 0 {
+		t.Fatalf("benign failures: %v", res.BenignFailures)
+	}
+	if res.ChannelsClosed == 0 {
+		t.Fatal("rollout closed no channels")
+	}
+	if res.ChannelsLeaking > res.ChannelsClosed/9 { // ≥90% closure
+		t.Fatalf("still leaking %d channels vs %d closed", res.ChannelsLeaking, res.ChannelsClosed)
+	}
+	// The event stream walks the state machine in order and stamps the
+	// world's source epoch on every event.
+	var phases []Phase
+	var lastEpoch uint64
+	for _, e := range events {
+		if e.Channel == "" {
+			phases = append(phases, e.Phase)
+		}
+		if e.Epoch < lastEpoch {
+			t.Fatalf("event epoch went backwards: %d after %d", e.Epoch, lastEpoch)
+		}
+		lastEpoch = e.Epoch
+	}
+	want := []Phase{PhaseCanary, PhasePromoting, PhaseDone}
+	if !reflect.DeepEqual(phases, want) {
+		t.Fatalf("phase transitions %v, want %v", phases, want)
+	}
+	// Verdict flips were observed: at least one channel changed from its
+	// leaking baseline during the canary watch.
+	sawFlip := false
+	for _, e := range events {
+		if e.Channel != "" && e.Changed {
+			sawFlip = true
+			if e.Previous == "" {
+				t.Fatalf("changed verdict for %s missing previous value", e.Channel)
+			}
+		}
+	}
+	if !sawFlip {
+		t.Fatal("no verdict change observed during rollout")
+	}
+}
+
+// TestRolloutAutoRollback injects a policy that denies a pseudo-file every
+// benign workload needs at startup; the first canary health check must
+// catch the breakage, revert the canaries, and end in rolled_back.
+func TestRolloutAutoRollback(t *testing.T) {
+	bad := Policy{
+		Provider: "cc1",
+		Seed:     DefaultSeed,
+		Rules: []Rule{
+			{Pattern: "/proc/cpuinfo", Action: ActionDeny, Channel: "/proc/cpuinfo"},
+		},
+	}
+	f, err := NewFleet(cloud.CC1(), chaos.Spec{}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	res, err := f.Rollout(bad, RolloutConfig{}, func(e Event) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phase != PhaseRolledBack {
+		t.Fatalf("rollout ended in %s, want rolled_back", res.Phase)
+	}
+	if len(res.BenignFailures) == 0 || res.BenignFailures[0] != "/proc/cpuinfo" {
+		t.Fatalf("benign failures %v, want [/proc/cpuinfo ...]", res.BenignFailures)
+	}
+	if res.Reason == "" {
+		t.Fatal("rollback carries no reason")
+	}
+	if res.Epochs != 1 {
+		t.Fatalf("rollback after %d epochs, want 1 (first health check)", res.Epochs)
+	}
+	// Rollback restored the creation-time policy: the broken path reads
+	// again in every container.
+	for i, c := range f.conts {
+		if _, err := c.ReadFile("/proc/cpuinfo"); err != nil {
+			t.Fatalf("container %d still broken after rollback: %v", i, err)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Phase != PhaseRolledBack || last.Reason == "" {
+		t.Fatalf("final event %+v, want rolled_back with reason", last)
+	}
+}
+
+// TestRolloutUnderChaos: transient faults must not trip the rollback — the
+// capture retries absorb them, and a good policy still promotes.
+func TestRolloutUnderChaos(t *testing.T) {
+	pol, err := Synthesize(cloud.CC1(), 0, Options{Chaos: chaos.Spec{Rate: 0.02, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFleet(cloud.CC1(), chaos.Spec{Rate: 0.02, Seed: 5}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Rollout(pol, RolloutConfig{Workers: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phase != PhaseDone {
+		t.Fatalf("chaos rollout ended in %s (reason %q, failures %v), want done",
+			res.Phase, res.Reason, res.BenignFailures)
+	}
+}

@@ -1,0 +1,48 @@
+// Package policy closes the loop the paper opens: the detector
+// (internal/core, internal/engine) finds the procfs/sysfs channels of
+// Table I leaking; this package generates the masking policy that closes
+// them — automatically, minimally, and without breaking the benign
+// workloads a provider actually hosts — and rolls it out through leaksd
+// with a staged canary.
+//
+// The pipeline has four stages, in the spirit of sandbox mining (Le Blanc
+// et al.'s BEACON and Zeller's "Mining Sandboxes": observe what benign
+// runs need, forbid the rest):
+//
+//	mining       Benign workload runs (the seeded power virus and the
+//	             UnixBench suite, internal/workload) replay their
+//	             pseudo-file read intents through real container mounts;
+//	             the union of successful reads is the benign surface a
+//	             policy must not deny. Reads already failing under the
+//	             provider's own policy are recorded as baseline-broken
+//	             and excluded — a policy is not charged for pre-existing
+//	             breakage.
+//	synthesis    For every Table I channel the engine finds leaking, emit
+//	             the narrowest rule that closes it: a channel whose paths
+//	             nobody benign reads gets one Deny over the channel
+//	             pattern; a channel on the benign surface gets per-path
+//	             rules — Empty (read succeeds, content masked) where a
+//	             benign trace needs the read, Deny elsewhere. Empty rules
+//	             order ahead of Deny patterns so first-match-wins keeps
+//	             the benign surface readable. Each rule records the
+//	             kernel subsystems (pseudofs.Dep masks) of the paths it
+//	             covers, tying the policy to the epoch machinery that
+//	             will re-validate it.
+//	verification Two worlds from the same seed: the baseline probe and a
+//	             probe with the policy applied. A channel is closed iff
+//	             its verdict flips to ○ (non-leaking); benign suites
+//	             replay under the policy and every read that succeeded at
+//	             baseline must still succeed. Deterministic worlds make
+//	             the whole check byte-reproducible.
+//	canary       A Fleet of a provider's containers applies the policy to
+//	             k% first — chosen by ranking cluster.KeyHash
+//	             ("provider|name"), consistent with the scan-partitioning
+//	             ring — then watches verdicts and benign replays across
+//	             world epochs. Any new benign-read failure rolls the
+//	             canary back; surviving HealthyEpochs promotes the policy
+//	             to the whole fleet.
+//
+// leaksd exposes the pipeline as the /v1/policies surface (see
+// internal/service); defensebench -policy evaluates a saved policy
+// offline against the defense stage grid.
+package policy

@@ -38,9 +38,10 @@ type APIConfig struct {
 }
 
 type api struct {
-	cfg   APIConfig
-	sched *Scheduler
-	start time.Time
+	cfg      APIConfig
+	sched    *Scheduler
+	start    time.Time
+	policies *policyManager
 
 	mux *http.ServeMux
 	// endpoints maps URL paths to the zero-alloc cached serving path;
@@ -61,7 +62,13 @@ type api struct {
 //	GET  /v1/channels     the Table I channel registry
 //	GET  /v1/providers    inspectable provider profiles
 //	GET  /v1/engine       incremental-engine cache and epoch statistics
-//	GET  /v1/events       SSE stream of verdict / scan events
+//	GET  /v1/events       SSE stream of verdict / scan / policy events
+//	POST /v1/policies     synthesize (or store) a mask policy (201)
+//	GET  /v1/policies     list policy records
+//	GET  /v1/policies/{id}    one policy with report and latest rollout
+//	DELETE /v1/policies/{id}  remove a policy (204)
+//	POST /v1/policies/{id}/rollout  staged canary rollout (200 terminal status)
+//	GET  /v1/policies/{id}/rollout  latest rollout status
 //	GET  /v1/cluster      cluster role/status envelope (all roles)
 //	POST /v1/cluster/scans   partitioned fleet scan (coordinator role)
 //	POST /v1/cluster/shards  execute one shard (worker role)
@@ -103,7 +110,7 @@ func NewHandler(cfg APIConfig) http.Handler {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	a := &api{cfg: cfg, sched: cfg.Scheduler, start: cfg.Now()}
+	a := &api{cfg: cfg, sched: cfg.Scheduler, start: cfg.Now(), policies: newPolicyManager()}
 
 	a.providers = make(map[string]struct{})
 	for _, name := range ProviderNames() {
@@ -137,6 +144,12 @@ func NewHandler(cfg APIConfig) http.Handler {
 	mux.HandleFunc("GET /v1/providers", a.cachedHandler("/v1/providers"))
 	mux.HandleFunc("GET /v1/engine", a.cachedHandler("/v1/engine"))
 	mux.HandleFunc("GET /v1/events", a.events) // untimed: streams
+	mux.HandleFunc("POST /v1/policies", a.timed(a.postPoliciesV1))
+	mux.HandleFunc("GET /v1/policies", a.timed(a.getPoliciesV1))
+	mux.HandleFunc("GET /v1/policies/{id}", a.timed(a.getPolicyV1))
+	mux.HandleFunc("DELETE /v1/policies/{id}", a.timed(a.deletePolicyV1))
+	mux.HandleFunc("POST /v1/policies/{id}/rollout", a.timed(a.postPolicyRolloutV1))
+	mux.HandleFunc("GET /v1/policies/{id}/rollout", a.timed(a.getPolicyRolloutV1))
 	mux.HandleFunc("GET /v1/cluster", a.timed(a.getClusterV1))
 	mux.HandleFunc("POST /v1/cluster/scans", a.timed(a.postClusterScanV1))
 	mux.HandleFunc("POST /v1/cluster/shards", a.timed(a.postClusterShardV1))

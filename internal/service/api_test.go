@@ -95,8 +95,12 @@ func metricValue(t *testing.T, scrape, sample string) float64 {
 			return v
 		}
 	}
-	if !strings.Contains(scrape, "# TYPE "+sample+" ") {
-		t.Fatalf("family %q not present in scrape:\n%s", sample, scrape)
+	family := sample
+	if i := strings.IndexByte(family, '{'); i >= 0 {
+		family = family[:i]
+	}
+	if !strings.Contains(scrape, "# TYPE "+family+" ") {
+		t.Fatalf("family %q not present in scrape:\n%s", family, scrape)
 	}
 	return 0
 }

@@ -10,20 +10,36 @@ import "sync"
 // signal an operator dashboard tails over SSE.
 type Event struct {
 	Type  string `json:"type"`
-	JobID string `json:"job_id"`
-	Kind  Kind   `json:"kind"`
+	JobID string `json:"job_id,omitempty"`
+	Kind  Kind   `json:"kind,omitempty"`
+
+	// Provider tags verdict, scan lifecycle, and policy events alike, so a
+	// consumer can filter one provider's stream without re-fetching
+	// /v1/results.
+	Provider string `json:"provider,omitempty"`
 
 	// Verdict events only.
-	Provider     string `json:"provider,omitempty"`
 	Channel      string `json:"channel,omitempty"`
 	Availability string `json:"availability,omitempty"`
 	Changed      bool   `json:"changed,omitempty"`
 	// Previous availability for changed verdicts ("" on first observation).
 	Previous string `json:"previous,omitempty"`
 
+	// Epoch is the engine epoch the event was observed at: the scheduler's
+	// engine serving epoch for scan verdicts, the rollout world's FS-wide
+	// source epoch for policy verdicts. The canary watcher correlates
+	// verdict flips with world changes through it.
+	Epoch uint64 `json:"epoch,omitempty"`
+
 	// Scan lifecycle events only.
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	Error    string `json:"error,omitempty"`
+
+	// Policy rollout events only: the policy ID, its rollout phase, and —
+	// for rollbacks — the reason.
+	Policy string `json:"policy,omitempty"`
+	Phase  string `json:"phase,omitempty"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // Event types.
@@ -31,6 +47,7 @@ const (
 	EventVerdict    = "verdict"
 	EventScanDone   = "scan_done"
 	EventScanFailed = "scan_failed"
+	EventPolicy     = "policy"
 )
 
 // hub fans events out to subscribers. Delivery is best-effort per

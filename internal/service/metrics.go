@@ -60,6 +60,20 @@ type Metrics struct {
 	// endpoint. A miss is a cold render (epoch just bumped, new window, or
 	// the cache is disabled).
 	HTTPCacheHits, HTTPCacheMisses *telemetry.CounterVec
+	// Policies gauges the live policy records; PolicySyntheses counts
+	// synthesis runs by provider.
+	Policies        *telemetry.GaugeVec
+	PolicySyntheses *telemetry.CounterVec
+	// PolicyRollouts counts rollout terminations by provider and terminal
+	// phase (done / rolled_back); PolicyRollbacks counts auto-rollbacks
+	// specifically (the alerting signal); PolicyBenignFailures counts the
+	// individual benign reads a rollout's health check caught broken.
+	PolicyRollouts, PolicyRollbacks *telemetry.CounterVec
+	PolicyBenignFailures            *telemetry.CounterVec
+	// PolicyChannelsClosed / PolicyCanaryContainers gauge the latest
+	// rollout's closure and canary-set size per provider.
+	PolicyChannelsClosed   *telemetry.GaugeVec
+	PolicyCanaryContainers *telemetry.GaugeVec
 }
 
 // NewMetrics registers every scheduler metric on reg (a fresh registry if
@@ -121,5 +135,19 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Response-cache lookups served from a prebuilt entry, by endpoint.", "endpoint"),
 		HTTPCacheMisses: reg.Counter("leaksd_http_respcache_misses_total",
 			"Response-cache lookups that required a cold render, by endpoint.", "endpoint"),
+		Policies: reg.Gauge("leaksd_policies",
+			"Live mask-policy records."),
+		PolicySyntheses: reg.Counter("leaksd_policy_syntheses_total",
+			"Mask-policy synthesis runs, by provider.", "provider"),
+		PolicyRollouts: reg.Counter("leaksd_policy_rollouts_total",
+			"Policy rollouts reaching a terminal phase, by provider and phase.", "provider", "phase"),
+		PolicyRollbacks: reg.Counter("leaksd_policy_rollbacks_total",
+			"Canary rollouts auto-rolled-back on benign breakage, by provider.", "provider"),
+		PolicyBenignFailures: reg.Counter("leaksd_policy_benign_failures_total",
+			"Benign pseudo-file reads a rollout health check found broken, by provider.", "provider"),
+		PolicyChannelsClosed: reg.Gauge("leaksd_policy_channels_closed",
+			"Table I channels closed by the latest rollout, by provider.", "provider"),
+		PolicyCanaryContainers: reg.Gauge("leaksd_policy_canary_containers",
+			"Containers in the latest rollout's canary set, by provider.", "provider"),
 	}
 }

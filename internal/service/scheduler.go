@@ -268,7 +268,8 @@ func (s *Scheduler) submit(req ScanRequest, name string) (Job, error) {
 		s.jobsEpoch.Add(1)
 		s.mu.Unlock()
 		s.met.ScansTotal.With(string(req.Kind), string(StatusDone)).Inc()
-		s.publish(Event{Type: EventScanDone, JobID: job.ID, Kind: req.Kind, CacheHit: true})
+		s.publish(Event{Type: EventScanDone, JobID: job.ID, Kind: req.Kind,
+			Provider: req.Provider, Epoch: s.engineEpoch.Load(), CacheHit: true})
 		return snap, nil
 	}
 	s.met.CacheMisses.With().Inc()
@@ -449,7 +450,8 @@ func (s *Scheduler) finish(job *Job, res *ScanResult, err error) {
 		s.jobsEpoch.Add(1)
 		s.mu.Unlock()
 		s.met.ScansTotal.With(string(job.Request.Kind), string(status)).Inc()
-		s.publish(Event{Type: EventScanFailed, JobID: job.ID, Kind: job.Request.Kind, Error: err.Error()})
+		s.publish(Event{Type: EventScanFailed, JobID: job.ID, Kind: job.Request.Kind,
+			Provider: job.Request.Provider, Epoch: s.engineEpoch.Load(), Error: err.Error()})
 		return
 	}
 
@@ -461,6 +463,7 @@ func (s *Scheduler) finish(job *Job, res *ScanResult, err error) {
 	// emit verdict events before the completion event so a subscriber that
 	// sees scan_done has already seen the verdicts.
 	s.mu.Lock()
+	engineEpoch := s.engineEpoch.Load()
 	events := make([]Event, 0, len(res.Verdicts)+1)
 	byProvider := make(map[string][]Verdict)
 	for _, v := range res.Verdicts {
@@ -476,6 +479,7 @@ func (s *Scheduler) finish(job *Job, res *ScanResult, err error) {
 			Type: EventVerdict, JobID: job.ID, Kind: job.Request.Kind,
 			Provider: v.Provider, Channel: v.Channel,
 			Availability: v.Availability, Changed: changed, Previous: prev,
+			Epoch: engineEpoch,
 		})
 		byProvider[v.Provider] = append(byProvider[v.Provider], v)
 	}
@@ -495,7 +499,8 @@ func (s *Scheduler) finish(job *Job, res *ScanResult, err error) {
 	for _, ev := range events {
 		s.publish(ev)
 	}
-	s.publish(Event{Type: EventScanDone, JobID: job.ID, Kind: job.Request.Kind})
+	s.publish(Event{Type: EventScanDone, JobID: job.ID, Kind: job.Request.Kind,
+		Provider: job.Request.Provider, Epoch: engineEpoch})
 }
 
 // syncStoreMetrics folds the store's cumulative counters into the

@@ -24,6 +24,12 @@ var v1Routes = []string{
 	"GET /v1/providers",
 	"GET /v1/engine",
 	"GET /v1/events",
+	"POST /v1/policies",
+	"GET /v1/policies",
+	"GET /v1/policies/{id}",
+	"DELETE /v1/policies/{id}",
+	"POST /v1/policies/{id}/rollout",
+	"GET /v1/policies/{id}/rollout",
 	"GET /v1/cluster",
 	"POST /v1/cluster/scans",
 	"POST /v1/cluster/shards",

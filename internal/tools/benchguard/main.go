@@ -1,14 +1,14 @@
 // Command benchguard is the CI benchmark-regression gate: it reads fresh
 // `go test -bench -benchmem` text from stdin, extracts each gated
 // benchmark's metric, and compares it against the committed JSON baseline
-// (the BENCH_PR7.json archived by `make bench-json`). A gate fails when
+// (the BENCH_PR8.json archived by `make bench-json`). A gate fails when
 // the fresh value exceeds baseline × (1 + max-regress).
 //
 // Gates are declared with the repeatable -gate flag, "bench:metric:frac":
 //
 //	{ go test -run '^$' -bench '^BenchmarkFig3Sweep$' -benchtime=1x -benchmem . &&
 //	  go test -run '^$' -bench '^BenchmarkV1ResultsHit$' -benchtime=200000x -benchmem . ; } |
-//	  go run ./internal/tools/benchguard -baseline BENCH_PR7.json \
+//	  go run ./internal/tools/benchguard -baseline BENCH_PR8.json \
 //	    -gate 'BenchmarkFig3Sweep:allocs/op:0.10' \
 //	    -gate 'BenchmarkV1ResultsHit:allocs/op:0' \
 //	    -gate 'BenchmarkServingLoad:p99-ns:0.50'

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/power"
+)
+
+// Read-trace capture: the pseudo-file footprint of a benign workload run.
+// Real tenants read procfs/sysfs around their compute — the libc startup
+// path sizes the machine from /proc/cpuinfo and /proc/meminfo, benchmark
+// harnesses sample /proc/stat and /proc/loadavg between iterations,
+// NUMA-aware allocators consult per-node meminfo, and IO benchmarks poll
+// the fd and filesystem tables. The policy miner (internal/policy) replays
+// these read sets through container mounts to learn which pseudo-files
+// benign tenants depend on: the set a synthesized masking policy must
+// leave readable.
+//
+// Everything here is deterministic: the intent list is a pure function of
+// the workload's shape, and per-path read counts derive from a split hash
+// of (seed, workload, path) — no shared RNG stream — so captures are
+// byte-identical at any worker count and stable across runs with the same
+// seed. That is the determinism contract the miner depends on.
+
+// Reader abstracts a pseudo-filesystem mount for trace capture. Both
+// *pseudofs.Mount and any retrying wrapper satisfy it; the indirection
+// keeps this package free of a pseudofs dependency (pseudofs's own tests
+// import workload).
+type Reader interface {
+	Read(path string) (string, error)
+}
+
+// TraceSpec names one benign workload and the pseudo-file set a run of it
+// touches.
+type TraceSpec struct {
+	Name    string
+	Intents []string
+}
+
+// Trace is the per-path outcome of replaying one workload's read intents
+// through a mount.
+type Trace struct {
+	// Workload is the spec name the trace was captured for.
+	Workload string `json:"workload"`
+	// Reads maps each successfully-read path to its read count.
+	Reads map[string]int `json:"reads"`
+	// Failures maps paths whose reads failed persistently to the error
+	// observed (denied by policy, absent hardware, dead sensor).
+	Failures map[string]string `json:"failures,omitempty"`
+}
+
+// Pseudo-file groups the intent derivation draws from. Paths must exist in
+// the simulated tree (internal/pseudofs); several of them are Table I
+// leakage channels — that overlap is the whole point: a policy that closes
+// those channels by denial breaks these benign reads, so the synthesizer
+// has to mask their content instead.
+var (
+	// startupReads is the libc/JVM startup footprint: every process sizes
+	// the machine before it computes.
+	startupReads = []string{"/proc/cpuinfo", "/proc/meminfo", "/proc/version"}
+	// harnessReads is what a benchmark driver samples between runs.
+	harnessReads = []string{"/proc/stat", "/proc/loadavg", "/proc/uptime"}
+	// numaReads is the footprint of a NUMA-aware allocator.
+	numaReads = []string{"/sys/devices/system/node/node0/meminfo", "/proc/vmstat"}
+	// ioReads is the footprint of file-churning benchmarks: fd pressure,
+	// mounted filesystems, block-device activity.
+	ioReads = []string{"/proc/filesystems", "/proc/sys/fs/file-nr", "/proc/diskstats"}
+	// spawnReads is what shell/exec-heavy workloads touch per process tree.
+	spawnReads = []string{"/proc/sys/kernel/hostname", "/sys/devices/system/cpu/online"}
+)
+
+// ProfileIntents derives the deterministic pseudo-file read list of one
+// benign run of p from the profile's microarchitectural shape: every run
+// pays the startup and harness reads; memory-bound profiles (high cache
+// misses per kilo-instruction) add the NUMA allocator's footprint.
+func ProfileIntents(p Profile) []string {
+	out := append([]string(nil), startupReads...)
+	out = append(out, harnessReads...)
+	if p.Rates.Instructions > 0 {
+		cmPKI := p.Rates.CacheMisses / p.Rates.Instructions * 1000
+		if cmPKI > 8 {
+			out = append(out, numaReads...)
+		}
+	}
+	return dedupeSorted(out)
+}
+
+// BenchIntents derives the read list of one UnixBench micro-benchmark:
+// the harness footprint plus the IO table for file-churning benchmarks and
+// the spawn footprint for exec-heavy ones.
+func BenchIntents(b UnixBenchmark) []string {
+	out := append([]string(nil), startupReads...)
+	out = append(out, harnessReads...)
+	if b.IOBound {
+		out = append(out, ioReads...)
+	}
+	if b.ExecsPerOp > 0 {
+		out = append(out, spawnReads...)
+	}
+	return dedupeSorted(out)
+}
+
+// BenignSuite returns the read-trace specs of the canonical benign tenant
+// mix the policy miner replays: the seeded power-virus profile (the
+// heaviest compute tenant a provider hosts) plus the twelve UnixBench
+// micro-benchmarks. Deterministic for a fixed seed.
+func BenignSuite(seed int64) []TraceSpec {
+	virus := GeneratePowerVirus(power.DefaultConfig(), DefaultVirusConstraints(), 48, seed)
+	specs := []TraceSpec{{Name: virus.Name, Intents: ProfileIntents(virus)}}
+	for _, b := range UnixBenchSuite() {
+		specs = append(specs, TraceSpec{Name: b.Name, Intents: BenchIntents(b)})
+	}
+	return specs
+}
+
+// captureRetries is how many extra attempts a failing read gets before the
+// path is recorded as a failure — enough to outlast the transient-fault
+// share of the chaos layer, mirroring core.CrossValidate's retry policy.
+const captureRetries = 2
+
+// CaptureTrace replays one workload's read intents through r. Each path is
+// read a small seed-jittered number of times (a real harness samples
+// /proc/stat a variable number of times per run); the count derives from a
+// per-path hash split of (seed, workload, path), never from a shared
+// stream, so the trace is identical no matter how many captures run
+// concurrently. Failing reads are retried captureRetries extra times and
+// recorded under Failures if they never succeed.
+func CaptureTrace(r Reader, spec TraceSpec, seed int64) Trace {
+	tr := Trace{Workload: spec.Name, Reads: make(map[string]int, len(spec.Intents))}
+	for _, path := range spec.Intents {
+		n := 1 + int(pathDraw(seed, spec.Name, path)%3)
+		var lastErr error
+		ok := 0
+		for i := 0; i < n; i++ {
+			var err error
+			for attempt := 0; attempt <= captureRetries; attempt++ {
+				if _, err = r.Read(path); err == nil {
+					break
+				}
+			}
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			ok++
+		}
+		if ok > 0 {
+			tr.Reads[path] = ok
+		} else {
+			if tr.Failures == nil {
+				tr.Failures = make(map[string]string)
+			}
+			tr.Failures[path] = lastErr.Error()
+		}
+	}
+	return tr
+}
+
+// CaptureAll replays every spec through r, fanning the captures out over a
+// bounded worker pool. Results come back in spec order and each capture's
+// randomness is split per (seed, workload, path), so the output is
+// byte-identical at any worker count.
+func CaptureAll(r Reader, specs []TraceSpec, seed int64, workers int) []Trace {
+	out, _ := parallel.Map(workers, specs, func(_ int, spec TraceSpec) (Trace, error) {
+		return CaptureTrace(r, spec, seed), nil
+	})
+	return out
+}
+
+// pathDraw is the split hash behind per-path read-count jitter: FNV-64a
+// over (seed, workload, path) with a splitmix64-style finalizer, the same
+// order-independence recipe the chaos layer and the cluster ring use.
+func pathDraw(seed int64, workload, path string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte(workload))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(path))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func dedupeSorted(paths []string) []string {
+	sort.Strings(paths)
+	out := paths[:0]
+	for i, p := range paths {
+		if i == 0 || paths[i-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out
+}

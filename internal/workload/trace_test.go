@@ -1,0 +1,198 @@
+package workload_test
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// fakeReader is an in-memory pseudo-fs stand-in: every known path reads
+// successfully, optionally after a configurable number of failures (the
+// transient-fault shape the capture retries must ride out). Safe for the
+// concurrent captures CaptureAll fans out.
+type fakeReader struct {
+	mu        sync.Mutex
+	paths     map[string]string
+	failFirst int // failures before a path's first success
+	attempts  map[string]int
+}
+
+func newFakeReader(paths []string) *fakeReader {
+	m := make(map[string]string, len(paths))
+	for _, p := range paths {
+		m[p] = "content of " + p
+	}
+	return &fakeReader{paths: m, attempts: make(map[string]int)}
+}
+
+func (r *fakeReader) Read(path string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.paths[path]
+	if !ok {
+		return "", errors.New("no such file")
+	}
+	r.attempts[path]++
+	if r.attempts[path] <= r.failFirst {
+		return "", errors.New("transient fault")
+	}
+	return c, nil
+}
+
+// allIntents flattens a spec list into its deduped path universe.
+func allIntents(specs []workload.TraceSpec) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range specs {
+		for _, p := range s.Intents {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestBenignSuiteShape(t *testing.T) {
+	specs := workload.BenignSuite(7)
+	if len(specs) != 13 { // power virus + 12 UnixBench micro-benchmarks
+		t.Fatalf("BenignSuite: got %d specs, want 13", len(specs))
+	}
+	for _, s := range specs {
+		if s.Name == "" {
+			t.Fatal("spec with empty name")
+		}
+		if len(s.Intents) == 0 {
+			t.Fatalf("spec %s has no intents", s.Name)
+		}
+		if !sort.StringsAreSorted(s.Intents) {
+			t.Fatalf("spec %s intents not sorted: %v", s.Name, s.Intents)
+		}
+		for i := 1; i < len(s.Intents); i++ {
+			if s.Intents[i] == s.Intents[i-1] {
+				t.Fatalf("spec %s has duplicate intent %s", s.Name, s.Intents[i])
+			}
+		}
+	}
+	// The suite's intent derivation is pure: same seed, same specs.
+	if !reflect.DeepEqual(specs, workload.BenignSuite(7)) {
+		t.Fatal("BenignSuite not deterministic for a fixed seed")
+	}
+}
+
+// TestCaptureDeterministicAcrossWorkers is the determinism contract the
+// policy miner depends on: per-path read counts derive from a split hash
+// of (seed, workload, path), never from a shared stream, so captures are
+// byte-identical at any worker count.
+func TestCaptureDeterministicAcrossWorkers(t *testing.T) {
+	specs := workload.BenignSuite(7)
+	r := newFakeReader(allIntents(specs))
+	serial := workload.CaptureAll(r, specs, 7, 1)
+	for _, workers := range []int{2, 8} {
+		got := workload.CaptureAll(newFakeReader(allIntents(specs)), specs, 7, workers)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("capture differs at workers=%d", workers)
+		}
+	}
+	// Stable across repeated runs too.
+	if !reflect.DeepEqual(serial, workload.CaptureAll(newFakeReader(allIntents(specs)), specs, 7, 8)) {
+		t.Fatal("capture not stable across runs")
+	}
+}
+
+func TestCaptureSeedSensitivity(t *testing.T) {
+	specs := workload.BenignSuite(7)
+	paths := allIntents(specs)
+	a := workload.CaptureAll(newFakeReader(paths), specs, 7, 1)
+	b := workload.CaptureAll(newFakeReader(paths), specs, 8, 1)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical read-count jitter")
+	}
+	// Seeds change counts, never the path set: the intent list is a pure
+	// function of the workload shape.
+	for i := range a {
+		if !reflect.DeepEqual(keys(a[i].Reads), keys(b[i].Reads)) {
+			t.Fatalf("workload %s: path set differs across seeds", a[i].Workload)
+		}
+	}
+}
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCaptureRetriesTransientFaults(t *testing.T) {
+	specs := []workload.TraceSpec{{Name: "w", Intents: []string{"/proc/stat"}}}
+	// Two failures before first success: within the retry budget, so the
+	// capture must record a clean read set.
+	r := newFakeReader([]string{"/proc/stat"})
+	r.failFirst = 2
+	tr := workload.CaptureTrace(r, specs[0], 1)
+	if len(tr.Failures) != 0 {
+		t.Fatalf("transient faults within retry budget recorded as failures: %v", tr.Failures)
+	}
+	if tr.Reads["/proc/stat"] == 0 {
+		t.Fatal("no successful reads recorded")
+	}
+}
+
+func TestCapturePersistentFailure(t *testing.T) {
+	r := newFakeReader(nil) // nothing readable
+	tr := workload.CaptureTrace(r, workload.TraceSpec{Name: "w", Intents: []string{"/proc/stat"}}, 1)
+	if len(tr.Reads) != 0 {
+		t.Fatalf("unexpected successful reads: %v", tr.Reads)
+	}
+	if tr.Failures["/proc/stat"] == "" {
+		t.Fatalf("persistent failure not recorded: %v", tr.Failures)
+	}
+}
+
+func TestProfileAndBenchIntents(t *testing.T) {
+	virus := workload.GeneratePowerVirus(
+		power.DefaultConfig(), workload.DefaultVirusConstraints(), 48, 7)
+	got := workload.ProfileIntents(virus)
+	want := []string{"/proc/cpuinfo", "/proc/loadavg", "/proc/meminfo",
+		"/proc/stat", "/proc/uptime", "/proc/version"}
+	for _, p := range want {
+		if !contains(got, p) {
+			t.Fatalf("virus intents missing %s: %v", p, got)
+		}
+	}
+	var sawIO, sawSpawn bool
+	for _, b := range workload.UnixBenchSuite() {
+		in := workload.BenchIntents(b)
+		if b.IOBound && contains(in, "/proc/diskstats") {
+			sawIO = true
+		}
+		if b.ExecsPerOp > 0 && contains(in, "/proc/sys/kernel/hostname") {
+			sawSpawn = true
+		}
+	}
+	if !sawIO {
+		t.Fatal("no IO-bound benchmark carries the IO read footprint")
+	}
+	if !sawSpawn {
+		t.Fatal("no exec-heavy benchmark carries the spawn read footprint")
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
