@@ -55,29 +55,34 @@ bench:
 		'^(BenchmarkTable1LeakScan|BenchmarkTable1LeakScanParallel|BenchmarkFig3Sweep|BenchmarkFig3SweepParallel)$$' \
 		-benchtime=1x .
 	$(GO) test -run '^$$' -bench '^BenchmarkRecurringScan(Cold|Incremental)$$' -benchtime=10x .
+	$(GO) test -run '^$$' -bench '^BenchmarkMatrixSweep(Cold|Incremental)$$' -benchtime=10x .
 
 # Every table and figure of the paper's evaluation as benchmarks.
 bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Machine-readable benchmark report: the serial/parallel pairs, the
-# cold/incremental recurring-scan pair, the /v1 serving benchmarks
-# (cache-hit, 304, cold render, loadgen p99/req/s), the cluster scaling
-# curve (coordinator fan-out at 1/2/4 workers), and the policy-synthesis
-# pipeline (mine + synthesize + verify on CC1), converted to JSON by
-# internal/tools/benchjson and archived by CI as BENCH_PR8.json (earlier
-# PRs' reports stay committed as history). The recurring pair runs 10
-# iterations so the incremental variant's steady state dominates its
-# ns/op; the serving hit/load benchmarks run 200k iterations so the
-# steady-state cache path dominates (the cold render runs fewer — it is
-# three orders of magnitude slower per op); the cluster benchmark runs 5
-# full fleet scans per worker count; the policy pipeline runs 10 full
+# cold/incremental recurring-scan pair, the cold/incremental runtime-
+# matrix pair (nine target worlds per sweep — the MatrixSession reuse
+# win), the /v1 serving benchmarks (cache-hit, 304, cold render, loadgen
+# p99/req/s), the cluster scaling curve (coordinator fan-out at 1/2/4
+# workers), and the policy-synthesis pipeline (mine + synthesize +
+# verify on CC1), converted to JSON by internal/tools/benchjson and
+# archived by CI as BENCH_PR9.json (earlier PRs' reports stay committed
+# as history). The recurring and matrix pairs run 10 iterations so the
+# incremental variants' steady state dominates their ns/op; the serving
+# hit/load benchmarks run 200k iterations so the steady-state cache path
+# dominates (the cold render runs fewer — it is three orders of
+# magnitude slower per op); the cluster benchmark runs 5 full fleet
+# scans per worker count; the policy pipeline runs 10 full
 # synthesis+verification passes.
 bench-json:
 	{ $(GO) test -run '^$$' -bench \
 		'^(BenchmarkTable1LeakScan|BenchmarkTable1LeakScanParallel|BenchmarkFig3Sweep|BenchmarkFig3SweepParallel)$$' \
 		-benchtime=1x -benchmem . && \
 	$(GO) test -run '^$$' -bench '^BenchmarkRecurringScan(Cold|Incremental)$$' \
+		-benchtime=10x -benchmem . && \
+	$(GO) test -run '^$$' -bench '^BenchmarkMatrixSweep(Cold|Incremental)$$' \
 		-benchtime=10x -benchmem . && \
 	$(GO) test -run '^$$' -bench '^BenchmarkV1ResultsHit(304)?$$|^BenchmarkServingLoad$$' \
 		-benchtime=200000x -benchmem . && \
@@ -86,28 +91,33 @@ bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkClusterFleet$$' \
 		-benchtime=5x -benchmem . && \
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicySynthesis$$' \
-		-benchtime=10x -benchmem . ; } | $(GO) run ./internal/tools/benchjson -o BENCH_PR8.json
-	@echo wrote BENCH_PR8.json
+		-benchtime=10x -benchmem . ; } | $(GO) run ./internal/tools/benchjson -o BENCH_PR9.json
+	@echo wrote BENCH_PR9.json
 
-# Benchmark-regression gates against the committed BENCH_PR8.json
+# Benchmark-regression gates against the committed BENCH_PR9.json
 # baseline: Fig3Sweep allocations (the compute path), the /v1 cache-hit
 # zero-allocation contract (max-regress 0 — one allocation fails), the
 # serving p99 (generous 50% headroom; CI hosts are noisy timers but a
-# cache-path regression is 10x, not 1.5x), and the policy-synthesis
-# allocation budget (the POST /v1/policies cost). One-sided —
-# improvements always pass; refresh the baseline with `make bench-json`
-# when an optimization lands.
+# cache-path regression is 10x, not 1.5x), the policy-synthesis
+# allocation budget (the POST /v1/policies cost), and the warm
+# matrix-sweep allocation budget (the session-reuse path leaksd's
+# kind=matrix scans ride). One-sided — improvements always pass;
+# refresh the baseline with `make bench-json` when an optimization
+# lands.
 bench-guard:
 	{ $(GO) test -run '^$$' -bench '^BenchmarkFig3Sweep$$' -benchtime=1x -benchmem . && \
 	$(GO) test -run '^$$' -bench '^BenchmarkV1ResultsHit(304)?$$|^BenchmarkServingLoad$$' \
 		-benchtime=200000x -benchmem . && \
+	$(GO) test -run '^$$' -bench '^BenchmarkMatrixSweepIncremental$$' \
+		-benchtime=10x -benchmem . && \
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicySynthesis$$' \
 		-benchtime=10x -benchmem . ; } \
-		| $(GO) run ./internal/tools/benchguard -baseline BENCH_PR8.json \
+		| $(GO) run ./internal/tools/benchguard -baseline BENCH_PR9.json \
 			-gate 'BenchmarkFig3Sweep:allocs/op:0.10' \
 			-gate 'BenchmarkV1ResultsHit:allocs/op:0' \
 			-gate 'BenchmarkV1ResultsHit304:allocs/op:0' \
 			-gate 'BenchmarkServingLoad:p99-ns:0.50' \
+			-gate 'BenchmarkMatrixSweepIncremental:allocs/op:0.10' \
 			-gate 'BenchmarkPolicySynthesis:allocs/op:0.10'
 
 # Profile Fig. 3 — the substrate's hottest experiment (the attacker monitor

@@ -72,6 +72,36 @@ func BenchmarkRecurringScanIncremental(b *testing.B) {
 	b.ReportMetric(float64(st.FindingHits), "finding-hits")
 }
 
+// The matrix pair is the recurring-scan pair scaled to the runtime matrix:
+// the cold variant rebuilds all nine target worlds (five clouds + four
+// sandboxed runtimes) and re-renders every pseudo-file per iteration; the
+// incremental variant holds one MatrixSession, so each sweep after the
+// first is served from the per-target engine caches. Byte-identical output
+// either way — the ratio is what leaksd's pooled kind=matrix scans save.
+func BenchmarkMatrixSweepCold(b *testing.B) {
+	var avail int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MatrixSweepWorkers(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avail = r.Available("gvisor")
+	}
+	b.ReportMetric(float64(avail), "gvisor-channels-●")
+}
+
+func BenchmarkMatrixSweepIncremental(b *testing.B) {
+	ms, err := experiments.NewMatrixSession(chaos.Spec{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var avail int
+	for i := 0; i < b.N; i++ {
+		avail = ms.Sweep(1).Available("gvisor")
+	}
+	b.ReportMetric(float64(avail), "gvisor-channels-●")
+}
+
 func countAvailable(in experiments.CloudInspection) int {
 	n := 0
 	for _, r := range in.Reports {

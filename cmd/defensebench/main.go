@@ -14,6 +14,9 @@
 //	defensebench -fig8 -chaos 0.02 -chaosseed 1  # fig8 with faulty counters
 //	defensebench -chaossweep     # fault-rate degradation grid (extension)
 //	defensebench -policy p.json  # score a mask policy against the stage grid
+//	defensebench -runtime gvisor # score a sandboxed runtime as a defense:
+//	                             # matrix channels closed vs plain Docker,
+//	                             # and which (frequency) pierce the sandbox
 //
 // The -policy flag loads a mask-policy JSON file (the format leaksd's
 // POST /v1/policies stores and internal/policy.Encode emits) and replays
@@ -60,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ablations := fs.Bool("ablations", false, "ablation and extension studies")
 	sweep := fs.Bool("chaossweep", false, "fault-rate grid: detector/attack/defense degradation")
 	policyFile := fs.String("policy", "", "evaluate a mask-policy JSON file against the defense stage grid")
+	runtime := fs.String("runtime", "", "score a sandboxed runtime (gvisor, kata, rootless, podman) as a defense vs plain Docker")
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the defense's counter reads (0 = off; applies to -fig8)")
 	chaosSeed := fs.Int64("chaosseed", 1, "seed for the deterministic fault streams")
@@ -77,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer prof.Stop(func(format string, args ...any) { fmt.Fprintf(stderr, format, args...) })
-	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*table3 && !*ablations && !*sweep && *policyFile == ""
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*table3 && !*ablations && !*sweep && *policyFile == "" && *runtime == ""
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 
 	fail := func(err error) int {
@@ -172,6 +176,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *policyFile != "" {
 		r, err := experiments.PolicyEvalFile(*policyFile)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
+	}
+	if *runtime != "" {
+		r, err := experiments.RuntimeDefense(*runtime, *jobs)
 		if err != nil {
 			return fail(err)
 		}

@@ -10,6 +10,10 @@
 //	leakscan -table1    # availability matrix only
 //	leakscan -table2    # U/V/M + entropy ranking only
 //	leakscan -discover  # leaking files beyond the Table I registry
+//	leakscan -matrix    # runtime matrix: Table I channels + the DVFS
+//	                    # frequency channel across clouds AND sandboxed
+//	                    # runtimes (gvisor, kata, rootless, podman)
+//	leakscan -runtime gvisor  # one sandboxed runtime, matrix channel set
 //	leakscan -fleet 8   # validate 8 co-resident containers in one batched
 //	                    # engine pass (each host file rendered once)
 //	leakscan -j 4       # fan independent work out over 4 workers
@@ -50,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	table1 := fs.Bool("table1", false, "print Table I (leakage channels per cloud)")
 	table2 := fs.Bool("table2", false, "print Table II (channel ranking)")
 	discover := fs.Bool("discover", false, "list leaking files beyond the Table I registry")
+	matrix := fs.Bool("matrix", false, "print the runtime matrix (channels across clouds and sandboxed runtimes)")
+	runtime := fs.String("runtime", "", "inspect one sandboxed runtime (gvisor, kata, rootless, podman)")
 	fleet := fs.Int("fleet", 0, "validate N co-resident containers in one batched engine pass (0 = off)")
 	jobs := fs.Int("j", 0, "worker count for parallel experiments (0 = GOMAXPROCS)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate on the observation surface (0 = off)")
@@ -68,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer prof.Stop(func(format string, args ...any) { fmt.Fprintf(stderr, format, args...) })
-	all := !*table1 && !*table2 && !*discover && *fleet == 0
+	all := !*table1 && !*table2 && !*discover && !*matrix && *runtime == "" && *fleet == 0
 	spec := chaos.Spec{Rate: *chaosRate, Seed: *chaosSeed}
 
 	fail := func(err error) int {
@@ -91,6 +97,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *discover || all {
 		r, err := experiments.DiscoveryChaosWorkers(spec, *jobs)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
+	}
+	if *matrix {
+		r, err := experiments.MatrixSweepSeeded(context.Background(), spec, 0, *jobs)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, r)
+	}
+	if *runtime != "" {
+		r, err := experiments.InspectRuntimeChaosWorkers(*runtime, spec, *jobs)
 		if err != nil {
 			return fail(err)
 		}

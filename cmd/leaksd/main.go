@@ -6,12 +6,14 @@
 //
 // API (JSON unless noted; full schema in docs/openapi.yaml):
 //
-//	POST /v1/scans        submit {"kind":"table1"|"inspect"|"discovery"|"fig3"|"fig8"|"chaossweep", ...}
-//	GET  /v1/scans        list jobs (?limit=&offset=&provider=&verdict=)
+//	POST /v1/scans        submit {"kind":"table1"|"inspect"|"discovery"|"matrix"|"fig3"|"fig8"|"chaossweep", ...}
+//	GET  /v1/scans        list jobs (?limit=&offset=&provider=&runtime=&verdict=)
 //	GET  /v1/scans/{id}   poll one job (result embedded when done)
-//	GET  /v1/results      latest verdicts per provider (?limit=&offset=&provider=&verdict=)
+//	GET  /v1/results      latest verdicts per provider (?limit=&offset=&provider=&runtime=&verdict=)
+//	GET  /v1/matrix       channels x targets availability matrix (clouds + sandboxed runtimes)
 //	GET  /v1/channels     the Table I channel registry
 //	GET  /v1/providers    inspectable provider profiles
+//	GET  /v1/runtimes     inspectable sandboxed-runtime profiles (gvisor, kata, rootless, podman)
 //	GET  /v1/engine       incremental-engine cache + epoch stats
 //	GET  /v1/events       Server-Sent Events: verdicts + scan lifecycle + policy rollouts
 //	POST /v1/policies     synthesize (or store) a mask policy for a provider
@@ -45,6 +47,7 @@
 //	leaksd                          # serve on :8077
 //	leaksd -addr :9000 -workers 4   # bigger scan pool
 //	leaksd -scan-every 10m          # recurring full Table I scans
+//	leaksd -matrix-every 15m        # recurring runtime-matrix scans
 //	leaksd -sessions 32             # bigger incremental-session pool
 //	leaksd -version                 # print build info and exit
 //
@@ -140,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (non-streaming endpoints)")
 	retries := fs.Int("retries", 3, "max attempts per scan")
 	scanEvery := fs.Duration("scan-every", 0, "run a recurring full Table I scan at this interval (0 = off)")
+	matrixEvery := fs.Duration("matrix-every", 0, "run a recurring runtime-matrix scan at this interval (0 = off)")
 	respCache := fs.Bool("respcache", true, "serve /v1 reads through the epoch-keyed response cache (ETag/304)")
 	role := fs.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
 	peers := fs.String("peers", "", "coordinator: comma-separated worker base URLs (host:port or http://…)")
@@ -178,6 +182,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		stop, err := sched.Every("table1-recurring", *scanEvery, service.ScanRequest{Kind: service.KindTable1})
 		if err != nil {
 			fmt.Fprintf(stderr, "leaksd: -scan-every: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
+	if *matrixEvery > 0 {
+		stop, err := sched.Every("matrix-recurring", *matrixEvery, service.ScanRequest{Kind: service.KindMatrix})
+		if err != nil {
+			fmt.Fprintf(stderr, "leaksd: -matrix-every: %v\n", err)
 			return 1
 		}
 		defer stop()

@@ -1,0 +1,126 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// The frequency channel — Dipta-style DVFS fingerprinting. Under the
+// schedutil governor every core's P-state follows whatever load happens to
+// run there, so /sys/.../cpufreq/scaling_cur_freq is a host-global activity
+// sensor: a tenant sampling it sees its neighbours' bursts as frequency
+// crests. The channel matters because sandboxed runtimes (gVisor, Kata)
+// proxy procfs and kill every classic channel while typically passing
+// cpufreq through — it is the one channel that survives the sandbox column
+// of the runtime matrix.
+const (
+	freqPathFmt = "/sys/devices/system/cpu/cpu%d/cpufreq/scaling_cur_freq"
+	freqMinPath = "/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_min_freq"
+	freqMaxPath = "/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq"
+)
+
+// FreqMonitor observes host load from inside a container by sampling the
+// per-core DVFS frequencies. Like PowerMonitor it is hardened against a
+// flaky observation surface: every counter read goes through double-read
+// agreement, and values outside the advertised hardware envelope
+// (cpuinfo_min_freq..cpuinfo_max_freq) — the signature of a stale render
+// replaying pre-governor state — are replaced by the core's last accepted
+// value.
+type FreqMonitor struct {
+	probe   Prober
+	paths   []string // per-core scaling_cur_freq, precomputed
+	minKHz  uint64
+	maxKHz  uint64
+	last    []float64 // last accepted per-core sample, for glitch substitution
+	history []float64 // mean-frequency trace, oldest first
+	cap     int
+	scratch []byte
+}
+
+// NewFreqMonitor initializes the monitor, reading the advertised frequency
+// envelope. It fails if the cpufreq channel is masked or absent — on the
+// hardened clouds that deny /sys/devices the frequency channel dies with
+// the rest; in the sandboxes it is the only constructor that succeeds.
+func NewFreqMonitor(p Prober, cores int) (*FreqMonitor, error) {
+	if cores < 1 {
+		cores = 1
+	}
+	minKHz, err := readUint(p, freqMinPath)
+	if err != nil {
+		return nil, fmt.Errorf("attack: frequency channel unavailable: %w", err)
+	}
+	maxKHz, err := readUint(p, freqMaxPath)
+	if err != nil {
+		return nil, fmt.Errorf("attack: frequency channel unavailable: %w", err)
+	}
+	paths := make([]string, cores)
+	for i := range paths {
+		paths[i] = fmt.Sprintf(freqPathFmt, i)
+	}
+	return &FreqMonitor{
+		probe:  p,
+		paths:  paths,
+		minKHz: minKHz,
+		maxKHz: maxKHz,
+		last:   make([]float64, cores),
+		cap:    600,
+	}, nil
+}
+
+// Sample reads every core's scaling_cur_freq to double-read agreement and
+// returns their mean in kHz, appending it to the trace history. A value
+// outside [cpuinfo_min_freq, cpuinfo_max_freq] is physically impossible —
+// the governor clamps to the envelope — so it is rejected and replaced by
+// the core's previous accepted sample (the envelope floor before any
+// history exists).
+func (m *FreqMonitor) Sample() (float64, error) {
+	var sum float64
+	for c, path := range m.paths {
+		v, err := readUintScratch(m.probe, &m.scratch, path)
+		if err != nil {
+			return 0, fmt.Errorf("attack: read cpufreq: %w", err)
+		}
+		f := float64(v)
+		if v < m.minKHz || v > m.maxKHz {
+			if m.last[c] > 0 {
+				f = m.last[c]
+			} else {
+				f = float64(m.minKHz)
+			}
+		}
+		m.last[c] = f
+		sum += f
+	}
+	mean := sum / float64(len(m.paths))
+	m.history = append(m.history, mean)
+	if len(m.history) > m.cap {
+		m.history = m.history[len(m.history)-m.cap:]
+	}
+	return mean, nil
+}
+
+// History returns the observed mean-frequency trace (oldest first).
+func (m *FreqMonitor) History() []float64 {
+	return append([]float64(nil), m.history...)
+}
+
+// Correlate scores how strongly the victim's load signature shows in the
+// trailing window of the frequency trace — the Pearson correlation between
+// the signature and the last len(signature) samples. Returns 0 until
+// enough history exists.
+func (m *FreqMonitor) Correlate(signature []float64) float64 {
+	n := len(signature)
+	if n < 2 || len(m.history) < n {
+		return 0
+	}
+	return stats.Pearson(m.history[len(m.history)-n:], signature)
+}
+
+// MatchesLoad reports whether a known victim load signature is visible in
+// the frequency trace at the given correlation threshold — the
+// fingerprinting verdict: the victim (or a workload shaped like it) is
+// running on this host.
+func (m *FreqMonitor) MatchesLoad(signature []float64, threshold float64) bool {
+	return m.Correlate(signature) >= threshold
+}

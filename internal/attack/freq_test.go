@@ -1,0 +1,222 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/workload"
+)
+
+func TestFreqMonitorTracksCoTenantLoad(t *testing.T) {
+	dc := newDC(11, 1)
+	srv := dc.Racks[0].Servers[0]
+	c := srv.Runtime.Create("spy")
+	cores := srv.Kernel.Options().Cores
+	m, err := NewFreqMonitor(c, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.Clock.Advance(1)
+	var idle float64
+	for i := 0; i < 20; i++ {
+		dc.Clock.Advance(1)
+		if idle, err = m.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := srv.Runtime.Create("victim")
+	victim.Run(workload.Prime, 8)
+	var busy float64
+	for i := 0; i < 20; i++ {
+		dc.Clock.Advance(1)
+		if busy, err = m.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if busy <= idle {
+		t.Fatalf("governor must ramp under co-tenant load: idle %.0f kHz busy %.0f kHz", idle, busy)
+	}
+	if len(m.History()) != 40 {
+		t.Fatalf("history length = %d, want 40", len(m.History()))
+	}
+	// The idle→busy step function is the victim's load signature: 20 idle
+	// ticks then 20 busy ones must correlate with the frequency trace.
+	sig := make([]float64, 40)
+	for i := 20; i < 40; i++ {
+		sig[i] = 1
+	}
+	if r := m.Correlate(sig); r < 0.5 {
+		t.Fatalf("idle→busy signature must show in the trace: r=%.3f", r)
+	}
+}
+
+func TestFreqMonitorCorrelatesVictimSignature(t *testing.T) {
+	dc := newDC(12, 1)
+	srv := dc.Racks[0].Servers[0]
+	spy := srv.Runtime.Create("spy")
+	m, err := NewFreqMonitor(spy, srv.Kernel.Options().Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := srv.Runtime.Create("victim")
+	// Square-wave victim: 5 ticks busy, 5 idle, twice over.
+	var sig []float64
+	for phase := 0; phase < 4; phase++ {
+		busy := phase%2 == 0
+		if busy {
+			victim.Run(workload.Prime, 8)
+		} else {
+			victim.StopAll()
+		}
+		for i := 0; i < 5; i++ {
+			dc.Clock.Advance(1)
+			if _, err := m.Sample(); err != nil {
+				t.Fatal(err)
+			}
+			if busy {
+				sig = append(sig, 1)
+			} else {
+				sig = append(sig, 0)
+			}
+		}
+	}
+	if r := m.Correlate(sig); r < 0.4 {
+		t.Fatalf("square-wave victim signature must show in the frequency trace: r=%.3f", r)
+	}
+	if !m.MatchesLoad(sig, 0.4) {
+		t.Fatal("MatchesLoad must accept at the measured correlation")
+	}
+	// An anti-correlated signature must not match.
+	anti := make([]float64, len(sig))
+	for i, v := range sig {
+		anti[i] = 1 - v
+	}
+	if m.MatchesLoad(anti, 0.4) {
+		t.Fatal("inverted signature must not match")
+	}
+}
+
+func TestFreqMonitorCorrelateNeedsHistory(t *testing.T) {
+	dc := newDC(13, 1)
+	c := dc.Racks[0].Servers[0].Runtime.Create("spy")
+	m, err := NewFreqMonitor(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Correlate([]float64{1, 0, 1}); r != 0 {
+		t.Fatalf("correlation without history = %g, want 0", r)
+	}
+	if r := m.Correlate([]float64{1}); r != 0 {
+		t.Fatalf("single-point signature = %g, want 0", r)
+	}
+}
+
+func TestFreqMonitorFailsWhenChannelMasked(t *testing.T) {
+	// CC4 denies /sys/devices/** — the frequency channel dies with the rest
+	// of the sysfs surface.
+	p := cloud.CC4()
+	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: 14, Provider: &p})
+	c := dc.Racks[0].Servers[0].Runtime.Create("spy", p.ExtraRules...)
+	if _, err := NewFreqMonitor(c, 4); err == nil {
+		t.Fatal("cpufreq is denied on CC4; constructor must fail")
+	} else if !strings.Contains(err.Error(), "frequency channel unavailable") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestFreqMonitorSurvivesSandboxedRuntimes(t *testing.T) {
+	// The matrix narrative: gVisor and Kata proxy procfs and kill the
+	// classic channels, but cpufreq passes through — the frequency monitor
+	// is the one attack constructor that still works inside the sandbox.
+	for _, mk := range []func() cloud.ProviderProfile{cloud.GVisorTarget, cloud.KataTarget} {
+		p := mk()
+		dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: 15, Provider: &p})
+		srv := dc.Racks[0].Servers[0]
+		c := srv.Runtime.Create("spy")
+		m, err := NewFreqMonitor(c, srv.Kernel.Options().Cores)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		dc.Clock.Advance(1)
+		if _, err := m.Sample(); err != nil {
+			t.Fatalf("%s: sample: %v", p.Name, err)
+		}
+	}
+}
+
+func TestFreqMonitorAbsorbsChaos(t *testing.T) {
+	// Torn/stale/EIO faults on the cpufreq files must be absorbed by the
+	// double-read agreement protocol plus the envelope filter: every
+	// accepted sample stays within [cpuinfo_min, cpuinfo_max].
+	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: 16,
+		Chaos: chaos.Spec{Rate: 0.05, Seed: 3}})
+	srv := dc.Racks[0].Servers[0]
+	c := srv.Runtime.Create("spy")
+	m, err := NewFreqMonitor(c, srv.Kernel.Options().Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := srv.Runtime.Create("victim")
+	victim.Run(workload.Prime, 8)
+	minF, maxF := float64(m.minKHz), float64(m.maxKHz)
+	got := 0
+	for i := 0; i < 80; i++ {
+		dc.Clock.Advance(1)
+		v, err := m.Sample()
+		if err != nil {
+			continue // a burst can exhaust the retry budget; determinism keeps this rare
+		}
+		got++
+		if v < minF || v > maxF {
+			t.Fatalf("sample %d = %.0f kHz escaped the envelope [%.0f, %.0f]", i, v, minF, maxF)
+		}
+	}
+	if got < 40 {
+		t.Fatalf("chaos starved the monitor: only %d/80 samples accepted", got)
+	}
+}
+
+// stubFreqProber serves fixed cpufreq contents with a scripted override for
+// one path.
+type stubFreqProber struct {
+	values map[string]string
+}
+
+func (p *stubFreqProber) ReadFile(path string) (string, error) {
+	if v, ok := p.values[path]; ok {
+		return v, nil
+	}
+	return "", fmt.Errorf("stub: no %s", path)
+}
+
+func TestFreqMonitorRejectsOutOfEnvelopeValues(t *testing.T) {
+	p := &stubFreqProber{values: map[string]string{
+		freqMinPath:                 "800000\n",
+		freqMaxPath:                 "3400000\n",
+		fmt.Sprintf(freqPathFmt, 0): "2000000\n",
+	}}
+	m, err := NewFreqMonitor(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.Sample(); err != nil || v != 2000000 {
+		t.Fatalf("clean sample = %g err=%v", v, err)
+	}
+	// A stale render replaying pre-governor state reads 0 — physically
+	// impossible, so the monitor substitutes the last accepted value.
+	p.values[fmt.Sprintf(freqPathFmt, 0)] = "0\n"
+	if v, err := m.Sample(); err != nil || v != 2000000 {
+		t.Fatalf("stale sample = %g err=%v, want last accepted 2000000", v, err)
+	}
+	// Before any history, the substitution floor is cpuinfo_min_freq.
+	m2, err := NewFreqMonitor(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m2.Sample(); err != nil || v != 800000 {
+		t.Fatalf("primed stale sample = %g err=%v, want envelope floor 800000", v, err)
+	}
+}

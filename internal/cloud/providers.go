@@ -128,6 +128,60 @@ func CommercialClouds() []ProviderProfile {
 	return []ProviderProfile{CC1(), CC2(), CC3(), CC4(), CC5()}
 }
 
+// GVisorTarget is the local testbed re-run under a gVisor sandbox: the
+// Sentry proxies procfs/sysfs, so every classic channel goes Masked while
+// the cpufreq passthrough keeps the frequency channel alive.
+func GVisorTarget() ProviderProfile {
+	return ProviderProfile{
+		Name:     "gvisor",
+		Runtime:  container.GVisorProfile(),
+		Hardware: pseudofs.DefaultHardware(),
+	}
+}
+
+// KataTarget is the testbed under a Kata VM sandbox. The guest sees
+// VM-shaped hardware — no RAPL, no DTS sensors — so its sensor channels
+// read Absent where gVisor's read Masked.
+func KataTarget() ProviderProfile {
+	return ProviderProfile{
+		Name:     "kata",
+		Runtime:  container.KataProfile(),
+		Hardware: pseudofs.Hardware{HasRAPL: false, HasCoretemp: false},
+	}
+}
+
+// RootlessTarget is the testbed under rootless Docker.
+func RootlessTarget() ProviderProfile {
+	return ProviderProfile{
+		Name:     "rootless",
+		Runtime:  container.RootlessProfile(),
+		Hardware: pseudofs.DefaultHardware(),
+	}
+}
+
+// PodmanTarget is the testbed under Podman defaults.
+func PodmanTarget() ProviderProfile {
+	return ProviderProfile{
+		Name:     "podman",
+		Runtime:  container.PodmanProfile(),
+		Hardware: pseudofs.DefaultHardware(),
+	}
+}
+
+// RuntimeTargets returns the four modern-runtime inspection targets in
+// matrix column order. They reuse the local testbed's fleet shape; only
+// the engine profile (and, for Kata, the virtual hardware) changes — the
+// point of the runtime matrix is isolating what the runtime masks.
+func RuntimeTargets() []ProviderProfile {
+	return []ProviderProfile{GVisorTarget(), KataTarget(), RootlessTarget(), PodmanTarget()}
+}
+
+// MatrixTargets returns the full column set of the runtime-aware Table I
+// matrix: the five commercial clouds followed by the four runtime targets.
+func MatrixTargets() []ProviderProfile {
+	return append(CommercialClouds(), RuntimeTargets()...)
+}
+
 // keepLines returns a Transform that keeps only the first n lines of the
 // content — modeling CC5's per-tenant rewrite, where a tenant sees only its
 // own slice of the host's cores and memory.

@@ -45,6 +45,76 @@ func LXCProfile() RuntimeProfile {
 	return RuntimeProfile{Engine: "lxc", Policy: pseudofs.Policy{Name: "lxc-default"}}
 }
 
+// sandboxRules is the shared shape of the gVisor/Kata policies: the
+// sandbox serves /proc and /sys from its own state, so no read reaches
+// host kernel data and every classic channel goes Masked. The one
+// passthrough is cpufreq — DVFS is machine-global hardware state a
+// sandbox cannot virtualize away, which is exactly the surface the
+// frequency channel (Dipta et al., arXiv 2404.10715) exploits.
+func sandboxRules() []pseudofs.Rule {
+	return []pseudofs.Rule{
+		{Pattern: "/sys/devices/system/cpu/cpu*/cpufreq/*", Do: pseudofs.Allow},
+		{Pattern: "/sys/devices/system/cpu/cpu*/cpufreq/stats/*", Do: pseudofs.Allow},
+		{Pattern: "/proc/**", Do: pseudofs.Deny},
+		{Pattern: "/sys/**", Do: pseudofs.Deny},
+	}
+}
+
+// GVisorProfile models a gVisor (runsc) sandbox: the Sentry proxies every
+// procfs/sysfs read and answers from application-layer state, never from
+// the host kernel.
+func GVisorProfile() RuntimeProfile {
+	return RuntimeProfile{
+		Engine: "gvisor",
+		Policy: pseudofs.Policy{Name: "gvisor-sentry", Rules: sandboxRules()},
+	}
+}
+
+// KataProfile models a Kata VM sandbox: the guest kernel has private
+// procfs/sysfs trees, so host kernel state is unreachable. Deployments
+// pair it with VM-shaped hardware (no RAPL, no coretemp — see
+// cloud.RuntimeTargets), which is why its sensor channels read Absent
+// where gVisor's read Masked.
+func KataProfile() RuntimeProfile {
+	return RuntimeProfile{
+		Engine: "kata",
+		Policy: pseudofs.Policy{Name: "kata-guest", Rules: sandboxRules()},
+	}
+}
+
+// RootlessProfile models rootless Docker: the daemon runs unprivileged, so
+// it cannot mount the net_prio cgroup controller (Case Study I's channel
+// disappears) on top of the stock Docker masks.
+func RootlessProfile() RuntimeProfile {
+	p := DockerProfile()
+	return RuntimeProfile{
+		Engine: "rootless",
+		Policy: pseudofs.Policy{
+			Name: "rootless-default",
+			Rules: append([]pseudofs.Rule{
+				{Pattern: "/sys/fs/cgroup/net_prio/**", Do: pseudofs.Deny},
+			}, p.Policy.Rules...),
+		},
+	}
+}
+
+// PodmanProfile models Podman's default seccomp/SELinux posture: Docker's
+// masks plus denials of the scheduler-introspection files its default
+// policy blocks.
+func PodmanProfile() RuntimeProfile {
+	p := DockerProfile()
+	return RuntimeProfile{
+		Engine: "podman",
+		Policy: pseudofs.Policy{
+			Name: "podman-default",
+			Rules: append([]pseudofs.Rule{
+				{Pattern: "/proc/timer_list", Do: pseudofs.Deny},
+				{Pattern: "/proc/sched_debug", Do: pseudofs.Deny},
+			}, p.Policy.Rules...),
+		},
+	}
+}
+
 // Runtime creates and manages containers on one host.
 type Runtime struct {
 	k       *kernel.Kernel

@@ -159,6 +159,33 @@ func TableIChannels() []Channel {
 	}
 }
 
+// FrequencyChannel is the DVFS side channel: per-core cpufreq readings
+// follow host-wide load under the schedutil governor, so a tenant that
+// samples scaling_cur_freq (or the P-state transition counters) observes
+// its neighbours' activity even when every classic procfs channel is
+// proxied away by a sandboxed runtime. It is not a Table I row — it
+// extends the matrix past the paper's channel set.
+func FrequencyChannel() Channel {
+	return Channel{
+		Name: "/sys/devices/system/cpu/*/cpufreq/*",
+		Paths: []string{
+			"/sys/devices/system/cpu/cpu*/cpufreq/scaling_cur_freq",
+			"/sys/devices/system/cpu/cpu*/cpufreq/stats/total_trans",
+		},
+		Info:  "Per-core DVFS frequency and P-state transitions",
+		CoRes: true, InfoLeak: true,
+		Uniqueness: UDynamic, Manipulate: MIndirect, GrowthPerSec: 50,
+	}
+}
+
+// MatrixChannels returns the channel set of the runtime-aware matrix: the
+// 21 Table I families plus the frequency channel. Table1 keeps using
+// TableIChannels so the paper's table stays byte-identical; the matrix
+// sweep and discovery use this superset.
+func MatrixChannels() []Channel {
+	return append(TableIChannels(), FrequencyChannel())
+}
+
 // TableIIChannels returns the 29 fine-grained rows of Table II. Rows that
 // coincide with a Table I family reuse its assessment at file granularity.
 func TableIIChannels() []Channel {

@@ -1,0 +1,73 @@
+package coresidence
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// parseKHz parses a cpufreq render (a single decimal kHz value).
+func parseKHz(content string) (float64, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(content), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("coresidence: parse cpufreq: %w", err)
+	}
+	return float64(v), nil
+}
+
+// meanFreq samples the mean scaling_cur_freq across the first cores cores.
+func meanFreq(p Prober, cores int) (float64, error) {
+	var sum float64
+	for c := 0; c < cores; c++ {
+		v, err := readParsed(p,
+			fmt.Sprintf("/sys/devices/system/cpu/cpu%d/cpufreq/scaling_cur_freq", c), parseKHz)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(cores), nil
+}
+
+// ByFreqTrace records synchronized per-core DVFS frequency snapshots from
+// both instances (advancing the world between samples via step) and
+// declares co-residence when the traces match exactly — the trace-matching
+// method of ByMemFreeTrace carried onto the frequency channel, which is
+// the only varying channel left inside sandboxed runtimes whose proxied
+// procfs masks the classic ones.
+func ByFreqTrace(a, b Prober, cores int, step func(), n int) (Verdict, error) {
+	if cores < 1 {
+		cores = 1
+	}
+	if n < 2 {
+		n = 2
+	}
+	ta := make([]float64, 0, n)
+	tb := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		va, err := meanFreq(a, cores)
+		if err != nil {
+			return Verdict{}, fmt.Errorf("coresidence: probe A: %w", err)
+		}
+		vb, err := meanFreq(b, cores)
+		if err != nil {
+			return Verdict{}, fmt.Errorf("coresidence: probe B: %w", err)
+		}
+		ta = append(ta, va)
+		tb = append(tb, vb)
+		if i < n-1 {
+			step()
+		}
+	}
+	// Same host ⇒ both probes read the same governor state at the same
+	// instants; correlation as supporting evidence.
+	same := stats.MaxDelta(ta, tb) == 0
+	return Verdict{
+		CoResident: same,
+		Channel:    "/sys/devices/system/cpu/*/cpufreq/scaling_cur_freq",
+		Evidence: fmt.Sprintf("freq trace n=%d maxΔ=%.0f r=%.3f",
+			n, stats.MaxDelta(ta, tb), stats.Pearson(ta, tb)),
+	}, nil
+}

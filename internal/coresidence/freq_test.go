@@ -1,0 +1,91 @@
+package coresidence
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/workload"
+)
+
+func TestByFreqTrace(t *testing.T) {
+	dc, a1, a2, b := twoHosts(t, 21)
+	// Load differentiates the hosts: an active tenant on server 0 drags its
+	// governor away from server 1's idle frequencies.
+	a1.Run(workload.Prime, 4)
+	step := func() { dc.Clock.Advance(1) }
+	v, err := ByFreqTrace(a1, a2, 4, step, 6)
+	if err != nil || !v.CoResident {
+		t.Fatalf("same-host freq trace: %+v err=%v", v, err)
+	}
+	if !strings.Contains(v.Evidence, "freq trace") || v.Channel == "" {
+		t.Fatalf("verdict must carry evidence: %+v", v)
+	}
+	v, err = ByFreqTrace(a1, b, 4, step, 6)
+	if err != nil || v.CoResident {
+		t.Fatalf("cross-host freq trace: %+v err=%v", v, err)
+	}
+}
+
+func TestByFreqTraceInsideSandbox(t *testing.T) {
+	// The reason this channel exists: two tenants under gVisor still agree
+	// on the host's frequency trace even though the proxied procfs masks
+	// every classic co-residence channel.
+	p := cloud.GVisorTarget()
+	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 2, Seed: 22, Provider: &p})
+	s0 := dc.Racks[0].Servers[0]
+	a1 := s0.Runtime.Create("a1")
+	a2 := s0.Runtime.Create("a2")
+	b := dc.Racks[0].Servers[1].Runtime.Create("b")
+	a1.Run(workload.Prime, 4)
+	dc.Clock.Advance(1)
+
+	// The classic boot_id channel is dead inside the sandbox...
+	if _, err := ByBootID(a1, a2); err == nil {
+		t.Fatal("gVisor proxies procfs; boot_id must be unreadable")
+	}
+	// ...but the frequency trace still works.
+	step := func() { dc.Clock.Advance(1) }
+	v, err := ByFreqTrace(a1, a2, 4, step, 6)
+	if err != nil || !v.CoResident {
+		t.Fatalf("sandboxed same-host: %+v err=%v", v, err)
+	}
+	v, err = ByFreqTrace(a1, b, 4, step, 6)
+	if err != nil || v.CoResident {
+		t.Fatalf("sandboxed cross-host: %+v err=%v", v, err)
+	}
+}
+
+func TestByFreqTraceDefaultsAndChaos(t *testing.T) {
+	// cores<1 and n<2 snap to the minimum shape; readParsed's retry policy
+	// absorbs torn/stale/EIO faults on the cpufreq files.
+	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: 23,
+		Chaos: chaos.Spec{Rate: 0.02, Seed: 5}})
+	s := dc.Racks[0].Servers[0]
+	a1 := s.Runtime.Create("a1")
+	a2 := s.Runtime.Create("a2")
+	a1.Run(workload.Prime, 2)
+	dc.Clock.Advance(1)
+	v, err := ByFreqTrace(a1, a2, 0, func() { dc.Clock.Advance(1) }, 0)
+	if err != nil {
+		t.Fatalf("chaos-armed trace: %v", err)
+	}
+	if !v.CoResident {
+		t.Fatalf("same-host verdict under chaos: %+v", v)
+	}
+}
+
+func TestByFreqTracePropagatesProbeErrors(t *testing.T) {
+	dc, a1, _, _ := twoHosts(t, 24)
+	_ = dc
+	broken := proberFunc(func(string) (string, error) {
+		return "", strings.NewReader("").UnreadByte() // any non-nil error
+	})
+	if _, err := ByFreqTrace(a1, broken, 2, func() {}, 2); err == nil {
+		t.Fatal("probe B failure must surface")
+	}
+	if _, err := ByFreqTrace(broken, a1, 2, func() {}, 2); err == nil {
+		t.Fatal("probe A failure must surface")
+	}
+}

@@ -71,10 +71,18 @@ func (s *InspectSession) Provider() string { return s.provider }
 // world serve every path from the engine cache with zero re-renders;
 // output is byte-identical to a cold scan in all cases.
 func (s *InspectSession) Inspect(workers int) CloudInspection {
+	return s.InspectChannels(core.TableIChannels(), workers)
+}
+
+// InspectChannels is Inspect against an arbitrary channel registry. The
+// cross-validation pass (and therefore the engine cache) is channel-set
+// independent — RollUp is pure post-processing over the findings — so one
+// session can serve Table I and the runtime matrix without re-rendering.
+func (s *InspectSession) InspectChannels(channels []core.Channel, workers int) CloudInspection {
 	findings := s.eng.ValidateWorkers(s.cont, workers)
 	return CloudInspection{
 		Provider: s.provider,
-		Reports:  core.RollUp(core.TableIChannels(), findings),
+		Reports:  core.RollUp(channels, findings),
 	}
 }
 
@@ -132,12 +140,14 @@ func NewDiscoverySession(spec chaos.Spec, seed int64) *DiscoverySession {
 }
 
 // Discover runs the systematic sweep and reports leaking files outside the
-// Table I registry. Repeated calls on the frozen world are served from the
+// known-channel registry (the matrix set: Table I plus the frequency
+// channel, so the cpufreq files do not flood the report as undocumented
+// discoveries). Repeated calls on the frozen world are served from the
 // engine cache, byte-identical to a cold sweep.
 func (s *DiscoverySession) Discover(workers int) *DiscoveryResult {
 	findings := s.eng.ValidateWorkers(s.cont, workers)
 	res := &DiscoveryResult{
-		Findings: core.Discover(core.TableIChannels(), findings),
+		Findings: core.Discover(core.MatrixChannels(), findings),
 	}
 	for _, f := range findings {
 		if f.Status == core.Identical || f.Status == core.Partial {

@@ -103,6 +103,7 @@ type Kernel struct {
 	uuidRNG *fastrand.Rand
 
 	meter *power.Meter
+	freq  *power.Governor
 	perf  *perfcount.Monitor
 
 	now        float64 // simulated time (uptime advances with it)
@@ -251,6 +252,10 @@ func New(opts Options) *Kernel {
 		nextPID: 300, // early pids are kernel threads
 	}
 	k.meter = power.New(opts.Power)
+	k.freq = power.NewGovernor(power.GovernorConfig{
+		Cores:  opts.Cores,
+		MaxKHz: uint64(opts.CPUMHz * 1000),
+	})
 	k.uuidRNG = fastrand.New(opts.Seed ^ 0x75756964) // "uuid"
 	k.bootID = uuidFrom(k.rng)                       // same draw order as always
 	if opts.WallClockNow > opts.BootWallClock {
@@ -339,6 +344,9 @@ func (k *Kernel) Options() Options { return k.opts }
 
 // Meter exposes the host power meter (the simulated RAPL hardware).
 func (k *Kernel) Meter() *power.Meter { return k.meter }
+
+// Freq exposes the per-core DVFS governor behind the cpufreq sysfs files.
+func (k *Kernel) Freq() *power.Governor { return k.freq }
 
 // Perf exposes the perf_event accounting monitor.
 func (k *Kernel) Perf() *perfcount.Monitor { return k.perf }
@@ -509,6 +517,12 @@ func (k *Kernel) Tick(now, dt float64) {
 		k.schedWaitNS[i] += util * util * 0.08 * dt * 1e9 // queueing grows with load
 		k.timeslices[i] += uint64(util*dt*200) + 1
 	}
+
+	// 4b. DVFS: the governor follows the same per-core utilizations the
+	// accounting loop just consumed. It sits before section 5 on purpose —
+	// Step is RNG-free pure arithmetic, so the jitter stream's draw order
+	// (and with it every pre-governor rendered byte) is unchanged.
+	k.freq.Step(perCore, capFactor, dt)
 
 	// 5. Interrupts, softirqs, context switches. Two bit-identical
 	// transformations keep this section — the widest jitter fan-out of the

@@ -1,0 +1,130 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGovernorDefaultsAndBoot(t *testing.T) {
+	g := NewGovernor(GovernorConfig{})
+	if g.MinKHz() != DefaultMinKHz || g.MaxKHz() != DefaultMaxKHz || g.StepKHz() != DefaultStepKHz {
+		t.Fatalf("defaults not applied: min=%d max=%d step=%d", g.MinKHz(), g.MaxKHz(), g.StepKHz())
+	}
+	if g.Name() != "schedutil" {
+		t.Fatalf("governor name = %q", g.Name())
+	}
+	for c := 0; c < 8; c++ {
+		if g.CurKHz(c) != DefaultMinKHz {
+			t.Fatalf("core %d not parked at boot: %d kHz", c, g.CurKHz(c))
+		}
+	}
+	// Out-of-range cores read as parked, never panic.
+	if g.CurKHz(-1) != DefaultMinKHz || g.CurKHz(99) != DefaultMinKHz {
+		t.Fatal("out-of-range cores must read as the minimum frequency")
+	}
+	if g.Transitions(-1) != 0 || g.Transitions(99) != 0 {
+		t.Fatal("out-of-range transition counters must read 0")
+	}
+}
+
+func TestGovernorFollowsLoad(t *testing.T) {
+	g := NewGovernor(GovernorConfig{Cores: 2})
+	full := []float64{1, 1}
+	for i := 0; i < 10; i++ {
+		g.Step(full, 1, 1)
+	}
+	if g.CurKHz(0) != g.MaxKHz() || g.CurKHz(1) != g.MaxKHz() {
+		t.Fatalf("saturated cores must reach cpuinfo_max_freq: %d/%d", g.CurKHz(0), g.CurKHz(1))
+	}
+	for i := 0; i < 10; i++ {
+		g.Step(nil, 1, 1) // idle: absent cores read util 0
+	}
+	if g.CurKHz(0) != g.MinKHz() {
+		t.Fatalf("idle core must fall back to cpuinfo_min_freq: %d", g.CurKHz(0))
+	}
+	if g.TotalTransitions() == 0 || g.Transitions(0) == 0 {
+		t.Fatal("ramping up and back down must count P-state transitions")
+	}
+	if g.TotalTransitions() != g.Transitions(0)+g.Transitions(1) {
+		t.Fatal("total transitions must equal the per-core sum")
+	}
+}
+
+func TestGovernorSlewBoundsRamp(t *testing.T) {
+	// One tick may move the continuous target by at most SlewKHzPerSec*dt.
+	g := NewGovernor(GovernorConfig{Cores: 1, SlewKHzPerSec: 200_000})
+	g.Step([]float64{1}, 1, 1)
+	if got := g.CurKHz(0); got != DefaultMinKHz+200_000 {
+		t.Fatalf("slew-limited first tick = %d kHz, want %d", got, DefaultMinKHz+200_000)
+	}
+	g.Step([]float64{1}, 1, 0.5) // half tick, half slew
+	if got := g.CurKHz(0); got != DefaultMinKHz+300_000 {
+		t.Fatalf("after half tick = %d kHz, want %d", got, DefaultMinKHz+300_000)
+	}
+}
+
+func TestGovernorCapFactorThrottles(t *testing.T) {
+	free := NewGovernor(GovernorConfig{Cores: 1})
+	capped := NewGovernor(GovernorConfig{Cores: 1})
+	for i := 0; i < 10; i++ {
+		free.Step([]float64{1}, 1, 1)
+		capped.Step([]float64{1}, 0.5, 1)
+	}
+	if capped.CurKHz(0) >= free.CurKHz(0) {
+		t.Fatalf("thermal cap must lower the frequency target: capped=%d free=%d",
+			capped.CurKHz(0), free.CurKHz(0))
+	}
+}
+
+func TestGovernorDeterministic(t *testing.T) {
+	// Step is pure arithmetic: two governors fed the same input sequence
+	// publish identical frequencies and transition counts at every tick.
+	run := func() *Governor {
+		g := NewGovernor(GovernorConfig{Cores: 4})
+		utils := [][]float64{
+			{0.2, 0.9, 0, 0.5}, {1, 1, 1, 1}, {0, 0.3, 0.7, 0},
+			{0.5, 0.5, 0.5, 0.5}, {0, 0, 0, 0},
+		}
+		for i := 0; i < 40; i++ {
+			g.Step(utils[i%len(utils)], 1-float64(i%3)*0.1, 1)
+		}
+		return g
+	}
+	a, b := run(), run()
+	for c := 0; c < 4; c++ {
+		if a.CurKHz(c) != b.CurKHz(c) || a.Transitions(c) != b.Transitions(c) {
+			t.Fatalf("core %d diverged: %d/%d vs %d/%d",
+				c, a.CurKHz(c), a.Transitions(c), b.CurKHz(c), b.Transitions(c))
+		}
+	}
+	if a.TotalTransitions() != b.TotalTransitions() {
+		t.Fatal("total transition counters diverged")
+	}
+}
+
+func TestGovernorPublishedFrequencyAlwaysOnGrid(t *testing.T) {
+	g := NewGovernor(GovernorConfig{Cores: 3})
+	f := func(u0, u1, u2, capF, dt float64) bool {
+		abs := func(v float64) float64 {
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+		norm := func(v float64) float64 { return abs(v) - float64(int(abs(v))) } // [0,1)
+		g.Step([]float64{norm(u0), norm(u1), norm(u2)}, norm(capF), norm(dt))
+		for c := 0; c < 3; c++ {
+			khz := g.CurKHz(c)
+			if khz < g.MinKHz() || khz > g.MaxKHz() {
+				return false
+			}
+			if (khz-g.MinKHz())%g.StepKHz() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

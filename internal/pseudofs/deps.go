@@ -110,6 +110,15 @@ var depTable = []depRule{
 	{"/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp*_input", Dep{Mask: kernel.MaskPower | kernel.MaskSched}},
 	{"/sys/devices/system/cpu/cpu*/cpuidle/state*/usage", Dep{Mask: kernel.MaskSched | kernel.MaskPower}},
 	{"/sys/devices/system/cpu/cpu*/cpuidle/state*/time", Dep{Mask: kernel.MaskSched | kernel.MaskPower}},
+
+	// DVFS: the governor steps inside the scheduler tick, following load
+	// under the meter's power cap, so the dynamic cpufreq reads carry both
+	// subsystems. The dynamic rules must precede the static catch-alls
+	// (range/driver/governor files never change). A "/**" suffix cannot
+	// carry a wildcard in its prefix, so the statics use segment globs.
+	{"/sys/devices/system/cpu/cpu*/cpufreq/scaling_cur_freq", Dep{Mask: kernel.MaskSched | kernel.MaskPower}},
+	{"/sys/devices/system/cpu/cpu*/cpufreq/stats/total_trans", Dep{Mask: kernel.MaskSched | kernel.MaskPower}},
+	{"/sys/devices/system/cpu/cpu*/cpufreq/*", Dep{}},
 }
 
 // depAll is the conservative default for paths the table does not know:

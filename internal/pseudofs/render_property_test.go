@@ -384,6 +384,24 @@ func preRenderOracle(fs *FS, hw Hardware) map[string]func(View) (string, error) 
 			})
 		}
 	}
+	gov := k.Freq()
+	for cpu := 0; cpu < k.Options().Cores; cpu++ {
+		cpu := cpu
+		base := fmt.Sprintf("/sys/devices/system/cpu/cpu%d/cpufreq", cpu)
+		add(base+"/scaling_cur_freq", func(View) (string, error) {
+			return fmt.Sprintf("%d\n", k.Freq().CurKHz(cpu)), nil
+		})
+		add(base+"/stats/total_trans", func(View) (string, error) {
+			return fmt.Sprintf("%d\n", k.Freq().Transitions(cpu)), nil
+		})
+		static(base+"/scaling_governor", gov.Name()+"\n")
+		static(base+"/scaling_available_governors", "performance powersave "+gov.Name()+"\n")
+		static(base+"/scaling_driver", "acpi-cpufreq\n")
+		static(base+"/scaling_min_freq", fmt.Sprintf("%d\n", gov.MinKHz()))
+		static(base+"/scaling_max_freq", fmt.Sprintf("%d\n", gov.MaxKHz()))
+		static(base+"/cpuinfo_min_freq", fmt.Sprintf("%d\n", gov.MinKHz()))
+		static(base+"/cpuinfo_max_freq", fmt.Sprintf("%d\n", gov.MaxKHz()))
+	}
 	if hw.HasCoretemp {
 		add("/sys/devices/platform/coretemp.0/hwmon/hwmon1/temp1_input", func(v View) (string, error) {
 			t, err := fs.thermal.CoreTempC(v, -1)

@@ -115,6 +115,32 @@ func (fs *FS) buildSys(hw Hardware) {
 		}
 	}
 
+	// /sys/devices/system/cpu/cpu#/cpufreq/…: the DVFS governor's per-core
+	// frequency interface. scaling_cur_freq and stats/total_trans are
+	// host-global dynamic reads (the frequency channel — a container
+	// observes the whole machine's load through its neighbours' P-state
+	// transitions); the range/driver/governor files are fleet-static.
+	gov := k.Freq()
+	for cpu := 0; cpu < k.Options().Cores; cpu++ {
+		cpu := cpu
+		base := fmt.Sprintf("/sys/devices/system/cpu/cpu%d/cpufreq", cpu)
+		fs.add(base+"/scaling_cur_freq", func(b []byte, _ View) ([]byte, error) {
+			b = apUint(b, k.Freq().CurKHz(cpu))
+			return append(b, '\n'), nil
+		})
+		fs.add(base+"/stats/total_trans", func(b []byte, _ View) ([]byte, error) {
+			b = apUint(b, k.Freq().Transitions(cpu))
+			return append(b, '\n'), nil
+		})
+		fs.static(base+"/scaling_governor", gov.Name()+"\n")
+		fs.static(base+"/scaling_available_governors", "performance powersave "+gov.Name()+"\n")
+		fs.static(base+"/scaling_driver", "acpi-cpufreq\n")
+		fs.static(base+"/scaling_min_freq", fmt.Sprintf("%d\n", gov.MinKHz()))
+		fs.static(base+"/scaling_max_freq", fmt.Sprintf("%d\n", gov.MaxKHz()))
+		fs.static(base+"/cpuinfo_min_freq", fmt.Sprintf("%d\n", gov.MinKHz()))
+		fs.static(base+"/cpuinfo_max_freq", fmt.Sprintf("%d\n", gov.MaxKHz()))
+	}
+
 	// /sys/devices/platform/coretemp.0/hwmon/hwmon1/temp#_input: DTS
 	// sensors in millidegrees. temp1 is the package, temp2..tempN+1 the
 	// cores.

@@ -50,6 +50,8 @@ type api struct {
 	// providers is the known-provider set, built once: ProviderByName
 	// allocates the profile slice per call, which the hot path cannot.
 	providers map[string]struct{}
+	// runtimes is the known runtime-target set, same reasoning.
+	runtimes map[string]struct{}
 }
 
 // NewHandler builds the leaksd HTTP API. The current surface lives under
@@ -58,9 +60,11 @@ type api struct {
 //	POST /v1/scans        submit a scan (202 queued, 200 cache hit)
 //	GET  /v1/scans        list jobs (?limit=&offset=&provider=&verdict=)
 //	GET  /v1/scans/{id}   one job with its result
-//	GET  /v1/results      latest verdicts per provider (?limit=&offset=&provider=&verdict=)
+//	GET  /v1/results      latest verdicts per provider (?limit=&offset=&provider=&runtime=&verdict=)
+//	GET  /v1/matrix       latest runtime-aware availability matrix (?limit=&offset=&provider=&runtime=&verdict=)
 //	GET  /v1/channels     the Table I channel registry
 //	GET  /v1/providers    inspectable provider profiles
+//	GET  /v1/runtimes     inspectable container-runtime targets
 //	GET  /v1/engine       incremental-engine cache and epoch statistics
 //	GET  /v1/events       SSE stream of verdict / scan / policy events
 //	POST /v1/policies     synthesize (or store) a mask policy (201)
@@ -80,8 +84,8 @@ type api struct {
 // Every /v1 error response carries the structured envelope
 // {"error":{"code":"...","message":"..."}}.
 //
-// The /v1 read endpoints (scans, results, channels, providers, engine,
-// version) serve through an epoch-keyed response cache: bodies are
+// The /v1 read endpoints (scans, results, matrix, channels, providers,
+// runtimes, engine, version) serve through an epoch-keyed response cache: bodies are
 // rendered once per (canonical query, epoch) and replayed with zero heap
 // allocations until the backing state mutates, and every 200 carries a
 // strong ETag derived from the epoch snapshot so If-None-Match
@@ -116,14 +120,21 @@ func NewHandler(cfg APIConfig) http.Handler {
 	for _, name := range ProviderNames() {
 		a.providers[name] = struct{}{}
 	}
+	a.runtimes = make(map[string]struct{})
+	for _, name := range RuntimeNames() {
+		a.runtimes[name] = struct{}{}
+	}
 	s := cfg.Scheduler
 	a.endpoints = map[string]*cachedEndpoint{
 		"/v1/scans": a.newCachedEndpoint("scans", true,
 			func() (uint64, bool) { return s.JobsEpoch(), true }, a.renderScans),
 		"/v1/results": a.newCachedEndpoint("results", true,
 			func() (uint64, bool) { return s.ResultsEpoch(), true }, a.renderResults),
+		"/v1/matrix": a.newCachedEndpoint("matrix", true,
+			func() (uint64, bool) { return s.ResultsEpoch(), true }, a.renderMatrix),
 		"/v1/channels":  a.newCachedEndpoint("channels", false, staticEpoch, a.renderChannels),
 		"/v1/providers": a.newCachedEndpoint("providers", false, staticEpoch, a.renderProviders),
+		"/v1/runtimes":  a.newCachedEndpoint("runtimes", false, staticEpoch, a.renderRuntimes),
 		"/v1/engine": a.newCachedEndpoint("engine", false,
 			func() (uint64, bool) { return s.EngineEpoch(), s.RunningScans() == 0 }, a.renderEngine),
 		"/v1/version": a.newCachedEndpoint("version", false, staticEpoch, a.renderVersion),
@@ -140,8 +151,10 @@ func NewHandler(cfg APIConfig) http.Handler {
 	mux.HandleFunc("GET /v1/scans", a.cachedHandler("/v1/scans"))
 	mux.HandleFunc("GET /v1/scans/{id}", a.timed(a.getScanV1))
 	mux.HandleFunc("GET /v1/results", a.cachedHandler("/v1/results"))
+	mux.HandleFunc("GET /v1/matrix", a.cachedHandler("/v1/matrix"))
 	mux.HandleFunc("GET /v1/channels", a.cachedHandler("/v1/channels"))
 	mux.HandleFunc("GET /v1/providers", a.cachedHandler("/v1/providers"))
+	mux.HandleFunc("GET /v1/runtimes", a.cachedHandler("/v1/runtimes"))
 	mux.HandleFunc("GET /v1/engine", a.cachedHandler("/v1/engine"))
 	mux.HandleFunc("GET /v1/events", a.events) // untimed: streams
 	mux.HandleFunc("POST /v1/policies", a.timed(a.postPoliciesV1))
@@ -207,6 +220,10 @@ const (
 	codeQueueFull  = "queue_full"
 	codeDraining   = "draining"
 	codeInternal   = "internal"
+	// codeUnknownTarget marks a named scan target (runtime) that does not
+	// exist. Unknown providers keep the historical not_found code so every
+	// pre-runtime response stays byte-identical.
+	codeUnknownTarget = "unknown_target"
 )
 
 // errorBody is the inner object of the /v1 error envelope.
@@ -265,6 +282,9 @@ func (a *api) postScan(w http.ResponseWriter, r *http.Request, fail errWriter) {
 	case err == nil:
 	case errors.Is(err, ErrBadRequest):
 		fail(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrUnknownTarget):
+		fail(w, http.StatusNotFound, codeUnknownTarget, "%v", err)
 		return
 	case errors.Is(err, ErrQueueFull):
 		fail(w, http.StatusTooManyRequests, codeQueueFull, "%v", err)

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fakeMatrixRunner is fakeInspectRunner extended for runtime-aware scans:
+// runtime inspections land their verdicts under the runtime name, and
+// kind=matrix produces one verdict per matrix target.
+func fakeMatrixRunner(ctx context.Context, req ScanRequest) (*ScanResult, error) {
+	res := &ScanResult{Request: req, Rendered: "FAKE " + string(req.Kind)}
+	switch {
+	case req.Kind == KindMatrix:
+		for _, name := range MatrixTargetNames() {
+			res.Verdicts = append(res.Verdicts,
+				Verdict{Provider: name, Channel: "/sys/devices/system/cpu/*/cpufreq/*", Availability: "●"})
+		}
+	case req.Runtime != "":
+		res.Verdicts = []Verdict{
+			{Provider: req.Runtime, Channel: "/proc/meminfo", Availability: "○"},
+			{Provider: req.Runtime, Channel: "/sys/devices/system/cpu/*/cpufreq/*", Availability: "●"},
+		}
+	default:
+		return fakeInspectRunner(ctx, req)
+	}
+	return res, nil
+}
+
+func TestV1RuntimesEndpoint(t *testing.T) {
+	_, srv := newTestAPI(t, Config{Workers: 1}, fakeMatrixRunner)
+	resp, body := get(t, srv, "/v1/runtimes")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Runtimes []string `json:"runtimes"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := RuntimeNames()
+	if len(out.Runtimes) != len(want) {
+		t.Fatalf("runtimes = %v, want %v", out.Runtimes, want)
+	}
+	for i, n := range want {
+		if out.Runtimes[i] != n {
+			t.Fatalf("runtimes = %v, want %v (matrix column order)", out.Runtimes, want)
+		}
+	}
+	if resp.Header.Get("X-Total-Count") == "" {
+		t.Fatal("missing X-Total-Count")
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("process-static endpoint must carry an ETag")
+	}
+	// The registry never changes: a conditional request revalidates forever.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/runtimes", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional status = %d, want 304", resp2.StatusCode)
+	}
+}
+
+func TestV1MatrixEndpoint(t *testing.T) {
+	s, srv := newTestAPI(t, Config{Workers: 1}, fakeMatrixRunner)
+
+	// Before any scan the matrix is empty but the endpoint serves.
+	resp, _ := get(t, srv, "/v1/matrix")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty matrix status %d", resp.StatusCode)
+	}
+	empty := resp.Header.Get("ETag")
+
+	// A runtime inspection fills in its column.
+	submitAndWait(t, s, srv, "/v1/scans", `{"kind":"inspect","runtime":"gvisor"}`)
+	resp, body := get(t, srv, "/v1/matrix")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if etag := resp.Header.Get("ETag"); etag == "" || etag == empty {
+		t.Fatalf("results-epoch ETag must move after a scan: %q -> %q", empty, etag)
+	}
+	var out struct {
+		Matrix []ProviderVerdicts `json:"matrix"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matrix) != 1 || out.Matrix[0].Provider != "gvisor" {
+		t.Fatalf("matrix = %s", body)
+	}
+
+	// A full matrix scan fills in every column, in canonical order.
+	submitAndWait(t, s, srv, "/v1/scans", `{"kind":"matrix"}`)
+	_, body = get(t, srv, "/v1/matrix")
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matrix) != len(MatrixTargetNames()) {
+		t.Fatalf("matrix has %d columns, want %d", len(out.Matrix), len(MatrixTargetNames()))
+	}
+	for i, name := range MatrixTargetNames() {
+		if out.Matrix[i].Provider != name {
+			t.Fatalf("column %d = %q, want %q (canonical order)", i, out.Matrix[i].Provider, name)
+		}
+	}
+
+	// runtime= and provider= narrow to one column family member.
+	_, body = get(t, srv, "/v1/matrix?runtime=kata")
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matrix) != 1 || out.Matrix[0].Provider != "kata" {
+		t.Fatalf("runtime filter: %s", body)
+	}
+	_, body = get(t, srv, "/v1/matrix?provider=cc1")
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matrix) != 1 || out.Matrix[0].Provider != "cc1" {
+		t.Fatalf("provider filter: %s", body)
+	}
+
+	// Unknown runtime names are 404 unknown_target; unknown providers keep
+	// the historical not_found.
+	resp, body = get(t, srv, "/v1/matrix?runtime=firecracker")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown runtime status %d", resp.StatusCode)
+	}
+	envelope(t, body, codeUnknownTarget)
+	resp, body = get(t, srv, "/v1/matrix?provider=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown provider status %d", resp.StatusCode)
+	}
+	envelope(t, body, codeNotFound)
+}
+
+func TestV1ScanSubmissionRuntimeValidation(t *testing.T) {
+	s, srv := newTestAPI(t, Config{Workers: 1}, fakeMatrixRunner)
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/scans", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 4096)
+		n, _ := resp.Body.Read(buf)
+		return resp, buf[:n]
+	}
+
+	// Unknown runtime: 404 with the folded unknown_target code, not the
+	// generic bad_request every other validation failure gets.
+	resp, body := post(`{"kind":"inspect","runtime":"firecracker"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown runtime status %d: %s", resp.StatusCode, body)
+	}
+	envelope(t, body, codeUnknownTarget)
+
+	// provider and runtime are mutually exclusive.
+	resp, body = post(`{"kind":"inspect","provider":"cc1","runtime":"gvisor"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("both-set status %d: %s", resp.StatusCode, body)
+	}
+	envelope(t, body, codeBadRequest)
+
+	// Unknown provider keeps its historical 400 bad_request.
+	resp, body = post(`{"kind":"inspect","provider":"nope"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown provider status %d: %s", resp.StatusCode, body)
+	}
+	envelope(t, body, codeBadRequest)
+
+	// A valid runtime inspection runs; runtime= filters the job list and
+	// the verdict rows it produced.
+	submitAndWait(t, s, srv, "/v1/scans", `{"kind":"inspect","runtime":"podman"}`)
+	submitAndWait(t, s, srv, "/v1/scans", `{"kind":"inspect","provider":"cc1"}`)
+
+	_, body = get(t, srv, "/v1/scans?runtime=podman")
+	var scans struct {
+		Scans []Job `json:"scans"`
+	}
+	if err := json.Unmarshal(body, &scans); err != nil {
+		t.Fatal(err)
+	}
+	if len(scans.Scans) != 1 || scans.Scans[0].Request.Runtime != "podman" {
+		t.Fatalf("runtime job filter: %s", body)
+	}
+
+	_, body = get(t, srv, "/v1/results?runtime=podman")
+	var results struct {
+		Results []ProviderVerdicts `json:"results"`
+	}
+	if err := json.Unmarshal(body, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results.Results) != 1 || results.Results[0].Provider != "podman" {
+		t.Fatalf("runtime results filter: %s", body)
+	}
+
+	resp, body = get(t, srv, "/v1/results?runtime=bogus")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown runtime on results: %d", resp.StatusCode)
+	}
+	envelope(t, body, codeUnknownTarget)
+}
+
+func TestScanRequestRuntimeKeying(t *testing.T) {
+	// The dedup key canonicalizes runtime through the shared respcache
+	// canonicalizer: provider-only requests keep their historical keys
+	// (runtime is omitted when empty), and runtime requests get distinct
+	// keys per runtime.
+	provOnly := ScanRequest{Kind: KindInspect, Provider: "cc1"}
+	withEmpty := ScanRequest{Kind: KindInspect, Provider: "cc1", Runtime: ""}
+	if provOnly.Key() != withEmpty.Key() {
+		t.Fatal("empty runtime must not perturb historical keys")
+	}
+	g := ScanRequest{Kind: KindInspect, Runtime: "gvisor"}
+	k := ScanRequest{Kind: KindInspect, Runtime: "kata"}
+	if g.Key() == k.Key() {
+		t.Fatal("different runtimes must key differently")
+	}
+	if g.Key() == provOnly.Key() {
+		t.Fatal("runtime and provider requests must key differently")
+	}
+	m1 := ScanRequest{Kind: KindMatrix}
+	m2 := ScanRequest{Kind: KindMatrix, Workers: 8}
+	if m1.Key() != m2.Key() {
+		t.Fatal("workers are excluded from the matrix dedup key (byte-identical at any count)")
+	}
+}

@@ -143,7 +143,7 @@ func TestOpenAPISpecDeclaresCachingContract(t *testing.T) {
 		chunks[name] = sb.String()
 	}
 
-	cached := []string{"/v1/scans", "/v1/results", "/v1/channels", "/v1/providers", "/v1/engine", "/v1/version"}
+	cached := []string{"/v1/scans", "/v1/results", "/v1/matrix", "/v1/channels", "/v1/providers", "/v1/runtimes", "/v1/engine", "/v1/version"}
 	for _, p := range cached {
 		chunk, ok := chunks[p]
 		if !ok {

@@ -24,6 +24,10 @@ const (
 	// KindDiscovery sweeps the local testbed for leaking files beyond the
 	// Table I registry.
 	KindDiscovery Kind = "discovery"
+	// KindMatrix runs the runtime-aware availability matrix: the Table I
+	// channels plus the frequency channel against the five commercial
+	// clouds plus the four modern runtime targets.
+	KindMatrix Kind = "matrix"
 	// KindFig3 runs the synergistic-vs-periodic power attack comparison.
 	KindFig3 Kind = "fig3"
 	// KindFig8 measures the defense's modeling error on the SPEC subset.
@@ -35,7 +39,7 @@ const (
 // Kinds lists every supported kind (for validation errors and /channels
 // style introspection).
 func Kinds() []Kind {
-	return []Kind{KindTable1, KindInspect, KindDiscovery, KindFig3, KindFig8, KindChaosSweep}
+	return []Kind{KindTable1, KindInspect, KindDiscovery, KindMatrix, KindFig3, KindFig8, KindChaosSweep}
 }
 
 // ScanRequest is the client-facing description of one scan. The zero value
@@ -46,6 +50,11 @@ type ScanRequest struct {
 	// Provider selects the profile for KindInspect ("local", "lxc", "cc1"
 	// … "cc5"); ignored by other kinds.
 	Provider string `json:"provider,omitempty"`
+	// Runtime selects a container-runtime target for KindInspect
+	// ("gvisor", "kata", "rootless", "podman") — mutually exclusive with
+	// Provider; ignored by other kinds. Runtime inspections roll up over
+	// the matrix channel set (Table I plus the frequency channel).
+	Runtime string `json:"runtime,omitempty"`
 	// Seed is the datacenter seed for seed-varied campaigns; 0 selects the
 	// kind's historical default (experiments.DefaultInspectSeed etc.).
 	Seed int64 `json:"seed,omitempty"`
@@ -85,9 +94,10 @@ func (r ScanRequest) Normalize() ScanRequest {
 	}
 	if r.Kind != KindInspect {
 		r.Provider = ""
+		r.Runtime = ""
 	}
 	switch r.Kind {
-	case KindTable1, KindInspect:
+	case KindTable1, KindInspect, KindMatrix:
 		if r.Seed == 0 {
 			r.Seed = experiments.DefaultInspectSeed
 		}
@@ -104,8 +114,17 @@ func (r ScanRequest) Normalize() ScanRequest {
 // Validate rejects malformed requests with client-facing errors.
 func (r ScanRequest) Validate() error {
 	switch r.Kind {
-	case KindTable1, KindDiscovery, KindFig3, KindFig8, KindChaosSweep:
+	case KindTable1, KindDiscovery, KindMatrix, KindFig3, KindFig8, KindChaosSweep:
 	case KindInspect:
+		if r.Provider != "" && r.Runtime != "" {
+			return fmt.Errorf("kind %q takes provider or runtime, not both", r.Kind)
+		}
+		if r.Runtime != "" {
+			if _, ok := RuntimeByName(r.Runtime); !ok {
+				return fmt.Errorf("%w: unknown runtime %q (one of %v)", ErrUnknownTarget, r.Runtime, RuntimeNames())
+			}
+			break
+		}
 		if r.Provider == "" {
 			return fmt.Errorf("kind %q requires a provider (one of %v)", r.Kind, ProviderNames())
 		}
@@ -145,7 +164,9 @@ func (r ScanRequest) Chaos() chaos.Spec {
 // canonicalize.
 func (r ScanRequest) Key() string {
 	n := r.Normalize()
-	q := respcache.Query{Provider: n.Provider, Limit: respcache.NoLimit}
+	// Runtime rides in the same canonicalizer; the empty runtime emits no
+	// runtime= term, so every pre-runtime request keeps its historical key.
+	q := respcache.Query{Provider: n.Provider, Runtime: n.Runtime, Limit: respcache.NoLimit}
 	canon := fmt.Sprintf("v2|%s|%s|%d|%g|%d", n.Kind, q.Canonical(), n.Seed, n.ChaosRate, n.ChaosSeed)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:16])
@@ -173,4 +194,37 @@ func ProviderNames() []string {
 
 func allProviders() []cloud.ProviderProfile {
 	return append([]cloud.ProviderProfile{cloud.LocalTestbed(), cloud.LocalLXC()}, cloud.CommercialClouds()...)
+}
+
+// RuntimeByName resolves a container-runtime target by name. Runtime
+// targets are deliberately not providers: /v1/providers stays
+// byte-identical, and the runtime names live on their own endpoint.
+func RuntimeByName(name string) (cloud.ProviderProfile, bool) {
+	for _, p := range cloud.RuntimeTargets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return cloud.ProviderProfile{}, false
+}
+
+// RuntimeNames lists the runtime targets in matrix column order.
+func RuntimeNames() []string {
+	ps := cloud.RuntimeTargets()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// MatrixTargetNames lists every matrix column (clouds then runtimes) in
+// canonical order.
+func MatrixTargetNames() []string {
+	ps := cloud.MatrixTargets()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
 }

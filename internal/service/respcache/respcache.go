@@ -25,6 +25,10 @@ type Query struct {
 	// Provider restricts to one provider ("" = no filter). Whether the
 	// name is a known profile is the caller's business, not the parser's.
 	Provider string
+	// Runtime restricts to one container-runtime target ("" = no filter) —
+	// the matrix column family added alongside the providers. Like
+	// Provider, name validation is the caller's business.
+	Runtime string
 	// Verdict is the canonical availability glyph ("" = no filter);
 	// ParseQuery folds the ASCII aliases onto the glyphs.
 	Verdict string
@@ -84,7 +88,7 @@ func ParseQuery(raw string) (Query, error) {
 	if strings.IndexByte(raw, '%') >= 0 || strings.IndexByte(raw, '+') >= 0 {
 		return parseEscaped(raw)
 	}
-	var seenProv, seenVerd, seenLimit, seenOffset bool
+	var seenProv, seenRun, seenVerd, seenLimit, seenOffset bool
 	for len(raw) > 0 {
 		seg := raw
 		if i := strings.IndexByte(raw, '&'); i >= 0 {
@@ -103,6 +107,10 @@ func ParseQuery(raw string) (Query, error) {
 		case "provider":
 			if !seenProv {
 				q.Provider, seenProv = val, true
+			}
+		case "runtime":
+			if !seenRun {
+				q.Runtime, seenRun = val, true
 			}
 		case "verdict":
 			if !seenVerd {
@@ -138,6 +146,7 @@ func parseEscaped(raw string) (Query, error) {
 	q := Query{Limit: NoLimit}
 	vals, _ := url.ParseQuery(raw) // errors ignored, like r.URL.Query()
 	q.Provider = vals.Get("provider")
+	q.Runtime = vals.Get("runtime")
 	if s := vals.Get("verdict"); s != "" {
 		v, ok := CanonicalVerdict(s)
 		if !ok {
@@ -194,6 +203,11 @@ func (q Query) Canonical() string {
 		b.WriteString("provider=")
 		b.WriteString(q.Provider)
 	}
+	if q.Runtime != "" {
+		sep()
+		b.WriteString("runtime=")
+		b.WriteString(q.Runtime)
+	}
 	if q.Verdict != "" {
 		sep()
 		b.WriteString("verdict=")
@@ -216,6 +230,7 @@ func (q Query) Canonical() string {
 // URL's backing array.
 func (q Query) clone() Query {
 	q.Provider = strings.Clone(q.Provider)
+	q.Runtime = strings.Clone(q.Runtime)
 	q.Verdict = strings.Clone(q.Verdict)
 	return q
 }

@@ -122,6 +122,61 @@ func TestCanonicalString(t *testing.T) {
 	}
 }
 
+// TestRuntimeParameter: the runtime= filter (the matrix column family
+// added alongside the providers) canonicalizes like provider= — absent and
+// empty spellings collapse to the zero query, the canonical string keeps
+// historical byte-identity when runtime is unset, and the fast path stays
+// allocation-free.
+func TestRuntimeParameter(t *testing.T) {
+	for _, raw := range []string{"runtime=", "runtime=&foo=1", ""} {
+		q, err := ParseQuery(raw)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", raw, err)
+		}
+		if q != (Query{Limit: NoLimit}) {
+			t.Errorf("ParseQuery(%q) = %+v, want the zero query", raw, q)
+		}
+	}
+	fast, err := ParseQuery("runtime=gvisor&limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	escaped, err := ParseQuery("runtime=%67visor&limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast != escaped || fast.Runtime != "gvisor" {
+		t.Fatalf("fast %+v vs escaped %+v", fast, escaped)
+	}
+	// runtime and provider are distinct dimensions.
+	p, _ := ParseQuery("provider=gvisor")
+	r, _ := ParseQuery("runtime=gvisor")
+	if p == r {
+		t.Fatal("provider= and runtime= must not collide as cache keys")
+	}
+	// Canonical emits runtime between provider and verdict; an unset
+	// runtime leaves historical canonical strings byte-identical.
+	q, err := ParseQuery("offset=3&verdict=available&runtime=kata&provider=cc1&limit=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.Canonical(), "provider=cc1&runtime=kata&verdict=●&limit=50&offset=3"; got != want {
+		t.Errorf("Canonical() = %q, want %q", got, want)
+	}
+	old, _ := ParseQuery("provider=cc1&limit=50")
+	if got, want := old.Canonical(), "provider=cc1&limit=50"; got != want {
+		t.Errorf("historical Canonical() = %q, want %q", got, want)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ParseQuery("runtime=kata&verdict=available&limit=50"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("runtime fast path: %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // TestCacheEpochInvalidation: entries live for exactly one epoch; a bump
 // makes the old world unreachable and a raced old-epoch Put is dropped.
 func TestCacheEpochInvalidation(t *testing.T) {

@@ -49,6 +49,9 @@ func runScanWith(ctx context.Context, req ScanRequest, pool *sessionPool) (*Scan
 		res.Rendered = t.String()
 		res.Verdicts = verdictsOf(t.Inspections)
 	case KindInspect:
+		if req.Runtime != "" {
+			return runRuntimeInspect(ctx, req, pool, res)
+		}
 		p, ok := ProviderByName(req.Provider)
 		if !ok {
 			return nil, fmt.Errorf("service: unknown provider %q", req.Provider)
@@ -70,6 +73,21 @@ func runScanWith(ctx context.Context, req ScanRequest, pool *sessionPool) (*Scan
 		}
 		res.Rendered = renderInspection(ins, req)
 		res.Verdicts = verdictsOf([]experiments.CloudInspection{ins})
+	case KindMatrix:
+		var (
+			m   *experiments.MatrixResult
+			err error
+		)
+		if pooled {
+			m, err = pool.matrix(ctx, req.Seed, req.Workers)
+		} else {
+			m, err = experiments.MatrixSweepSeeded(ctx, spec, req.Seed, req.Workers)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Rendered = m.String()
+		res.Verdicts = verdictsOf(m.Inspections)
 	case KindDiscovery:
 		var (
 			d   *experiments.DiscoveryResult
@@ -115,6 +133,38 @@ func runScanWith(ctx context.Context, req ScanRequest, pool *sessionPool) (*Scan
 	default:
 		return nil, fmt.Errorf("service: unknown kind %q", req.Kind)
 	}
+	return res, nil
+}
+
+// runRuntimeInspect executes a single-runtime inspection (KindInspect with
+// Runtime set): the named runtime target rolled up over the matrix channel
+// set, pooled like any other inspect target when chaos is off.
+func runRuntimeInspect(ctx context.Context, req ScanRequest, pool *sessionPool, res *ScanResult) (*ScanResult, error) {
+	p, ok := RuntimeByName(req.Runtime)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown runtime %q", req.Runtime)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var (
+		ins experiments.CloudInspection
+		err error
+	)
+	if pool != nil && req.ChaosRate == 0 {
+		ins, err = pool.inspectChannels(p, req.Seed, req.Workers, core.MatrixChannels())
+	} else {
+		var s *experiments.InspectSession
+		s, err = experiments.NewInspectSession(p, req.Chaos(), req.Seed)
+		if err == nil {
+			ins = s.InspectChannels(core.MatrixChannels(), req.Workers)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Rendered = renderInspection(ins, req)
+	res.Verdicts = verdictsOf([]experiments.CloudInspection{ins})
 	return res, nil
 }
 

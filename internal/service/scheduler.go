@@ -136,11 +136,15 @@ func ctxSleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// Submission failure sentinels (the HTTP layer maps them to 429/503/400).
+// Submission failure sentinels (the HTTP layer maps them to 429/503/400,
+// and ErrUnknownTarget to 404 unknown_target).
 var (
 	ErrQueueFull  = errors.New("service: scan queue full")
 	ErrDraining   = errors.New("service: scheduler is draining")
 	ErrBadRequest = errors.New("service: invalid scan request")
+	// ErrUnknownTarget marks a request naming a scan target (runtime) that
+	// does not exist — a 404-class failure, distinct from a malformed body.
+	ErrUnknownTarget = errors.New("service: unknown scan target")
 )
 
 // Scheduler owns the job queue, the worker pool, the result store, the
@@ -246,6 +250,9 @@ func (s *Scheduler) Submit(req ScanRequest) (Job, error) { return s.submit(req, 
 func (s *Scheduler) submit(req ScanRequest, name string) (Job, error) {
 	req = req.Normalize()
 	if err := req.Validate(); err != nil {
+		if errors.Is(err, ErrUnknownTarget) {
+			return Job{}, err
+		}
 		return Job{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	if s.draining.Load() {

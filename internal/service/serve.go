@@ -20,8 +20,10 @@ var v1Routes = []string{
 	"GET /v1/scans",
 	"GET /v1/scans/{id}",
 	"GET /v1/results",
+	"GET /v1/matrix",
 	"GET /v1/channels",
 	"GET /v1/providers",
+	"GET /v1/runtimes",
 	"GET /v1/engine",
 	"GET /v1/events",
 	"POST /v1/policies",
@@ -128,6 +130,13 @@ func (a *api) serveCached(ce *cachedEndpoint, w http.ResponseWriter, r *http.Req
 				return
 			}
 		}
+		if q.Runtime != "" {
+			if _, known := a.runtimes[q.Runtime]; !known {
+				writeErrorV1(w, http.StatusNotFound, codeUnknownTarget,
+					"unknown runtime %q (one of %v)", q.Runtime, RuntimeNames())
+				return
+			}
+		}
 	}
 
 	epoch, cacheable := ce.epoch()
@@ -208,6 +217,9 @@ func (a *api) renderScans(q respcache.Query) ([]byte, int, error) {
 		if q.Provider != "" && j.Request.Provider != q.Provider {
 			continue
 		}
+		if q.Runtime != "" && j.Request.Runtime != q.Runtime {
+			continue
+		}
 		if q.Verdict != "" && !jobHasVerdict(j, q.Verdict) {
 			continue
 		}
@@ -222,9 +234,21 @@ func (a *api) renderScans(q respcache.Query) ([]byte, int, error) {
 
 // renderResults is the cold render behind GET /v1/results. ?verdict=
 // narrows each provider's cells to one availability and drops providers
-// left with none; pagination windows over the provider entries.
+// left with none; ?runtime= selects a runtime target's row (runtime
+// targets land in the latest-verdict map under their own names when
+// matrix or runtime-inspect scans run); pagination windows over the
+// provider entries.
 func (a *api) renderResults(q respcache.Query) ([]byte, int, error) {
 	results := a.sched.Results(q.Provider)
+	if q.Runtime != "" {
+		filtered := results[:0:0]
+		for _, pv := range results {
+			if pv.Provider == q.Runtime {
+				filtered = append(filtered, pv)
+			}
+		}
+		results = filtered
+	}
 	if q.Verdict != "" {
 		filtered := results[:0:0]
 		for _, pv := range results {
@@ -263,6 +287,54 @@ func (a *api) renderProviders(respcache.Query) ([]byte, int, error) {
 		Providers []string `json:"providers"`
 	}{Providers: providers})
 	return body, len(providers), err
+}
+
+func (a *api) renderRuntimes(respcache.Query) ([]byte, int, error) {
+	runtimes := RuntimeNames()
+	body, err := encodeJSON(struct {
+		Runtimes []string `json:"runtimes"`
+	}{Runtimes: runtimes})
+	return body, len(runtimes), err
+}
+
+// renderMatrix is the cold render behind GET /v1/matrix: the latest
+// verdicts of every matrix target (clouds then runtimes, canonical column
+// order), shaped like /v1/results but restricted to the matrix column set.
+// Targets without verdicts yet are omitted — the matrix fills in as
+// KindMatrix (or runtime-inspect) scans complete. ?provider= / ?runtime=
+// narrow to one column; ?verdict= narrows cells; pagination windows over
+// the target entries.
+func (a *api) renderMatrix(q respcache.Query) ([]byte, int, error) {
+	var entries []ProviderVerdicts
+	for _, name := range MatrixTargetNames() {
+		if q.Provider != "" && name != q.Provider {
+			continue
+		}
+		if q.Runtime != "" && name != q.Runtime {
+			continue
+		}
+		rows := a.sched.Results(name)
+		for _, pv := range rows {
+			if q.Verdict != "" {
+				var cells []Verdict
+				for _, v := range pv.Verdicts {
+					if v.Availability == q.Verdict {
+						cells = append(cells, v)
+					}
+				}
+				if len(cells) == 0 {
+					continue
+				}
+				pv.Verdicts = cells
+			}
+			entries = append(entries, pv)
+		}
+	}
+	lo, hi := q.Window(len(entries))
+	body, err := encodeJSON(struct {
+		Matrix []ProviderVerdicts `json:"matrix"`
+	}{Matrix: entries[lo:hi]})
+	return body, len(entries), err
 }
 
 // renderEngine snapshots the incremental engine's aggregate cache and

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/cloud"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 )
@@ -70,6 +71,14 @@ func newSessionPool(cap int) *sessionPool {
 // misses — byte-identical to the one-shot path); later requests are served
 // from the session's caches with zero re-renders.
 func (p *sessionPool) inspect(prof cloud.ProviderProfile, seed int64, workers int) (experiments.CloudInspection, error) {
+	return p.inspectChannels(prof, seed, workers, core.TableIChannels())
+}
+
+// inspectChannels is inspect with an explicit channel registry. The session
+// (and its engine caches) is shared across channel sets — cross-validation
+// is channel-set independent, RollUp is post-processing — so a Table I scan
+// and a matrix scan of the same target reuse one world.
+func (p *sessionPool) inspectChannels(prof cloud.ProviderProfile, seed int64, workers int, channels []core.Channel) (experiments.CloudInspection, error) {
 	key := fmt.Sprintf("%s\x00%d", prof.Name, seed)
 	p.mu.Lock()
 	e, ok := p.insp[key]
@@ -103,7 +112,7 @@ func (p *sessionPool) inspect(prof cloud.ProviderProfile, seed int64, workers in
 	if e.err != nil {
 		return experiments.CloudInspection{}, e.err
 	}
-	return e.s.Inspect(workers), nil
+	return e.s.InspectChannels(channels, workers), nil
 }
 
 // table1 runs the full six-provider Table I sweep through pooled sessions,
@@ -136,6 +145,38 @@ func (p *sessionPool) table1(ctx context.Context, seed int64, workers int) (*exp
 			failed, first)
 	}
 	return &experiments.Table1Result{Inspections: ins}, nil
+}
+
+// matrix runs the runtime-aware sweep through pooled sessions, in matrix
+// column order (CC1–CC5 then the runtime targets). The CC1–CC5 sessions
+// are the same worlds table1 pools — a recurring matrix scan's cloud
+// columns are engine cache hits after any Table I scan, and vice versa.
+// Failures fold into per-target Err exactly like table1.
+func (p *sessionPool) matrix(ctx context.Context, seed int64, workers int) (*experiments.MatrixResult, error) {
+	targets := cloud.MatrixTargets()
+	ins := make([]experiments.CloudInspection, len(targets))
+	failed := 0
+	var first error
+	for i, prof := range targets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		in, err := p.inspectChannels(prof, seed, workers, core.MatrixChannels())
+		if err != nil {
+			ins[i] = experiments.CloudInspection{Provider: prof.Name, Err: err}
+			if first == nil {
+				first = err
+			}
+			failed++
+			continue
+		}
+		ins[i] = in
+	}
+	if failed == len(targets) {
+		return nil, fmt.Errorf("experiments: matrix sweep: all %d target inspections failed, first: %w",
+			failed, first)
+	}
+	return &experiments.MatrixResult{Inspections: ins}, nil
 }
 
 // discovery runs the systematic sweep through a pooled testbed session.
