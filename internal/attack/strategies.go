@@ -242,6 +242,12 @@ func runSynergistic(dc *cloud.Datacenter, rack *cloud.Rack, containers []*contai
 	c := newCampaign(dc, rack, containers, cfg)
 	start := dc.Clock.Now()
 	var sumHistory []float64
+	// prevMax tracks max(sumHistory[:len-1]) incrementally: the near-max
+	// trigger needs only the running maximum, and recomputing it by scanning
+	// the whole history made the campaign loop O(t²). Power sums are
+	// non-negative, so the running max is identical to the rescans it
+	// replaces.
+	var prevMax float64
 	lastW := make([]float64, len(monitors))
 	for t := 0.0; t < duration; t++ {
 		now := dc.Clock.Now()
@@ -269,18 +275,15 @@ func runSynergistic(dc *cloud.Datacenter, rack *cloud.Rack, containers []*contai
 		sumHistory = append(sumHistory, sum)
 		crest := false
 		if len(sumHistory) > 30 {
-			prev := sumHistory[:len(sumHistory)-1]
 			if cfg.TriggerNearMax > 0 {
-				var max float64
-				for _, v := range prev {
-					if v > max {
-						max = v
-					}
-				}
-				crest = sum >= max*cfg.TriggerNearMax
+				crest = sum >= prevMax*cfg.TriggerNearMax
 			} else {
+				prev := sumHistory[:len(sumHistory)-1]
 				crest = sum >= stats.Percentile(prev, cfg.CrestPercentile)
 			}
+		}
+		if sum > prevMax {
+			prevMax = sum
 		}
 		if c.bursting && now >= c.burstEnds {
 			c.stopBurst()

@@ -2,8 +2,8 @@ package cloud
 
 import (
 	"math"
-	"math/rand"
 
+	"repro/internal/fastrand"
 	"repro/internal/kernel"
 	"repro/internal/perfcount"
 	"repro/internal/workload"
@@ -56,7 +56,7 @@ func (c *BenignConfig) fillDefaults() {
 // servers. Register it on the clock before any BenignLoad.
 type FlashDriver struct {
 	cfg        BenignConfig
-	rng        *rand.Rand
+	rng        *fastrand.Rand
 	flashUntil float64
 	boost      float64
 }
@@ -64,7 +64,7 @@ type FlashDriver struct {
 // NewFlashDriver creates the shared event process.
 func NewFlashDriver(cfg BenignConfig, seed int64) *FlashDriver {
 	cfg.fillDefaults()
-	return &FlashDriver{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &FlashDriver{cfg: cfg, rng: fastrand.New(seed)}
 }
 
 // Tick implements simclock.Ticker.
@@ -91,7 +91,7 @@ func (f *FlashDriver) Boost() float64 { return f.boost }
 // place when the kernel integrates the step.
 type BenignLoad struct {
 	cfg      BenignConfig
-	rng      *rand.Rand
+	rng      *fastrand.Rand
 	srv      *Server
 	task     *kernel.Task
 	mixRates perfcount.Rates // per-core activity blend of the aggregate task
@@ -110,7 +110,7 @@ func NewBenignLoad(srv *Server, cfg BenignConfig, seed int64) *BenignLoad {
 	cfg.fillDefaults()
 	b := &BenignLoad{
 		cfg: cfg,
-		rng: rand.New(rand.NewSource(seed)),
+		rng: fastrand.New(seed),
 		srv: srv,
 	}
 	b.phase = (b.rng.Float64()*2 - 1) * cfg.PhaseJitterS

@@ -9,11 +9,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/chaos"
 	"repro/internal/container"
 	"repro/internal/defense"
+	"repro/internal/fastrand"
 	"repro/internal/kernel"
 	"repro/internal/powerns"
 	"repro/internal/pseudofs"
@@ -89,9 +89,10 @@ type Datacenter struct {
 	Racks []*Rack
 
 	cfg     Config
-	rng     *rand.Rand
+	rng     *fastrand.Rand
 	billing *Billing
 	nextCID int
+	flash   *FlashDriver // non-nil when cfg.Benign.SharedFlash
 }
 
 // Rack groups servers behind one breaker.
@@ -164,7 +165,7 @@ func New(cfg Config) *Datacenter {
 	dc := &Datacenter{
 		Clock:   simclock.New(),
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     fastrand.New(cfg.Seed),
 		billing: NewBilling(DefaultPricing()),
 	}
 	if cfg.TickWorkers != 1 {
@@ -174,6 +175,7 @@ func New(cfg Config) *Datacenter {
 	if cfg.Benign.SharedFlash {
 		flash = NewFlashDriver(cfg.Benign, cfg.Seed+99)
 		dc.Clock.OnTick(flash)
+		dc.flash = flash
 	}
 	// Defended fleets train the power model once (identical physics on
 	// every server) and deploy per host below.

@@ -57,7 +57,9 @@ func DiscoverySeeded(ctx context.Context, spec chaos.Spec, seed int64, workers i
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return NewDiscoverySession(spec, seed).Discover(workers), nil
+	s := NewDiscoverySession(spec, seed)
+	defer s.Close()
+	return s.Discover(workers), nil
 }
 
 // String renders the discovery table.

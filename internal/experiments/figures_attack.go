@@ -129,9 +129,37 @@ func fig3WithSeed(seed int64, spec chaos.Spec) (*Fig3Result, error) {
 		return dc, agg.Kept[0].Server.Rack, agg.Containers(), nil
 	}
 
-	dcS, rackS, csS, err := build()
+	// The three campaigns need three copies of the same warmed-up world.
+	// With snapshots enabled the trio shares one build: the world comes
+	// from the snapshot pool (so repeated sweeps skip even the first
+	// build) and is rewound between campaigns — the restore contract
+	// makes each campaign byte-identical to running on a fresh build, and
+	// the container handles stay valid across restores.
+	w, key, err := checkoutWorld(inspectPoolKey("fig3", "", spec, seed),
+		func() (*cloud.Datacenter, any, error) {
+			dc, rack, cs, err := build()
+			if err != nil {
+				return nil, nil, err
+			}
+			return dc, fig3World{rack: rack, cs: cs}, nil
+		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig 3 build: %w", err)
+	}
+	defer releaseWorld(key)
+	dcS := w.dc
+	rackS, csS := w.aux.(fig3World).rack, w.aux.(fig3World).cs
+	snap := w.snap
+	if snap == nil && SnapshotsEnabled() {
+		snap = dcS.Snapshot()
+	}
+	reset := func() (*cloud.Datacenter, *cloud.Rack, []*container.Container, error) {
+		if snap != nil {
+			dcS.Restore(snap)
+			snapshotRestores.Add(1)
+			return dcS, rackS, csS, nil
+		}
+		return build()
 	}
 	// A selective trigger: learn the background for ten minutes, then
 	// strike only when the aggregate of the monitored hosts is within 5%
@@ -146,14 +174,14 @@ func fig3WithSeed(seed int64, spec chaos.Spec) (*Fig3Result, error) {
 		return nil, fmt.Errorf("experiments: fig 3 synergistic: %w", err)
 	}
 
-	dcP, rackP, csP, err := build()
+	dcP, rackP, csP, err := reset()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig 3 rebuild: %w", err)
 	}
 	per := attack.RunPeriodic(dcP, rackP, csP, attack.DefaultConfig(), 3000, 300)
 
 	// Background-only reference for the same window.
-	dcB, rackB, _, err := build()
+	dcB, rackB, _, err := reset()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig 3 background: %w", err)
 	}
@@ -165,6 +193,13 @@ func fig3WithSeed(seed int64, spec chaos.Spec) (*Fig3Result, error) {
 		}
 	}
 	return &Fig3Result{Synergistic: syn, Periodic: per, BackgroundPeakW: bgPeak}, nil
+}
+
+// fig3World is the aux payload a Fig. 3 world carries through the
+// snapshot pool: the monitored rack and the attacker containers.
+type fig3World struct {
+	rack *cloud.Rack
+	cs   []*container.Container
 }
 
 // String reports the comparison the way the paper does, with sparklines of

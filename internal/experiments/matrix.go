@@ -42,6 +42,7 @@ func MatrixSweepSeeded(ctx context.Context, spec chaos.Spec, seed int64, workers
 		if err != nil {
 			return CloudInspection{}, err
 		}
+		defer s.Close()
 		return s.InspectChannels(core.MatrixChannels(), 1), nil
 	})
 	if err != nil {
@@ -83,6 +84,7 @@ func InspectRuntimeChaosWorkers(name string, spec chaos.Spec, workers int) (*Mat
 	if err != nil {
 		return nil, fmt.Errorf("experiments: runtime %s: %w", name, err)
 	}
+	defer s.Close()
 	return &MatrixResult{Inspections: []CloudInspection{s.InspectChannels(core.MatrixChannels(), workers)}}, nil
 }
 

@@ -41,10 +41,12 @@ func RuntimeDefenseSeeded(name string, spec chaos.Spec, seed int64, workers int)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: runtime defense baseline: %w", err)
 	}
+	defer base.Close()
 	sb, err := NewInspectSession(prof, spec, seed)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: runtime defense %s: %w", name, err)
 	}
+	defer sb.Close()
 	return &RuntimeDefenseResult{
 		Runtime:  name,
 		Baseline: base.InspectChannels(core.MatrixChannels(), workers),

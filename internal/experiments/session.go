@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/cloud"
+	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/pseudofs"
@@ -33,35 +34,65 @@ type InspectSession struct {
 	srv      *cloud.Server
 	cont     *pseudofs.Mount
 	eng      *engine.Engine
+	poolKey  string
 }
 
 // NewInspectSession builds the world InspectProviderSeeded would build
 // (seed 0 = DefaultInspectSeed) and wraps it in an incremental engine.
+// When snapshots are enabled (the default) the warmed-up world comes from
+// a per-(provider, chaos, seed) pool: the first session for a key builds
+// and captures it, later ones rewind the capture instead of re-running
+// cloud.New and the warmup ticks. Call Close when done with the session
+// so the world returns to the pool.
 func NewInspectSession(p cloud.ProviderProfile, spec chaos.Spec, seed int64) (*InspectSession, error) {
 	if seed == 0 {
 		seed = DefaultInspectSeed
 	}
-	dc := cloud.New(cloud.Config{
-		Racks:          1,
-		ServersPerRack: 1,
-		Seed:           seed,
-		Provider:       &p,
-		Chaos:          spec,
-	})
-	srv, c, err := dc.Launch("inspector", "probe", 1)
+	w, key, err := checkoutWorld(inspectPoolKey("inspect", p.Name, spec, seed),
+		func() (*cloud.Datacenter, any, error) {
+			dc := cloud.New(cloud.Config{
+				Racks:          1,
+				ServersPerRack: 1,
+				Seed:           seed,
+				Provider:       &p,
+				Chaos:          spec,
+			})
+			srv, c, err := dc.Launch("inspector", "probe", 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Let counters accumulate so dynamic channels carry real data.
+			dc.Clock.Run(30, 1)
+			return dc, sessionWorld{srv: srv, cont: c}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	// Let counters accumulate so dynamic channels carry real data.
-	dc.Clock.Run(30, 1)
+	sw := w.aux.(sessionWorld)
+	// The engine is built per session, never pooled: a restore rewinds the
+	// kernel's epoch clocks, so a cached engine's validity checks would be
+	// confused by time appearing to run backwards.
 	return &InspectSession{
 		provider: p.Name,
-		dc:       dc,
-		srv:      srv,
-		cont:     c.Mount(),
-		eng:      engine.New(srv.HostMount()),
+		dc:       w.dc,
+		srv:      sw.srv,
+		cont:     sw.cont.Mount(),
+		eng:      engine.New(sw.srv.HostMount()),
+		poolKey:  key,
 	}, nil
 }
+
+// sessionWorld is the aux payload a session world carries through the
+// snapshot pool: the single server and the probe container.
+type sessionWorld struct {
+	srv  *cloud.Server
+	cont *container.Container
+}
+
+// Close returns the session's world to the snapshot pool. The session must
+// not be used afterwards. Closing is optional — an unreturned world is
+// simply rebuilt by the next session for its key.
+func (s *InspectSession) Close() { releaseWorld(s.poolKey) }
 
 // Provider returns the profile name the session inspects.
 func (s *InspectSession) Provider() string { return s.provider }
@@ -109,35 +140,49 @@ func InspectProviderSeeded(p cloud.ProviderProfile, spec chaos.Spec, seed int64)
 	if err != nil {
 		return CloudInspection{}, err
 	}
+	defer s.Close()
 	return s.Inspect(1), nil
 }
 
 // DiscoverySession is the persistent testbed world behind discovery
 // sweeps, with an incremental engine over the host mount.
 type DiscoverySession struct {
-	dc   *cloud.Datacenter
-	srv  *cloud.Server
-	cont *pseudofs.Mount
-	eng  *engine.Engine
+	dc      *cloud.Datacenter
+	srv     *cloud.Server
+	cont    *pseudofs.Mount
+	eng     *engine.Engine
+	poolKey string
 }
 
 // NewDiscoverySession builds the world DiscoverySeeded would build
 // (seed 0 = DefaultDiscoverySeed) and wraps it in an incremental engine.
+// Like NewInspectSession, the warmed-up world is pooled per (chaos, seed)
+// when snapshots are enabled; call Close to return it.
 func NewDiscoverySession(spec chaos.Spec, seed int64) *DiscoverySession {
 	if seed == 0 {
 		seed = DefaultDiscoverySeed
 	}
-	dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: seed, Chaos: spec})
-	srv := dc.Racks[0].Servers[0]
-	probe := srv.Runtime.Create("probe")
-	dc.Clock.Run(30, 1)
+	w, key, _ := checkoutWorld(inspectPoolKey("discover", "", spec, seed),
+		func() (*cloud.Datacenter, any, error) {
+			dc := cloud.New(cloud.Config{Racks: 1, ServersPerRack: 1, Seed: seed, Chaos: spec})
+			srv := dc.Racks[0].Servers[0]
+			probe := srv.Runtime.Create("probe")
+			dc.Clock.Run(30, 1)
+			return dc, sessionWorld{srv: srv, cont: probe}, nil
+		})
+	sw := w.aux.(sessionWorld)
 	return &DiscoverySession{
-		dc:   dc,
-		srv:  srv,
-		cont: probe.Mount(),
-		eng:  engine.New(srv.HostMount()),
+		dc:      w.dc,
+		srv:     sw.srv,
+		cont:    sw.cont.Mount(),
+		eng:     engine.New(sw.srv.HostMount()),
+		poolKey: key,
 	}
 }
+
+// Close returns the session's world to the snapshot pool; the session must
+// not be used afterwards.
+func (s *DiscoverySession) Close() { releaseWorld(s.poolKey) }
 
 // Discover runs the systematic sweep and reports leaking files outside the
 // known-channel registry (the matrix set: Table I plus the frequency

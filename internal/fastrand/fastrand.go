@@ -246,17 +246,24 @@ func (r *Rand) AddScaledJitter(dst []float64, scale, amp float64) {
 			}
 			continue
 		}
-		for j := 0; j < n; j++ {
-			tap--
-			feed--
-			x := r.vec[feed] + r.vec[tap]
-			r.vec[feed] = x
+		// Reslicing the two lag windows to exactly n elements lets the
+		// compiler drop the per-draw vec bounds checks: m runs [0,n) over
+		// slices of length n. The windows alias the same backing array at
+		// the generator's tap distance, so writes at higher m are read back
+		// at lower m exactly as the in-place form did.
+		vt := r.vec[tap-n : tap][:n]
+		vf := r.vec[feed-n : feed][:n]
+		for m := n - 1; m >= 0; m-- {
+			x := vf[m] + vt[m]
+			vf[m] = x
 			f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
 			if f != 1 {
 				dst[i] += scale * (1 + (f*2-1)*amp)
 				i++
 			}
 		}
+		tap -= n
+		feed -= n
 	}
 	r.tap, r.feed = int32(tap), int32(feed)
 }
@@ -320,11 +327,13 @@ func (r *Rand) AddScaledJitter2(a, b []float64, scaleA, scaleB, amp float64) {
 			}
 			continue
 		}
-		for j := 0; j < n; j++ {
-			tap--
-			feed--
-			x := r.vec[feed] + r.vec[tap]
-			r.vec[feed] = x
+		// Resliced lag windows as in AddScaledJitter: bounds-check-free
+		// draws, aliasing preserved through the shared backing array.
+		vt := r.vec[tap-n : tap][:n]
+		vf := r.vec[feed-n : feed][:n]
+		for m := n - 1; m >= 0; m-- {
+			x := vf[m] + vt[m]
+			vf[m] = x
 			f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
 			if f == 1 {
 				continue
@@ -338,9 +347,204 @@ func (r *Rand) AddScaledJitter2(a, b []float64, scaleA, scaleB, amp float64) {
 				phase = 0
 			}
 		}
+		tap -= n
+		feed -= n
 	}
 	r.tap, r.feed = int32(tap), int32(feed)
 }
+
+// AddScaledJitterRows is the row-batched form of AddScaledJitter over a
+// struct-of-arrays block: dst holds len(scales) consecutive rows of cols
+// elements each (len(dst) == cols*len(scales)), and row r receives
+//
+//	dst[r*cols+c] += scales[r] * (1 + (f*2-1)*amp)
+//
+// with draws consumed in row-major order — exactly the stream of
+// len(scales) sequential AddScaledJitter calls, one per row. Fusing the
+// rows into one call keeps tap/feed in registers across the whole block
+// (a per-row call must commit them to memory between rows) and turns the
+// kernel tick's widest fan-out — 17 interrupt/softirq rows per server —
+// into a single pass over one contiguous backing array.
+func (r *Rand) AddScaledJitterRows(dst []float64, cols int, scales []float64, amp float64) {
+	if len(dst) != cols*len(scales) {
+		panic("fastrand: AddScaledJitterRows rows/cols mismatch")
+	}
+	tap, feed := int(r.tap), int(r.feed)
+	if uint(tap) >= rngLen || uint(feed) >= rngLen {
+		panic("fastrand: corrupt generator state")
+	}
+	i := 0
+	for row := 0; row < len(scales); row++ {
+		scale := scales[row]
+		end := i + cols
+		for i < end {
+			n := tap
+			if feed < n {
+				n = feed
+			}
+			if rem := end - i; n > rem {
+				n = rem
+			}
+			if n <= 0 {
+				tap--
+				if tap < 0 {
+					tap = rngLen - 1
+				}
+				feed--
+				if feed < 0 {
+					feed = rngLen - 1
+				}
+				x := r.vec[feed] + r.vec[tap]
+				r.vec[feed] = x
+				f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
+				if f != 1 {
+					dst[i] += scale * (1 + (f*2-1)*amp)
+					i++
+				}
+				continue
+			}
+			// Resliced lag windows as in AddScaledJitter: bounds-check-free
+			// draws, aliasing preserved through the shared backing array.
+			// The destination window is pre-sliced to n too, and the loop
+			// runs optimistically: with no retry, draw n-1-j lands in d[j],
+			// a pure induction-variable pairing the compiler proves in
+			// bounds on both sides. A retry (probability ~2^-54 per draw)
+			// breaks out with the stream position reconciled and lets the
+			// outer loop re-chunk — same draws, same order, same sums.
+			vt := r.vec[tap-n : tap][:n]
+			vf := r.vec[feed-n : feed][:n]
+			d := dst[i : i+n][:n]
+			j := 0
+			for ; j < n; j++ {
+				m := n - 1 - j
+				x := vf[m] + vt[m]
+				vf[m] = x
+				f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
+				if f == 1 {
+					break
+				}
+				d[j] += scale * (1 + (f*2-1)*amp)
+			}
+			if j == n {
+				i += n
+				tap -= n
+				feed -= n
+				continue
+			}
+			// Retry at draw j: that draw advanced the lag window but filled
+			// no slot; j slots were filled before it.
+			i += j
+			tap -= j + 1
+			feed -= j + 1
+		}
+	}
+	r.tap, r.feed = int32(tap), int32(feed)
+}
+
+// AddScaledJitter2Rows is the row-batched form of AddScaledJitter2: ab
+// holds len(scaleA) row *pairs* — for pair p, an "a" row at ab[(2p)*cols:]
+// and a "b" row at ab[(2p+1)*cols:] — and each column of each pair draws
+// two consecutive values f1, f2:
+//
+//	a[c] += scaleA[p] * (1 + (f1*2-1)*amp)
+//	b[c] += scaleB[p] * (1 + (f2*2-1)*amp)
+//
+// consuming exactly the stream of len(scaleA) sequential AddScaledJitter2
+// calls. The kernel's cpuidle update (4 C-states × usage/time rows) is the
+// intended caller.
+func (r *Rand) AddScaledJitter2Rows(ab []float64, cols int, scaleA, scaleB []float64, amp float64) {
+	if len(scaleA) != len(scaleB) {
+		panic("fastrand: AddScaledJitter2Rows scale length mismatch")
+	}
+	if len(ab) != 2*cols*len(scaleA) {
+		panic("fastrand: AddScaledJitter2Rows rows/cols mismatch")
+	}
+	tap, feed := int(r.tap), int(r.feed)
+	if uint(tap) >= rngLen || uint(feed) >= rngLen {
+		panic("fastrand: corrupt generator state")
+	}
+	for p := 0; p < len(scaleA); p++ {
+		a := ab[2*p*cols : (2*p+1)*cols]
+		b := ab[(2*p+1)*cols : (2*p+2)*cols]
+		sa, sb := scaleA[p], scaleB[p]
+		i := 0
+		phase := 0
+		var f1 float64
+		for i < cols {
+			n := tap
+			if feed < n {
+				n = feed
+			}
+			if rem := 2*(cols-i) - phase; n > rem {
+				n = rem
+			}
+			if n <= 0 {
+				tap--
+				if tap < 0 {
+					tap = rngLen - 1
+				}
+				feed--
+				if feed < 0 {
+					feed = rngLen - 1
+				}
+				x := r.vec[feed] + r.vec[tap]
+				r.vec[feed] = x
+				f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
+				if f == 1 {
+					continue
+				}
+				if phase == 0 {
+					f1, phase = f, 1
+				} else {
+					a[i] += sa * (1 + (f1*2-1)*amp)
+					b[i] += sb * (1 + (f*2-1)*amp)
+					i++
+					phase = 0
+				}
+				continue
+			}
+			// Resliced lag windows as in AddScaledJitter: bounds-check-free
+			// draws, aliasing preserved through the shared backing array.
+			vt := r.vec[tap-n : tap][:n]
+			vf := r.vec[feed-n : feed][:n]
+			for m := n - 1; m >= 0; m-- {
+				x := vf[m] + vt[m]
+				vf[m] = x
+				f := float64(int64(x&(1<<63-1))) * (1.0 / (1 << 63))
+				if f == 1 {
+					continue
+				}
+				if phase == 0 {
+					f1, phase = f, 1
+				} else {
+					a[i] += sa * (1 + (f1*2-1)*amp)
+					b[i] += sb * (1 + (f*2-1)*amp)
+					i++
+					phase = 0
+				}
+			}
+			tap -= n
+			feed -= n
+		}
+	}
+	r.tap, r.feed = int32(tap), int32(feed)
+}
+
+// State is an opaque copy of a generator's full stream position — the
+// 607-word lag window, the tap/feed indices, and Read's byte buffer. It is
+// a plain value: assignment copies it, and no aliasing ties it to the Rand
+// it came from. Snapshot/Restore of simulated worlds capture RNG stream
+// positions with it.
+type State struct {
+	r Rand
+}
+
+// Save captures the generator's complete state.
+func (r *Rand) Save() State { return State{r: *r} }
+
+// Restore rewinds the generator to a previously saved state. The next draw
+// after Restore returns exactly what the next draw after Save would have.
+func (r *Rand) Restore(s State) { *r = s.r }
 
 // Int31n returns a non-negative pseudo-random number in [0,n).
 // It panics if n <= 0. The rejection-sampling structure matches

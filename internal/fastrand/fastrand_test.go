@@ -269,3 +269,139 @@ func BenchmarkFastrandFloat64(b *testing.B) {
 	}
 	_ = s
 }
+
+func TestAddScaledJitterRowsEquivalence(t *testing.T) {
+	for _, seed := range seeds {
+		fr := New(seed)
+		std := rand.New(rand.NewSource(seed))
+		for _, shape := range []struct{ rows, cols int }{
+			{0, 8}, {1, 1}, {1, 24}, {17, 24}, {5, 3}, {3, 607}, {2, 304},
+		} {
+			scales := make([]float64, shape.rows)
+			for i := range scales {
+				scales[i] = 0.5 + float64(i)*1.75
+			}
+			got := make([]float64, shape.rows*shape.cols)
+			want := make([]float64, shape.rows*shape.cols)
+			for i := range got {
+				got[i] = float64(i) * 0.25
+				want[i] = got[i]
+			}
+			fr.AddScaledJitterRows(got, shape.cols, scales, 0.1)
+			for r := 0; r < shape.rows; r++ {
+				for c := 0; c < shape.cols; c++ {
+					want[r*shape.cols+c] += scales[r] * (1 + (std.Float64()*2-1)*0.1)
+				}
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d shape %dx%d index %d: got %v want %v",
+						seed, shape.rows, shape.cols, i, got[i], want[i])
+				}
+			}
+			if g, w := fr.Float64(), std.Float64(); g != w {
+				t.Fatalf("seed %d after %dx%d: scalar draw diverged", seed, shape.rows, shape.cols)
+			}
+		}
+	}
+}
+
+func TestAddScaledJitter2RowsEquivalence(t *testing.T) {
+	for _, seed := range seeds {
+		fr := New(seed)
+		std := rand.New(rand.NewSource(seed))
+		for _, shape := range []struct{ pairs, cols int }{
+			{0, 8}, {1, 1}, {4, 24}, {2, 307}, {3, 5},
+		} {
+			scaleA := make([]float64, shape.pairs)
+			scaleB := make([]float64, shape.pairs)
+			for i := range scaleA {
+				scaleA[i] = 0.75 + float64(i)
+				scaleB[i] = 1.5e6 / float64(i+1)
+			}
+			got := make([]float64, 2*shape.pairs*shape.cols)
+			want := make([]float64, len(got))
+			for i := range got {
+				got[i] = 3.0 + float64(i)
+				want[i] = got[i]
+			}
+			fr.AddScaledJitter2Rows(got, shape.cols, scaleA, scaleB, 0.05)
+			for p := 0; p < shape.pairs; p++ {
+				a := want[(2*p)*shape.cols : (2*p+1)*shape.cols]
+				b := want[(2*p+1)*shape.cols : (2*p+2)*shape.cols]
+				for c := 0; c < shape.cols; c++ {
+					a[c] += scaleA[p] * (1 + (std.Float64()*2-1)*0.05)
+					b[c] += scaleB[p] * (1 + (std.Float64()*2-1)*0.05)
+				}
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d shape %dx%d index %d: got %v want %v",
+						seed, shape.pairs, shape.cols, i, got[i], want[i])
+				}
+			}
+			if g, w := fr.Float64(), std.Float64(); g != w {
+				t.Fatalf("seed %d after %dx%d: scalar draw diverged", seed, shape.pairs, shape.cols)
+			}
+		}
+	}
+}
+
+// TestSaveRestoreStreamIdentity pins the snapshot contract: the draw stream
+// after Restore replays exactly the stream after Save, across every method
+// class (scalars, bounded, Read's byte carry, and the fused block kernels),
+// and a single State can be restored any number of times.
+func TestSaveRestoreStreamIdentity(t *testing.T) {
+	chooser := rand.New(rand.NewSource(11))
+	drain := func(r *Rand, n int) []uint64 {
+		out := make([]uint64, 0, 4*n)
+		buf := make([]byte, 9)
+		block := make([]float64, 13)
+		for i := 0; i < n; i++ {
+			switch chooser.Intn(5) {
+			case 0:
+				out = append(out, r.Uint64())
+			case 1:
+				out = append(out, uint64(r.Intn(1000)))
+			case 2:
+				r.Read(buf)
+				for _, b := range buf {
+					out = append(out, uint64(b))
+				}
+			case 3:
+				r.FillFloat64(block)
+				for _, f := range block {
+					out = append(out, uint64(f*1e18))
+				}
+			case 4:
+				for i := range block {
+					block[i] = 0
+				}
+				r.AddScaledJitterRows(block, 13, []float64{2.5}, 0.1)
+				for _, f := range block {
+					out = append(out, uint64(f*1e18))
+				}
+			}
+		}
+		return out
+	}
+	for _, seed := range seeds {
+		r := New(seed)
+		// Move to a mid-stream position (including a partial Read carry).
+		r.Read(make([]byte, 5))
+		r.Uint64()
+		s := r.Save()
+		chooser.Seed(int64(seed) ^ 0x5a5a)
+		want := drain(r, 200)
+		for attempt := 0; attempt < 3; attempt++ {
+			r.Restore(s)
+			chooser.Seed(int64(seed) ^ 0x5a5a)
+			got := drain(r, 200)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d restore %d: stream diverged at draw %d", seed, attempt, i)
+				}
+			}
+		}
+	}
+}

@@ -43,6 +43,15 @@ type Options struct {
 	// t=0; together with BootWallClock it sets the host's starting uptime.
 	WallClockNow int64
 	Power        power.Config
+
+	// ReferenceLayout selects the pre-SoA tick layout: every per-CPU
+	// accumulator row (irq, softirq, softnet, cpuidle) gets its own
+	// standalone slice and the tick drives them through per-row fused
+	// calls instead of the row-batched struct-of-arrays kernels. The two
+	// layouts are contracted to produce identical bytes; the property
+	// suite ticks both side by side and compares every rendered path.
+	// Production code never sets this.
+	ReferenceLayout bool
 }
 
 func (o *Options) fillDefaults() {
@@ -113,6 +122,11 @@ type Kernel struct {
 	nextNSID   uint64
 	nextPID    int
 
+	// nsSets registers every namespace set ever created on this kernel
+	// (init first), so Snapshot can capture and Restore rewind their
+	// mutable state (pid maps, device lists, shm tables) in place.
+	nsSets []*NSSet
+
 	tasks      map[int]*Task
 	cgroups    map[string]*Cgroup
 	nextLockID int
@@ -141,9 +155,27 @@ type Kernel struct {
 	lastBusy     float64 // busy core-equivalents of the last tick
 	newidleCost  []uint64
 
-	// Interrupt accounting.
+	// Interrupt accounting. The PerCPU slices of every IRQ and SoftIRQ are
+	// views into jitterRows (see below) unless ReferenceLayout is set.
 	irqs     []*IRQ
 	softirqs []*SoftIRQ
+
+	// Struct-of-arrays backing for the tick's jitter fan-outs. jitterRows
+	// holds len(irqs)+len(softirqs) consecutive rows of Cores elements —
+	// irq rows first, then softirq rows, in registration order — followed
+	// by one softnet row; idleRows holds usage/time row pairs per cpuidle
+	// state. The AoS structs (IRQ.PerCPU, SoftIRQ.PerCPU, IdleState.*,
+	// softnetPackets) are subslice views over these arrays, so renderers
+	// are layout-oblivious while the tick updates — and Snapshot copies —
+	// whole blocks at once. Empty under ReferenceLayout.
+	jitterRows []float64
+	idleRows   []float64
+
+	// rowScales/idleScaleA/idleScaleB are per-tick scratch for the fused
+	// row kernels' per-row leading factors.
+	rowScales  []float64
+	idleScaleA []float64
+	idleScaleB []float64
 
 	// Memory accounting.
 	memBaseUsedKB uint64
@@ -190,6 +222,18 @@ type Kernel struct {
 	sharesScratch  []float64
 	quotaDemand    map[string]float64
 	quotaOut       map[string]float64
+
+	// Per-task tick mirrors, gathered once at the top of Tick into
+	// contiguous arrays so the three task loops (demand sum, activity
+	// aggregation, per-cgroup accounting) read sequential float64 slots
+	// instead of chasing *Task pointers and re-resolving quota factors
+	// through a string-keyed map each pass. taskDemand[i] mirrors
+	// taskList[i].DemandCores; taskQF[i] is the task's quota factor (1
+	// when unlimited). Mirrors, not authority: BenignLoad rewrites
+	// Task.DemandCores between ticks, so the gather is what keeps the
+	// arrays coherent.
+	taskDemand []float64
+	taskQF     []float64
 
 	// Load-average decay factors, memoized on the last dt seen: the
 	// driving clock steps with a constant dt, so the three math.Exp calls
@@ -295,9 +339,8 @@ func New(opts Options) *Kernel {
 		{Name: "CAL", Desc: "Function call interrupts", ratePerSec: func(k *Kernel) float64 { return 10 + 100*k.lastBusy/float64(k.opts.Cores) }},
 		{Name: "TLB", Desc: "TLB shootdowns", ratePerSec: func(k *Kernel) float64 { return 5 + 200*k.lastBusy/float64(k.opts.Cores) }},
 	}
-	for _, irq := range k.irqs {
-		irq.PerCPU = make([]float64, opts.Cores)
-	}
+	// (PerCPU rows are bound to the SoA backing — or standalone slices
+	// under ReferenceLayout — after the softirq table below.)
 	k.softirqs = []*SoftIRQ{
 		{Name: "HI", ratePerSec: func(*Kernel) float64 { return 1 }},
 		{Name: "TIMER", ratePerSec: func(*Kernel) float64 { return 250 }},
@@ -309,17 +352,46 @@ func New(opts Options) *Kernel {
 		{Name: "HRTIMER", ratePerSec: func(*Kernel) float64 { return 2 }},
 		{Name: "RCU", ratePerSec: func(k *Kernel) float64 { return 150 + 300*k.lastBusy/float64(k.opts.Cores) }},
 	}
-	for _, s := range k.softirqs {
-		s.PerCPU = make([]float64, opts.Cores)
-	}
 	k.idleStates = []IdleState{
 		{Name: "POLL"}, {Name: "C1"}, {Name: "C3"}, {Name: "C6"},
 	}
-	for i := range k.idleStates {
-		k.idleStates[i].UsagePerCPU = make([]float64, opts.Cores)
-		k.idleStates[i].TimeUSPerCPU = make([]float64, opts.Cores)
+	if opts.ReferenceLayout {
+		// Pre-SoA reference: every row its own allocation.
+		for _, irq := range k.irqs {
+			irq.PerCPU = make([]float64, opts.Cores)
+		}
+		for _, s := range k.softirqs {
+			s.PerCPU = make([]float64, opts.Cores)
+		}
+		for i := range k.idleStates {
+			k.idleStates[i].UsagePerCPU = make([]float64, opts.Cores)
+			k.idleStates[i].TimeUSPerCPU = make([]float64, opts.Cores)
+		}
+		k.softnetPackets = make([]float64, opts.Cores)
+	} else {
+		// Struct-of-arrays backing: irq rows, then softirq rows, then the
+		// softnet row, in one contiguous block; cpuidle usage/time pairs in
+		// a second. The AoS structs alias subslices of these blocks.
+		cores := opts.Cores
+		jrows := len(k.irqs) + len(k.softirqs)
+		k.jitterRows = make([]float64, (jrows+1)*cores)
+		row := func(r int) []float64 { return k.jitterRows[r*cores : (r+1)*cores : (r+1)*cores] }
+		for i, irq := range k.irqs {
+			irq.PerCPU = row(i)
+		}
+		for i, s := range k.softirqs {
+			s.PerCPU = row(len(k.irqs) + i)
+		}
+		k.softnetPackets = row(jrows)
+		k.idleRows = make([]float64, 2*len(k.idleStates)*cores)
+		for i := range k.idleStates {
+			k.idleStates[i].UsagePerCPU = k.idleRows[(2*i)*cores : (2*i+1)*cores : (2*i+1)*cores]
+			k.idleStates[i].TimeUSPerCPU = k.idleRows[(2*i+1)*cores : (2*i+2)*cores : (2*i+2)*cores]
+		}
+		k.rowScales = make([]float64, jrows)
+		k.idleScaleA = make([]float64, len(k.idleStates))
+		k.idleScaleB = make([]float64, len(k.idleStates))
 	}
-	k.softnetPackets = make([]float64, opts.Cores)
 	k.ext4Groups = make([]Ext4Group, 16)
 	for i := range k.ext4Groups {
 		k.ext4Groups[i] = Ext4Group{
@@ -410,13 +482,27 @@ func (k *Kernel) Tick(now, dt float64) {
 	// skipping the multiply are bit-identical in IEEE-754, so both paths
 	// produce the same bytes.
 	quotaF := k.quotaFactors()
+	// Gather the per-task mirrors: contiguous demand and quota-factor
+	// arrays in taskList order. Every later loop indexes these instead of
+	// re-reading Task fields and re-resolving quota factors; multiplying
+	// by an explicit 1.0 factor and skipping the multiply are bit-identical
+	// in IEEE-754, so the unconditional d*qf form below matches the
+	// historical branchy one byte for byte.
+	if cap(k.taskDemand) < len(k.taskList) {
+		k.taskDemand = make([]float64, len(k.taskList), 2*len(k.taskList)+8)
+		k.taskQF = make([]float64, len(k.taskList), 2*len(k.taskList)+8)
+	}
+	k.taskDemand = k.taskDemand[:len(k.taskList)]
+	k.taskQF = k.taskQF[:len(k.taskList)]
 	var demand float64
-	for _, t := range k.taskList {
-		d := t.DemandCores
+	for i, t := range k.taskList {
+		qf := 1.0
 		if quotaF != nil {
-			d *= quotaF[t.CgroupPath]
+			qf = quotaF[t.CgroupPath]
 		}
-		demand += d
+		k.taskDemand[i] = t.DemandCores
+		k.taskQF[i] = qf
+		demand += t.DemandCores * qf
 	}
 	f := 1.0
 	cores := float64(k.opts.Cores)
@@ -432,15 +518,12 @@ func (k *Kernel) Tick(now, dt float64) {
 		perCore[i] = 0
 	}
 	var pinnedLoad float64
-	for _, t := range k.taskList {
-		tf := f
-		if quotaF != nil {
-			tf *= quotaF[t.CgroupPath]
-		}
+	for i, t := range k.taskList {
+		tf := f * k.taskQF[i]
 		r := t.Rates.Times(tf)
 		agg = agg.Plus(r)
 		if len(t.Pinned) > 0 {
-			share := t.DemandCores * tf / float64(len(t.Pinned))
+			share := k.taskDemand[i] * tf / float64(len(t.Pinned))
 			for _, c := range t.Pinned {
 				if c >= 0 && c < len(perCore) {
 					perCore[c] += share
@@ -476,7 +559,7 @@ func (k *Kernel) Tick(now, dt float64) {
 	// 3. Per-cgroup accounting: cpuacct cycles and perf counters. The root
 	// cgroup receives the whole-host aggregate below, so tasks living
 	// directly in "/" are skipped here to avoid double counting.
-	for _, t := range k.taskList {
+	for i, t := range k.taskList {
 		if t.CgroupPath == "/" {
 			continue
 		}
@@ -484,11 +567,8 @@ func (k *Kernel) Tick(now, dt float64) {
 		if cg == nil {
 			continue
 		}
-		teff := eff
-		if quotaF != nil {
-			teff *= quotaF[t.CgroupPath]
-		}
-		cpuSec := t.DemandCores * teff * dt
+		teff := eff * k.taskQF[i]
+		cpuSec := k.taskDemand[i] * teff * dt
 		cg.CPUUsageNS += cpuSec * 1e9
 		k.perf.Account(t.CgroupPath, t.Rates.Times(teff).Scale(dt))
 	}
@@ -532,13 +612,28 @@ func (k *Kernel) Tick(now, dt float64) {
 	// fastrand pass (AddScaledJitter applies jitter's expression verbatim
 	// while keeping the generator state in registers, with no scratch
 	// buffer in between).
-	for _, irq := range k.irqs {
-		share := irq.ratePerSec(k) * dt / cores
-		k.rng.AddScaledJitter(irq.PerCPU, share, 0.1)
-	}
-	for _, s := range k.softirqs {
-		share := s.ratePerSec(k) * dt / cores
-		k.rng.AddScaledJitter(s.PerCPU, share, 0.1)
+	if k.jitterRows != nil {
+		// SoA fast path: the 17 irq+softirq rows are consecutive in
+		// jitterRows, so one row-batched call covers the whole fan-out with
+		// the generator state in registers throughout. Draw order is
+		// row-major — identical to the per-row calls of the reference
+		// layout.
+		for i, irq := range k.irqs {
+			k.rowScales[i] = irq.ratePerSec(k) * dt / cores
+		}
+		for i, s := range k.softirqs {
+			k.rowScales[len(k.irqs)+i] = s.ratePerSec(k) * dt / cores
+		}
+		k.rng.AddScaledJitterRows(k.jitterRows[:len(k.rowScales)*k.opts.Cores], k.opts.Cores, k.rowScales, 0.1)
+	} else {
+		for _, irq := range k.irqs {
+			share := irq.ratePerSec(k) * dt / cores
+			k.rng.AddScaledJitter(irq.PerCPU, share, 0.1)
+		}
+		for _, s := range k.softirqs {
+			share := s.ratePerSec(k) * dt / cores
+			k.rng.AddScaledJitter(s.PerCPU, share, 0.1)
+		}
 	}
 	k.ctxtSwitches += (300 + 900*busy) * dt
 
@@ -560,15 +655,27 @@ func (k *Kernel) Tick(now, dt float64) {
 	// the original left-associated expressions, hoisted out of the inner
 	// loop (bit-identical; saves multiplies and a division per CPU).
 	idleFrac := idleCores / cores
-	for i := range k.idleStates {
-		st := &k.idleStates[i]
-		// Deeper states get the longer residencies; POLL gets almost none.
-		weight := idleWeights[i]
-		usage := idleFrac * weight * 80 * dt
-		timeUS := idleFrac * weight * dt * 1e6 / cores
-		// Two draws per CPU, in the original usage-then-time order,
-		// fused with the accumulate (see section 5).
-		k.rng.AddScaledJitter2(st.UsagePerCPU, st.TimeUSPerCPU, usage, timeUS, 0.05)
+	if k.idleRows != nil {
+		// SoA fast path: all four usage/time row pairs in one call, draws
+		// in state order with usage-then-time pairing per CPU — the exact
+		// stream of the four reference AddScaledJitter2 calls.
+		for i := range k.idleStates {
+			// Deeper states get the longer residencies; POLL gets almost none.
+			weight := idleWeights[i]
+			k.idleScaleA[i] = idleFrac * weight * 80 * dt
+			k.idleScaleB[i] = idleFrac * weight * dt * 1e6 / cores
+		}
+		k.rng.AddScaledJitter2Rows(k.idleRows, k.opts.Cores, k.idleScaleA, k.idleScaleB, 0.05)
+	} else {
+		for i := range k.idleStates {
+			st := &k.idleStates[i]
+			weight := idleWeights[i]
+			usage := idleFrac * weight * 80 * dt
+			timeUS := idleFrac * weight * dt * 1e6 / cores
+			// Two draws per CPU, in the original usage-then-time order,
+			// fused with the accumulate (see section 5).
+			k.rng.AddScaledJitter2(st.UsagePerCPU, st.TimeUSPerCPU, usage, timeUS, 0.05)
+		}
 	}
 
 	// 8. Memory & VFS drift.

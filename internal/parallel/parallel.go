@@ -49,6 +49,15 @@ func Workers(requested int) int {
 	if w > MaxWorkers {
 		w = MaxWorkers
 	}
+	// A pool wider than the scheduler can never run two tasks at once: on a
+	// GOMAXPROCS=1 host every extra worker is pure fan-out overhead
+	// (goroutine startup, cursor contention), which is how the "parallel"
+	// benchmarks regressed below their serial twins on 1-CPU runners.
+	// Degrade to the serial fast path; the determinism contract makes the
+	// output byte-identical either way.
+	if w > 1 && runtime.GOMAXPROCS(0) == 1 {
+		w = 1
+	}
 	return w
 }
 

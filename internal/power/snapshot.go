@@ -1,0 +1,59 @@
+package power
+
+// Snapshot/Restore support for the world snapshot machinery: the meter and
+// governor are pure state machines (no RNG), so a capture is a plain value
+// copy of their mutable fields. Configs are immutable after New and are not
+// captured; Restore must be applied to the same instance (or one built from
+// the same config).
+
+// MeterState is a point-in-time capture of a Meter.
+type MeterState struct {
+	energyUJ [4]float64
+	lastW    [4]float64
+	tempC    []float64
+	limitW   float64
+}
+
+// Snapshot captures the meter's mutable state.
+func (m *Meter) Snapshot() MeterState {
+	return MeterState{
+		energyUJ: m.energyUJ,
+		lastW:    m.lastW,
+		tempC:    append([]float64(nil), m.tempC...),
+		limitW:   m.limitW,
+	}
+}
+
+// Restore rewinds the meter to the captured state.
+func (m *Meter) Restore(s MeterState) {
+	m.energyUJ = s.energyUJ
+	m.lastW = s.lastW
+	copy(m.tempC, s.tempC)
+	m.limitW = s.limitW
+}
+
+// GovernorState is a point-in-time capture of a Governor.
+type GovernorState struct {
+	cur        []float64
+	kHz        []uint64
+	trans      []uint64
+	totalTrans uint64
+}
+
+// Snapshot captures the governor's mutable state.
+func (g *Governor) Snapshot() GovernorState {
+	return GovernorState{
+		cur:        append([]float64(nil), g.cur...),
+		kHz:        append([]uint64(nil), g.kHz...),
+		trans:      append([]uint64(nil), g.trans...),
+		totalTrans: g.totalTrans,
+	}
+}
+
+// Restore rewinds the governor to the captured state.
+func (g *Governor) Restore(s GovernorState) {
+	copy(g.cur, s.cur)
+	copy(g.kHz, s.kHz)
+	copy(g.trans, s.trans)
+	g.totalTrans = s.totalTrans
+}

@@ -230,6 +230,10 @@ func (fs *FS) EnergyProvider() EnergyProvider { return fs.energy }
 // ThermalProvider returns the currently installed coretemp read path.
 func (fs *FS) ThermalProvider() ThermalProvider { return fs.thermal }
 
+// Injector returns the currently installed fault injector (nil when none).
+// The world snapshot machinery uses it to find and rewind a chaos layer.
+func (fs *FS) Injector() Injector { return fs.injector }
+
 // SetInjector installs a read-path fault injector on every Mount of this
 // FS; nil removes it. Install it before handing mounts to consumers — the
 // injector is consulted on every subsequent Mount.Read.
@@ -411,11 +415,46 @@ type Mount struct {
 	fs     *FS
 	view   View
 	policy Policy
+	// ruleIdx caches the policy decision per registered path: the index of
+	// the first matching rule, or -1 for "no rule matches" (default Allow).
+	// A Mount's policy is immutable after construction (ApplyPolicy builds a
+	// new Mount) and the FS path set is sealed at Build time, so the cache
+	// is precomputed once here and read concurrently without locks. Paths
+	// outside the sealed set fall back to the linear Lookup, preserving the
+	// exact first-match semantics.
+	ruleIdx map[string]int16
 }
 
 // NewMount mounts fs for the given view under the given policy.
 func NewMount(fs *FS, v View, p Policy) *Mount {
-	return &Mount{fs: fs, view: v, policy: p}
+	m := &Mount{fs: fs, view: v, policy: p}
+	if len(p.Rules) > 0 && fs.sortedPaths != nil {
+		m.ruleIdx = make(map[string]int16, len(fs.sortedPaths))
+		for _, path := range fs.sortedPaths {
+			idx := int16(-1)
+			for i, r := range p.Rules {
+				if matchPattern(r.Pattern, path) {
+					idx = int16(i)
+					break
+				}
+			}
+			m.ruleIdx[path] = idx
+		}
+	}
+	return m
+}
+
+// lookupRule is Policy.Lookup accelerated by the per-mount decision cache;
+// policy checks sit on the hot path of every power/thermal sample (the
+// stable-read loop in attack.PowerMonitor issues several per tick).
+func (m *Mount) lookupRule(path string) (Rule, bool) {
+	if idx, ok := m.ruleIdx[path]; ok {
+		if idx < 0 {
+			return Rule{}, false
+		}
+		return m.policy.Rules[idx], true
+	}
+	return m.policy.Lookup(path)
 }
 
 // View returns the mount's reader context.
@@ -474,7 +513,7 @@ func (m *Mount) readPolicied(path string) (string, error) {
 // appendPolicied is the genuine read: masking policy first, then the
 // handler, appended to dst.
 func (m *Mount) appendPolicied(dst []byte, path string) ([]byte, error) {
-	rule, matched := m.policy.Lookup(path)
+	rule, matched := m.lookupRule(path)
 	if matched {
 		switch rule.Do {
 		case Deny:

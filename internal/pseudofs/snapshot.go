@@ -1,0 +1,60 @@
+package pseudofs
+
+// FSState is a point-in-time capture of an FS's mutable surface for the
+// world snapshot machinery. The file *set* is sealed at Build time, but
+// handlers can be swapped (Replace), providers and injectors installed, and
+// the render/generation counters advance; all of that must rewind so a
+// restored world is indistinguishable from a freshly built one, including
+// to the incremental engine's epoch checks.
+type FSState struct {
+	files           map[string]Handler
+	energy          EnergyProvider
+	thermal         ThermalProvider
+	injector        Injector
+	fsGen           uint64
+	replaceGen      map[string]uint64
+	totalReplaceGen uint64
+	renders         uint64
+}
+
+// Snapshot captures the FS's mutable state.
+func (fs *FS) Snapshot() *FSState {
+	s := &FSState{
+		files:           make(map[string]Handler, len(fs.files)),
+		energy:          fs.energy,
+		thermal:         fs.thermal,
+		injector:        fs.injector,
+		fsGen:           fs.fsGen,
+		replaceGen:      make(map[string]uint64, len(fs.replaceGen)),
+		totalReplaceGen: fs.totalReplaceGen,
+		renders:         fs.renders.Load(),
+	}
+	for p, h := range fs.files {
+		s.files[p] = h
+	}
+	for p, g := range fs.replaceGen {
+		s.replaceGen[p] = g
+	}
+	return s
+}
+
+// Restore rewinds the FS to the captured state.
+func (fs *FS) Restore(s *FSState) {
+	for p, h := range s.files {
+		fs.files[p] = h
+	}
+	fs.energy = s.energy
+	fs.thermal = s.thermal
+	fs.injector = s.injector
+	fs.fsGen = s.fsGen
+	for p := range fs.replaceGen {
+		if _, ok := s.replaceGen[p]; !ok {
+			delete(fs.replaceGen, p)
+		}
+	}
+	for p, g := range s.replaceGen {
+		fs.replaceGen[p] = g
+	}
+	fs.totalReplaceGen = s.totalReplaceGen
+	fs.renders.Store(s.renders)
+}

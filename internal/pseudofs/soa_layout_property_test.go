@@ -1,0 +1,91 @@
+package pseudofs
+
+// Property suite for the struct-of-arrays tick layout: a kernel using the
+// SoA backing blocks (the default) must render every registered /proc and
+// /sys path byte-identically to a kernel built with Options.ReferenceLayout
+// — the pre-SoA per-row slices — when both are driven through the same
+// spawn/tick history. The two kernels share nothing; any divergence in RNG
+// draw order, accumulator update order, or float formatting between the
+// layouts shows up as a named path with the first differing bytes.
+//
+// Unlike the append-render property above, /proc/sys/kernel/random/uuid is
+// NOT excluded here: both kernels read it in lockstep, so it doubles as a
+// check that the layouts consume the uuid RNG stream identically.
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// layoutWorld builds one kernel with the requested layout and drives it
+// through populateWorld's canonical mutation history.
+func layoutWorld(ref bool) (*kernel.Kernel, *FS, View, View) {
+	k := kernel.New(kernel.Options{Hostname: "node-prop", Seed: 0x51ea, ReferenceLayout: ref})
+	fs := Build(k, DefaultHardware())
+	cont := populateWorld(k)
+	return k, fs, HostView(k), cont
+}
+
+func TestSoARendersMatchReferenceLayout(t *testing.T) {
+	soaK, soaFS, soaHost, soaCont := layoutWorld(false)
+	refK, refFS, refHost, refCont := layoutWorld(true)
+
+	soaPaths := soaFS.Paths()
+	refPaths := refFS.Paths()
+	if len(soaPaths) != len(refPaths) {
+		t.Fatalf("path registries differ: SoA has %d paths, reference %d", len(soaPaths), len(refPaths))
+	}
+	for i := range soaPaths {
+		if soaPaths[i] != refPaths[i] {
+			t.Fatalf("path registries differ at %d: %q vs %q", i, soaPaths[i], refPaths[i])
+		}
+	}
+
+	compareAll := func(round string) {
+		t.Helper()
+		views := []struct {
+			name     string
+			soa, ref View
+		}{
+			{"host", soaHost, refHost},
+			{"container", soaCont, refCont},
+		}
+		checked := 0
+		for _, vc := range views {
+			mS := NewMount(soaFS, vc.soa, Policy{})
+			mR := NewMount(refFS, vc.ref, Policy{})
+			for _, path := range soaPaths {
+				got, gerr := mS.AppendRead(nil, path)
+				want, werr := mR.AppendRead(nil, path)
+				if (gerr == nil) != (werr == nil) {
+					t.Errorf("%s [%s %s]: error mismatch: soa=%v ref=%v", path, vc.name, round, gerr, werr)
+					continue
+				}
+				if string(got) != string(want) {
+					t.Errorf("%s [%s %s]: SoA render diverges from reference layout\n soa: %q\n ref: %q",
+						path, vc.name, round, firstDiff(string(got), string(want)),
+						firstDiff(string(want), string(got)))
+					continue
+				}
+				checked++
+			}
+		}
+		if checked < 100 {
+			t.Fatalf("property covered only %d path×view renders in round %s — registration broken?",
+				checked, round)
+		}
+	}
+
+	compareAll("warm")
+
+	// Keep driving both worlds with irregular steps: accumulated SoA block
+	// state and per-row reference state must stay in lockstep over time, not
+	// just at the first observation instant.
+	for i := 0; i < 13; i++ {
+		dt := 0.73 + float64(i%3)*0.31
+		soaK.Tick(soaK.Now()+dt, dt)
+		refK.Tick(refK.Now()+dt, dt)
+	}
+	compareAll("advanced")
+}

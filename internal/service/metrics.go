@@ -49,6 +49,11 @@ type Metrics struct {
 	// can be evicted, so the aggregate is not monotone).
 	EngineFindingHits, EngineFindingMisses *telemetry.GaugeVec
 	EngineHostRenders, EngineHostHits      *telemetry.GaugeVec
+	// EngineSnapshotRestores mirrors the experiment layer's world-pool
+	// counter: session worlds reinstated from a copy-on-write snapshot
+	// instead of a full cloud.New rebuild (process-wide and monotone, but a
+	// gauge for symmetry with the other mirrored engine counters).
+	EngineSnapshotRestores *telemetry.GaugeVec
 	// HTTPRequests counts /v1 read-path responses by endpoint and status
 	// ("200" or "304"); HTTPRequestSeconds is the serving latency. The
 	// serving path resolves each child once at handler construction — With
@@ -126,6 +131,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Aggregate genuine host-side pseudo-file renders."),
 		EngineHostHits: reg.Gauge("leaksd_engine_host_hits",
 			"Aggregate host-side reads served from the shared render cache."),
+		EngineSnapshotRestores: reg.Gauge("leaksd_engine_snapshot_restores_total",
+			"World restores that replaced a full rebuild in the experiment layer."),
 		HTTPRequests: reg.Counter("leaksd_http_requests_total",
 			"Cached /v1 read-path responses by endpoint and status.", "endpoint", "status"),
 		HTTPRequestSeconds: reg.Histogram("leaksd_http_request_seconds",

@@ -433,6 +433,7 @@ func (s *Scheduler) syncEngineMetrics() {
 	s.met.EngineFindingMisses.With().Set(float64(info.Stats.FindingMisses))
 	s.met.EngineHostRenders.With().Set(float64(info.Stats.HostRenders))
 	s.met.EngineHostHits.With().Set(float64(info.Stats.HostHits))
+	s.met.EngineSnapshotRestores.With().Set(float64(info.SnapshotRestores))
 }
 
 // SetRunner replaces the scan executor (tests inject fast fakes; must be

@@ -259,6 +259,10 @@ type EngineInfo struct {
 	// Stats is the element-wise sum of every live session engine's
 	// counters (see engine.Stats).
 	Stats engine.Stats `json:"stats"`
+	// SnapshotRestores counts session worlds reinstated from a
+	// copy-on-write snapshot instead of a full rebuild (process-wide,
+	// covers the CLI experiment paths too).
+	SnapshotRestores uint64 `json:"snapshot_restores"`
 }
 
 // info snapshots the pool. Session engines are read without taking entry
@@ -274,9 +278,10 @@ func (p *sessionPool) info() EngineInfo {
 		disc = append(disc, e)
 	}
 	out := EngineInfo{
-		Sessions:      len(p.insp) + len(p.disc),
-		SessionHits:   p.hits,
-		SessionMisses: p.misses,
+		Sessions:         len(p.insp) + len(p.disc),
+		SessionHits:      p.hits,
+		SessionMisses:    p.misses,
+		SnapshotRestores: experiments.SnapshotRestores(),
 	}
 	p.mu.Unlock()
 	for _, e := range insp {

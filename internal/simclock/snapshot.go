@@ -1,0 +1,31 @@
+package simclock
+
+// ClockState is a point-in-time capture of a Clock for the world snapshot
+// machinery. Ticker registrations are structural (rebuilt only when a world
+// is rebuilt) and are not captured; the mutable state is the current time,
+// the event sequence counter, and the pending event queue. *event values
+// are immutable once pushed, so sharing them between the live queue and the
+// capture is safe — Pop only drops references, never mutates an event.
+type ClockState struct {
+	now    float64
+	seq    int
+	events []*event
+}
+
+// Snapshot captures the clock's mutable state.
+func (c *Clock) Snapshot() *ClockState {
+	return &ClockState{
+		now:    c.now,
+		seq:    c.seq,
+		events: append([]*event(nil), c.events...),
+	}
+}
+
+// Restore rewinds the clock to the captured state. The restored queue is a
+// fresh copy in the captured heap order (heap order is a property of the
+// slice, so a copy of a valid heap is a valid heap).
+func (c *Clock) Restore(s *ClockState) {
+	c.now = s.now
+	c.seq = s.seq
+	c.events = append(c.events[:0:0], s.events...)
+}
